@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+experiment inside the ``benchmark`` fixture (single round — these are
+experiment harnesses, not micro-benchmarks), prints the paper-style rows,
+and asserts the qualitative shape the paper reports.  ``EXPERIMENTS.md``
+records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.cantilever import cantilever_problem
+from repro.precond.scaling import scale_system
+
+
+def pytest_configure(config):
+    # Experiment harnesses run once; disable benchmark warmup noise.
+    config.option.benchmark_disable_gc = True
+
+
+@pytest.fixture(scope="session")
+def problems():
+    """Cache of cantilever problems by (mesh_id, with_mass)."""
+    cache = {}
+
+    def get(mesh_id: int, with_mass: bool = False):
+        key = (mesh_id, with_mass)
+        if key not in cache:
+            cache[key] = cantilever_problem(mesh_id, with_mass=with_mass)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def scaled_systems(problems):
+    """Cache of norm-1 scaled systems by mesh id."""
+    cache = {}
+
+    def get(mesh_id: int):
+        if mesh_id not in cache:
+            p = problems(mesh_id)
+            cache[mesh_id] = (p, scale_system(p.stiffness, p.load))
+        return cache[mesh_id]
+
+    return get
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

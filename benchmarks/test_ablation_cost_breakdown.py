@@ -1,0 +1,63 @@
+"""Ablation: where does the time go?  (compute / point-to-point / reduction)
+
+Decomposes the modeled Origin time of EDD solves by polynomial degree.
+Explains the Fig. 17(a) mechanism quantitatively: higher degrees shift the
+budget from fixed per-iteration reductions toward well-parallelizing
+matvec compute + nearest-neighbour traffic, which is exactly why they
+scale better.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.driver import solve_cantilever
+from repro.parallel.machine import SGI_ORIGIN, time_breakdown
+from repro.reporting.tables import format_table
+
+DEGREES = (1, 3, 7, 10)
+P = 8
+
+
+def test_ablation_cost_breakdown(benchmark, problems):
+    p = problems(3)
+
+    def experiment():
+        out = {}
+        for m in DEGREES:
+            s = solve_cantilever(p, n_parts=P, precond=f"gls({m})")
+            assert s.result.converged
+            out[m] = (s.result.iterations, time_breakdown(s.stats, SGI_ORIGIN))
+        return out
+
+    data = run_once(benchmark, experiment)
+
+    rows = []
+    for m, (iters, bd) in data.items():
+        rows.append(
+            [
+                f"GLS({m})",
+                iters,
+                f"{bd['compute'] * 1e3:.2f}",
+                f"{bd['p2p'] * 1e3:.2f}",
+                f"{bd['reduction'] * 1e3:.2f}",
+                f"{bd['reduction'] / bd['total']:.1%}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["precond", "iters", "compute (ms)", "p2p (ms)", "reduce (ms)", "reduce share"],
+            rows,
+            title=f"Ablation — modeled time breakdown (Mesh3, P={P}, Origin)",
+        )
+    )
+
+    # reductions scale with iterations only; matvec work scales with
+    # iterations*(degree+1) -> the reduction share falls as degree rises
+    shares = [bd["reduction"] / bd["total"] for _, bd in data.values()]
+    assert all(b < a for a, b in zip(shares, shares[1:]))
+    # components always add up to the total
+    for _, bd in data.values():
+        assert np.isclose(
+            bd["compute"] + bd["p2p"] + bd["reduction"], bd["total"]
+        )

@@ -1,0 +1,91 @@
+"""Ablation: a-priori degree selection vs the fixed-degree sweep.
+
+Table 3's trade-off remark, automated: predict the cheapest GLS degree
+from the residual-polynomial condition number and the machine cost model,
+then verify the pick against measured modeled times of the full candidate
+sweep (with a Lanczos-informed window, the setting where prediction is
+meaningful).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.parallel.machine import SGI_ORIGIN, modeled_time
+from repro.partition.element_partition import ElementPartition
+from repro.precond.degree_selection import choose_degree_for_system
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.reporting.tables import format_table
+from repro.spectrum.intervals import SpectrumIntervals
+from repro.spectrum.lanczos import lanczos_extreme_eigenvalues
+
+CANDIDATES = (1, 3, 5, 7, 10, 14)
+P = 8
+
+
+def test_ablation_degree_selection(benchmark, problems):
+    p = problems(3)
+
+    def experiment():
+        ss = scale_system(p.stiffness, p.load)
+        lo, hi = lanczos_extreme_eigenvalues(ss.a.matvec, ss.a.shape[0], 40)
+        theta = SpectrumIntervals.single(lo * 0.9, min(hi * 1.05, 1.0))
+        part = ElementPartition.build(p.mesh, P)
+        f_full = p.bc.expand(p.load)
+        measured = {}
+        for m in CANDIDATES:
+            system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+            res = edd_fgmres(
+                system, GLSPolynomial(theta, m), tol=1e-6, max_iter=4000
+            )
+            assert res.converged
+            measured[m] = (
+                res.iterations,
+                modeled_time(system.comm.stats, SGI_ORIGIN),
+            )
+        system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+        best, ests = choose_degree_for_system(
+            system, SGI_ORIGIN, tol=1e-6, theta=theta, candidates=CANDIDATES
+        )
+        return theta, best, ests, measured
+
+    theta, best, ests, measured = run_once(benchmark, experiment)
+
+    pred = {e.degree: e for e in ests}
+    rows = [
+        [
+            f"GLS({m})",
+            pred[m].iterations,
+            measured[m][0],
+            f"{pred[m].time * 1e3:.1f}",
+            f"{measured[m][1] * 1e3:.1f}",
+            "<-- picked" if m == best else "",
+        ]
+        for m in CANDIDATES
+    ]
+    print()
+    print(
+        format_table(
+            [
+                "degree",
+                "pred iters",
+                "meas iters",
+                "pred T (ms)",
+                "meas T (ms)",
+                "",
+            ],
+            rows,
+            title=(
+                f"Ablation — degree selection (Mesh3, P={P}, "
+                f"Theta=({theta.lo:.1e}, {theta.hi:.2f}))"
+            ),
+        )
+    )
+
+    times = {m: t for m, (_, t) in measured.items()}
+    # the pick lands within 1.5x of the empirical optimum
+    assert times[best] <= 1.5 * min(times.values())
+    # and clearly beats the naive low-degree choice
+    assert times[best] < times[1]

@@ -1,0 +1,59 @@
+"""Figure 1: Neumann-series residual polynomials ``1 - lambda P_{m-1}``.
+
+The paper plots the residual for m = 5, 6, 7 over the window (0, 30) with
+omega chosen for the window; the shape to reproduce is a residual that is
+~1 at lambda -> 0, shrinks over the interior, and decreases with m near
+the window's center.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.precond.neumann import NeumannPolynomial
+from repro.reporting.tables import format_table
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_fig01_neumann_residual_curves(benchmark):
+    theta = SpectrumIntervals.single(0.0, 30.0)
+    lam = np.linspace(0.5, 29.5, 59)
+
+    def experiment():
+        curves = {}
+        for m in (5, 6, 7):
+            p = NeumannPolynomial.for_interval(
+                SpectrumIntervals.single(1e-3, 30.0), m
+            )
+            curves[m] = p.residual(lam)
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    for m, r in curves.items():
+        rows.append(
+            [
+                f"Neum({m})",
+                f"{np.abs(r).max():.3f}",
+                f"{np.abs(r).mean():.3f}",
+                f"{np.abs(r[len(r) // 2]):.2e}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["polynomial", "max|resid|", "mean|resid|", "|resid| mid-window"],
+            rows,
+            title="Fig. 1 — Neumann residual 1 - lambda*P_m(lambda) on (0, 30)",
+        )
+    )
+
+    # Shape assertions: residual ~ (1 - omega*lambda)^{m+1} — near zero at
+    # mid-window, increasing to ~1 at the ends, improving with degree.
+    mid = len(lam) // 2
+    mids = [abs(curves[m][mid]) for m in (5, 6, 7)]
+    assert all(v < 1e-6 for v in mids)
+    for m in (5, 6, 7):
+        r = np.abs(curves[m])
+        assert r[0] > 0.5  # pinned near 1 at lambda -> 0
+        assert r.min() < 1e-6

@@ -1,0 +1,71 @@
+"""Figure 13: convergence vs GLS polynomial degree, STATIC analysis.
+
+The paper's Eq. 54 ordering on Mesh1/Mesh2:
+GLS(20) > GLS(10) > GLS(7) > GLS(3) > GLS(1) in iterations-to-converge.
+Total work (iterations x (degree+1) matvecs) tells the other half of the
+Table 3 story: the fastest-converging degree is not the cheapest.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.precond.gls import GLSPolynomial
+from repro.reporting.tables import format_table
+from repro.solvers.fgmres import fgmres
+
+DEGREES = (1, 3, 7, 10, 20)
+
+
+def _sweep(ss):
+    mv = ss.a.matvec
+    out = {}
+    for m in DEGREES:
+        g = GLSPolynomial.unit_interval(m, eps=1e-6)
+        res = fgmres(
+            mv,
+            ss.b,
+            lambda v: g.apply_linear(mv, v),
+            restart=25,
+            tol=1e-6,
+            max_iter=3000,
+        )
+        out[m] = res
+    return out
+
+
+def _report(results, title):
+    rows = []
+    for m, res in results.items():
+        matvecs = res.iterations * (m + 1)
+        rows.append(
+            [f"GLS({m})", res.iterations, matvecs, "yes" if res.converged else "NO"]
+        )
+    print()
+    print(
+        format_table(
+            ["precond", "iterations", "total matvecs", "converged"],
+            rows,
+            title=title,
+        )
+    )
+
+
+def test_fig13_static_mesh1(benchmark, scaled_systems):
+    _, ss = scaled_systems(1)
+    results = run_once(benchmark, lambda: _sweep(ss))
+    _report(results, "Fig. 13 (Mesh1, static): convergence vs GLS degree")
+    _assert_monotone(results)
+
+
+def test_fig13_static_mesh2(benchmark, scaled_systems):
+    _, ss = scaled_systems(2)
+    results = run_once(benchmark, lambda: _sweep(ss))
+    _report(results, "Fig. 13 (Mesh2, static): convergence vs GLS degree")
+    _assert_monotone(results)
+
+
+def _assert_monotone(results):
+    assert all(r.converged for r in results.values())
+    iters = [results[m].iterations for m in DEGREES]
+    # Eq. 54: higher degree -> fewer iterations on these small meshes
+    assert all(b < a for a, b in zip(iters, iters[1:]))

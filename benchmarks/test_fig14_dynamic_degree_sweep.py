@@ -1,0 +1,67 @@
+"""Figure 14: convergence vs GLS polynomial degree, DYNAMIC analysis.
+
+Same sweep as Fig. 13 on the Newmark effective matrix.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.dynamics.newmark import NewmarkIntegrator
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.reporting.tables import format_table
+from repro.solvers.fgmres import fgmres
+
+DEGREES = (1, 3, 7, 10, 20)
+# stiffness-dominated effective matrix (see the Fig. 12 bench)
+DT = 2.0
+
+
+def _sweep(problem):
+    nm = NewmarkIntegrator(problem.stiffness, problem.mass, dt=DT)
+    ss = scale_system(nm.system_matrix(), problem.load)
+    mv = ss.a.matvec
+    out = {}
+    for m in DEGREES:
+        g = GLSPolynomial.unit_interval(m, eps=1e-6)
+        out[m] = fgmres(
+            mv,
+            ss.b,
+            lambda v: g.apply_linear(mv, v),
+            restart=25,
+            tol=1e-6,
+            max_iter=3000,
+        )
+    return out
+
+
+def _report(results, title):
+    rows = [
+        [f"GLS({m})", r.iterations, r.iterations * (m + 1)]
+        for m, r in results.items()
+    ]
+    print()
+    print(
+        format_table(["precond", "iterations", "total matvecs"], rows, title=title)
+    )
+
+
+def test_fig14_dynamic_mesh1(benchmark, problems):
+    p = problems(1, with_mass=True)
+    results = run_once(benchmark, lambda: _sweep(p))
+    _report(results, "Fig. 14 (Mesh1, dynamic): convergence vs GLS degree")
+    _assert_monotone(results)
+
+
+def test_fig14_dynamic_mesh2(benchmark, problems):
+    p = problems(2, with_mass=True)
+    results = run_once(benchmark, lambda: _sweep(p))
+    _report(results, "Fig. 14 (Mesh2, dynamic): convergence vs GLS degree")
+    _assert_monotone(results)
+
+
+def _assert_monotone(results):
+    assert all(r.converged for r in results.values())
+    iters = [results[m].iterations for m in DEGREES]
+    # same Eq. 54 ordering as the static case
+    assert all(b < a for a, b in zip(iters, iters[1:]))

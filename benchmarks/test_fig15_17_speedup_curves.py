@@ -1,0 +1,122 @@
+"""Figures 15-17: the parallel speedup curves.
+
+(a) EDD speedup vs polynomial degree (Fig. 17a: higher degree scales
+    better);
+(b) RDD speedup vs polynomial degree (Fig. 17b: little degree influence);
+(c)/(d) speedup vs problem size for EDD and RDD;
+(e) SP2 vs Origin portability comparison (Fig. 17e: Origin scales better).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.driver import solve_cantilever
+from repro.parallel.machine import IBM_SP2, SGI_ORIGIN, speedup
+from repro.reporting.tables import format_table
+
+RANKS = (1, 2, 4, 8)
+
+
+def _curve(problem, method, spec, machine):
+    runs = {
+        p: solve_cantilever(problem, n_parts=p, method=method, precond=spec)
+        for p in RANKS
+    }
+    assert all(r.result.converged for r in runs.values())
+    return [speedup(runs[1].stats, runs[p].stats, machine) for p in RANKS]
+
+
+def test_fig17a_edd_speedup_vs_degree(benchmark, problems):
+    p = problems(3)
+
+    def experiment():
+        return {
+            m: _curve(p, "edd-enhanced", f"gls({m})", SGI_ORIGIN)
+            for m in (3, 7, 10)
+        }
+
+    curves = run_once(benchmark, experiment)
+    _print_curves(curves, "Fig. 17(a) — EDD speedup vs GLS degree (Mesh3, Origin)", "GLS")
+    # higher degree -> better speedup at P=8
+    assert curves[3][-1] < curves[7][-1] < curves[10][-1]
+
+
+def test_fig17b_rdd_speedup_vs_degree(benchmark, problems):
+    p = problems(3)
+
+    def experiment():
+        return {
+            m: _curve(p, "rdd", f"gls({m})", SGI_ORIGIN) for m in (3, 7, 10)
+        }
+
+    curves = run_once(benchmark, experiment)
+    _print_curves(curves, "Fig. 17(b) — RDD speedup vs GLS degree (Mesh3, Origin)", "GLS")
+    # Under a uniform cost model RDD also gains from higher degree (unlike
+    # the paper's perfectly flat curves — see EXPERIMENTS.md); the spread
+    # stays bounded and the curves remain monotone in P.
+    at8 = [c[-1] for c in curves.values()]
+    assert max(at8) / min(at8) < 1.3
+    for c in curves.values():
+        assert all(b > a for a, b in zip(c, c[1:]))
+
+
+def test_fig17cd_speedup_vs_problem_size(benchmark, problems):
+    def experiment():
+        out = {}
+        for mesh_id in (2, 3, 7):
+            p = problems(mesh_id)
+            out[mesh_id] = {
+                "edd": _curve(p, "edd-enhanced", "gls(7)", SGI_ORIGIN),
+                "rdd": _curve(p, "rdd", "gls(7)", SGI_ORIGIN),
+            }
+        return out
+
+    data = run_once(benchmark, experiment)
+    rows = []
+    for mesh_id, d in data.items():
+        for method, c in d.items():
+            rows.append([mesh_id, method] + [f"{v:.2f}" for v in c])
+    print()
+    print(
+        format_table(
+            ["Mesh", "method"] + [f"P={p}" for p in RANKS],
+            rows,
+            title="Fig. 17(c)-(d) — speedup vs problem size (GLS(7), Origin)",
+        )
+    )
+    # larger problems scale better, for both methods
+    for method in ("edd", "rdd"):
+        at8 = [data[m][method][-1] for m in (2, 3, 7)]
+        assert at8[0] < at8[1] < at8[2]
+
+
+def test_fig17e_sp2_vs_origin(benchmark, problems):
+    p = problems(3)
+
+    def experiment():
+        runs = {
+            q: solve_cantilever(p, n_parts=q, precond="gls(7)") for q in RANKS
+        }
+        return {
+            "origin": [
+                speedup(runs[1].stats, runs[q].stats, SGI_ORIGIN) for q in RANKS
+            ],
+            "sp2": [
+                speedup(runs[1].stats, runs[q].stats, IBM_SP2) for q in RANKS
+            ],
+        }
+
+    curves = run_once(benchmark, experiment)
+    _print_curves(
+        curves, "Fig. 17(e) — SP2 vs Origin (Mesh3, EDD-GLS(7))", "machine"
+    )
+    for a, b in zip(curves["sp2"], curves["origin"]):
+        assert b >= a  # Origin at least matches SP2 at every P
+
+
+def _print_curves(curves, title, label):
+    rows = [
+        [f"{label}={k}"] + [f"{v:.2f}" for v in c] for k, c in curves.items()
+    ]
+    print()
+    print(format_table([label] + [f"P={p}" for p in RANKS], rows, title=title))

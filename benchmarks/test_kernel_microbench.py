@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the hot kernels.
+
+Unlike the experiment harnesses (single-shot), these run repeated rounds
+under pytest-benchmark and guard the performance of the four kernels that
+dominate every solve: the CSR matvec, the interface assembly, the GLS
+polynomial application and the Givens least-squares update.  Regressions
+here silently inflate every experiment's wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import build_edd_system
+from repro.fem.cantilever import cantilever_problem
+from repro.partition.element_partition import ElementPartition
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.solvers.givens import GivensLSQ
+
+
+@pytest.fixture(scope="module")
+def mesh4_scaled():
+    p = cantilever_problem(4)  # 5100 equations
+    return scale_system(p.stiffness, p.load)
+
+
+def test_bench_csr_matvec(benchmark, mesh4_scaled):
+    a = mesh4_scaled.a
+    x = np.random.default_rng(0).standard_normal(a.shape[1])
+    out = np.empty(a.shape[0])
+    result = benchmark(a.matvec, x, out)
+    assert np.isfinite(result).all()
+
+
+def test_bench_interface_assembly(benchmark):
+    p = cantilever_problem(4)
+    part = ElementPartition.build(p.mesh, 8)
+    system = build_edd_system(
+        p.mesh, p.material, p.bc, part, p.bc.expand(p.load)
+    )
+    rng = np.random.default_rng(1)
+    parts = [rng.standard_normal(n) for n in system.submap.local_sizes]
+    result = benchmark(system.comm.interface_assemble, parts)
+    assert len(result) == 8
+
+
+def test_bench_gls_apply(benchmark, mesh4_scaled):
+    a = mesh4_scaled.a
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    v = np.random.default_rng(2).standard_normal(a.shape[0])
+    result = benchmark(g.apply_linear, a.matvec, v)
+    assert np.isfinite(result).all()
+
+
+def test_bench_gls_construction(benchmark):
+    result = benchmark(GLSPolynomial.unit_interval, 10, 1e-6)
+    assert result.degree == 10
+
+
+def test_bench_givens_cycle(benchmark):
+    rng = np.random.default_rng(3)
+    m = 25
+    cols = [rng.standard_normal(j + 2) for j in range(m)]
+    for c in cols:
+        c[-1] = abs(c[-1]) + 0.5
+
+    def cycle():
+        lsq = GivensLSQ(m, 1.0)
+        for c in cols:
+            lsq.append_column(c)
+        return lsq.solve()
+
+    y = benchmark(cycle)
+    assert len(y) == m
+
+
+def test_bench_row_norms(benchmark, mesh4_scaled):
+    result = benchmark(mesh4_scaled.a.row_norms1)
+    assert (result > 0).all()
+
+
+def test_bench_bsr_matvec(benchmark, mesh4_scaled):
+    """BSR block matvec — recorded alongside the CSR bench to document that
+    the scalar reduceat kernel wins in pure NumPy (see repro.sparse.bsr)."""
+    from repro.sparse.bsr import BSRMatrix
+
+    bsr = BSRMatrix.from_csr(mesh4_scaled.a, 2)
+    x = np.random.default_rng(4).standard_normal(bsr.shape[1])
+    result = benchmark(bsr.matvec, x)
+    assert np.allclose(result, mesh4_scaled.a.matvec(x), atol=1e-10)

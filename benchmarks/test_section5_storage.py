@@ -1,0 +1,63 @@
+"""Section 5: RDD's duplicated-element storage overhead, 2-D vs 3-D.
+
+The paper (Fig. 8 discussion) lists two RDD drawbacks: drastically
+increased storage for large (especially 3-D) meshes, and redundant
+floating-point work on the duplicated interface elements.  This bench
+quantifies the replication factor — total element copies over unique
+elements under the "every element touching an owned node is replicated"
+scheme — across rank counts and dimensionality.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.rdd import build_rdd_system
+from repro.fem.cantilever import cantilever_problem
+from repro.fem.three_d import beam3d_problem
+from repro.partition.node_partition import NodePartition
+from repro.reporting.tables import format_table
+
+RANKS = (2, 4, 8, 16)
+
+
+def test_section5_replication_overhead(benchmark):
+    def experiment():
+        p2 = cantilever_problem(nx=16, ny=16)  # 256 Q4 elements
+        p3 = beam3d_problem(8, 8, 4)  # 256 H8 elements
+        out = {}
+        for label, p in (("2-D Q4", p2), ("3-D H8", p3)):
+            factors = []
+            for q in RANKS:
+                part = NodePartition.build(p.mesh, q)
+                system = build_rdd_system(
+                    p.mesh, p.bc, part, p.stiffness, p.load
+                )
+                factors.append(system.replication_factor())
+            out[label] = factors
+        return out
+
+    data = run_once(benchmark, experiment)
+
+    rows = [
+        [label] + [f"{f:.3f}" for f in factors]
+        for label, factors in data.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["workload"] + [f"P={q}" for q in RANKS],
+            rows,
+            title=(
+                "Section 5 — RDD element replication factor "
+                "(256 elements each; EDD is always 1.0)"
+            ),
+        )
+    )
+
+    for label, factors in data.items():
+        # replication grows with rank count
+        assert all(b >= a for a, b in zip(factors, factors[1:])), label
+        assert factors[0] > 1.0
+    # and is strictly worse in 3-D at every P (the paper's point)
+    for f2, f3 in zip(data["2-D Q4"], data["3-D H8"]):
+        assert f3 > f2

@@ -1,0 +1,97 @@
+"""Table 1: communication/computation cost of one inner Arnoldi step.
+
+The analytic model (``repro.core.complexity``) gives, per Arnoldi step with
+a degree-m polynomial preconditioner:
+
+    Algorithm 5 (EDD basic):     m+3 neighbour exchanges
+    Algorithm 6 (EDD enhanced):  m+1 neighbour exchanges
+    Algorithm 8 (RDD):           m+1 halo exchanges
+
+all with 2 allreduces and m+1 matvecs.  This bench runs real solves and
+asserts the recorded per-rank counters reproduce the formulas exactly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.complexity import arnoldi_step_cost
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.core.rdd import build_rdd_system, rdd_fgmres
+from repro.fem.cantilever import cantilever_problem
+from repro.partition.element_partition import ElementPartition
+from repro.partition.node_partition import NodePartition
+from repro.precond.neumann import NeumannPolynomial
+from repro.reporting.tables import format_table
+
+DEGREE = 7
+
+
+def test_table1_measured_vs_analytic(benchmark):
+    p = cantilever_problem(nx=8, ny=2)
+    f_full = p.bc.expand(p.load)
+
+    def experiment():
+        rows = {}
+        # two-strip element partition -> each rank has exactly 1 neighbour
+        epart = ElementPartition(p.mesh, np.repeat([0, 1], 8), 2)
+        for variant in ("basic", "enhanced"):
+            system = build_edd_system(p.mesh, p.material, p.bc, epart, f_full)
+            res = edd_fgmres(
+                system,
+                NeumannPolynomial(DEGREE),
+                tol=1e-8,
+                restart=200,
+                variant=variant,
+            )
+            assert res.converged and res.restarts == 1
+            r0 = system.comm.stats.ranks[0]
+            rows[f"edd-{variant}"] = (
+                res.iterations,
+                r0.nbr_messages,
+                r0.reductions,
+            )
+        npart = NodePartition.build(p.mesh, 2)
+        system = build_rdd_system(p.mesh, p.bc, npart, p.stiffness, p.load)
+        res = rdd_fgmres(
+            system, NeumannPolynomial(DEGREE), tol=1e-8, restart=200
+        )
+        assert res.converged and res.restarts == 1
+        r0 = system.comm.stats.ranks[0]
+        rows["rdd"] = (res.iterations, r0.nbr_messages, r0.reductions)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = []
+    for name, (iters, msgs, reds) in rows.items():
+        model = arnoldi_step_cost(name if name == "rdd" else name, DEGREE)
+        per_iter_msgs = (msgs - 2) / iters  # subtract the restart setup
+        per_iter_reds = (reds - 2) / iters
+        table.append(
+            [
+                name,
+                f"m+{int(per_iter_msgs - DEGREE)}",
+                f"{per_iter_msgs:.2f}",
+                model.exchanges,
+                f"{per_iter_reds:.2f}",
+                model.reductions,
+            ]
+        )
+        assert per_iter_msgs == model.exchanges
+        assert per_iter_reds == model.reductions
+    print()
+    print(
+        format_table(
+            [
+                "algorithm",
+                "exchanges (form)",
+                "measured/iter",
+                "model",
+                "allreduce/iter",
+                "model",
+            ],
+            table,
+            title=f"Table 1 — per-Arnoldi-step collectives, degree m={DEGREE}",
+        )
+    )

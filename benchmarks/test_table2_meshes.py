@@ -1,0 +1,34 @@
+"""Table 2: the cantilever mesh family.
+
+Regenerates the exact node and equation counts of the paper's table by
+building every mesh and applying its boundary conditions.
+"""
+
+from benchmarks.conftest import run_once
+from repro.fem.cantilever import PAPER_MESHES, cantilever_problem
+from repro.reporting.tables import format_table
+
+
+def test_table2_mesh_family(benchmark):
+    def experiment():
+        rows = []
+        for k, (nx, ny, n_node, n_eqn, _) in PAPER_MESHES.items():
+            p = cantilever_problem(k)
+            rows.append(
+                (k, f"{nx} x {ny}", p.mesh.n_nodes, n_node, p.n_eqn, n_eqn)
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["Mesh", "nXele x nYele", "nNode", "paper", "nEqn", "paper"],
+            rows,
+            title="Table 2 — cantilever mesh family",
+        )
+    )
+    for _, _, n_node, paper_node, n_eqn, paper_eqn in rows:
+        assert n_node == paper_node
+        assert n_eqn == paper_eqn

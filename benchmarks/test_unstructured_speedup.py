@@ -1,0 +1,76 @@
+"""Extension: the Fig. 17-style speedup study on an unstructured mesh.
+
+The paper's evaluation uses structured cantilever grids only; its claims
+about EDD, however, are made for "general parallel finite element
+analysis" on unstructured meshes.  This bench repeats the strong-scaling
+measurement on a Delaunay perforated plate (irregular dual graph, greedy
+partitioner) and asserts the same qualitative behaviour carries over.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.loads import edge_traction_load
+from repro.fem.material import Material
+from repro.fem.unstructured import perforated_plate
+from repro.parallel.machine import SGI_ORIGIN, modeled_time
+from repro.partition.element_partition import ElementPartition
+from repro.precond.gls import GLSPolynomial
+from repro.reporting.tables import format_table
+
+RANKS = (1, 2, 4, 8)
+
+
+def test_unstructured_strong_scaling(benchmark):
+    mesh = perforated_plate(nx=48, ny=24, lx=2.0, ly=1.0, hole_radius=0.2)
+    mat = Material(E=100.0, nu=0.3)
+    bc = clamp_edge_dofs(mesh, "left")
+    f = edge_traction_load(mesh, "right", (1.0, 0.0))
+
+    def experiment():
+        out = {}
+        g = GLSPolynomial.unit_interval(7, eps=1e-6)
+        for p in RANKS:
+            part = ElementPartition.build(mesh, p, method="greedy")
+            system = build_edd_system(mesh, mat, bc, part, f)
+            res = edd_fgmres(system, g, tol=1e-6, max_iter=4000)
+            assert res.converged
+            out[p] = (res.iterations, system.comm.stats)
+        return out
+
+    data = run_once(benchmark, experiment)
+
+    t1_per_iter = modeled_time(data[1][1], SGI_ORIGIN) / data[1][0]
+    rows = []
+    speedups = []
+    for p, (iters, stats) in data.items():
+        tp_per_iter = modeled_time(stats, SGI_ORIGIN) / iters
+        speedups.append(t1_per_iter / tp_per_iter)
+        rows.append(
+            [p, iters, f"{tp_per_iter * 1e3:.3f}", f"{speedups[-1]:.2f}"]
+        )
+    print()
+    print(
+        format_table(
+            ["P", "iterations", "modeled T/iter (ms)", "per-iter speedup"],
+            rows,
+            title=(
+                f"Unstructured strong scaling — perforated plate, "
+                f"{mesh.n_elements} T3 elements, EDD-GLS(7)"
+            ),
+        )
+    )
+
+    # On unstructured meshes the distributed norm-1 scaling (Algorithm 3
+    # sums *local* row norms, which over-estimates true row norms on the
+    # interface) produces a slightly different scaled system per
+    # partition, so iteration counts wobble — a faithful property of the
+    # paper's algorithm that structured grids mask.  Per-iteration speedup
+    # isolates the communication scaling and must stay monotone.
+    iters = [it for it, _ in data.values()]
+    assert max(iters) - min(iters) <= 0.35 * max(iters)
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 3.5

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""3-D cantilever: the EDD vs RDD storage argument, quantified.
+
+Section 5 of the paper argues that for three-dimensional problems the
+row-based decomposition's duplicated interface elements inflate storage
+"drastically".  This example solves a 3-D H8 beam with both decompositions
+and prints the replication factor RDD would pay under the Fig. 8 scheme,
+alongside the usual convergence/speedup report.
+
+Run:  python examples/beam3d.py
+"""
+
+import numpy as np
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.core.rdd import build_rdd_system, rdd_fgmres
+from repro.fem.three_d import beam3d_problem
+from repro.parallel.machine import SGI_ORIGIN, modeled_time
+from repro.partition.element_partition import ElementPartition
+from repro.partition.node_partition import NodePartition
+from repro.precond.gls import GLSPolynomial
+from repro.reporting.tables import format_table
+
+P = 8
+
+
+def main() -> None:
+    problem = beam3d_problem(nx=16, ny=4, nz=4)
+    print(
+        f"3-D beam: {problem.mesh.n_elements} H8 elements, "
+        f"{problem.mesh.n_nodes} nodes, {problem.n_eqn} equations"
+    )
+
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+
+    epart = ElementPartition.build(problem.mesh, P)
+    edd_sys = build_edd_system(
+        problem.mesh, problem.material, problem.bc, epart, problem.bc.expand(problem.load)
+    )
+    edd_res = edd_fgmres(edd_sys, g, tol=1e-6)
+
+    npart = NodePartition.build(problem.mesh, P)
+    rdd_sys = build_rdd_system(
+        problem.mesh, problem.bc, npart, problem.stiffness, problem.load
+    )
+    rdd_res = rdd_fgmres(rdd_sys, g, tol=1e-6)
+
+    rows = [
+        [
+            "EDD (Alg. 6)",
+            edd_res.iterations,
+            f"{modeled_time(edd_sys.comm.stats, SGI_ORIGIN):.4f}",
+            "1.000 (no duplication)",
+        ],
+        [
+            "RDD (Alg. 8)",
+            rdd_res.iterations,
+            f"{modeled_time(rdd_sys.comm.stats, SGI_ORIGIN):.4f}",
+            f"{rdd_sys.replication_factor():.3f}",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["method", "iterations", "modeled T origin (s)", "element replication"],
+            rows,
+            title=f"3-D beam, P={P}, GLS(7)",
+        )
+    )
+    assert np.allclose(edd_res.x, rdd_res.x, rtol=1e-3, atol=1e-8)
+    print(
+        "\nSolutions agree; RDD's replication factor is the Fig. 8 storage/"
+        "assembly overhead EDD avoids — it grows with dimensionality."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Elastodynamics: transient cantilever under a suddenly-applied tip load.
+
+Integrates M u'' + K u = f with the Newmark average-acceleration rule
+(the paper's Eq. 51-52 workload), solving the effective system each step
+with polynomial-preconditioned FGMRES, and prints the tip-displacement
+history — the undamped response oscillates around the static deflection
+with twice its amplitude, a classical structural-dynamics sanity check.
+
+Run:  python examples/elastodynamics.py
+"""
+
+import numpy as np
+
+from repro.dynamics.newmark import NewmarkIntegrator
+from repro.dynamics.transient import run_transient
+from repro.fem.cantilever import cantilever_problem
+from repro.precond.gls import GLSPolynomial
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    problem = cantilever_problem(nx=20, ny=5, with_mass=True)
+    print(
+        f"cantilever: {problem.mesh.n_elements} elements, "
+        f"{problem.n_eqn} equations"
+    )
+
+    dt = 0.4
+    nm = NewmarkIntegrator(problem.stiffness, problem.mass, dt=dt)
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    result = run_transient(
+        nm,
+        lambda t: problem.load,  # step load switched on at t = 0
+        n_steps=120,
+        precond_factory=lambda mv: (lambda v: g.apply_linear(mv, v)),
+    )
+
+    tip_dof = len(problem.load) - 2  # axial DOF of the top-right node
+    tip = result.displacements[:, tip_dof]
+    u_static = np.linalg.solve(problem.stiffness.toarray(), problem.load)[
+        tip_dof
+    ]
+
+    rows = [
+        [f"{result.times[i]:.1f}", f"{tip[i]:.4e}", result.iterations_per_step[i]]
+        for i in range(0, 120, 10)
+    ]
+    print()
+    print(
+        format_table(
+            ["t", "tip displacement", "FGMRES iters"],
+            rows,
+            title=f"transient response (dt={dt}, GLS(7) preconditioning)",
+        )
+    )
+    print(f"\nstatic deflection          : {u_static:.4e}")
+    print(f"peak dynamic deflection    : {tip.max():.4e}")
+    print(f"dynamic amplification      : {tip.max() / u_static:.2f}  (~2.0 expected)")
+    print(f"total FGMRES iterations    : {result.total_iterations}")
+
+
+if __name__ == "__main__":
+    main()

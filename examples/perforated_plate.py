@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Unstructured workload: a perforated plate under tension.
+
+Demonstrates the pipeline on a genuinely unstructured, non-convex domain:
+a Delaunay-triangulated plate with a central hole, pulled on its right
+edge.  The greedy graph partitioner handles the irregular dual graph, and
+the stress concentration at the hole shows up as amplified displacement
+gradients near it.
+
+Run:  python examples/perforated_plate.py
+"""
+
+import numpy as np
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import apply_dirichlet, clamp_edge_dofs
+from repro.fem.loads import edge_traction_load
+from repro.fem.material import Material
+from repro.fem.unstructured import perforated_plate
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+from repro.partition.metrics import partition_metrics
+from repro.precond.gls import GLSPolynomial
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    mesh = perforated_plate(nx=40, ny=20, lx=2.0, ly=1.0, hole_radius=0.22)
+    mat = Material(E=100.0, nu=0.3)
+    bc = clamp_edge_dofs(mesh, "left")
+    f = edge_traction_load(mesh, "right", (1.0, 0.0))
+    print(
+        f"perforated plate: {mesh.n_elements} T3 elements, "
+        f"{mesh.n_nodes} nodes, {bc.n_free} equations"
+    )
+
+    part = ElementPartition.build(mesh, 8, method="greedy")
+    submap = build_subdomain_map(mesh, part, bc)
+    m = partition_metrics(submap)
+    print(
+        f"greedy partition: imbalance {m.imbalance:.2f}, "
+        f"interface fraction {m.interface_fraction:.3f}, "
+        f"avg neighbours {m.avg_neighbors:.1f}"
+    )
+
+    system = build_edd_system(mesh, mat, bc, part, f)
+    res = edd_fgmres(system, GLSPolynomial.unit_interval(7, eps=1e-6), tol=1e-8)
+    print(f"\nEDD-FGMRES-GLS(7): {res}")
+
+    # verify against the assembled system
+    k_red, f_red = apply_dirichlet(assemble_matrix(mesh, mat), f, bc)
+    r = f_red - k_red.matvec(res.x)
+    print(f"true relative residual: {np.linalg.norm(r) / np.linalg.norm(f_red):.2e}")
+
+    # stress concentration: strain proxy (du_x/dx) near the hole vs far field
+    full = bc.expand(res.x)
+    ux = full[0::2]
+    x, y = mesh.coords[:, 0], mesh.coords[:, 1]
+    near = (np.abs(x - 1.0) < 0.12) & (np.abs(y - 0.5) > 0.22) & (
+        np.abs(y - 0.5) < 0.38
+    )
+    rows = [
+        ["far-field tip u_x", f"{ux.max():.4e}"],
+        ["nodes near hole flank", int(near.sum())],
+        ["max |u_y| near hole", f"{np.abs(full[1::2][near]).max():.4e}"],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows, title="response summary"))
+
+
+if __name__ == "__main__":
+    main()

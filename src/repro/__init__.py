@@ -1,0 +1,46 @@
+"""repro — parallel FE-based domain-decomposition FGMRES with polynomial
+preconditioning.
+
+A from-scratch reproduction of Liang, Kanapady & Tamma, *"An Efficient
+Parallel Finite-Element-Based Domain Decomposition Iterative Technique With
+Polynomial Preconditioning"* (UMN TR 05-001 / ICPP 2006).
+
+Quick start::
+
+    from repro import solve_cantilever
+    summary = solve_cantilever(4, n_parts=8, precond="gls(7)")
+    print(summary.result)
+
+Package layout:
+
+- :mod:`repro.fem` — finite elements, meshes, assembly, the Table 2
+  cantilever family.
+- :mod:`repro.sparse` — CSR/COO sparse kernels.
+- :mod:`repro.partition` — element-based (EDD) and node-based (RDD)
+  partitions with interface maps.
+- :mod:`repro.parallel` — virtual communicator, operation counters,
+  SP2/Origin machine models.
+- :mod:`repro.spectrum` — Gershgorin/Lanczos spectrum estimates.
+- :mod:`repro.precond` — norm-1 scaling, Neumann/GLS/Chebyshev polynomial
+  preconditioners, ILU(0), Jacobi.
+- :mod:`repro.solvers` — sequential FGMRES/GMRES/CG.
+- :mod:`repro.core` — the distributed EDD (Algorithms 5-6) and RDD
+  (Algorithm 8) FGMRES solvers and the high-level driver.
+- :mod:`repro.dynamics` — Newmark elastodynamics.
+"""
+
+from repro.core.driver import ParallelSolveSummary, solve_cantilever
+from repro.fem.cantilever import cantilever_problem
+from repro.solvers import cg, fgmres, gmres
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve_cantilever",
+    "cantilever_problem",
+    "ParallelSolveSummary",
+    "fgmres",
+    "gmres",
+    "cg",
+    "__version__",
+]

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``solve``        — one solve of a Table 2 mesh with full reporting.
+* ``scaling``      — Table-3-style sweep over processor counts.
+* ``convergence``  — Figs. 11-13-style preconditioner comparison.
+* ``meshes``       — print the Table 2 family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.driver import solve_cantilever
+from repro.fem.cantilever import PAPER_MESHES, cantilever_problem
+from repro.parallel.machine import MACHINES, modeled_time
+from repro.reporting.convergence import convergence_table
+from repro.reporting.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel FE-based domain-decomposition FGMRES with polynomial "
+            "preconditioning (Liang, Kanapady & Tamma, TR 05-001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one cantilever problem")
+    solve.add_argument("--mesh", type=int, default=4, help="Table 2 mesh id")
+    solve.add_argument("-p", "--parts", type=int, default=8, help="rank count")
+    solve.add_argument(
+        "--method",
+        choices=["edd-enhanced", "edd-basic", "rdd"],
+        default="edd-enhanced",
+    )
+    solve.add_argument(
+        "--precond", default="gls(7)", help='e.g. "gls(7)", "neumann(20)", "none"'
+    )
+    solve.add_argument("--tol", type=float, default=1e-6)
+    solve.add_argument("--restart", type=int, default=25)
+    solve.add_argument("--dynamic", action="store_true")
+    solve.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="append the run record to a JSON file",
+    )
+
+    scaling = sub.add_parser("scaling", help="Table-3-style scaling sweep")
+    scaling.add_argument("--mesh", type=int, default=3)
+    scaling.add_argument("--precond", default="gls(7)")
+    scaling.add_argument(
+        "--machine", choices=sorted(MACHINES), default="origin"
+    )
+    scaling.add_argument(
+        "--ranks", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+
+    conv = sub.add_parser(
+        "convergence", help="compare preconditioners on one mesh"
+    )
+    conv.add_argument("--mesh", type=int, default=2)
+    conv.add_argument(
+        "--preconds",
+        nargs="+",
+        default=["none", "gls(3)", "gls(7)", "gls(10)", "neumann(20)"],
+    )
+    conv.add_argument("--tol", type=float, default=1e-6)
+    conv.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the residual histories as an ASCII semilog plot",
+    )
+
+    sub.add_parser("meshes", help="print the Table 2 mesh family")
+
+    rep = sub.add_parser(
+        "reproduce", help="regenerate the paper's core results (< 1 min)"
+    )
+    rep.add_argument("--out", default="results", help="output directory")
+    rep.add_argument("--mesh", type=int, default=3, help="scaling-study mesh")
+    return parser
+
+
+def cmd_solve(args) -> int:
+    """``repro solve``: one cantilever solve with full reporting."""
+    problem = cantilever_problem(args.mesh, with_mass=args.dynamic)
+    summary = solve_cantilever(
+        problem,
+        n_parts=args.parts,
+        method=args.method,
+        precond=None if args.precond == "none" else args.precond,
+        tol=args.tol,
+        restart=args.restart,
+        dynamic=args.dynamic,
+    )
+    res = summary.result
+    print(
+        f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
+        f"{summary.precond_name}, P={args.parts}"
+    )
+    print(res)
+    if not args.dynamic:
+        r = problem.load - problem.stiffness.matvec(res.x)
+        rel = np.linalg.norm(r) / np.linalg.norm(problem.load)
+        print(f"true relative residual: {rel:.3e}")
+    st = summary.stats
+    print(
+        f"flops={st.total_flops:,} messages={st.total_nbr_messages} "
+        f"words={st.total_nbr_words:,} reductions={st.max_reductions}"
+    )
+    for name, machine in sorted(MACHINES.items()):
+        print(f"modeled time on {machine.name}: {modeled_time(st, machine):.4f} s")
+    if args.json:
+        import os
+
+        from repro.io.records import (
+            load_records,
+            record_from_summary,
+            save_records,
+        )
+
+        label = (
+            f"mesh{args.mesh}/{args.method}/{summary.precond_name}/"
+            f"p{args.parts}"
+        )
+        records = (
+            load_records(args.json) if os.path.exists(args.json) else []
+        )
+        records.append(record_from_summary(summary, label, problem.n_eqn))
+        save_records(records, args.json)
+        print(f"record appended to {args.json}")
+    return 0 if res.converged else 1
+
+
+def cmd_scaling(args) -> int:
+    """``repro scaling``: Table-3-style sweep over processor counts."""
+    problem = cantilever_problem(args.mesh)
+    machine = MACHINES[args.machine]
+    rows = []
+    t1 = None
+    for p in args.ranks:
+        if p > problem.mesh.n_elements:
+            continue
+        s = solve_cantilever(problem, n_parts=p, precond=args.precond)
+        tp = modeled_time(s.stats, machine)
+        if t1 is None:
+            t1 = tp
+        rows.append(
+            [p, s.result.iterations, f"{tp:.4f}", f"{t1 / tp:.2f}"]
+        )
+    print(
+        format_table(
+            ["P", "iterations", f"modeled T on {machine.name} (s)", "speedup"],
+            rows,
+            title=f"Mesh{args.mesh}, EDD-FGMRES-{args.precond}",
+        )
+    )
+    return 0
+
+
+def cmd_convergence(args) -> int:
+    """``repro convergence``: preconditioner comparison on one mesh."""
+    from repro.core.driver import make_preconditioner
+    from repro.precond.scaling import scale_system
+    from repro.solvers.fgmres import fgmres
+
+    problem = cantilever_problem(args.mesh)
+    ss = scale_system(problem.stiffness, problem.load)
+    mv = ss.a.matvec
+    results = {}
+    for spec in args.preconds:
+        pc = make_preconditioner(None if spec == "none" else spec)
+        pre = None if pc is None else (lambda v, pc=pc: pc.apply_linear(mv, v))
+        name = "none" if pc is None else pc.name
+        results[name] = fgmres(
+            mv, ss.b, pre, restart=25, tol=args.tol, max_iter=5000
+        )
+    print(f"Mesh{args.mesh} ({problem.n_eqn} eqns), tol={args.tol:g}")
+    print(convergence_table(results))
+    if args.plot:
+        from repro.reporting.ascii_plot import convergence_plot
+
+        print()
+        print(convergence_plot(results))
+    return 0 if all(r.converged for r in results.values()) else 1
+
+
+def cmd_meshes(_args) -> int:
+    """``repro meshes``: print the Table 2 family."""
+    rows = [
+        [k, f"{nx} x {ny}", n_node, n_eqn, edge]
+        for k, (nx, ny, n_node, n_eqn, edge) in PAPER_MESHES.items()
+    ]
+    print(
+        format_table(
+            ["Mesh", "elements", "nNode", "nEqn", "clamped edge"],
+            rows,
+            title="Table 2 — cantilever mesh family",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """``repro reproduce``: quick regeneration of the paper's core results."""
+    from repro.experiments import reproduce_all
+
+    tables = reproduce_all(args.out, mesh_id=args.mesh)
+    for table in tables.values():
+        print(table)
+        print()
+    print(f"results written to {args.out}/")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "solve": cmd_solve,
+        "scaling": cmd_scaling,
+        "convergence": cmd_convergence,
+        "meshes": cmd_meshes,
+        "reproduce": cmd_reproduce,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

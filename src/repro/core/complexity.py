@@ -1,0 +1,49 @@
+"""Analytic per-Arnoldi-step cost model (Table 1).
+
+For a degree-``m`` polynomial preconditioner, one Arnoldi step of the three
+solver variants costs:
+
+==============  ==================  ===========  ========
+variant          neighbour exchanges  allreduces   matvecs
+==============  ==================  ===========  ========
+EDD basic        ``m + 3``            2            ``m + 1``
+EDD enhanced     ``m + 1``            2            ``m + 1``
+RDD              ``m + 1`` (halos)    2            ``m + 1``
+==============  ==================  ===========  ========
+
+The two allreduces are the batched Gram-Schmidt coefficients and the new
+basis vector's norm.  The benchmark ``test_table1_complexity`` asserts
+these formulas against the counters recorded by an actual run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArnoldiStepCost:
+    """Per-iteration collective counts of one Arnoldi step.
+
+    ``exchanges`` counts nearest-neighbour interface assemblies (EDD) or
+    halo scatter/gathers (RDD); ``reductions`` counts allreduce calls;
+    ``matvecs`` counts sparse matrix-vector products (preconditioner
+    included).
+    """
+
+    exchanges: int
+    reductions: int
+    matvecs: int
+
+
+def arnoldi_step_cost(variant: str, degree: int) -> ArnoldiStepCost:
+    """The Table 1 entry for ``variant`` in ``{"edd-basic",
+    "edd-enhanced", "rdd"}`` with a degree-``degree`` polynomial
+    preconditioner (0 = unpreconditioned)."""
+    if degree < 0:
+        raise ValueError("degree must be >= 0")
+    if variant == "edd-basic":
+        return ArnoldiStepCost(degree + 3, 2, degree + 1)
+    if variant in ("edd-enhanced", "rdd"):
+        return ArnoldiStepCost(degree + 1, 2, degree + 1)
+    raise ValueError(f"unknown variant {variant!r}")

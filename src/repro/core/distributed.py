@@ -1,0 +1,338 @@
+"""Distributed data structures of the EDD formulation (Section 3.1).
+
+Two vector formats coexist (Definitions 1 and 2, Fig. 5):
+
+* **local distributed** :math:`\\tilde u^{(s)}` — each subdomain holds only
+  the contributions of its own elements; interface values are partial and
+  the true global vector is :math:`u = \\sum_s B_s^T \\tilde u^{(s)}`.
+* **global distributed** :math:`\\hat u^{(s)}` — interface values are fully
+  assembled and identical across sharing subdomains:
+  :math:`\\hat u^{(s)} = B_s u`.
+
+The nearest-neighbour exchange ``⊕Σ∂Ω`` converts local → global.  The
+subdomain matrices :math:`\\hat K^{(s)}` are kept in *local distributed*
+(unassembled) form forever — the paper's point is that no interface
+assembly of the matrix ever happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import DirichletBC
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+from repro.parallel.comm import VirtualComm
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import SubdomainMap, build_subdomain_map
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+class DistVector:
+    """A distributed vector: one NumPy block per rank.
+
+    Supports the vector arithmetic the Krylov recurrences need (``+``,
+    ``-``, scalar ``*``, ``copy``) and charges the owning communicator one
+    flop per element per arithmetic operation — so the recorded flops of a
+    distributed run mirror what each MPI rank would execute.
+
+    ``kind`` tags the format (``"local"`` or ``"global"``); arithmetic
+    requires operands of matching kind (adding mixed formats is the classic
+    EDD bug, Definition 1 vs 2).
+    """
+
+    __slots__ = ("parts", "kind", "comm")
+
+    def __init__(self, parts: list, kind: str, comm: VirtualComm):
+        if kind not in ("local", "global"):
+            raise ValueError("kind must be 'local' or 'global'")
+        self.parts = parts
+        self.kind = kind
+        self.comm = comm
+
+    def copy(self) -> "DistVector":
+        """Deep copy (same kind, same communicator)."""
+        return DistVector([p.copy() for p in self.parts], self.kind, self.comm)
+
+    def _charge(self) -> None:
+        for r, p in enumerate(self.parts):
+            self.comm.add_flops(r, len(p))
+
+    def __add__(self, other: "DistVector") -> "DistVector":
+        self._require_same(other)
+        out = DistVector(
+            [a + b for a, b in zip(self.parts, other.parts)], self.kind, self.comm
+        )
+        out._charge()
+        return out
+
+    def __sub__(self, other: "DistVector") -> "DistVector":
+        self._require_same(other)
+        out = DistVector(
+            [a - b for a, b in zip(self.parts, other.parts)], self.kind, self.comm
+        )
+        out._charge()
+        return out
+
+    def __mul__(self, scalar) -> "DistVector":
+        scalar = float(scalar)
+        out = DistVector([scalar * p for p in self.parts], self.kind, self.comm)
+        out._charge()
+        return out
+
+    __rmul__ = __mul__
+
+    def _require_same(self, other: "DistVector") -> None:
+        if not isinstance(other, DistVector):
+            raise TypeError("DistVector arithmetic needs DistVector operands")
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot combine {self.kind!r} and {other.kind!r} distributed "
+                "vectors; assemble first (Definitions 1-2)"
+            )
+
+    def local_dots(self, other: "DistVector") -> np.ndarray:
+        """Per-rank partial inner products (no communication, no format
+        check: Eq. 33 deliberately pairs a local with a global vector)."""
+        out = np.empty(len(self.parts))
+        for r, (a, b) in enumerate(zip(self.parts, other.parts)):
+            out[r] = a @ b
+            self.comm.add_flops(r, 2 * len(a))
+        return out
+
+
+@dataclass
+class EDDSystem:
+    """The diagonally-scaled element-based-decomposition system (Eq. 44).
+
+    Attributes
+    ----------
+    submap:
+        DOF sharing structure.
+    comm:
+        The virtual communicator (owns the counters).
+    a_local:
+        Per rank, the scaled local-distributed matrix
+        :math:`\\hat A^{(s)} = \\hat D^{(s)}\\hat K^{(s)}\\hat D^{(s)}` in
+        subdomain-local numbering.
+    b_local:
+        The scaled RHS in local-distributed format.
+    d_parts:
+        The global-distributed norm-1 scaling vector.
+    owner_mask:
+        Per rank, boolean over local DOFs marking the DOFs this rank owns
+        (lowest sharing rank); used to convert global→local distributed
+        without changing values.
+    """
+
+    submap: SubdomainMap
+    comm: VirtualComm
+    a_local: list
+    b_local: list
+    d_parts: list
+    owner_mask: list
+
+    @property
+    def n_parts(self) -> int:
+        return self.submap.n_parts
+
+    @property
+    def n_global(self) -> int:
+        return self.submap.n_global
+
+    # ------------------------------------------------------------------
+    # Vector constructors / converters
+    # ------------------------------------------------------------------
+    def zeros(self, kind: str = "global") -> DistVector:
+        """A zero distributed vector in the requested format."""
+        return DistVector(
+            [np.zeros(n) for n in self.submap.local_sizes], kind, self.comm
+        )
+
+    def distribute(self, x: np.ndarray) -> DistVector:
+        """True global vector -> global-distributed (Definition 2)."""
+        return DistVector(self.submap.restrict(x), "global", self.comm)
+
+    def localize(self, v: DistVector) -> DistVector:
+        """Global-distributed -> an equivalent local-distributed vector by
+        ownership masking (each shared DOF kept on its lowest-rank owner).
+        Value-preserving: assembling the result reproduces ``v``."""
+        if v.kind != "global":
+            raise ValueError("localize expects a global-distributed vector")
+        parts = [p * m for p, m in zip(v.parts, self.owner_mask)]
+        return DistVector(parts, "local", self.comm)
+
+    def assemble(self, v: DistVector) -> DistVector:
+        """The ``⊕Σ∂Ω`` nearest-neighbour interface assembly (Eq. 28):
+        local-distributed -> global-distributed.  Communicates."""
+        if v.kind != "local":
+            raise ValueError("assemble expects a local-distributed vector")
+        return DistVector(
+            self.comm.interface_assemble(v.parts), "global", self.comm
+        )
+
+    def to_global_vector(self, v: DistVector) -> np.ndarray:
+        """Collapse a distributed vector to one true global array (host-side
+        gather; used only for verification and output, never in the solver
+        loop)."""
+        if v.kind == "local":
+            return self.submap.assemble(v.parts)
+        out = np.zeros(self.n_global)
+        for g, p in zip(self.submap.l2g, v.parts):
+            out[g] = p
+        return out
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def matvec_local(self, v: DistVector) -> DistVector:
+        """:math:`\\tilde y^{(s)} = \\hat A^{(s)} \\hat x^{(s)}` (Eq. 37):
+        global-distributed in, local-distributed out, zero communication."""
+        if v.kind != "global":
+            raise ValueError("matvec needs a global-distributed input")
+        parts = []
+        for r, (a, p) in enumerate(zip(self.a_local, v.parts)):
+            parts.append(a.matvec(p))
+            self.comm.add_flops(r, 2 * a.nnz)
+        return DistVector(parts, "local", self.comm)
+
+    def matvec_assembled(self, v: DistVector) -> DistVector:
+        """Matvec followed by interface assembly: global in, global out.
+        This is the operator the polynomial recurrences iterate."""
+        return self.assemble(self.matvec_local(v))
+
+    def dot(self, local: DistVector, glob: DistVector) -> float:
+        """The mixed-format inner product of Eq. 33:
+        :math:`\\langle x, y\\rangle = \\sum_s \\langle \\tilde x^{(s)},
+        \\hat y^{(s)}\\rangle` — one allreduce, no neighbour exchange."""
+        if local.kind != "local" or glob.kind != "global":
+            raise ValueError("dot pairs a local with a global vector (Eq. 33)")
+        return float(self.comm.allreduce_sum(local.local_dots(glob)))
+
+
+def _ownership_split(submap: SubdomainMap, x: np.ndarray) -> list:
+    """Split a true global vector into local-distributed parts by assigning
+    each DOF's full value to its lowest-rank owner."""
+    owner = np.full(submap.n_global, -1, dtype=np.int64)
+    for s in range(submap.n_parts - 1, -1, -1):
+        owner[submap.l2g[s]] = s
+    parts = []
+    for s in range(submap.n_parts):
+        g = submap.l2g[s]
+        mask = owner[g] == s
+        parts.append(np.where(mask, x[g], 0.0))
+    return parts
+
+
+def build_edd_system(
+    mesh: Mesh,
+    material: Material,
+    bc: DirichletBC,
+    partition: ElementPartition,
+    f_full: np.ndarray,
+    mass_shift: tuple | None = None,
+) -> EDDSystem:
+    """Assemble the per-subdomain scaled *elasticity* system of Algorithm 4.
+
+    Per subdomain: assemble :math:`\\hat K^{(s)}` from its own elements only
+    (never across the interface), reduce by the Dirichlet conditions,
+    restrict to subdomain-local numbering.  Then run the distributed norm-1
+    scaling (Algorithm 3): local row 1-norms, one interface assembly to sum
+    them, :math:`\\hat D^{(s)} = 1/\\sqrt{\\hat d^{(s)}}`, and scale matrix
+    and RHS in place.
+
+    ``mass_shift = (alpha, beta)`` builds the elastodynamics effective
+    matrix :math:`\\alpha M + \\beta K` per subdomain instead (Eq. 52).
+
+    Other PDEs plug in through :func:`build_edd_system_from_assembler`.
+
+    Setup communication is *not* charged: counters are reset before
+    returning so recorded statistics cover the solve only, matching the
+    paper's timed region.
+    """
+
+    def assembler(elems: np.ndarray) -> COOMatrix:
+        coo = assemble_matrix(mesh, material, "stiffness", element_subset=elems)
+        if mass_shift is not None:
+            alpha, beta = mass_shift
+            m_coo = assemble_matrix(mesh, material, "mass", element_subset=elems)
+            coo = COOMatrix(
+                coo.shape,
+                np.concatenate([coo.rows, m_coo.rows]),
+                np.concatenate([coo.cols, m_coo.cols]),
+                np.concatenate([beta * coo.data, alpha * m_coo.data]),
+            )
+        return coo
+
+    return build_edd_system_from_assembler(mesh, bc, partition, f_full, assembler)
+
+
+def build_edd_system_from_assembler(
+    mesh: Mesh,
+    bc: DirichletBC,
+    partition: ElementPartition,
+    f_full: np.ndarray,
+    assembler,
+) -> EDDSystem:
+    """Generic EDD system builder for any PDE.
+
+    ``assembler(element_subset) -> COOMatrix`` must return the subdomain's
+    unassembled matrix contribution on *full* (unreduced) DOF numbering —
+    e.g. a scalar conductivity assembly for heat problems.  Everything
+    else (reduction, localization, distributed norm-1 scaling, rhs
+    ownership split) is PDE-independent.
+    """
+    submap = build_subdomain_map(mesh, partition, bc)
+    comm = VirtualComm(submap)
+    full_to_free = bc.full_to_free()
+
+    a_local = []
+    for s in range(partition.n_parts):
+        elems = partition.subdomain_elements(s)
+        coo = assembler(elems)
+        r = full_to_free[coo.rows]
+        c = full_to_free[coo.cols]
+        keep = (r >= 0) & (c >= 0)
+        g = submap.l2g[s]
+        g2l = np.full(bc.n_free, -1, dtype=np.int64)
+        g2l[g] = np.arange(len(g))
+        local = COOMatrix(
+            (len(g), len(g)), g2l[r[keep]], g2l[c[keep]], coo.data[keep]
+        )
+        a_local.append(local.tocsr())
+
+    # Distributed norm-1 scaling (Algorithm 3): d_i = sum_s ||k_i^(s)||_1.
+    d_tilde = [a.row_norms1() for a in a_local]
+    d_hat = comm.interface_assemble(d_tilde)
+    if any(np.any(d == 0.0) for d in d_hat):
+        raise ValueError("zero scaled row; partition left an isolated DOF")
+    d_parts = [1.0 / np.sqrt(d) for d in d_hat]
+    a_local = [
+        a.scale_rows(d).scale_cols(d) for a, d in zip(a_local, d_parts)
+    ]
+
+    f_free = f_full[bc.free]
+    b_parts = _ownership_split(submap, f_free)
+    b_local = [d * p for d, p in zip(d_parts, b_parts)]
+
+    owner = np.full(submap.n_global, -1, dtype=np.int64)
+    for s in range(submap.n_parts - 1, -1, -1):
+        owner[submap.l2g[s]] = s
+    owner_mask = [
+        (owner[submap.l2g[s]] == s).astype(np.float64)
+        for s in range(submap.n_parts)
+    ]
+
+    comm.reset_stats()
+    return EDDSystem(
+        submap=submap,
+        comm=comm,
+        a_local=a_local,
+        b_local=b_local,
+        d_parts=d_parts,
+        owner_mask=owner_mask,
+    )

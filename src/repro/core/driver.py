@@ -1,0 +1,191 @@
+"""High-level solve driver: the one-call public API.
+
+``solve_cantilever`` wires the full pipeline of Algorithm 2 — mesh,
+partition, subdomain assembly, distributed norm-1 scaling, polynomial
+preconditioning, FGMRES solve — and returns the solution together with the
+recorded communication statistics and modeled machine times, which is what
+every benchmark consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.core.rdd import build_rdd_system, rdd_fgmres
+from repro.fem.cantilever import CantileverProblem, cantilever_problem
+from repro.parallel.machine import MachineModel, modeled_time
+from repro.parallel.stats import CommStats
+from repro.partition.element_partition import ElementPartition
+from repro.partition.node_partition import NodePartition
+from repro.precond.gls import GLSPolynomial
+from repro.precond.neumann import NeumannPolynomial
+from repro.solvers.result import SolveResult
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+@dataclass
+class ParallelSolveSummary:
+    """A solve plus everything the evaluation reports about it.
+
+    Attributes
+    ----------
+    result:
+        The :class:`SolveResult` (``x`` is the unscaled global solution).
+    stats:
+        Per-rank operation counters of the solve phase.
+    n_parts:
+        Rank count.
+    method:
+        ``"edd-basic"``, ``"edd-enhanced"`` or ``"rdd"``.
+    precond_name:
+        Display name of the preconditioner used.
+    """
+
+    result: SolveResult
+    stats: CommStats
+    n_parts: int
+    method: str
+    precond_name: str
+
+    def modeled_time(self, machine: MachineModel) -> float:
+        """Modeled wall-clock seconds on ``machine``."""
+        return modeled_time(self.stats, machine)
+
+
+def make_preconditioner(spec: str | None, theta: SpectrumIntervals | None = None):
+    """Parse a preconditioner spec string.
+
+    ``"gls(7)"``, ``"neumann(20)"`` and ``None``/``"none"`` are accepted —
+    the preconditioners applicable to distributed unassembled systems.
+    ``"bj-ilu0"`` (block-Jacobi ILU, RDD only) is resolved later by
+    :func:`solve_cantilever` since it needs the built system; here it
+    returns the spec marker.  ``theta`` defaults to the post-scaling
+    window :math:`(10^{-6}, 1)`.
+    """
+    if spec is None or spec == "none":
+        return None
+    if theta is None:
+        theta = SpectrumIntervals.single(1e-6, 1.0)
+    spec = spec.strip().lower()
+    if spec.startswith("gls(") and spec.endswith(")"):
+        return GLSPolynomial(theta, int(spec[4:-1]))
+    if spec.startswith("neumann(") and spec.endswith(")"):
+        return NeumannPolynomial(int(spec[8:-1]))
+    if spec == "bj-ilu0":
+        return "bj-ilu0"
+    raise ValueError(f"unknown preconditioner spec {spec!r}")
+
+
+def solve_cantilever(
+    problem: CantileverProblem | int,
+    n_parts: int = 1,
+    method: str = "edd-enhanced",
+    precond: str | None = "gls(7)",
+    restart: int = 25,
+    tol: float = 1e-6,
+    partition_method: str = "rcb",
+    dynamic: bool = False,
+    mass_shift: tuple = (1.0, 2.5e-1),
+    max_iter: int = 10_000,
+) -> ParallelSolveSummary:
+    """Solve a cantilever problem with the chosen decomposition.
+
+    Parameters
+    ----------
+    problem:
+        A prebuilt :class:`CantileverProblem` or a Table 2 mesh id.
+    n_parts:
+        Number of subdomains / ranks ``P``.
+    method:
+        ``"edd-enhanced"`` (Algorithm 6, default), ``"edd-basic"``
+        (Algorithm 5) or ``"rdd"`` (Algorithm 8).
+    precond:
+        Spec string for :func:`make_preconditioner`.
+    dynamic:
+        Solve the elastodynamics effective system
+        :math:`(\\alpha M + \\beta K)u = f` (Eq. 52) instead of the static
+        one; ``mass_shift`` supplies :math:`(\\alpha, \\beta)`.
+    """
+    if isinstance(problem, int):
+        problem = cantilever_problem(problem, with_mass=dynamic)
+    if dynamic and problem.mass is None:
+        raise ValueError("dynamic solve requires a problem built with_mass=True")
+    pc = make_preconditioner(precond)
+    if pc == "bj-ilu0" and method != "rdd":
+        raise ValueError(
+            "bj-ilu0 is a local (assembled-block) preconditioner; it only "
+            "applies to the rdd method"
+        )
+    pc_name = pc.name if pc is not None and pc != "bj-ilu0" else (
+        "BJ-ILU0" if pc == "bj-ilu0" else "I"
+    )
+
+    if method in ("edd-basic", "edd-enhanced"):
+        epart = ElementPartition.build(problem.mesh, n_parts, partition_method)
+        shift = mass_shift if dynamic else None
+        f_full = problem.bc.expand(problem.load)
+        system = build_edd_system(
+            problem.mesh,
+            problem.material,
+            problem.bc,
+            epart,
+            f_full,
+            mass_shift=shift,
+        )
+        result = edd_fgmres(
+            system,
+            pc,
+            restart=restart,
+            tol=tol,
+            max_iter=max_iter,
+            variant="basic" if method == "edd-basic" else "enhanced",
+        )
+        stats = system.comm.stats
+    elif method == "rdd":
+        npart = NodePartition.build(problem.mesh, n_parts, partition_method)
+        if dynamic:
+            alpha, beta = mass_shift
+            k = _combine(problem.stiffness, problem.mass, beta, alpha)
+        else:
+            k = problem.stiffness
+        system = build_rdd_system(
+            problem.mesh, problem.bc, npart, k, problem.load
+        )
+        if pc == "bj-ilu0":
+            from repro.precond.block_jacobi import BlockJacobiILU
+
+            pc = BlockJacobiILU(system)
+            pc_name = pc.name
+        result = rdd_fgmres(
+            system, pc, restart=restart, tol=tol, max_iter=max_iter
+        )
+        stats = system.comm.stats
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    return ParallelSolveSummary(
+        result=result,
+        stats=stats,
+        n_parts=n_parts,
+        method=method,
+        precond_name=pc_name,
+    )
+
+
+def _combine(k, m, beta: float, alpha: float):
+    """``beta*K + alpha*M`` via COO concatenation (patterns coincide for
+    consistent FEM matrices but this stays general)."""
+    from repro.sparse.coo import COOMatrix
+
+    kc = k.tocoo()
+    mc = m.tocoo()
+    return COOMatrix(
+        kc.shape,
+        np.concatenate([kc.rows, mc.rows]),
+        np.concatenate([kc.cols, mc.cols]),
+        np.concatenate([beta * kc.data, alpha * mc.data]),
+    ).tocsr()

@@ -1,0 +1,165 @@
+"""Element-based domain-decomposition FGMRES (Algorithms 5 and 6).
+
+Both variants run the same numerics — restarted flexible GMRES with a
+polynomial preconditioner applied through the communicating matvec — and
+differ only in communication structure, exactly as in the paper:
+
+* ``variant="basic"`` (Algorithm 5) keeps the Krylov basis in local
+  distributed format and re-assembles at every use: **3** nearest-neighbour
+  exchanges per Arnoldi step outside the preconditioner.
+* ``variant="enhanced"`` (Algorithm 6) carries each basis vector in both
+  formats and keeps the preconditioned vectors global-distributed: **1**
+  exchange per Arnoldi step outside the preconditioner.
+
+A degree-``m`` polynomial preconditioner adds ``m`` matvec+exchange pairs
+per step in either variant, giving the Table 1 totals ``m+3`` vs ``m+1``.
+The mixed-format inner product (Eq. 33) makes every Gram-Schmidt projection
+a single allreduce with no neighbour traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributed import DistVector, EDDSystem
+from repro.precond.base import PolynomialPreconditioner
+from repro.solvers.givens import GivensLSQ
+from repro.solvers.result import SolveResult
+
+
+def _precondition(system: EDDSystem, precond, v_hat: DistVector) -> DistVector:
+    """Apply the polynomial preconditioner through the communicating
+    operator: ``m`` matvecs, each followed by one interface assembly
+    (the distributed Algorithm 7)."""
+    if precond is None:
+        return v_hat.copy()
+    if not isinstance(precond, PolynomialPreconditioner):
+        raise TypeError(
+            "EDD-FGMRES requires a polynomial preconditioner (or None): "
+            "factorization preconditioners cannot be applied to unassembled "
+            "local-distributed matrices"
+        )
+    return precond.apply_linear(system.matvec_assembled, v_hat)
+
+
+def edd_fgmres(
+    system: EDDSystem,
+    precond=None,
+    restart: int = 25,
+    tol: float = 1e-6,
+    max_iter: int = 10_000,
+    variant: str = "enhanced",
+    breakdown_tol: float = 1e-14,
+    orthogonalization: str = "cgs",
+) -> SolveResult:
+    """Solve the scaled EDD system; returns the *unscaled* global solution.
+
+    Parameters mirror :func:`repro.solvers.fgmres`; ``variant`` selects
+    Algorithm 5 (``"basic"``) or Algorithm 6 (``"enhanced"``);
+    ``orthogonalization`` selects classical (``"cgs"``, the paper's choice:
+    one batched allreduce per step) or modified (``"mgs"``: j+1 sequential
+    allreduces per step) Gram-Schmidt.  All communication flows through
+    ``system.comm`` and is recorded in its counters.
+    """
+    if variant not in ("basic", "enhanced"):
+        raise ValueError("variant must be 'basic' or 'enhanced'")
+    if orthogonalization not in ("cgs", "mgs"):
+        raise ValueError("orthogonalization must be 'cgs' or 'mgs'")
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    basic = variant == "basic"
+
+    b_loc = DistVector([p.copy() for p in system.b_local], "local", system.comm)
+    x_hat = system.zeros("global")
+
+    # Initial residual; x0 = 0 so r = b (kept general for restarts below).
+    r_loc = b_loc - system.matvec_local(x_hat)
+    r_hat = system.assemble(r_loc)
+    norm_b0 = np.sqrt(max(system.dot(r_loc, r_hat), 0.0))
+    history = [1.0]
+    if norm_b0 == 0.0:
+        return SolveResult(np.zeros(system.n_global), True, 0, 0, history)
+
+    total_iters = 0
+    restarts = 0
+    converged = False
+    beta = norm_b0
+    while not converged and total_iters < max_iter:
+        restarts += 1
+        v_loc = [(1.0 / beta) * r_loc]
+        v_hat = [(1.0 / beta) * r_hat]
+        z_hat: list = []
+        lsq = GivensLSQ(restart, beta)
+        j = 0
+        while j < restart and total_iters < max_iter:
+            z = _precondition(system, precond, v_hat[j])
+            if basic:
+                # Exchange 1 of 3: Algorithm 5's statement 14 re-assembles
+                # the preconditioned vector (Algorithm 6 keeps it in global
+                # distributed format and skips this).
+                z = system.assemble(system.localize(z))
+            z_hat.append(z)
+            w_loc = system.matvec_local(z)
+            w_hat = system.assemble(w_loc)  # the enhanced variant's only exchange
+
+            h = np.empty(j + 2)
+            if orthogonalization == "cgs":
+                # Classical Gram-Schmidt (the paper's listings): all
+                # coefficients from the unmodified w via the mixed-format
+                # inner product, batched into ONE allreduce of j+1 words
+                # (Eq. 33).
+                partial = np.zeros((len(v_loc), system.n_parts))
+                for i in range(len(v_loc)):
+                    partial[i] = v_loc[i].local_dots(w_hat)
+                h[: j + 1] = system.comm.allreduce_sum(
+                    list(partial.T), words=j + 1
+                )
+                for i in range(j + 1):
+                    w_loc = w_loc - h[i] * v_loc[i]
+                    w_hat = w_hat - h[i] * v_hat[i]
+            else:
+                # Modified Gram-Schmidt: numerically sturdier, but each
+                # projection needs the *updated* w — j+1 sequential
+                # allreduces per step, the communication cost that makes
+                # parallel GMRES implementations prefer CGS.
+                for i in range(j + 1):
+                    h[i] = system.dot(v_loc[i], w_hat)
+                    w_loc = w_loc - h[i] * v_loc[i]
+                    w_hat = w_hat - h[i] * v_hat[i]
+            if basic:
+                # Exchange 3 of 3: restore format consistency by
+                # re-assembling the orthogonalized vector.
+                w_hat = system.assemble(system.localize(w_hat))
+            norm_sq = system.dot(w_loc, w_hat)
+            h[j + 1] = np.sqrt(max(norm_sq, 0.0))
+            res = lsq.append_column(h)
+            total_iters += 1
+            history.append(res / norm_b0)
+            if res / norm_b0 <= tol:
+                converged = True
+                j += 1
+                break
+            if h[j + 1] <= breakdown_tol:
+                converged = True
+                j += 1
+                break
+            v_loc.append((1.0 / h[j + 1]) * w_loc)
+            v_hat.append((1.0 / h[j + 1]) * w_hat)
+            j += 1
+        y = lsq.solve()
+        for i, yi in enumerate(y):
+            x_hat = x_hat + float(yi) * z_hat[i]
+        r_loc = b_loc - system.matvec_local(x_hat)
+        r_hat = system.assemble(r_loc)
+        beta = np.sqrt(max(system.dot(r_loc, r_hat), 0.0))
+        if beta / norm_b0 <= tol:
+            converged = True
+
+    # Unscale on the way out (Algorithm 4, step 5): u = D x.
+    u_hat = DistVector(
+        [d * p for d, p in zip(system.d_parts, x_hat.parts)],
+        "global",
+        system.comm,
+    )
+    u = system.to_global_vector(u_hat)
+    return SolveResult(u, converged, total_iters, restarts, history)

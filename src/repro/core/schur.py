@@ -1,0 +1,206 @@
+"""Primal Schur-complement substructuring — the classical DD baseline.
+
+The paper's introduction positions its EDD + polynomial approach against
+"numerically scalable domain decomposition based solvers" of the
+FETI/substructuring family.  This module implements the primal variant
+(iterative substructuring) on the same element-based subdomains:
+
+* per subdomain, split local DOFs into interior ``I`` (multiplicity 1) and
+  interface ``B`` (shared), and eliminate the interior exactly with a
+  dense Cholesky factorization of :math:`K_{II}^{(s)}`;
+* solve the assembled interface Schur system
+  :math:`S u_B = g`,  :math:`S = \\sum_s B_s^T S^{(s)} B_s`,
+  :math:`S^{(s)} = K_{BB}^{(s)} - K_{BI}^{(s)} (K_{II}^{(s)})^{-1}
+  K_{IB}^{(s)}`, by conjugate gradients (each matvec is embarrassingly
+  parallel per subdomain plus one interface assembly);
+* back-substitute the interior DOFs.
+
+The contrast the benches draw: Schur CG converges in very few iterations
+(the Schur complement is much better conditioned than ``K``), but every
+subdomain pays a dense interior factorization and dense triangular solves
+per iteration — exactly the direct-solver-like costs the paper's
+polynomial-preconditioned approach avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import DirichletBC
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+from repro.parallel.comm import VirtualComm
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+from repro.sparse.coo import COOMatrix
+
+
+@dataclass
+class SchurResult:
+    """Outcome of a substructuring solve.
+
+    Attributes
+    ----------
+    x:
+        Global solution on the free DOFs.
+    converged:
+        CG convergence flag.
+    iterations:
+        Interface CG iterations.
+    n_interface:
+        Size of the Schur system.
+    factor_flops:
+        Total flops charged for the interior factorizations (the setup
+        cost the iterative EDD solver does not pay).
+    stats:
+        Per-rank counters of the iterative phase.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    n_interface: int
+    factor_flops: int
+    stats: object
+
+
+def schur_solve(
+    mesh: Mesh,
+    material: Material,
+    bc: DirichletBC,
+    partition: ElementPartition,
+    f_full: np.ndarray,
+    tol: float = 1e-6,
+    max_iter: int = 10_000,
+) -> SchurResult:
+    """Solve ``K u = f`` by primal Schur-complement substructuring."""
+    submap = build_subdomain_map(mesh, partition, bc)
+    comm = VirtualComm(submap)
+    full_to_free = bc.full_to_free()
+    f_free = f_full[bc.free]
+
+    iface = np.flatnonzero(submap.multiplicity >= 2)
+    if len(iface) == 0:
+        raise ValueError("partition has no interface; use a direct solve")
+    iface_pos = np.full(submap.n_global, -1, dtype=np.int64)
+    iface_pos[iface] = np.arange(len(iface))
+
+    # Ownership split of the rhs (each DOF's value on its lowest owner).
+    owner = np.full(submap.n_global, -1, dtype=np.int64)
+    for s in range(submap.n_parts - 1, -1, -1):
+        owner[submap.l2g[s]] = s
+
+    locals_: list = []
+    factor_flops = 0
+    g_iface = np.zeros(len(iface))
+    for s in range(partition.n_parts):
+        elems = partition.subdomain_elements(s)
+        coo = assemble_matrix(mesh, material, "stiffness", element_subset=elems)
+        r = full_to_free[coo.rows]
+        c = full_to_free[coo.cols]
+        keep = (r >= 0) & (c >= 0)
+        g = submap.l2g[s]
+        g2l = np.full(submap.n_global, -1, dtype=np.int64)
+        g2l[g] = np.arange(len(g))
+        k_local = (
+            COOMatrix((len(g), len(g)), g2l[r[keep]], g2l[c[keep]], coo.data[keep])
+            .tocsr()
+            .toarray()
+        )
+        is_b = submap.multiplicity[g] >= 2
+        bi = np.flatnonzero(is_b)
+        ii = np.flatnonzero(~is_b)
+        k_ii = k_local[np.ix_(ii, ii)]
+        k_ib = k_local[np.ix_(ii, bi)]
+        k_bi = k_local[np.ix_(bi, ii)]
+        k_bb = k_local[np.ix_(bi, bi)]
+        if len(ii):
+            cho = scipy.linalg.cho_factor(k_ii, check_finite=False)
+            factor_flops += len(ii) ** 3 // 3
+        else:
+            cho = None
+        # rhs pieces: f_I owned locally (interior DOFs belong to one rank),
+        # boundary contributions ownership-split then assembled below.
+        f_i = np.where(owner[g[ii]] == s, f_free[g[ii]], 0.0)
+        f_b = np.where(owner[g[bi]] == s, f_free[g[bi]], 0.0)
+        if cho is not None and len(bi):
+            g_s = f_b - k_bi @ scipy.linalg.cho_solve(
+                cho, f_i, check_finite=False
+            )
+        else:
+            g_s = f_b
+        np.add.at(g_iface, iface_pos[g[bi]], g_s)
+        locals_.append((g, bi, ii, cho, k_ib, k_bi, k_bb, f_i))
+
+    def s_matvec(x_b: np.ndarray) -> np.ndarray:
+        """Assembled Schur matvec; one interface exchange equivalent."""
+        out = np.zeros(len(iface))
+        for s, (g, bi, ii, cho, k_ib, k_bi, k_bb, _) in enumerate(locals_):
+            xb = x_b[iface_pos[g[bi]]]
+            y = k_bb @ xb
+            comm.add_flops(s, 2 * k_bb.size)
+            if cho is not None and len(ii):
+                t = scipy.linalg.cho_solve(cho, k_ib @ xb, check_finite=False)
+                y = y - k_bi @ t
+                comm.add_flops(
+                    s, 2 * k_ib.size + 2 * len(ii) ** 2 + 2 * k_bi.size
+                )
+            np.add.at(out, iface_pos[g[bi]], y)
+            # charge the interface assembly like ⊕Σ∂Ω
+            rs = comm.stats.ranks[s]
+            rs.nbr_messages += len(submap.shared[s])
+            rs.nbr_words += submap.exchange_words(s)
+        return out
+
+    # CG on the SPD Schur system.
+    x_b = np.zeros(len(iface))
+    r = g_iface - s_matvec(x_b)
+    norm0 = np.linalg.norm(r)
+    converged = norm0 == 0.0
+    iters = 0
+    if not converged:
+        p = r.copy()
+        rr = float(r @ r)
+        while iters < max_iter:
+            sp = s_matvec(p)
+            denom = float(p @ sp)
+            if denom <= 0:
+                break
+            alpha = rr / denom
+            x_b += alpha * p
+            r -= alpha * sp
+            iters += 1
+            for rank in comm.stats.ranks:
+                rank.reductions += 2
+                rank.reduction_words += 2
+            rr_new = float(r @ r)
+            if np.sqrt(rr_new) / norm0 <= tol:
+                converged = True
+                break
+            p = r + (rr_new / rr) * p
+            rr = rr_new
+
+    # Back-substitution of interior DOFs.
+    x = np.zeros(submap.n_global)
+    x[iface] = x_b
+    for s, (g, bi, ii, cho, k_ib, k_bi, k_bb, f_i) in enumerate(locals_):
+        if cho is None or len(ii) == 0:
+            continue
+        xb = x_b[iface_pos[g[bi]]]
+        x[g[ii]] = scipy.linalg.cho_solve(
+            cho, f_i - k_ib @ xb, check_finite=False
+        )
+        comm.add_flops(s, 2 * k_ib.size + 2 * len(ii) ** 2)
+
+    return SchurResult(
+        x=x,
+        converged=converged,
+        iterations=iters,
+        n_interface=len(iface),
+        factor_flops=factor_flops,
+        stats=comm.stats,
+    )

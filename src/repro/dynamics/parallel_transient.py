@@ -1,0 +1,123 @@
+"""Distributed transient driver: Newmark stepping on the EDD solver.
+
+The paper's dynamic results (Figs. 12, 14, 16) run the parallel solver on
+the effective system of Eq. 52 — the decomposition, scaling and polynomial
+preconditioner are built *once* (the effective matrix is constant for
+linear elastodynamics at fixed ``dt``), and every step is an EDD-FGMRES
+solve against a new effective load.  Communication accumulates in the
+system's counters across the whole simulation, which is what the dynamic
+speedup study measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.dynamics.newmark import NewmarkIntegrator
+from repro.fem.bc import DirichletBC
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+from repro.partition.element_partition import ElementPartition
+
+
+@dataclass
+class ParallelTransientResult:
+    """History of a distributed transient run.
+
+    Attributes
+    ----------
+    times:
+        Time instants after each step.
+    displacements:
+        One solution row per step (global free-DOF vectors).
+    iterations_per_step:
+        EDD-FGMRES iterations of each step's solve.
+    stats:
+        Accumulated per-rank counters over all steps.
+    """
+
+    times: np.ndarray
+    displacements: np.ndarray
+    iterations_per_step: np.ndarray
+    stats: object
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of per-step iteration counts."""
+        return int(self.iterations_per_step.sum())
+
+
+def run_parallel_transient(
+    mesh: Mesh,
+    material: Material,
+    bc: DirichletBC,
+    integrator: NewmarkIntegrator,
+    load_fn,
+    n_steps: int,
+    n_parts: int = 4,
+    precond=None,
+    restart: int = 25,
+    tol: float = 1e-6,
+    partition_method: str = "rcb",
+) -> ParallelTransientResult:
+    """March ``n_steps`` of Newmark integration with distributed solves.
+
+    ``integrator`` supplies the Newmark coefficients and the (sequential)
+    mass/stiffness for the update equations; the per-step linear systems
+    are solved by EDD-FGMRES on the effective matrix
+    :math:`a_0 M + K` assembled subdomain-wise.  ``load_fn(t)`` returns
+    the reduced external load.
+    """
+    if n_steps < 1:
+        raise ValueError("need at least one step")
+    part = ElementPartition.build(mesh, n_parts, partition_method)
+    system = build_edd_system(
+        mesh,
+        material,
+        bc,
+        part,
+        np.zeros(mesh.n_dofs),
+        mass_shift=(integrator.a0, 1.0),
+    )
+
+    n = integrator.k.shape[0]
+    u = np.zeros(n)
+    v = np.zeros(n)
+    a = integrator.initial_acceleration(u, v, load_fn(0.0))
+
+    times = np.empty(n_steps)
+    snaps = np.empty((n_steps, n))
+    iters = np.empty(n_steps, dtype=np.int64)
+    t = 0.0
+    for step in range(n_steps):
+        t += integrator.dt
+        f_hat = integrator.effective_load(load_fn(t), u, v, a)
+        # Refresh the scaled local-distributed rhs in place: the system
+        # was built with a zero rhs and reuses its scaling each step.
+        from repro.core.distributed import _ownership_split
+
+        b_parts = _ownership_split(system.submap, f_hat)
+        system.b_local = [
+            d * p for d, p in zip(system.d_parts, b_parts)
+        ]
+        res = edd_fgmres(
+            system, precond, restart=restart, tol=tol
+        )
+        if not res.converged:
+            raise RuntimeError(f"step {step} failed to converge")
+        u_next = res.x
+        v, a = integrator.advance(u, v, a, u_next)
+        u = u_next
+        times[step] = t
+        snaps[step] = u
+        iters[step] = res.iterations
+    return ParallelTransientResult(
+        times=times,
+        displacements=snaps,
+        iterations_per_step=iters,
+        stats=system.comm.stats,
+    )

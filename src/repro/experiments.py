@@ -1,0 +1,132 @@
+"""One-call reproduction orchestrator.
+
+``reproduce_all(out_dir)`` regenerates the paper's core quantitative
+results — the Table 2 mesh family, Fig. 11/13-style convergence
+comparisons, and a Table 3-style scaling sweep — writing both
+human-readable ``.txt`` tables and machine-readable ``.json`` records.
+Exposed on the CLI as ``python -m repro reproduce``.
+
+The full evaluation (every figure, ablations) lives in the benchmark
+suite; this module is the fast everyday subset (< 1 minute) that a user
+runs first to confirm the installation reproduces the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.driver import solve_cantilever
+from repro.fem.cantilever import PAPER_MESHES, cantilever_problem
+from repro.io.records import record_from_summary, save_records
+from repro.parallel.machine import SGI_ORIGIN, modeled_time
+from repro.precond.gls import GLSPolynomial
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.neumann import NeumannPolynomial
+from repro.precond.scaling import scale_system
+from repro.reporting.convergence import convergence_table
+from repro.reporting.tables import format_table
+from repro.solvers.fgmres import fgmres
+
+
+def reproduce_table2(out_dir: str) -> str:
+    """Regenerate the Table 2 mesh family; returns the rendered table."""
+    rows = []
+    for k, (nx, ny, n_node, n_eqn, _) in PAPER_MESHES.items():
+        p = cantilever_problem(k)
+        ok = p.mesh.n_nodes == n_node and p.n_eqn == n_eqn
+        rows.append(
+            [k, f"{nx}x{ny}", p.mesh.n_nodes, p.n_eqn, "OK" if ok else "MISMATCH"]
+        )
+    table = format_table(
+        ["Mesh", "elements", "nNode", "nEqn", "vs paper"],
+        rows,
+        title="Table 2 — mesh family",
+    )
+    _write(out_dir, "table2.txt", table)
+    return table
+
+
+def reproduce_convergence(out_dir: str, mesh_id: int = 2) -> str:
+    """Regenerate the Fig. 11/13 preconditioner comparison on one mesh."""
+    p = cantilever_problem(mesh_id)
+    ss = scale_system(p.stiffness, p.load)
+    mv = ss.a.matvec
+    cases = {"none": None}
+    for m in (1, 3, 7, 10, 20):
+        g = GLSPolynomial.unit_interval(m, eps=1e-6)
+        cases[g.name] = (lambda g: (lambda v: g.apply_linear(mv, v)))(g)
+    n20 = NeumannPolynomial(20)
+    cases[n20.name] = lambda v: n20.apply_linear(mv, v)
+    cases["ILU(0)"] = ILU0Preconditioner(ss.a).apply
+    results = {
+        name: fgmres(mv, ss.b, pre, restart=25, tol=1e-6, max_iter=4000)
+        for name, pre in cases.items()
+    }
+    table = (
+        f"Figs. 11/13 — preconditioner comparison, Mesh{mesh_id}\n"
+        + convergence_table(results)
+    )
+    _write(out_dir, f"convergence_mesh{mesh_id}.txt", table)
+    payload = {
+        name: {"iterations": r.iterations, "converged": bool(r.converged)}
+        for name, r in results.items()
+    }
+    _write(
+        out_dir,
+        f"convergence_mesh{mesh_id}.json",
+        json.dumps(payload, indent=2, sort_keys=True),
+    )
+    return table
+
+
+def reproduce_scaling(
+    out_dir: str, mesh_id: int = 3, degrees=(7, 10), ranks=(1, 2, 4, 8)
+) -> str:
+    """Regenerate a Table 3 block (modeled Origin times and speedups)."""
+    p = cantilever_problem(mesh_id)
+    rows = []
+    records = []
+    for m in degrees:
+        t1 = None
+        for q in ranks:
+            if q > p.mesh.n_elements:
+                continue
+            s = solve_cantilever(p, n_parts=q, precond=f"gls({m})")
+            t = modeled_time(s.stats, SGI_ORIGIN)
+            if t1 is None:
+                t1 = t
+            rows.append(
+                [f"GLS({m})", q, s.result.iterations, f"{t:.4f}", f"{t1 / t:.2f}"]
+            )
+            records.append(
+                record_from_summary(
+                    s, f"mesh{mesh_id}/gls({m})/p{q}", p.n_eqn
+                )
+            )
+    table = format_table(
+        ["precond", "P", "iters", "T origin (s)", "speedup"],
+        rows,
+        title=f"Table 3 block — Mesh{mesh_id}, SGI Origin model",
+    )
+    _write(out_dir, f"table3_mesh{mesh_id}.txt", table)
+    save_records(records, os.path.join(out_dir, f"table3_mesh{mesh_id}.json"))
+    return table
+
+
+def reproduce_all(out_dir: str, mesh_id: int = 3) -> dict:
+    """Run the quick reproduction set; returns the rendered tables."""
+    os.makedirs(out_dir, exist_ok=True)
+    return {
+        "table2": reproduce_table2(out_dir),
+        "convergence": reproduce_convergence(out_dir, mesh_id=2),
+        "scaling": reproduce_scaling(out_dir, mesh_id=mesh_id),
+    }
+
+
+def _write(out_dir: str, name: str, content: str) -> None:
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, name), "w", encoding="utf-8") as fh:
+        fh.write(content + "\n")

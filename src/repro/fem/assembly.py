@@ -1,0 +1,124 @@
+"""Global assembly of element matrices into COO/CSR.
+
+Also provides per-element matrix computation with congruence caching:
+structured meshes contain a single repeated element geometry, so the 8x8
+integration runs once instead of once per element — the classic trick that
+keeps pure-Python assembly viable at the Table 2 mesh sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.elements import (
+    q4_mass,
+    q4_stiffness,
+    t3_mass,
+    t3_stiffness,
+    truss_stiffness,
+)
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+from repro.sparse.coo import COOMatrix
+
+def _h8_funcs():
+    # Imported lazily to avoid a circular import (three_d uses assembly).
+    from repro.fem.three_d import h8_mass, h8_stiffness
+
+    return {("h8", "stiffness"): h8_stiffness, ("h8", "mass"): h8_mass}
+
+
+_KIND_FUNCS = {
+    ("q4", "stiffness"): q4_stiffness,
+    ("q4", "mass"): q4_mass,
+    ("t3", "stiffness"): t3_stiffness,
+    ("t3", "mass"): t3_mass,
+}
+
+
+def element_dof_map(mesh: Mesh) -> np.ndarray:
+    """``(n_elements, nodes_per_el * dofs_per_node)`` global DOF indices.
+
+    DOF numbering interleaves components per node: node ``n`` owns DOFs
+    ``n*d .. n*d+d-1``.
+    """
+    d = mesh.dofs_per_node
+    conn = mesh.elements
+    dofs = conn[:, :, None] * d + np.arange(d)[None, None, :]
+    return dofs.reshape(len(conn), -1)
+
+
+def _congruence_key(coords: np.ndarray) -> bytes:
+    """Hashable key identifying element geometry up to translation."""
+    rel = coords - coords[0]
+    return np.round(rel, 12).tobytes()
+
+
+def element_matrices(
+    mesh: Mesh,
+    material: Material,
+    kind: str = "stiffness",
+    truss_area: float = 1.0,
+) -> np.ndarray:
+    """All element matrices, shape ``(n_elements, ndof_el, ndof_el)``.
+
+    ``kind`` is ``"stiffness"`` or ``"mass"``.  Congruent elements (equal up
+    to translation) share one integrated matrix.
+    """
+    if kind not in ("stiffness", "mass"):
+        raise ValueError("kind must be 'stiffness' or 'mass'")
+    if mesh.element_type == "truss":
+        if kind == "mass":
+            raise NotImplementedError("truss mass matrix not needed by the paper")
+        mats = np.empty((mesh.n_elements, 2, 2))
+        for e in range(mesh.n_elements):
+            c = mesh.element_coords(e)
+            length = float(np.linalg.norm(c[1] - c[0]))
+            mats[e] = truss_stiffness(length, truss_area, material.E)
+        return mats
+
+    key = (mesh.element_type, kind)
+    func = _KIND_FUNCS.get(key) or _h8_funcs()[key]
+    cache: dict = {}
+    ndof = mesh.elements.shape[1] * mesh.dofs_per_node
+    mats = np.empty((mesh.n_elements, ndof, ndof))
+    for e in range(mesh.n_elements):
+        coords = mesh.element_coords(e)
+        key = _congruence_key(coords)
+        m = cache.get(key)
+        if m is None:
+            m = func(coords, material)
+            cache[key] = m
+        mats[e] = m
+    return mats
+
+
+def assemble_matrix(
+    mesh: Mesh,
+    material: Material,
+    kind: str = "stiffness",
+    element_subset: np.ndarray | None = None,
+    truss_area: float = 1.0,
+) -> COOMatrix:
+    """Assemble the global matrix :math:`K = \\sum_e B_e^T K_e B_e`.
+
+    ``element_subset`` restricts assembly to a list of element indices —
+    this is how a subdomain's *local distributed* matrix :math:`\\hat K^{(s)}`
+    is formed (Definition 1): only local element contributions, no interface
+    assembly.
+    The result keeps global DOF numbering and shape ``(N, N)``.
+    """
+    mats = element_matrices(mesh, material, kind, truss_area=truss_area)
+    dof_map = element_dof_map(mesh)
+    if element_subset is not None:
+        element_subset = np.asarray(element_subset, dtype=np.int64)
+        mats = mats[element_subset]
+        dof_map = dof_map[element_subset]
+    ne, ndof = dof_map.shape
+    if ne == 0:
+        return COOMatrix.empty((mesh.n_dofs, mesh.n_dofs))
+    rows = np.repeat(dof_map, ndof, axis=1).ravel()
+    cols = np.tile(dof_map, (1, ndof)).ravel()
+    data = mats.reshape(ne, -1).ravel()
+    n = mesh.n_dofs
+    return COOMatrix((n, n), rows, cols, data)

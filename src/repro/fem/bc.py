@@ -1,0 +1,108 @@
+"""Dirichlet boundary conditions.
+
+The paper eliminates constrained DOFs (Table 2 reports the *reduced*
+equation counts), so the primary entry point reduces the system to free
+DOFs.  Subdomain matrices apply the same reduction per Algorithm 2 step (5):
+"Apply boundary condition over ∂Ω(s) \\ Γ".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+from repro.sparse.coo import COOMatrix
+
+
+@dataclass
+class DirichletBC:
+    """A set of constrained global DOFs with prescribed (zero) values.
+
+    Parameters
+    ----------
+    n_dofs:
+        Total DOFs of the unconstrained system.
+    fixed:
+        Sorted unique array of constrained DOF indices.
+    """
+
+    n_dofs: int
+    fixed: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.fixed = np.unique(np.asarray(self.fixed, dtype=np.int64))
+        if len(self.fixed) and (
+            self.fixed[0] < 0 or self.fixed[-1] >= self.n_dofs
+        ):
+            raise ValueError("fixed DOF index out of range")
+
+    @property
+    def free(self) -> np.ndarray:
+        """Sorted free (unconstrained) DOF indices."""
+        mask = np.ones(self.n_dofs, dtype=bool)
+        mask[self.fixed] = False
+        return np.flatnonzero(mask)
+
+    @property
+    def n_free(self) -> int:
+        """Number of free DOFs, the paper's ``nEqn``."""
+        return self.n_dofs - len(self.fixed)
+
+    def full_to_free(self) -> np.ndarray:
+        """Map full DOF index -> free index (or -1 if constrained)."""
+        out = np.full(self.n_dofs, -1, dtype=np.int64)
+        out[self.free] = np.arange(self.n_free)
+        return out
+
+    def expand(self, u_free: np.ndarray) -> np.ndarray:
+        """Insert zeros at constrained DOFs to recover the full vector."""
+        u = np.zeros(self.n_dofs)
+        u[self.free] = u_free
+        return u
+
+
+def clamp_edge_dofs(mesh: Mesh, edge: str, tol: float = 1e-12) -> DirichletBC:
+    """Clamp all DOFs of the nodes on a bounding-box edge.
+
+    ``edge`` is one of ``"left"`` (x = min), ``"right"``, ``"bottom"``
+    (y = min) or ``"top"``.  A clamped left edge is the classical cantilever
+    support; Table 2's Mesh2..Mesh10 equation counts correspond to clamping
+    the ``nXele + 1``-node edge (see :mod:`repro.fem.cantilever`).
+    """
+    x, y = mesh.coords[:, 0], mesh.coords[:, 1]
+    if edge == "left":
+        nodes = np.flatnonzero(np.abs(x - x.min()) < tol)
+    elif edge == "right":
+        nodes = np.flatnonzero(np.abs(x - x.max()) < tol)
+    elif edge == "bottom":
+        nodes = np.flatnonzero(np.abs(y - y.min()) < tol)
+    elif edge == "top":
+        nodes = np.flatnonzero(np.abs(y - y.max()) < tol)
+    else:
+        raise ValueError(f"unknown edge {edge!r}")
+    d = mesh.dofs_per_node
+    dofs = (nodes[:, None] * d + np.arange(d)[None, :]).ravel()
+    return DirichletBC(mesh.n_dofs, dofs)
+
+
+def apply_dirichlet(matrix: COOMatrix, rhs: np.ndarray, bc: DirichletBC):
+    """Eliminate constrained DOFs from an assembled system.
+
+    Returns ``(K_ff_csr, f_f)`` on the free DOFs.  Only homogeneous
+    (zero-displacement) conditions are supported, which is all the paper's
+    experiments use.
+    """
+    if matrix.shape != (bc.n_dofs, bc.n_dofs):
+        raise ValueError("matrix size does not match boundary condition")
+    if rhs.shape != (bc.n_dofs,):
+        raise ValueError("rhs size does not match boundary condition")
+    f2f = bc.full_to_free()
+    r = f2f[matrix.rows]
+    c = f2f[matrix.cols]
+    keep = (r >= 0) & (c >= 0)
+    reduced = COOMatrix(
+        (bc.n_free, bc.n_free), r[keep], c[keep], matrix.data[keep]
+    )
+    return reduced.tocsr(), rhs[bc.free].copy()

@@ -1,0 +1,142 @@
+"""Element stiffness and consistent mass matrices.
+
+Q4 (4-node bilinear quadrilateral) is the element the paper uses for the
+cantilever experiments; T3 (3-node linear triangle) is provided because the
+paper's planarity discussion (Section 5) contrasts the two; the 1-D truss
+element reproduces the worked example of Fig. 5 / Eqs. 29-31.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.material import Material
+from repro.fem.quadrature import gauss_quad_2d, triangle_rule
+
+
+def q4_shape(xi: float, eta: float):
+    """Bilinear shape functions and their reference-space gradients.
+
+    Returns ``(N, dN)`` with ``N`` of shape ``(4,)`` and ``dN`` of shape
+    ``(2, 4)`` (rows are d/dxi and d/deta).  Node order is counterclockwise
+    starting from ``(-1, -1)``.
+    """
+    n = 0.25 * np.array(
+        [
+            (1 - xi) * (1 - eta),
+            (1 + xi) * (1 - eta),
+            (1 + xi) * (1 + eta),
+            (1 - xi) * (1 + eta),
+        ]
+    )
+    dn = 0.25 * np.array(
+        [
+            [-(1 - eta), (1 - eta), (1 + eta), -(1 + eta)],
+            [-(1 - xi), -(1 + xi), (1 + xi), (1 - xi)],
+        ]
+    )
+    return n, dn
+
+
+def _q4_b_matrix(coords: np.ndarray, xi: float, eta: float):
+    """Strain-displacement matrix B (3x8) and Jacobian determinant at a point."""
+    _, dn = q4_shape(xi, eta)
+    jac = dn @ coords  # 2x2
+    det = jac[0, 0] * jac[1, 1] - jac[0, 1] * jac[1, 0]
+    if det <= 0:
+        raise ValueError("degenerate or inverted Q4 element")
+    inv = np.array([[jac[1, 1], -jac[0, 1]], [-jac[1, 0], jac[0, 0]]]) / det
+    grad = inv @ dn  # physical-space gradients, 2x4
+    b = np.zeros((3, 8))
+    b[0, 0::2] = grad[0]
+    b[1, 1::2] = grad[1]
+    b[2, 0::2] = grad[1]
+    b[2, 1::2] = grad[0]
+    return b, det
+
+
+def q4_stiffness(coords: np.ndarray, material: Material, n_gauss: int = 2) -> np.ndarray:
+    """8x8 plane-stress/strain stiffness of a Q4 element.
+
+    ``coords`` is the 4x2 array of node coordinates in counterclockwise
+    order.  DOF layout is ``(u1, v1, u2, v2, u3, v3, u4, v4)``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (4, 2):
+        raise ValueError("Q4 element needs 4 nodes in 2-D")
+    d = material.elasticity_matrix()
+    pts, wts = gauss_quad_2d(n_gauss)
+    ke = np.zeros((8, 8))
+    for (xi, eta), w in zip(pts, wts):
+        b, det = _q4_b_matrix(coords, xi, eta)
+        ke += w * det * material.thickness * (b.T @ d @ b)
+    return ke
+
+
+def q4_mass(coords: np.ndarray, material: Material, n_gauss: int = 2) -> np.ndarray:
+    """8x8 consistent mass matrix of a Q4 element."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (4, 2):
+        raise ValueError("Q4 element needs 4 nodes in 2-D")
+    pts, wts = gauss_quad_2d(n_gauss)
+    me = np.zeros((8, 8))
+    for (xi, eta), w in zip(pts, wts):
+        n, dn = q4_shape(xi, eta)
+        jac = dn @ coords
+        det = jac[0, 0] * jac[1, 1] - jac[0, 1] * jac[1, 0]
+        nn = np.zeros((2, 8))
+        nn[0, 0::2] = n
+        nn[1, 1::2] = n
+        me += w * det * material.rho * material.thickness * (nn.T @ nn)
+    return me
+
+
+def t3_stiffness(coords: np.ndarray, material: Material) -> np.ndarray:
+    """6x6 stiffness of a constant-strain triangle."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (3, 2):
+        raise ValueError("T3 element needs 3 nodes in 2-D")
+    x, y = coords[:, 0], coords[:, 1]
+    area2 = (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (y[1] - y[0])
+    if area2 <= 0:
+        raise ValueError("degenerate or inverted T3 element")
+    # Shape-function gradient coefficients.
+    b_c = np.array([y[1] - y[2], y[2] - y[0], y[0] - y[1]]) / area2
+    c_c = np.array([x[2] - x[1], x[0] - x[2], x[1] - x[0]]) / area2
+    b = np.zeros((3, 6))
+    b[0, 0::2] = b_c
+    b[1, 1::2] = c_c
+    b[2, 0::2] = c_c
+    b[2, 1::2] = b_c
+    d = material.elasticity_matrix()
+    area = area2 / 2.0
+    return area * material.thickness * (b.T @ d @ b)
+
+
+def t3_mass(coords: np.ndarray, material: Material) -> np.ndarray:
+    """6x6 consistent mass of a constant-strain triangle."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (3, 2):
+        raise ValueError("T3 element needs 3 nodes in 2-D")
+    x, y = coords[:, 0], coords[:, 1]
+    area2 = (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (y[1] - y[0])
+    area = area2 / 2.0
+    if area <= 0:
+        raise ValueError("degenerate or inverted T3 element")
+    pts, wts = triangle_rule(2)
+    me = np.zeros((6, 6))
+    for bary, w in zip(pts, wts):
+        nn = np.zeros((2, 6))
+        nn[0, 0::2] = bary
+        nn[1, 1::2] = bary
+        me += w * area * material.rho * material.thickness * (nn.T @ nn)
+    return me
+
+
+def truss_stiffness(length: float, area: float, youngs: float) -> np.ndarray:
+    """2x2 axial stiffness of a 1-D truss element, :math:`\\frac{AE}{l}
+    \\begin{bmatrix}1&-1\\\\-1&1\\end{bmatrix}` (Eq. 30)."""
+    if length <= 0:
+        raise ValueError("element length must be positive")
+    k = area * youngs / length
+    return k * np.array([[1.0, -1.0], [-1.0, 1.0]])

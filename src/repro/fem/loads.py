@@ -1,0 +1,65 @@
+"""Load vectors: point loads and consistently-distributed edge tractions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+
+
+def point_load(mesh: Mesh, node: int, components) -> np.ndarray:
+    """Concentrated load at one node; ``components`` has ``dofs_per_node``
+    entries."""
+    components = np.asarray(components, dtype=np.float64)
+    if components.shape != (mesh.dofs_per_node,):
+        raise ValueError("wrong number of load components")
+    if not 0 <= node < mesh.n_nodes:
+        raise ValueError("node index out of range")
+    f = np.zeros(mesh.n_dofs)
+    d = mesh.dofs_per_node
+    f[node * d : node * d + d] = components
+    return f
+
+
+def edge_traction_load(
+    mesh: Mesh, edge: str, traction, tol: float = 1e-12
+) -> np.ndarray:
+    """Uniform traction on a bounding-box edge, lumped consistently.
+
+    ``traction`` is force per unit length ``(tx, ty)``.  Nodes on the edge
+    receive tributary lengths (half-segments), which for linear elements is
+    the consistent load for a uniform traction.  This models the "pulling
+    load" of the paper's cantilever (Fig. 9).
+    """
+    traction = np.asarray(traction, dtype=np.float64)
+    if traction.shape != (mesh.dofs_per_node,):
+        raise ValueError("wrong number of traction components")
+    x, y = mesh.coords[:, 0], mesh.coords[:, 1]
+    if edge == "left":
+        nodes = np.flatnonzero(np.abs(x - x.min()) < tol)
+        coord = y[nodes]
+    elif edge == "right":
+        nodes = np.flatnonzero(np.abs(x - x.max()) < tol)
+        coord = y[nodes]
+    elif edge == "bottom":
+        nodes = np.flatnonzero(np.abs(y - y.min()) < tol)
+        coord = x[nodes]
+    elif edge == "top":
+        nodes = np.flatnonzero(np.abs(y - y.max()) < tol)
+        coord = x[nodes]
+    else:
+        raise ValueError(f"unknown edge {edge!r}")
+    if len(nodes) < 2:
+        raise ValueError(f"edge {edge!r} has fewer than 2 nodes")
+    order = np.argsort(coord)
+    nodes = nodes[order]
+    coord = coord[order]
+    seg = np.diff(coord)
+    trib = np.zeros(len(nodes))
+    trib[:-1] += seg / 2.0
+    trib[1:] += seg / 2.0
+    f = np.zeros(mesh.n_dofs)
+    d = mesh.dofs_per_node
+    for k in range(d):
+        f[nodes * d + k] = trib * traction[k]
+    return f

@@ -1,0 +1,162 @@
+"""Structured 2-D meshes for the cantilever experiments (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Mesh:
+    """An unstructured-format mesh of a single 2-D element type.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_nodes, 2)`` node coordinates.
+    elements:
+        ``(n_elements, nodes_per_element)`` connectivity, counterclockwise.
+    element_type:
+        ``"q4"``, ``"t3"`` or ``"truss"``.
+    dofs_per_node:
+        2 for plane elasticity, 1 for truss/scalar problems.
+    """
+
+    coords: np.ndarray
+    elements: np.ndarray
+    element_type: str = "q4"
+    dofs_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        self.elements = np.asarray(self.elements, dtype=np.int64)
+        if self.elements.ndim != 2:
+            raise ValueError("connectivity must be 2-D")
+        if self.elements.size and self.elements.max() >= len(self.coords):
+            raise ValueError("connectivity references a missing node")
+        expected = {"q4": 4, "t3": 3, "truss": 2, "h8": 8}[self.element_type]
+        if self.elements.shape[1] != expected:
+            raise ValueError(
+                f"{self.element_type} elements need {expected} nodes each"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.coords)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements."""
+        return len(self.elements)
+
+    @property
+    def n_dofs(self) -> int:
+        """Total degrees of freedom before boundary conditions."""
+        return self.n_nodes * self.dofs_per_node
+
+    def element_coords(self, e: int) -> np.ndarray:
+        """Node coordinates of element ``e``."""
+        return self.coords[self.elements[e]]
+
+    def nodes_on(self, predicate) -> np.ndarray:
+        """Indices of nodes whose coordinates satisfy ``predicate(x, y)``.
+
+        ``predicate`` receives the full coordinate columns and must return a
+        boolean mask (vectorized).
+        """
+        mask = predicate(self.coords[:, 0], self.coords[:, 1])
+        return np.flatnonzero(mask)
+
+    def element_centroids(self) -> np.ndarray:
+        """``(n_elements, 2)`` centroids; used by coordinate partitioners."""
+        return self.coords[self.elements].mean(axis=1)
+
+
+def structured_quad_mesh(
+    nx: int, ny: int, lx: float = 1.0, ly: float = 1.0
+) -> Mesh:
+    """Regular ``nx``-by-``ny`` grid of Q4 elements on ``[0,lx] x [0,ly]``.
+
+    Node numbering is row-major with x fastest, matching the meshes of
+    Table 2 (``nXele x nYele``).
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("need at least one element in each direction")
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    xx, yy = np.meshgrid(xs, ys, indexing="xy")
+    coords = np.column_stack([xx.ravel(), yy.ravel()])
+
+    j, i = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    n0 = (j * (nx + 1) + i).ravel()
+    elements = np.column_stack([n0, n0 + 1, n0 + nx + 2, n0 + nx + 1])
+    return Mesh(coords, elements, element_type="q4", dofs_per_node=2)
+
+
+def refine_quad_mesh(mesh: Mesh) -> Mesh:
+    """Uniform refinement: split every Q4 element into four.
+
+    Edge midpoints and cell centroids become new nodes (shared between
+    neighbouring elements via exact-coordinate matching, which is safe for
+    the structured/jitter-free meshes this operates on).  Used by the
+    manufactured-solution convergence studies.
+    """
+    if mesh.element_type != "q4":
+        raise ValueError("refine_quad_mesh handles q4 meshes only")
+    coords = [tuple(c) for c in np.round(mesh.coords, 12)]
+    index = {c: i for i, c in enumerate(coords)}
+    new_coords = list(mesh.coords)
+
+    def node_at(pt) -> int:
+        key = tuple(np.round(pt, 12))
+        if key not in index:
+            index[key] = len(new_coords)
+            new_coords.append(np.asarray(pt))
+        return index[key]
+
+    elements = []
+    for conn in mesh.elements:
+        c = mesh.coords[conn]
+        mids = [node_at((c[i] + c[(i + 1) % 4]) / 2.0) for i in range(4)]
+        center = node_at(c.mean(axis=0))
+        n0, n1, n2, n3 = (int(v) for v in conn)
+        m01, m12, m23, m30 = mids
+        elements.extend(
+            [
+                [n0, m01, center, m30],
+                [m01, n1, m12, center],
+                [center, m12, n2, m23],
+                [m30, center, m23, n3],
+            ]
+        )
+    return Mesh(
+        np.asarray(new_coords),
+        np.asarray(elements, dtype=np.int64),
+        element_type="q4",
+        dofs_per_node=mesh.dofs_per_node,
+    )
+
+
+def structured_tri_mesh(
+    nx: int, ny: int, lx: float = 1.0, ly: float = 1.0
+) -> Mesh:
+    """Same grid split into 2 triangles per cell (diagonal from node 0 to 2)."""
+    quad = structured_quad_mesh(nx, ny, lx, ly)
+    q = quad.elements
+    tris = np.empty((2 * len(q), 3), dtype=np.int64)
+    tris[0::2] = q[:, [0, 1, 2]]
+    tris[1::2] = q[:, [0, 2, 3]]
+    return Mesh(quad.coords, tris, element_type="t3", dofs_per_node=2)
+
+
+def truss_mesh(n_elements: int, length: float = 1.0) -> Mesh:
+    """1-D chain of truss elements; ``n_elements=2`` is the paper's Fig. 5."""
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    xs = np.linspace(0.0, length, n_elements + 1)
+    coords = np.column_stack([xs, np.zeros_like(xs)])
+    n0 = np.arange(n_elements)
+    elements = np.column_stack([n0, n0 + 1])
+    return Mesh(coords, elements, element_type="truss", dofs_per_node=1)

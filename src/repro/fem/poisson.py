@@ -1,0 +1,144 @@
+"""Scalar heat-conduction (Poisson) substrate.
+
+The paper frames its method for "implicit finite element computations in
+several scientific and engineering problems" — not just elasticity.  This
+module provides the simplest second scalar PDE, steady heat conduction
+:math:`-\\nabla\\cdot(k\\nabla T) = q`, on the same Q4 meshes with one DOF
+per node.  Everything downstream (partitioning, EDD/RDD solvers,
+preconditioners) operates on it unchanged, which is the point: the solver
+stack is PDE-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.bc import DirichletBC, apply_dirichlet
+from repro.fem.elements import q4_shape
+from repro.fem.mesh import Mesh, structured_quad_mesh
+from repro.fem.quadrature import gauss_quad_2d
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def q4_conductivity(coords: np.ndarray, k: float = 1.0, n_gauss: int = 2) -> np.ndarray:
+    """4x4 conductivity (scalar 'stiffness') matrix of a Q4 element:
+    :math:`\\int k\\, \\nabla N^T \\nabla N\\, d\\Omega`."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (4, 2):
+        raise ValueError("Q4 element needs 4 nodes in 2-D")
+    if k <= 0:
+        raise ValueError("conductivity must be positive")
+    pts, wts = gauss_quad_2d(n_gauss)
+    ke = np.zeros((4, 4))
+    for (xi, eta), w in zip(pts, wts):
+        _, dn = q4_shape(xi, eta)
+        jac = dn @ coords
+        det = jac[0, 0] * jac[1, 1] - jac[0, 1] * jac[1, 0]
+        if det <= 0:
+            raise ValueError("degenerate or inverted Q4 element")
+        inv = np.array([[jac[1, 1], -jac[0, 1]], [-jac[1, 0], jac[0, 0]]]) / det
+        grad = inv @ dn
+        ke += w * det * k * (grad.T @ grad)
+    return ke
+
+
+def assemble_conductivity(mesh: Mesh, k: float = 1.0) -> COOMatrix:
+    """Assemble the global scalar conductivity matrix for a Q4 mesh with
+    one DOF per node (the mesh's ``dofs_per_node`` must be 1)."""
+    if mesh.element_type != "q4":
+        raise ValueError("scalar assembly implemented for q4 meshes")
+    if mesh.dofs_per_node != 1:
+        raise ValueError("scalar problem needs dofs_per_node == 1")
+    rows, cols, data = [], [], []
+    cache: dict = {}
+    for e in range(mesh.n_elements):
+        conn = mesh.elements[e]
+        coords = mesh.coords[conn]
+        key = np.round(coords - coords[0], 12).tobytes()
+        ke = cache.get(key)
+        if ke is None:
+            ke = q4_conductivity(coords, k)
+            cache[key] = ke
+        rows.append(np.repeat(conn, 4))
+        cols.append(np.tile(conn, 4))
+        data.append(ke.ravel())
+    return COOMatrix(
+        (mesh.n_nodes, mesh.n_nodes),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(data),
+    )
+
+
+def scalar_source_load(mesh: Mesh, source_fn, n_gauss: int = 2) -> np.ndarray:
+    """Consistent load for a volumetric heat source ``source_fn(x, y)``."""
+    pts, wts = gauss_quad_2d(n_gauss)
+    f = np.zeros(mesh.n_nodes)
+    for e in range(mesh.n_elements):
+        conn = mesh.elements[e]
+        coords = mesh.coords[conn]
+        fe = np.zeros(4)
+        for (xi, eta), w in zip(pts, wts):
+            n, dn = q4_shape(xi, eta)
+            jac = dn @ coords
+            det = jac[0, 0] * jac[1, 1] - jac[0, 1] * jac[1, 0]
+            x, y = n @ coords
+            fe += w * det * n * source_fn(x, y)
+        np.add.at(f, conn, fe)
+    return f
+
+
+@dataclass
+class HeatProblem:
+    """An assembled steady heat-conduction problem on free DOFs.
+
+    Attributes
+    ----------
+    mesh:
+        The scalar Q4 mesh (``dofs_per_node == 1``).
+    bc:
+        Dirichlet condition (fixed-temperature boundary).
+    conductivity:
+        Reduced conductivity matrix.
+    load:
+        Reduced source vector.
+    """
+
+    mesh: Mesh
+    bc: DirichletBC
+    conductivity: CSRMatrix
+    load: np.ndarray
+
+    @property
+    def n_eqn(self) -> int:
+        """Number of free temperature DOFs."""
+        return self.bc.n_free
+
+
+def heat_problem(
+    nx: int = 16,
+    ny: int = 16,
+    k: float = 1.0,
+    source_fn=None,
+) -> HeatProblem:
+    """Unit-square plate, zero temperature on the whole boundary, unit
+    volumetric source by default — the textbook Poisson benchmark."""
+    mesh = structured_quad_mesh(nx, ny)
+    mesh = Mesh(mesh.coords, mesh.elements, element_type="q4", dofs_per_node=1)
+    x, y = mesh.coords[:, 0], mesh.coords[:, 1]
+    boundary = (
+        np.isclose(x, 0.0)
+        | np.isclose(x, 1.0)
+        | np.isclose(y, 0.0)
+        | np.isclose(y, 1.0)
+    )
+    bc = DirichletBC(mesh.n_nodes, np.flatnonzero(boundary))
+    if source_fn is None:
+        source_fn = lambda x, y: 1.0  # noqa: E731 - default unit source
+    f = scalar_source_load(mesh, source_fn)
+    k_coo = assemble_conductivity(mesh, k)
+    k_red, f_red = apply_dirichlet(k_coo, f, bc)
+    return HeatProblem(mesh=mesh, bc=bc, conductivity=k_red, load=f_red)

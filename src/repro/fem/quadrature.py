@@ -1,0 +1,71 @@
+"""Gauss quadrature rules on reference elements."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# 1-D Gauss-Legendre rules on [-1, 1], hard-coded to avoid any runtime
+# eigenvalue computation in the hot assembly path.
+_GAUSS_1D = {
+    1: (np.array([0.0]), np.array([2.0])),
+    2: (
+        np.array([-1.0, 1.0]) / np.sqrt(3.0),
+        np.array([1.0, 1.0]),
+    ),
+    3: (
+        np.array([-np.sqrt(3.0 / 5.0), 0.0, np.sqrt(3.0 / 5.0)]),
+        np.array([5.0, 8.0, 5.0]) / 9.0,
+    ),
+}
+
+
+def gauss_1d(n: int):
+    """``n``-point Gauss-Legendre rule on ``[-1, 1]`` (n = 1, 2, 3)."""
+    if n not in _GAUSS_1D:
+        raise ValueError(f"unsupported 1-D Gauss order {n}")
+    pts, wts = _GAUSS_1D[n]
+    return pts.copy(), wts.copy()
+
+
+def gauss_quad_2d(n: int):
+    """Tensor-product Gauss rule on the reference square ``[-1,1]^2``.
+
+    Returns ``(points, weights)`` with ``points`` of shape ``(n*n, 2)``.
+    """
+    p, w = gauss_1d(n)
+    xi, eta = np.meshgrid(p, p, indexing="ij")
+    pts = np.column_stack([xi.ravel(), eta.ravel()])
+    wts = np.outer(w, w).ravel()
+    return pts, wts
+
+
+def triangle_rule(order: int):
+    """Symmetric quadrature on the reference triangle (area coordinates).
+
+    ``order=1`` is the 1-point centroid rule (exact for linears);
+    ``order=2`` is the 3-point midpoint rule (exact for quadratics).
+    Points are in barycentric coordinates ``(L1, L2, L3)``; weights sum
+    to 1 and must be multiplied by the element area.
+    """
+    if order == 1:
+        pts = np.array([[1 / 3, 1 / 3, 1 / 3]])
+        wts = np.array([1.0])
+    elif order == 2:
+        pts = np.array([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5]])
+        wts = np.array([1 / 3, 1 / 3, 1 / 3])
+    else:
+        raise ValueError(f"unsupported triangle rule order {order}")
+    return pts, wts
+
+
+def gauss_chebyshev(n: int):
+    """``n``-point Gauss-Chebyshev rule on ``(-1, 1)``.
+
+    Integrates :math:`\\int_{-1}^1 f(t) (1-t^2)^{-1/2} dt`.  Used by the
+    GLS polynomial construction, where each spectrum interval carries the
+    Chebyshev weight (Section 2.1.3).
+    """
+    k = np.arange(1, n + 1)
+    nodes = np.cos((2 * k - 1) * np.pi / (2 * n))
+    weights = np.full(n, np.pi / n)
+    return nodes, weights

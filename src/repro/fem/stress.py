@@ -1,0 +1,155 @@
+"""Stress recovery and post-processing.
+
+Computes element stresses from a displacement solution — the quantity a
+structural analysis actually reports.  Stresses are evaluated at element
+centroids (the superconvergent point for Q4) and optionally averaged to
+nodes for smooth fields; von Mises equivalent stress supports the
+stress-concentration checks in the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.elements import _q4_b_matrix
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+
+
+def element_stresses(
+    mesh: Mesh, material: Material, u_full: np.ndarray
+) -> np.ndarray:
+    """Centroid stresses per element, shape ``(n_elements, 3)`` in Voigt
+    order ``(sigma_xx, sigma_yy, tau_xy)``.
+
+    ``u_full`` is the full nodal displacement vector (constrained DOFs
+    included).  Supports Q4 and T3 meshes.
+    """
+    if u_full.shape != (mesh.n_dofs,):
+        raise ValueError("u_full must cover all DOFs (use bc.expand)")
+    d = material.elasticity_matrix()
+    out = np.empty((mesh.n_elements, 3))
+    if mesh.element_type == "q4":
+        for e in range(mesh.n_elements):
+            conn = mesh.elements[e]
+            coords = mesh.coords[conn]
+            b, _ = _q4_b_matrix(coords, 0.0, 0.0)
+            ue = np.empty(8)
+            ue[0::2] = u_full[conn * 2]
+            ue[1::2] = u_full[conn * 2 + 1]
+            out[e] = d @ (b @ ue)
+    elif mesh.element_type == "t3":
+        for e in range(mesh.n_elements):
+            conn = mesh.elements[e]
+            c = mesh.coords[conn]
+            x, y = c[:, 0], c[:, 1]
+            area2 = (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (
+                y[1] - y[0]
+            )
+            b_c = np.array([y[1] - y[2], y[2] - y[0], y[0] - y[1]]) / area2
+            c_c = np.array([x[2] - x[1], x[0] - x[2], x[1] - x[0]]) / area2
+            b = np.zeros((3, 6))
+            b[0, 0::2] = b_c
+            b[1, 1::2] = c_c
+            b[2, 0::2] = c_c
+            b[2, 1::2] = b_c
+            ue = np.empty(6)
+            ue[0::2] = u_full[conn * 2]
+            ue[1::2] = u_full[conn * 2 + 1]
+            out[e] = d @ (b @ ue)
+    else:
+        raise ValueError(f"unsupported element type {mesh.element_type!r}")
+    return out
+
+
+def nodal_stresses(mesh: Mesh, element_sigma: np.ndarray) -> np.ndarray:
+    """Average element stresses to nodes (simple arithmetic averaging),
+    shape ``(n_nodes, 3)``."""
+    if element_sigma.shape != (mesh.n_elements, 3):
+        raise ValueError("one Voigt stress triple per element required")
+    out = np.zeros((mesh.n_nodes, 3))
+    counts = np.zeros(mesh.n_nodes)
+    for e, conn in enumerate(mesh.elements):
+        out[conn] += element_sigma[e]
+        counts[conn] += 1
+    out /= counts[:, None]
+    return out
+
+
+def element_stresses_3d(
+    mesh: Mesh, material: Material, u_full: np.ndarray
+) -> np.ndarray:
+    """Centroid stresses per H8 element, shape ``(n_elements, 6)`` in Voigt
+    order ``(xx, yy, zz, xy, yz, zx)``."""
+    from repro.fem.three_d import elasticity_matrix_3d, h8_shape
+
+    if mesh.element_type != "h8":
+        raise ValueError("element_stresses_3d handles h8 meshes only")
+    if u_full.shape != (mesh.n_dofs,):
+        raise ValueError("u_full must cover all DOFs (use bc.expand)")
+    d = elasticity_matrix_3d(material)
+    out = np.empty((mesh.n_elements, 6))
+    for e in range(mesh.n_elements):
+        conn = mesh.elements[e]
+        coords = mesh.coords[conn]
+        _, dn = h8_shape(0.0, 0.0, 0.0)
+        jac = dn @ coords
+        grad = np.linalg.solve(jac, dn)
+        b = np.zeros((6, 24))
+        b[0, 0::3] = grad[0]
+        b[1, 1::3] = grad[1]
+        b[2, 2::3] = grad[2]
+        b[3, 0::3] = grad[1]
+        b[3, 1::3] = grad[0]
+        b[4, 1::3] = grad[2]
+        b[4, 2::3] = grad[1]
+        b[5, 0::3] = grad[2]
+        b[5, 2::3] = grad[0]
+        ue = np.empty(24)
+        ue[0::3] = u_full[conn * 3]
+        ue[1::3] = u_full[conn * 3 + 1]
+        ue[2::3] = u_full[conn * 3 + 2]
+        out[e] = d @ (b @ ue)
+    return out
+
+
+def von_mises(sigma: np.ndarray) -> np.ndarray:
+    """Von Mises equivalent of Voigt stresses.
+
+    Accepts plane-stress triples ``(..., 3)`` (xx, yy, xy) or full 3-D
+    sextuples ``(..., 6)`` (xx, yy, zz, xy, yz, zx).
+    """
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if sigma.shape[-1] == 3:
+        sxx = sigma[..., 0]
+        syy = sigma[..., 1]
+        txy = sigma[..., 2]
+        return np.sqrt(sxx**2 - sxx * syy + syy**2 + 3.0 * txy**2)
+    if sigma.shape[-1] == 6:
+        sxx, syy, szz, txy, tyz, tzx = (sigma[..., i] for i in range(6))
+        return np.sqrt(
+            0.5
+            * (
+                (sxx - syy) ** 2
+                + (syy - szz) ** 2
+                + (szz - sxx) ** 2
+                + 6.0 * (txy**2 + tyz**2 + tzx**2)
+            )
+        )
+    raise ValueError("Voigt stresses must have 3 or 6 components")
+
+
+def stress_concentration_factor(
+    mesh: Mesh,
+    material: Material,
+    u_full: np.ndarray,
+    far_field: float,
+) -> float:
+    """Peak nodal von Mises stress over a nominal far-field stress —
+    the classical SCF (≈3 for a small circular hole in an infinite plate
+    under uniaxial tension)."""
+    if far_field <= 0:
+        raise ValueError("far-field stress must be positive")
+    sig_e = element_stresses(mesh, material, u_full)
+    sig_n = nodal_stresses(mesh, sig_e)
+    return float(von_mises(sig_n).max() / far_field)

@@ -1,0 +1,278 @@
+"""Three-dimensional elasticity substrate (H8 hexahedra).
+
+Section 5 of the paper singles out three-dimensional problems as the case
+where the row-based decomposition's duplicated interface elements blow up
+storage; this module provides the 3-D workload to measure that on: 8-node
+trilinear hexahedral elements, structured beam meshes, face clamping and
+face tractions.  Everything downstream (partitioning, EDD/RDD solvers,
+preconditioners) is dimension-agnostic and works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import DirichletBC, apply_dirichlet
+from repro.fem.material import Material
+from repro.fem.mesh import Mesh
+from repro.fem.quadrature import gauss_1d
+from repro.sparse.csr import CSRMatrix
+
+#: Reference-cube corner signs in the node ordering used throughout
+#: (counterclockwise bottom face, then top face).
+_CORNERS = np.array(
+    [
+        [-1, -1, -1],
+        [1, -1, -1],
+        [1, 1, -1],
+        [-1, 1, -1],
+        [-1, -1, 1],
+        [1, -1, 1],
+        [1, 1, 1],
+        [-1, 1, 1],
+    ],
+    dtype=np.float64,
+)
+
+
+def elasticity_matrix_3d(material: Material) -> np.ndarray:
+    """The 6x6 isotropic constitutive matrix (Voigt order
+    xx, yy, zz, xy, yz, zx)."""
+    e, nu = material.E, material.nu
+    c = e / ((1.0 + nu) * (1.0 - 2.0 * nu))
+    d = np.zeros((6, 6))
+    d[:3, :3] = c * nu
+    d[np.arange(3), np.arange(3)] = c * (1.0 - nu)
+    g = e / (2.0 * (1.0 + nu))
+    d[3, 3] = d[4, 4] = d[5, 5] = g
+    return d
+
+
+def h8_shape(xi: float, eta: float, zeta: float):
+    """Trilinear shape functions and reference gradients: ``(N(8,),
+    dN(3,8))``."""
+    s = _CORNERS
+    n = 0.125 * (1 + s[:, 0] * xi) * (1 + s[:, 1] * eta) * (1 + s[:, 2] * zeta)
+    dn = np.empty((3, 8))
+    dn[0] = 0.125 * s[:, 0] * (1 + s[:, 1] * eta) * (1 + s[:, 2] * zeta)
+    dn[1] = 0.125 * s[:, 1] * (1 + s[:, 0] * xi) * (1 + s[:, 2] * zeta)
+    dn[2] = 0.125 * s[:, 2] * (1 + s[:, 0] * xi) * (1 + s[:, 1] * eta)
+    return n, dn
+
+
+def h8_stiffness(coords: np.ndarray, material: Material, n_gauss: int = 2) -> np.ndarray:
+    """24x24 stiffness of an H8 element; DOF order interleaves (u,v,w)."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (8, 3):
+        raise ValueError("H8 element needs 8 nodes in 3-D")
+    d = elasticity_matrix_3d(material)
+    pts, wts = gauss_1d(n_gauss)
+    ke = np.zeros((24, 24))
+    for xi, wx in zip(pts, wts):
+        for eta, wy in zip(pts, wts):
+            for zeta, wz in zip(pts, wts):
+                _, dn = h8_shape(xi, eta, zeta)
+                jac = dn @ coords
+                det = np.linalg.det(jac)
+                if det <= 0:
+                    raise ValueError("degenerate or inverted H8 element")
+                grad = np.linalg.solve(jac, dn)  # 3x8 physical gradients
+                b = np.zeros((6, 24))
+                b[0, 0::3] = grad[0]
+                b[1, 1::3] = grad[1]
+                b[2, 2::3] = grad[2]
+                b[3, 0::3] = grad[1]
+                b[3, 1::3] = grad[0]
+                b[4, 1::3] = grad[2]
+                b[4, 2::3] = grad[1]
+                b[5, 0::3] = grad[2]
+                b[5, 2::3] = grad[0]
+                ke += wx * wy * wz * det * (b.T @ d @ b)
+    return ke
+
+
+def h8_mass(coords: np.ndarray, material: Material, n_gauss: int = 2) -> np.ndarray:
+    """24x24 consistent mass of an H8 element."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (8, 3):
+        raise ValueError("H8 element needs 8 nodes in 3-D")
+    pts, wts = gauss_1d(n_gauss)
+    me = np.zeros((24, 24))
+    for xi, wx in zip(pts, wts):
+        for eta, wy in zip(pts, wts):
+            for zeta, wz in zip(pts, wts):
+                n, dn = h8_shape(xi, eta, zeta)
+                det = np.linalg.det(dn @ coords)
+                nn = np.zeros((3, 24))
+                nn[0, 0::3] = n
+                nn[1, 1::3] = n
+                nn[2, 2::3] = n
+                me += wx * wy * wz * det * material.rho * (nn.T @ nn)
+    return me
+
+
+def structured_hex_mesh(
+    nx: int, ny: int, nz: int, lx: float = 1.0, ly: float = 1.0, lz: float = 1.0
+) -> Mesh:
+    """Regular grid of H8 elements on ``[0,lx] x [0,ly] x [0,lz]``.
+
+    Node numbering is x-fastest, then y, then z.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("need at least one element per direction")
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    zs = np.linspace(0.0, lz, nz + 1)
+    zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
+    coords = np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+    def nid(i, j, k):
+        return (k * (ny + 1) + j) * (nx + 1) + i
+
+    elements = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                elements.append(
+                    [
+                        nid(i, j, k),
+                        nid(i + 1, j, k),
+                        nid(i + 1, j + 1, k),
+                        nid(i, j + 1, k),
+                        nid(i, j, k + 1),
+                        nid(i + 1, j, k + 1),
+                        nid(i + 1, j + 1, k + 1),
+                        nid(i, j + 1, k + 1),
+                    ]
+                )
+    return Mesh(
+        coords,
+        np.array(elements, dtype=np.int64),
+        element_type="h8",
+        dofs_per_node=3,
+    )
+
+
+_PLANES = {
+    "x-": (0, min),
+    "x+": (0, max),
+    "y-": (1, min),
+    "y+": (1, max),
+    "z-": (2, min),
+    "z+": (2, max),
+}
+
+
+def plane_nodes(mesh: Mesh, plane: str, tol: float = 1e-12) -> np.ndarray:
+    """Nodes on a bounding-box plane, e.g. ``"x-"`` for x = min."""
+    if plane not in _PLANES:
+        raise ValueError(f"unknown plane {plane!r}; use x-/x+/y-/y+/z-/z+")
+    axis, pick = _PLANES[plane]
+    target = pick(mesh.coords[:, axis])
+    return np.flatnonzero(np.abs(mesh.coords[:, axis] - target) < tol)
+
+
+def clamp_plane_dofs(mesh: Mesh, plane: str, tol: float = 1e-12) -> DirichletBC:
+    """Clamp all DOFs of the nodes on a bounding-box plane."""
+    nodes = plane_nodes(mesh, plane, tol)
+    d = mesh.dofs_per_node
+    dofs = (nodes[:, None] * d + np.arange(d)[None, :]).ravel()
+    return DirichletBC(mesh.n_dofs, dofs)
+
+
+def face_traction_load(
+    mesh: Mesh, plane: str, traction, tol: float = 1e-12
+) -> np.ndarray:
+    """Uniform traction (force/area) on a bounding-box face.
+
+    Consistent for trilinear faces on a structured grid: each boundary
+    quad face contributes a quarter of ``traction * face_area`` to each of
+    its four nodes.
+    """
+    traction = np.asarray(traction, dtype=np.float64)
+    if traction.shape != (3,):
+        raise ValueError("3-D traction needs 3 components")
+    if plane not in _PLANES:
+        raise ValueError(f"unknown plane {plane!r}")
+    axis, pick = _PLANES[plane]
+    target = pick(mesh.coords[:, axis])
+    on_plane = np.abs(mesh.coords[:, axis] - target) < tol
+
+    # H8 faces as local node quadruples.
+    faces = {
+        "x-": [0, 3, 7, 4],
+        "x+": [1, 2, 6, 5],
+        "y-": [0, 1, 5, 4],
+        "y+": [3, 2, 6, 7],
+        "z-": [0, 1, 2, 3],
+        "z+": [4, 5, 6, 7],
+    }[plane]
+    f = np.zeros(mesh.n_dofs)
+    found = False
+    for conn in mesh.elements:
+        quad = conn[faces]
+        if not on_plane[quad].all():
+            continue
+        found = True
+        c = mesh.coords[quad]
+        # Planar quad area via the cross product of its diagonals.
+        d1 = c[2] - c[0]
+        d2 = c[3] - c[1]
+        area = 0.5 * np.linalg.norm(np.cross(d1, d2))
+        for node in quad:
+            f[node * 3 : node * 3 + 3] += 0.25 * area * traction
+    if not found:
+        raise ValueError(f"no element face lies on plane {plane!r}")
+    return f
+
+
+@dataclass
+class Beam3DProblem:
+    """A 3-D cantilever beam clamped on the x- face.
+
+    Attributes mirror :class:`repro.fem.cantilever.CantileverProblem`.
+    """
+
+    mesh: Mesh
+    bc: DirichletBC
+    stiffness: CSRMatrix
+    load: np.ndarray
+    material: Material
+    mass: CSRMatrix | None = None
+
+    @property
+    def n_eqn(self) -> int:
+        return self.bc.n_free
+
+
+def beam3d_problem(
+    nx: int = 8,
+    ny: int = 2,
+    nz: int = 2,
+    material: Material | None = None,
+    with_mass: bool = False,
+    traction=(1.0, 0.0, 0.0),
+) -> Beam3DProblem:
+    """Build a 3-D cantilever: clamped at x = 0, pulled on the x+ face."""
+    if material is None:
+        material = Material(E=100.0, nu=0.3, rho=1.0)
+    mesh = structured_hex_mesh(nx, ny, nz, lx=float(nx), ly=float(ny), lz=float(nz))
+    bc = clamp_plane_dofs(mesh, "x-")
+    f_full = face_traction_load(mesh, "x+", traction)
+    k_coo = assemble_matrix(mesh, material, "stiffness")
+    k_red, f_red = apply_dirichlet(k_coo, f_full, bc)
+    mass = None
+    if with_mass:
+        m_coo = assemble_matrix(mesh, material, "mass")
+        mass, _ = apply_dirichlet(m_coo, np.zeros(mesh.n_dofs), bc)
+    return Beam3DProblem(
+        mesh=mesh,
+        bc=bc,
+        stiffness=k_red,
+        load=f_red,
+        material=material,
+        mass=mass,
+    )

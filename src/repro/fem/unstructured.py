@@ -1,0 +1,105 @@
+"""Unstructured triangular meshes.
+
+The paper's framework targets "general parallel finite element analysis"
+on unstructured meshes (Section 5); the structured cantilever family alone
+would not exercise the graph partitioner or the irregular-interface code
+paths.  This module generates genuinely unstructured T3 meshes: Delaunay
+triangulations of jittered point grids, with optional circular holes
+(perforated plates, a classic stress-concentration workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.fem.mesh import Mesh
+
+
+def delaunay_mesh(
+    nx: int,
+    ny: int,
+    lx: float = 1.0,
+    ly: float = 1.0,
+    jitter: float = 0.25,
+    seed: int = 0,
+    holes=(),
+) -> Mesh:
+    """Unstructured T3 mesh on ``[0,lx] x [0,ly]``.
+
+    Starts from an ``(nx+1) x (ny+1)`` grid, jitters interior points by
+    ``jitter`` of the local spacing, Delaunay-triangulates, and drops
+    triangles whose centroid falls inside any of ``holes`` (a sequence of
+    ``(cx, cy, r)``).  Boundary points stay exactly on the boundary so
+    edge clamping and tractions keep working.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError("need at least a 2x2 point grid")
+    if not 0.0 <= jitter < 0.5:
+        raise ValueError("jitter must lie in [0, 0.5)")
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    xx, yy = np.meshgrid(xs, ys, indexing="xy")
+    coords = np.column_stack([xx.ravel(), yy.ravel()])
+    rng = np.random.default_rng(seed)
+    hx, hy = lx / nx, ly / ny
+    interior = (
+        (coords[:, 0] > 0)
+        & (coords[:, 0] < lx)
+        & (coords[:, 1] > 0)
+        & (coords[:, 1] < ly)
+    )
+    noise = rng.uniform(-jitter, jitter, size=(interior.sum(), 2))
+    coords[interior] += noise * np.array([hx, hy])
+
+    tri = Delaunay(coords)
+    elements = tri.simplices.astype(np.int64)
+    # Enforce counterclockwise orientation.
+    c = coords[elements]
+    area2 = (c[:, 1, 0] - c[:, 0, 0]) * (c[:, 2, 1] - c[:, 0, 1]) - (
+        c[:, 2, 0] - c[:, 0, 0]
+    ) * (c[:, 1, 1] - c[:, 0, 1])
+    flip = area2 < 0
+    elements[flip] = elements[flip][:, [0, 2, 1]]
+
+    if holes:
+        centroids = coords[elements].mean(axis=1)
+        keep = np.ones(len(elements), dtype=bool)
+        for cx, cy, r in holes:
+            inside = (centroids[:, 0] - cx) ** 2 + (
+                centroids[:, 1] - cy
+            ) ** 2 < r * r
+            keep &= ~inside
+        elements = elements[keep]
+
+    # Drop nodes no longer referenced (hole interiors) and re-index.
+    used = np.unique(elements.ravel())
+    remap = np.full(len(coords), -1, dtype=np.int64)
+    remap[used] = np.arange(len(used))
+    return Mesh(
+        coords[used], remap[elements], element_type="t3", dofs_per_node=2
+    )
+
+
+def perforated_plate(
+    nx: int = 24,
+    ny: int = 12,
+    lx: float = 2.0,
+    ly: float = 1.0,
+    hole_radius: float = 0.2,
+    seed: int = 0,
+) -> Mesh:
+    """A rectangular plate with a central circular hole — the classical
+    stress-concentration geometry, and a non-convex domain that stresses
+    the graph partitioner."""
+    if hole_radius >= min(lx, ly) / 2:
+        raise ValueError("hole does not fit inside the plate")
+    return delaunay_mesh(
+        nx,
+        ny,
+        lx=lx,
+        ly=ly,
+        jitter=0.2,
+        seed=seed,
+        holes=[(lx / 2, ly / 2, hole_radius)],
+    )

@@ -1,0 +1,10 @@
+"""Experiment-record I/O."""
+
+from repro.io.records import (
+    RunRecord,
+    load_records,
+    record_from_summary,
+    save_records,
+)
+
+__all__ = ["RunRecord", "record_from_summary", "save_records", "load_records"]

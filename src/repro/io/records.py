@@ -1,0 +1,88 @@
+"""Serializable records of solver runs.
+
+The benchmark harness and the CLI's ``--json`` mode persist runs as plain
+JSON so sweeps can be compared across sessions without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.core.driver import ParallelSolveSummary
+from repro.parallel.machine import MACHINES, modeled_time
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One solver run, flattened to JSON-friendly scalars.
+
+    Attributes
+    ----------
+    label:
+        Free-form identifier (e.g. ``"mesh3/gls(7)/p8"``).
+    method, precond:
+        Solver configuration.
+    n_parts, n_eqn:
+        Rank count and system size.
+    iterations, converged, final_residual:
+        Convergence outcome.
+    total_flops, max_flops, nbr_messages, nbr_words, reductions:
+        Recorded counters.
+    modeled_times:
+        Mapping of machine key -> modeled seconds.
+    """
+
+    label: str
+    method: str
+    precond: str
+    n_parts: int
+    n_eqn: int
+    iterations: int
+    converged: bool
+    final_residual: float
+    total_flops: int
+    max_flops: int
+    nbr_messages: int
+    nbr_words: int
+    reductions: int
+    modeled_times: dict
+
+
+def record_from_summary(
+    summary: ParallelSolveSummary, label: str, n_eqn: int
+) -> RunRecord:
+    """Flatten a :class:`ParallelSolveSummary` into a :class:`RunRecord`."""
+    st = summary.stats
+    return RunRecord(
+        label=label,
+        method=summary.method,
+        precond=summary.precond_name,
+        n_parts=summary.n_parts,
+        n_eqn=int(n_eqn),
+        iterations=summary.result.iterations,
+        converged=bool(summary.result.converged),
+        final_residual=float(summary.result.final_residual),
+        total_flops=int(st.total_flops),
+        max_flops=int(st.max_flops),
+        nbr_messages=int(st.total_nbr_messages),
+        nbr_words=int(st.total_nbr_words),
+        reductions=int(st.max_reductions),
+        modeled_times={
+            key: modeled_time(st, machine) for key, machine in MACHINES.items()
+        },
+    )
+
+
+def save_records(records, path) -> None:
+    """Write records to a JSON file."""
+    payload = [asdict(r) for r in records]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_records(path) -> list:
+    """Read records back from :func:`save_records` output."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return [RunRecord(**item) for item in payload]

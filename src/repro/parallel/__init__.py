@@ -1,0 +1,37 @@
+"""Simulated message-passing substrate.
+
+The paper ran C + MPI on an IBM SP2 and an SGI Origin.  Here the same SPMD
+algorithms execute rank-parallel inside one process: every collective the
+MPI code would issue (nearest-neighbour interface exchange, halo
+scatter/gather, allreduce) goes through :class:`VirtualComm`, which performs
+the data movement *and* charges each rank's :class:`RankStats` with the
+exact message counts, word volumes and flops.  :mod:`repro.parallel.machine`
+then converts those counters into modeled wall-clock time on calibrated
+SP2/Origin machine models, from which the speedup studies (Table 3,
+Figs. 15-17) are regenerated.
+"""
+
+from repro.parallel.stats import CommStats, RankStats
+from repro.parallel.comm import VirtualComm
+from repro.parallel.machine import (
+    IBM_SP2,
+    MACHINES,
+    SGI_ORIGIN,
+    MachineModel,
+    modeled_time,
+    speedup,
+    time_breakdown,
+)
+
+__all__ = [
+    "RankStats",
+    "CommStats",
+    "VirtualComm",
+    "MachineModel",
+    "IBM_SP2",
+    "SGI_ORIGIN",
+    "MACHINES",
+    "modeled_time",
+    "speedup",
+    "time_breakdown",
+]

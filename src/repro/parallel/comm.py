@@ -1,0 +1,131 @@
+"""The virtual communicator.
+
+``VirtualComm`` plays the role MPI plays in the paper's C implementation.
+The SPMD algorithms in :mod:`repro.core` are written exactly as the paper's
+listings — per-rank local arrays, nearest-neighbour interface assemblies
+``⊕Σ∂Ω``, halo scatter/gathers and allreduces — but all ranks live in one
+process and collectives operate on the list of per-rank arrays at once.
+This keeps execution deterministic while recording, per rank, precisely the
+traffic a real MPI run would generate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.stats import CommStats
+from repro.partition.interface import SubdomainMap
+
+
+class VirtualComm:
+    """A P-rank communicator bound to a subdomain map.
+
+    Parameters
+    ----------
+    submap:
+        The EDD :class:`SubdomainMap` (used for interface assembly); RDD
+        solvers use :meth:`halo_exchange` with explicit plans instead and
+        may pass a map with empty sharing.
+    """
+
+    def __init__(self, submap: SubdomainMap, trace: bool = False):
+        self.submap = submap
+        self.size = submap.n_parts
+        self.stats = CommStats(self.size)
+        #: When tracing, every point-to-point message is appended as a
+        #: ``(src, dst, words)`` tuple — the validation tests assert the
+        #: symmetry properties a correct MPI exchange must have.
+        self.trace = trace
+        self.message_log: list = []
+
+    # ------------------------------------------------------------------
+    # Flop accounting (kernels call these; data ops happen elsewhere)
+    # ------------------------------------------------------------------
+    def add_flops(self, rank: int, n: int) -> None:
+        """Charge ``n`` flops to ``rank``."""
+        self.stats.ranks[rank].flops += int(n)
+
+    def add_flops_all(self, per_rank) -> None:
+        """Charge each rank its own flop count from a sequence."""
+        for r, n in enumerate(per_rank):
+            self.stats.ranks[r].flops += int(n)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def interface_assemble(self, parts: list) -> list:
+        """The paper's ``⊕Σ∂Ω`` (Eq. 28): local-distributed -> global-distributed.
+
+        Every subdomain adds its neighbours' contributions on shared DOFs.
+        Implemented with a scatter-add through the global numbering (which
+        yields exactly the assembled values), while communication is charged
+        per neighbouring pair: one message of ``len(shared)`` words each way.
+        Interface-DOF additions are also charged as flops.
+        """
+        submap = self.submap
+        if len(parts) != self.size:
+            raise ValueError("one part per rank required")
+        glob = np.zeros(submap.n_global)
+        for g, p in zip(submap.l2g, parts):
+            np.add.at(glob, g, p)
+        out = [glob[g].copy() for g in submap.l2g]
+        for s in range(self.size):
+            rs = self.stats.ranks[s]
+            for t, local_idx in submap.shared[s].items():
+                rs.nbr_messages += 1
+                rs.nbr_words += len(local_idx)
+                rs.flops += len(local_idx)  # one add per received word
+                if self.trace:
+                    self.message_log.append((s, t, len(local_idx)))
+        return out
+
+    def allreduce_sum(self, values, words: int = 1):
+        """Global sum reduction across ranks.
+
+        ``values`` is a per-rank list of scalars or equal-length arrays;
+        returns the elementwise sum (same on every rank, as MPI_Allreduce
+        would).  Each rank is charged one reduction of ``words`` words.
+        """
+        if len(values) != self.size:
+            raise ValueError("one value per rank required")
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        for r in self.stats.ranks:
+            r.reductions += 1
+            r.reduction_words += int(words)
+        return total
+
+    def halo_exchange(self, x_parts: list, plan: dict) -> list:
+        """Row-partition halo scatter/gather (Eq. 48's first two steps).
+
+        ``plan[s]`` maps neighbour rank ``t`` to ``(send_local_idx,
+        recv_slots)``: rank ``s`` sends ``x_parts[s][send_local_idx]`` to
+        ``t``; the values rank ``s`` *receives* from ``t`` land in its
+        external buffer at positions ``recv_slots``.  Returns the per-rank
+        external vectors.
+        """
+        if len(x_parts) != self.size:
+            raise ValueError("one part per rank required")
+        ext_sizes = [0] * self.size
+        for s in range(self.size):
+            for t, (_, recv_slots) in plan[s].items():
+                ext_sizes[s] = max(
+                    ext_sizes[s], (int(recv_slots.max()) + 1) if len(recv_slots) else 0
+                )
+        ext = [np.zeros(n) for n in ext_sizes]
+        for s in range(self.size):
+            rs = self.stats.ranks[s]
+            for t, (send_idx, _) in plan[s].items():
+                payload = x_parts[s][send_idx]
+                _, recv_slots = plan[t][s]
+                ext[t][recv_slots] = payload
+                rs.nbr_messages += 1
+                rs.nbr_words += len(send_idx)
+                if self.trace:
+                    self.message_log.append((s, t, len(send_idx)))
+        return ext
+
+    def reset_stats(self) -> None:
+        """Zero all counters (e.g. after setup, before the timed solve)."""
+        self.stats.reset()

@@ -1,0 +1,134 @@
+"""Analytic machine models for the paper's two platforms.
+
+The paper reports wall-clock seconds on an IBM SP2 and an SGI Origin.  Our
+substrate executes the identical communication pattern in-process, so we
+reconstruct time from first principles instead: each rank's flops divide by
+a sustained flop rate, each point-to-point message costs latency plus
+words/bandwidth, and each allreduce costs a log2(P) combining tree.  The
+constants are calibrated to mid-1990s SP2 / Origin-class hardware: the SP2
+is a distributed-memory machine with high MPI latency, the Origin a
+shared-memory (ccNUMA) machine with much cheaper messaging — which is
+exactly the contrast Fig. 17(e) attributes the SP2/Origin speedup gap to.
+
+Modeled time is used for the *shape* of Table 3 and Figs. 15-17 (who wins,
+how speedup scales with size/degree/machine); absolute seconds on a Python
+substrate are meaningless and are not compared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.parallel.stats import CommStats
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A linear (postal) performance model of a message-passing machine.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    flop_rate:
+        Sustained flop/s of one processor on sparse kernels.
+    latency:
+        Point-to-point message startup cost, seconds.
+    bandwidth:
+        Point-to-point bandwidth, bytes/second.
+    reduce_latency:
+        Per-hop cost of a combining-tree reduction, seconds.
+    word_bytes:
+        Bytes per transmitted word (float64 = 8).
+    """
+
+    name: str
+    flop_rate: float
+    latency: float
+    bandwidth: float
+    reduce_latency: float
+    word_bytes: int = 8
+
+    def msg_time(self, words: int) -> float:
+        """Time of one point-to-point message carrying ``words`` words."""
+        return self.latency + words * self.word_bytes / self.bandwidth
+
+    def reduce_time(self, p: int, words: int = 1) -> float:
+        """Time of one allreduce over ``p`` ranks."""
+        if p <= 1:
+            return 0.0
+        hops = math.ceil(math.log2(p))
+        return hops * (
+            self.reduce_latency + words * self.word_bytes / self.bandwidth
+        )
+
+
+#: IBM SP2: distributed memory, high-latency MPI over the SP switch, and
+#: expensive software global reductions.
+IBM_SP2 = MachineModel(
+    name="IBM SP2",
+    flop_rate=110e6,
+    latency=35e-6,
+    bandwidth=40e6,
+    reduce_latency=60e-6,
+)
+
+#: SGI Origin: ccNUMA shared memory — nearest-neighbour exchanges are cheap
+#: cache-line traffic, while global reductions still synchronize the whole
+#: machine (hence the relatively large reduce_latency).
+SGI_ORIGIN = MachineModel(
+    name="SGI Origin",
+    flop_rate=140e6,
+    latency=3e-6,
+    bandwidth=200e6,
+    reduce_latency=30e-6,
+)
+
+MACHINES = {"sp2": IBM_SP2, "origin": SGI_ORIGIN}
+
+
+def modeled_time(stats: CommStats, machine: MachineModel) -> float:
+    """Modeled parallel wall-clock time of the run recorded in ``stats``.
+
+    Bulk-synchronous estimate: the busiest rank's compute time, plus the
+    busiest rank's serialized point-to-point traffic, plus all reductions.
+    """
+    return time_breakdown(stats, machine)["total"]
+
+
+def time_breakdown(stats: CommStats, machine: MachineModel) -> dict:
+    """Split :func:`modeled_time` into its components.
+
+    Returns ``{"compute", "p2p", "reduction", "total"}`` in seconds — the
+    cost structure behind the speedup curves (e.g. higher polynomial
+    degrees shift weight from reductions to compute + p2p).
+    """
+    p = stats.n_ranks
+    compute = max(r.flops for r in stats.ranks) / machine.flop_rate
+    p2p = max(
+        r.nbr_messages * machine.latency
+        + r.nbr_words * machine.word_bytes / machine.bandwidth
+        for r in stats.ranks
+    )
+    n_red = max(r.reductions for r in stats.ranks)
+    red_words = max(r.reduction_words for r in stats.ranks)
+    avg_words = red_words / n_red if n_red else 0.0
+    reduction = n_red * machine.reduce_time(p, max(1, round(avg_words)))
+    return {
+        "compute": compute,
+        "p2p": p2p,
+        "reduction": reduction,
+        "total": compute + p2p + reduction,
+    }
+
+
+def speedup(
+    sequential: CommStats, parallel: CommStats, machine: MachineModel
+) -> float:
+    """Modeled speedup ``T_1 / T_P`` between two recorded runs."""
+    t1 = modeled_time(sequential, machine)
+    tp = modeled_time(parallel, machine)
+    if tp <= 0:
+        raise ValueError("parallel run recorded no work")
+    return t1 / tp

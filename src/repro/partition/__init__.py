@@ -1,0 +1,39 @@
+"""Domain-decomposition substrate.
+
+Provides the two partitionings the paper compares:
+
+* **Element-based (EDD)** — every finite element is assigned to exactly one
+  subdomain; interface *nodes* are shared (Section 3).  Produces the
+  local-distributed matrices :math:`\\hat K^{(s)}` that are never assembled
+  across interfaces.
+* **Node/row-based (RDD)** — every node (hence every matrix row) is owned by
+  exactly one subdomain (Section 4); matvecs require halo exchanges of
+  external interface DOFs.
+
+Partitioners: recursive coordinate bisection (RCB) over element centroids /
+node coordinates, and greedy graph growing over the element dual graph.
+"""
+
+from repro.partition.dual_graph import element_dual_graph, node_graph
+from repro.partition.rcb import recursive_coordinate_bisection
+from repro.partition.greedy import greedy_graph_partition
+from repro.partition.spectral import spectral_bisection_partition
+from repro.partition.element_partition import ElementPartition
+from repro.partition.node_partition import NodePartition
+from repro.partition.interface import SubdomainMap, build_subdomain_map
+from repro.partition.metrics import PartitionMetrics, edge_cut, partition_metrics
+
+__all__ = [
+    "element_dual_graph",
+    "node_graph",
+    "recursive_coordinate_bisection",
+    "greedy_graph_partition",
+    "spectral_bisection_partition",
+    "ElementPartition",
+    "NodePartition",
+    "SubdomainMap",
+    "build_subdomain_map",
+    "PartitionMetrics",
+    "partition_metrics",
+    "edge_cut",
+]

@@ -1,0 +1,68 @@
+"""Mesh connectivity graphs used by the partitioners.
+
+The *element dual graph* connects elements sharing an edge (two or more
+nodes); it is what element-based partitioners balance.  The *node graph*
+connects nodes appearing in a common element; it is the adjacency graph
+:math:`G(K)` of the assembled matrix and what row-based partitioners use.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.fem.mesh import Mesh
+
+
+def element_dual_graph(mesh: Mesh, min_shared: int = 2) -> nx.Graph:
+    """Graph on elements; edge when two elements share >= ``min_shared`` nodes.
+
+    For 1-D truss chains ``min_shared`` of 2 never triggers, so it is
+    lowered to 1 automatically for 2-node elements.
+    """
+    if mesh.elements.shape[1] == 2:
+        min_shared = 1
+    node_to_elements: dict[int, list[int]] = {}
+    for e, conn in enumerate(mesh.elements):
+        for n in conn:
+            node_to_elements.setdefault(int(n), []).append(e)
+    shared: dict[tuple, int] = {}
+    for elems in node_to_elements.values():
+        for i in range(len(elems)):
+            for j in range(i + 1, len(elems)):
+                key = (elems[i], elems[j])
+                shared[key] = shared.get(key, 0) + 1
+    g = nx.Graph()
+    g.add_nodes_from(range(mesh.n_elements))
+    g.add_edges_from(pair for pair, c in shared.items() if c >= min_shared)
+    return g
+
+
+def node_graph(mesh: Mesh) -> nx.Graph:
+    """Graph on nodes; edge when two nodes share an element.
+
+    This is the adjacency structure of the assembled stiffness matrix
+    (collapsed over the per-node DOF block).
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(mesh.n_nodes))
+    npe = mesh.elements.shape[1]
+    for conn in mesh.elements:
+        for i in range(npe):
+            for j in range(i + 1, npe):
+                g.add_edge(int(conn[i]), int(conn[j]))
+    return g
+
+
+def interface_nodes(mesh: Mesh, element_parts: np.ndarray) -> np.ndarray:
+    """Nodes shared by elements of more than one subdomain."""
+    element_parts = np.asarray(element_parts)
+    n_parts_per_node = {}
+    for e, conn in enumerate(mesh.elements):
+        p = int(element_parts[e])
+        for n in conn:
+            n_parts_per_node.setdefault(int(n), set()).add(p)
+    return np.array(
+        sorted(n for n, parts in n_parts_per_node.items() if len(parts) > 1),
+        dtype=np.int64,
+    )

@@ -1,0 +1,76 @@
+"""Element-based (EDD) partition of a mesh."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+from repro.partition.dual_graph import element_dual_graph, interface_nodes
+from repro.partition.greedy import greedy_graph_partition
+from repro.partition.rcb import recursive_coordinate_bisection
+
+
+@dataclass
+class ElementPartition:
+    """Assignment of every element to exactly one subdomain.
+
+    Attributes
+    ----------
+    mesh:
+        The partitioned mesh.
+    parts:
+        ``(n_elements,)`` part index per element.
+    n_parts:
+        Number of subdomains ``P``.
+    """
+
+    mesh: Mesh
+    parts: np.ndarray
+    n_parts: int
+
+    def __post_init__(self) -> None:
+        self.parts = np.asarray(self.parts, dtype=np.int64)
+        if len(self.parts) != self.mesh.n_elements:
+            raise ValueError("one part index per element required")
+        if len(self.parts) and (
+            self.parts.min() < 0 or self.parts.max() >= self.n_parts
+        ):
+            raise ValueError("part index out of range")
+
+    @classmethod
+    def build(
+        cls, mesh: Mesh, n_parts: int, method: str = "rcb"
+    ) -> "ElementPartition":
+        """Partition with ``method`` in ``{"rcb", "greedy", "spectral"}``."""
+        if method == "rcb":
+            parts = recursive_coordinate_bisection(
+                mesh.element_centroids(), n_parts
+            )
+        elif method == "greedy":
+            parts = greedy_graph_partition(element_dual_graph(mesh), n_parts)
+        elif method == "spectral":
+            from repro.partition.spectral import spectral_bisection_partition
+
+            parts = spectral_bisection_partition(element_dual_graph(mesh), n_parts)
+        else:
+            raise ValueError(f"unknown partition method {method!r}")
+        return cls(mesh, parts, n_parts)
+
+    def subdomain_elements(self, s: int) -> np.ndarray:
+        """Element indices of subdomain ``s``."""
+        return np.flatnonzero(self.parts == s)
+
+    def sizes(self) -> np.ndarray:
+        """Elements per subdomain."""
+        return np.bincount(self.parts, minlength=self.n_parts)
+
+    def interface_nodes(self) -> np.ndarray:
+        """Nodes shared by elements of more than one subdomain."""
+        return interface_nodes(self.mesh, self.parts)
+
+    def imbalance(self) -> float:
+        """max part size over mean part size (1.0 = perfectly balanced)."""
+        sizes = self.sizes()
+        return float(sizes.max() / sizes.mean())

@@ -1,0 +1,71 @@
+"""Greedy graph-growing partitioner.
+
+A Farhat-style greedy partitioner over an adjacency graph: grow each part
+by breadth-first accretion from a seed on the current boundary until it
+reaches its size quota, then seed the next part.  Used as the graph-based
+alternative to RCB for unstructured meshes (the paper cites generic "graph
+methods" for its partitioning step).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def greedy_graph_partition(graph: nx.Graph, n_parts: int) -> np.ndarray:
+    """Partition graph vertices ``0..n-1`` into ``n_parts`` contiguous parts.
+
+    Vertices must be integers ``0..n-1``.  Each part is grown by BFS from
+    the lowest-index unassigned vertex adjacent to the previous part (or
+    the global lowest for the first).  Disconnected leftovers are swept
+    into the last part, so sizes are balanced only when the graph is
+    connected — which holds for every mesh in the paper.
+    """
+    n = graph.number_of_nodes()
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_parts > n:
+        raise ValueError("more parts than vertices")
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError("graph vertices must be 0..n-1")
+    parts = np.full(n, -1, dtype=np.int64)
+    quota = [n // n_parts + (1 if i < n % n_parts else 0) for i in range(n_parts)]
+    frontier_seed = 0
+    for p in range(n_parts):
+        seed = _pick_seed(graph, parts, frontier_seed)
+        if seed is None:
+            break
+        size = 0
+        queue = [seed]
+        seen = {seed}
+        while queue and size < quota[p]:
+            v = queue.pop(0)
+            if parts[v] != -1:
+                continue
+            parts[v] = p
+            size += 1
+            for w in sorted(graph.neighbors(v)):
+                if parts[w] == -1 and w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        frontier_seed = seed
+    # Disconnected leftovers (cannot happen on mesh graphs, but stay safe).
+    parts[parts == -1] = n_parts - 1
+    return parts
+
+
+def _pick_seed(graph, parts, previous_seed):
+    unassigned = np.flatnonzero(parts == -1)
+    if len(unassigned) == 0:
+        return None
+    # Prefer an unassigned vertex adjacent to an assigned one (keeps parts
+    # adjacent, shortening interfaces); fall back to lowest index.
+    boundary = [
+        int(v)
+        for v in unassigned
+        if any(parts[w] != -1 for w in graph.neighbors(int(v)))
+    ]
+    if boundary:
+        return min(boundary)
+    return int(unassigned[0])

@@ -1,0 +1,133 @@
+"""Subdomain DOF maps and interface exchange plans for EDD.
+
+``SubdomainMap`` realises the Boolean gather/scatter operators
+:math:`B_s` of Eq. 26 on the *reduced* (free-DOF) system: ``l2g[s]`` lists
+the global free DOFs of subdomain ``s`` so that :math:`\\hat u^{(s)} = B_s u
+= u[\\mathrm{l2g}[s]]`.  The interface-assembly operation
+:math:`\\oplus\\sum_{\\partial\\Omega_s}` (Eq. 28) needs, per neighbouring
+pair, the DOFs they share — precomputed here as the *exchange plan* that
+the virtual communicator charges messages against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.assembly import element_dof_map
+from repro.fem.bc import DirichletBC
+from repro.fem.mesh import Mesh
+from repro.partition.element_partition import ElementPartition
+
+
+@dataclass
+class SubdomainMap:
+    """DOF ownership/sharing structure of an element-based decomposition.
+
+    Attributes
+    ----------
+    n_global:
+        Number of global free DOFs (``nEqn``).
+    n_parts:
+        Number of subdomains.
+    l2g:
+        Per subdomain, the sorted global free-DOF indices it touches.
+    multiplicity:
+        Per global free DOF, the number of subdomains sharing it (1 for
+        interior DOFs, >= 2 on the interface).
+    shared:
+        ``shared[s][t]`` is the array of *local* indices (positions in
+        ``l2g[s]``) of DOFs also present in subdomain ``t``; defined for
+        neighbouring pairs only.
+    """
+
+    n_global: int
+    n_parts: int
+    l2g: list
+    multiplicity: np.ndarray
+    shared: list
+
+    @property
+    def local_sizes(self) -> np.ndarray:
+        """Local DOF count per subdomain."""
+        return np.array([len(g) for g in self.l2g])
+
+    def neighbors(self, s: int) -> list:
+        """Subdomain indices sharing at least one DOF with ``s``."""
+        return sorted(self.shared[s].keys())
+
+    def interface_dofs(self) -> np.ndarray:
+        """Global free DOFs with multiplicity >= 2."""
+        return np.flatnonzero(self.multiplicity >= 2)
+
+    def exchange_words(self, s: int) -> int:
+        """Total words subdomain ``s`` sends in one interface assembly."""
+        return int(sum(len(v) for v in self.shared[s].values()))
+
+    def restrict(self, x: np.ndarray) -> list:
+        """Global vector -> global-distributed parts (Definition 2)."""
+        if x.shape != (self.n_global,):
+            raise ValueError("global vector has wrong length")
+        return [x[g] for g in self.l2g]
+
+    def assemble(self, parts: list) -> np.ndarray:
+        """Local-distributed parts -> true global vector,
+        :math:`u = \\sum_s B_s^T \\tilde u^{(s)}` (Eq. 26)."""
+        out = np.zeros(self.n_global)
+        for g, p in zip(self.l2g, parts):
+            np.add.at(out, g, p)
+        return out
+
+
+def build_subdomain_map(
+    mesh: Mesh, partition: ElementPartition, bc: DirichletBC
+) -> SubdomainMap:
+    """Build the :class:`SubdomainMap` of a partition on the reduced system."""
+    full_to_free = bc.full_to_free()
+    dof_map = element_dof_map(mesh)
+    p = partition.n_parts
+    l2g = []
+    for s in range(p):
+        elems = partition.subdomain_elements(s)
+        dofs = np.unique(dof_map[elems].ravel())
+        free = full_to_free[dofs]
+        l2g.append(np.sort(free[free >= 0]))
+
+    multiplicity = np.zeros(bc.n_free, dtype=np.int64)
+    for g in l2g:
+        multiplicity[g] += 1
+    if np.any(multiplicity == 0):
+        raise ValueError("partition leaves some free DOFs uncovered")
+
+    # Global -> local position lookup per subdomain, then pairwise overlaps.
+    g2l = []
+    for g in l2g:
+        lut = np.full(bc.n_free, -1, dtype=np.int64)
+        lut[g] = np.arange(len(g))
+        g2l.append(lut)
+
+    shared: list = [dict() for _ in range(p)]
+    iface = np.flatnonzero(multiplicity >= 2)
+    owners: dict = {int(d): [] for d in iface}
+    for s in range(p):
+        hit = l2g[s][multiplicity[l2g[s]] >= 2]
+        for d in hit:
+            owners[int(d)].append(s)
+    pair_dofs: dict = {}
+    for d, subs in owners.items():
+        for i in range(len(subs)):
+            for j in range(len(subs)):
+                if i != j:
+                    pair_dofs.setdefault((subs[i], subs[j]), []).append(d)
+    for (s, t), dofs in pair_dofs.items():
+        dofs = np.array(sorted(dofs), dtype=np.int64)
+        shared[s][t] = g2l[s][dofs]
+
+    return SubdomainMap(
+        n_global=bc.n_free,
+        n_parts=p,
+        l2g=l2g,
+        multiplicity=multiplicity,
+        shared=shared,
+    )

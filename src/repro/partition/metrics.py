@@ -1,0 +1,68 @@
+"""Partition quality metrics.
+
+The communication volume of the distributed solvers is governed by the
+partition: the number of shared/halo DOFs (words per exchange), the number
+of neighbouring pairs (messages per exchange) and the load balance.  These
+metrics quantify what the partitioner ablation bench compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.interface import SubdomainMap
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Summary statistics of a subdomain map.
+
+    Attributes
+    ----------
+    n_parts:
+        Subdomain count.
+    imbalance:
+        max over mean local DOF count (1.0 = perfect).
+    interface_fraction:
+        Fraction of global DOFs with multiplicity >= 2.
+    total_shared_words:
+        Sum over ranks of words sent in one interface assembly.
+    max_neighbors:
+        Largest neighbour count of any rank.
+    avg_neighbors:
+        Mean neighbour count.
+    """
+
+    n_parts: int
+    imbalance: float
+    interface_fraction: float
+    total_shared_words: int
+    max_neighbors: int
+    avg_neighbors: float
+
+
+def partition_metrics(submap: SubdomainMap) -> PartitionMetrics:
+    """Compute :class:`PartitionMetrics` for a subdomain map."""
+    sizes = submap.local_sizes.astype(float)
+    neighbor_counts = [len(submap.shared[s]) for s in range(submap.n_parts)]
+    return PartitionMetrics(
+        n_parts=submap.n_parts,
+        imbalance=float(sizes.max() / sizes.mean()),
+        interface_fraction=float(
+            np.count_nonzero(submap.multiplicity >= 2) / submap.n_global
+        ),
+        total_shared_words=int(
+            sum(submap.exchange_words(s) for s in range(submap.n_parts))
+        ),
+        max_neighbors=max(neighbor_counts) if neighbor_counts else 0,
+        avg_neighbors=float(np.mean(neighbor_counts)) if neighbor_counts else 0.0,
+    )
+
+
+def edge_cut(parts: np.ndarray, graph) -> int:
+    """Number of graph edges crossing between parts (classic partition
+    quality measure; ``graph`` is a networkx graph on ``0..n-1``)."""
+    parts = np.asarray(parts)
+    return sum(1 for u, v in graph.edges if parts[u] != parts[v])

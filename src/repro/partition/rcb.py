@@ -1,0 +1,51 @@
+"""Recursive coordinate bisection (RCB).
+
+The workhorse partitioner for the structured cantilever meshes: split the
+point set (element centroids for EDD, node coordinates for RDD) along its
+longest extent into balanced halves, recursing until the requested number
+of parts is reached.  Non-power-of-two part counts are supported by
+splitting proportionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def recursive_coordinate_bisection(points: np.ndarray, n_parts: int) -> np.ndarray:
+    """Partition ``points`` (shape ``(n, d)``) into ``n_parts`` balanced parts.
+
+    Returns an integer array mapping each point to a part in
+    ``0..n_parts-1``.  Part sizes differ by at most one point per recursion
+    level.  Ties along the split axis are broken by index order, keeping the
+    result deterministic.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = len(points)
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_parts > n:
+        raise ValueError("more parts than points")
+    parts = np.zeros(n, dtype=np.int64)
+    _bisect(points, np.arange(n), 0, n_parts, parts)
+    return parts
+
+
+def _bisect(points, idx, first_part, n_parts, out) -> None:
+    if n_parts == 1:
+        out[idx] = first_part
+        return
+    left_parts = n_parts // 2
+    # Proportional split so odd part counts stay balanced.
+    n_left = int(round(len(idx) * left_parts / n_parts))
+    n_left = min(max(n_left, left_parts), len(idx) - (n_parts - left_parts))
+    sub = points[idx]
+    extents = sub.max(axis=0) - sub.min(axis=0)
+    axis = int(np.argmax(extents))
+    order = np.lexsort((idx, sub[:, axis]))
+    left = idx[order[:n_left]]
+    right = idx[order[n_left:]]
+    _bisect(points, left, first_part, left_parts, out)
+    _bisect(points, right, first_part + left_parts, n_parts - left_parts, out)

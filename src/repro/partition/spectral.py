@@ -1,0 +1,59 @@
+"""Recursive spectral bisection.
+
+The third partitioner family the paper's "specific graph methods"
+reference covers: split by the sign structure of the Fiedler vector (the
+eigenvector of the graph Laplacian's second-smallest eigenvalue), recurse.
+Produces high-quality cuts on irregular graphs at higher cost than RCB or
+greedy growing; the partitioner ablation compares all three.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def spectral_bisection_partition(graph: nx.Graph, n_parts: int) -> np.ndarray:
+    """Partition graph vertices ``0..n-1`` into ``n_parts`` parts by
+    recursive Fiedler-vector bisection (median split keeps sizes balanced).
+
+    ``n_parts`` need not be a power of two: splits are sized
+    proportionally, like the RCB implementation.
+    """
+    n = graph.number_of_nodes()
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_parts > n:
+        raise ValueError("more parts than vertices")
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError("graph vertices must be 0..n-1")
+    parts = np.zeros(n, dtype=np.int64)
+    _bisect(graph, np.arange(n), 0, n_parts, parts)
+    return parts
+
+
+def _fiedler_order(graph: nx.Graph, vertices: np.ndarray) -> np.ndarray:
+    """Vertices sorted by their Fiedler-vector value (ties by index)."""
+    sub = graph.subgraph(vertices.tolist())
+    if sub.number_of_edges() == 0 or not nx.is_connected(sub):
+        # Disconnected piece: fall back to index order (deterministic).
+        return np.sort(vertices)
+    fiedler = nx.fiedler_vector(sub, seed=0, method="tracemin_lu")
+    nodes = np.fromiter(sub.nodes, dtype=np.int64)
+    values = np.asarray(fiedler)
+    order = np.lexsort((nodes, values))
+    return nodes[order]
+
+
+def _bisect(graph, vertices, first_part, n_parts, out) -> None:
+    if n_parts == 1:
+        out[vertices] = first_part
+        return
+    left_parts = n_parts // 2
+    n_left = int(round(len(vertices) * left_parts / n_parts))
+    n_left = min(max(n_left, left_parts), len(vertices) - (n_parts - left_parts))
+    ordered = _fiedler_order(graph, vertices)
+    _bisect(graph, ordered[:n_left], first_part, left_parts, out)
+    _bisect(
+        graph, ordered[n_left:], first_part + left_parts, n_parts - left_parts, out
+    )

@@ -1,0 +1,96 @@
+"""Preconditioner interfaces."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class SingularPreconditionerError(RuntimeError):
+    """Raised when a preconditioner construction hits a (numerically)
+    singular pivot — the failure mode local ILU(k) exhibits on floating
+    subdomains (Section 3.2.3, Eq. 45)."""
+
+
+class Preconditioner(abc.ABC):
+    """Left preconditioner ``C ≈ A^{-1}`` applied as ``z = C v``."""
+
+    @abc.abstractmethod
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Return ``z = C v``."""
+
+    @property
+    def name(self) -> str:
+        """Short display name, e.g. ``GLS(7)``."""
+        return type(self).__name__
+
+    def as_operator(self):
+        """The preconditioner as a plain callable ``v -> C v``."""
+        return self.apply
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No preconditioning: ``z = v``."""
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Return a copy of ``v`` (the identity map)."""
+        return np.array(v, dtype=np.float64, copy=True)
+
+    @property
+    def name(self) -> str:
+        return "I"
+
+
+class PolynomialPreconditioner(Preconditioner):
+    """Base for preconditioners of the form ``z = P_m(A) v``.
+
+    Subclasses implement :meth:`apply_linear`, which performs the ``m``
+    matvec recurrence against an *abstract* matvec callable; ``apply``
+    simply binds it to the construction-time matrix.  The distributed
+    solvers feed a communicating matvec into ``apply_linear`` and the same
+    recurrence becomes Algorithm 7.
+    """
+
+    def __init__(self, degree: int, matvec=None):
+        if degree < 0:
+            raise ValueError("polynomial degree must be >= 0")
+        self.degree = int(degree)
+        self._matvec = matvec
+
+    @abc.abstractmethod
+    def apply_linear(self, matvec, v):
+        """Compute ``P_m(A) v`` with ``A`` given only through ``matvec``.
+
+        ``v`` may be any object supporting numpy-style arithmetic
+        (``+``, ``-``, scalar ``*``, ``copy()``), allowing distributed
+        vector types.
+        """
+
+    @abc.abstractmethod
+    def power_coefficients(self) -> np.ndarray:
+        """Coefficients ``a_0..a_m`` of ``P_m`` in the power basis;
+        consumed by the Eq. 24 stability bound."""
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Apply ``P_m(A) v`` through the construction-time bound matvec."""
+        if self._matvec is None:
+            raise RuntimeError(
+                "preconditioner was built without a bound matrix; "
+                "use apply_linear(matvec, v)"
+            )
+        return self.apply_linear(self._matvec, np.asarray(v, dtype=np.float64))
+
+    def evaluate(self, lam) -> np.ndarray:
+        """Evaluate the scalar polynomial ``P_m`` on an array of points
+        (runs the same recurrence as ``apply_linear`` with scalar
+        multiplication as the 'matvec')."""
+        lam = np.asarray(lam, dtype=np.float64)
+        return self.apply_linear(lambda x: lam * x, np.ones_like(lam))
+
+    def residual(self, lam) -> np.ndarray:
+        """The residual polynomial ``1 - lambda * P_m(lambda)`` whose
+        smallness over :math:`\\Theta` is the preconditioner's quality
+        measure (Eq. 7; Figs. 1-2)."""
+        lam = np.asarray(lam, dtype=np.float64)
+        return 1.0 - lam * self.evaluate(lam)

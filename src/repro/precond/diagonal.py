@@ -1,0 +1,30 @@
+"""Jacobi (diagonal) preconditioner — the cheap baseline the paper says is
+"not effective enough" for large complex problems (Section 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import Preconditioner, SingularPreconditionerError
+from repro.sparse.csr import CSRMatrix
+
+
+class JacobiPreconditioner(Preconditioner):
+    """``z = D^{-1} v`` with ``D`` the matrix diagonal."""
+
+    def __init__(self, a: CSRMatrix):
+        diag = a.diagonal()
+        if np.any(diag == 0.0):
+            raise SingularPreconditionerError("zero diagonal entry")
+        self._inv_diag = 1.0 / diag
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Return ``D^{-1} v``."""
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != self._inv_diag.shape:
+            raise ValueError("vector length mismatch")
+        return self._inv_diag * v
+
+    @property
+    def name(self) -> str:
+        return "Jacobi"

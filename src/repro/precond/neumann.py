@@ -1,0 +1,79 @@
+"""Neumann-series polynomial preconditioner (Section 2.1.2, Algorithm 7).
+
+With :math:`G = I - \\omega A` and :math:`\\rho(G) < 1`,
+
+.. math:: P_m(A) = \\omega (I + G + G^2 + \\dots + G^m) \\approx A^{-1}.
+
+Application is the truncated geometric series: ``m`` matvecs, nothing else
+— the simplest polynomial preconditioner and the paper's "Neum(m)"
+baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import PolynomialPreconditioner
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+class NeumannPolynomial(PolynomialPreconditioner):
+    """Degree-``m`` Neumann series preconditioner.
+
+    Parameters
+    ----------
+    degree:
+        The series order ``m`` (``m`` matvecs per application).
+    omega:
+        Damping factor; must satisfy :math:`\\rho(I - \\omega A) < 1`.
+        For a spectrum in ``(0, h)`` any ``0 < omega < 2/h`` works;
+        ``omega = 1`` is the natural choice after norm-1 scaling.
+    matvec:
+        Optional bound matvec for :meth:`apply`.
+    """
+
+    def __init__(self, degree: int, omega: float = 1.0, matvec=None):
+        super().__init__(degree, matvec)
+        if omega <= 0:
+            raise ValueError("omega must be positive")
+        self.omega = float(omega)
+
+    @classmethod
+    def for_interval(
+        cls, theta: SpectrumIntervals, degree: int, matvec=None
+    ) -> "NeumannPolynomial":
+        """Choose ``omega = 2 / (lo + hi)``, which minimizes
+        :math:`\\rho(I-\\omega A)` over a single positive interval."""
+        if theta.n_intervals != 1 or theta.lo <= 0:
+            raise ValueError(
+                "Neumann series requires a single positive interval"
+            )
+        return cls(degree, omega=2.0 / (theta.lo + theta.hi), matvec=matvec)
+
+    def apply_linear(self, matvec, v):
+        """Algorithm 7: ``z = omega * sum_{i=0..m} G^i v`` via the
+        recurrence ``s <- s - omega A s`` (one matvec per term)."""
+        s = v.copy()
+        z = v.copy()
+        for _ in range(self.degree):
+            s = s - self.omega * matvec(s)
+            z = z + s
+        return self.omega * z
+
+    def power_coefficients(self) -> np.ndarray:
+        """Coefficients of :math:`\\omega\\sum_{i\\le m} (1-\\omega\\lambda)^i`
+        in the power basis."""
+        poly = np.polynomial.Polynomial([0.0])
+        g = np.polynomial.Polynomial([1.0, -self.omega])
+        term = np.polynomial.Polynomial([1.0])
+        for _ in range(self.degree + 1):
+            poly = poly + term
+            term = term * g
+        coef = self.omega * poly.coef
+        out = np.zeros(self.degree + 1)
+        out[: len(coef)] = coef
+        return out
+
+    @property
+    def name(self) -> str:
+        return f"Neum({self.degree})"

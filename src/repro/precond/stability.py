@@ -1,0 +1,37 @@
+"""Floating-point stability of polynomial filtering (Section 2.2, Eq. 24).
+
+The rounding error of ``z = P_m(A) v`` is bounded by
+
+.. math:: \\|z_{fl} - z\\|_2 \\le m\\,\\varepsilon \\sum_{i=0}^m |a_i|,
+
+with :math:`a_i` the power-basis coefficients of :math:`P_m`.  The bound
+grows explosively with the degree for least-squares polynomials (Fig. 3),
+which is why the paper restricts practical degrees to below ~10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import PolynomialPreconditioner
+
+
+def coefficient_error_bound(
+    precond: PolynomialPreconditioner, eps: float = np.finfo(np.float64).eps
+) -> float:
+    """Eq. 24's bound :math:`m\\varepsilon\\sum|a_i|` for one preconditioner."""
+    coef = precond.power_coefficients()
+    return float(precond.degree * eps * np.sum(np.abs(coef)))
+
+
+def stability_curve(
+    factory, degrees, eps: float = np.finfo(np.float64).eps
+) -> np.ndarray:
+    """Evaluate the Eq. 24 bound over a sweep of polynomial degrees.
+
+    ``factory(m)`` must build the degree-``m`` preconditioner; returns the
+    array of bounds (the Fig. 3 curve).
+    """
+    return np.array(
+        [coefficient_error_bound(factory(int(m)), eps) for m in degrees]
+    )

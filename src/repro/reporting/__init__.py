@@ -1,0 +1,13 @@
+"""Result formatting for the experiment harness."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.convergence import convergence_table, iterations_to_tol
+from repro.reporting.ascii_plot import convergence_plot, semilogy_plot
+
+__all__ = [
+    "format_table",
+    "convergence_table",
+    "iterations_to_tol",
+    "convergence_plot",
+    "semilogy_plot",
+]

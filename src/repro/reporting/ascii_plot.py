@@ -1,0 +1,79 @@
+"""Text-mode semilog convergence plots.
+
+The paper's Figs. 11-14 are semilog residual-vs-iteration plots; the
+examples and CLI render the same curves directly in the terminal so no
+plotting stack is needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def semilogy_plot(
+    series: dict,
+    width: int = 64,
+    height: int = 18,
+    ylabel: str = "rel. residual",
+    xlabel: str = "iteration",
+) -> str:
+    """Render named positive-valued sequences on a shared semilog-y canvas.
+
+    ``series`` maps display names to sequences of positive floats (zeros
+    and negatives are clamped to the smallest positive value plotted).
+    Each series gets a distinct marker; a legend line follows the canvas.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    if len(series) > len(markers):
+        raise ValueError(f"at most {len(markers)} series supported")
+
+    all_vals = [v for vals in series.values() for v in vals if v > 0]
+    if not all_vals:
+        raise ValueError("series contain no positive values")
+    lo = math.floor(math.log10(min(all_vals)))
+    hi = math.ceil(math.log10(max(all_vals)))
+    if hi == lo:
+        hi = lo + 1
+    max_len = max(len(v) for v in series.values())
+    if max_len < 2:
+        raise ValueError("series need at least 2 points")
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, vals), marker in zip(series.items(), markers):
+        for i, v in enumerate(vals):
+            x = round(i * (width - 1) / (max_len - 1))
+            v = max(v, 10.0**lo)
+            frac = (math.log10(v) - lo) / (hi - lo)
+            y = height - 1 - round(frac * (height - 1))
+            y = min(max(y, 0), height - 1)
+            grid[y][x] = marker
+
+    lines = []
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        exponent = lo + frac * (hi - lo)
+        label = f"1e{exponent:+.0f}" if row_idx in (0, height - 1) else ""
+        if row_idx == (height - 1) // 2:
+            label = ylabel[: 6].rjust(6)
+        lines.append(f"{label:>8} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"0{' ' * (width - len(str(max_len - 1)) - 1)}{max_len - 1}  ({xlabel})"
+    )
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def convergence_plot(results: dict, **kwargs) -> str:
+    """Plot :class:`~repro.solvers.result.SolveResult` histories by name."""
+    series = {
+        name: [v for v in res.residual_history]
+        for name, res in results.items()
+    }
+    return semilogy_plot(series, **kwargs)

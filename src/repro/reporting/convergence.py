@@ -1,0 +1,35 @@
+"""Convergence-history utilities for the Figs. 11-14 style comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting.tables import format_table
+from repro.solvers.result import SolveResult
+
+
+def iterations_to_tol(result: SolveResult, tol: float) -> int | None:
+    """First iteration index at which the relative residual dips below
+    ``tol`` (None if never)."""
+    hist = np.asarray(result.residual_history)
+    below = np.flatnonzero(hist <= tol)
+    return int(below[0]) if len(below) else None
+
+
+def convergence_table(results: dict, tols=(1e-2, 1e-4, 1e-6)) -> str:
+    """Tabulate iterations-to-tolerance for named solver results.
+
+    ``results`` maps display names (e.g. ``"GLS(7)"``) to
+    :class:`SolveResult`; the output is the textual equivalent of the
+    paper's convergence plots.
+    """
+    headers = ["preconditioner"] + [f"it@{t:g}" for t in tols] + ["converged"]
+    rows = []
+    for name, res in results.items():
+        cells = [name]
+        for t in tols:
+            it = iterations_to_tol(res, t)
+            cells.append("-" if it is None else it)
+        cells.append("yes" if res.converged else "NO")
+        rows.append(cells)
+    return format_table(headers, rows)

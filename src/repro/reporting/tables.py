@@ -1,0 +1,29 @@
+"""Plain-text table formatting (the benches print paper-style tables)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    ``rows`` is an iterable of sequences; every cell is converted with
+    ``str`` (pre-format floats yourself).
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header count")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Sequential Krylov solvers.
+
+:func:`fgmres` is the paper's Algorithm 1 — flexible GMRES with restart,
+where the preconditioner may change between iterations (which is what
+allows polynomial preconditioners to be applied as an inner iteration).
+Plain left-preconditioned :func:`gmres` and preconditioned :func:`cg` are
+included as baselines, plus the Givens-rotation least-squares machinery
+shared by the distributed implementations in :mod:`repro.core`.
+"""
+
+from repro.solvers.result import SolveResult
+from repro.solvers.givens import GivensLSQ
+from repro.solvers.fgmres import fgmres
+from repro.solvers.gmres import gmres
+from repro.solvers.cg import cg
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.adaptive import adaptive_fgmres
+from repro.solvers.minres import minres
+
+__all__ = ["SolveResult", "GivensLSQ", "fgmres", "gmres", "cg", "bicgstab", "adaptive_fgmres", "minres"]

@@ -1,0 +1,94 @@
+"""Incremental Givens-rotation least squares for the Arnoldi Hessenberg
+system.
+
+GMRES-family solvers need, at every step ``j``, the solution of
+
+.. math:: y_j = \\arg\\min_y \\|\\beta e_1 - \\bar H_j y\\|_2
+
+(Algorithm 1, step 13).  Applying one Givens rotation per step keeps the
+Hessenberg matrix upper triangular, makes the current residual norm
+available for free as ``|g[j+1]|`` — the quantity the convergence histories
+plot — and needs only scalar work that is identical on every rank of a
+distributed run (so it adds no communication).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GivensLSQ:
+    """Progressive solution of the Arnoldi least-squares problem.
+
+    Parameters
+    ----------
+    max_dim:
+        Maximum Krylov dimension (the restart length).
+    beta:
+        Initial residual norm (right-hand side ``beta * e_1``).
+    """
+
+    def __init__(self, max_dim: int, beta: float):
+        self.max_dim = int(max_dim)
+        self.r = np.zeros((self.max_dim + 1, self.max_dim))
+        self.g = np.zeros(self.max_dim + 1)
+        self.g[0] = float(beta)
+        self.cos = np.zeros(self.max_dim)
+        self.sin = np.zeros(self.max_dim)
+        self.size = 0
+
+    def append_column(self, h: np.ndarray) -> float:
+        """Insert Hessenberg column ``h[0..j+1]`` for step ``j = size``.
+
+        Applies the previous rotations to the new column, generates the
+        rotation annihilating ``h[j+1]``, and returns the updated residual
+        norm ``|g[j+1]|``.
+        """
+        j = self.size
+        if j >= self.max_dim:
+            raise RuntimeError("least-squares system is full; restart needed")
+        h = np.asarray(h, dtype=np.float64)
+        if h.shape != (j + 2,):
+            raise ValueError(f"expected column of length {j + 2}")
+        col = h.copy()
+        for i in range(j):
+            c, s = self.cos[i], self.sin[i]
+            temp = c * col[i] + s * col[i + 1]
+            col[i + 1] = -s * col[i] + c * col[i + 1]
+            col[i] = temp
+        denom = np.hypot(col[j], col[j + 1])
+        if denom == 0.0:
+            c, s = 1.0, 0.0
+        else:
+            c, s = col[j] / denom, col[j + 1] / denom
+        self.cos[j], self.sin[j] = c, s
+        self.r[: j + 1, j] = col[: j + 1]
+        self.r[j, j] = denom
+        self.g[j + 1] = -s * self.g[j]
+        self.g[j] = c * self.g[j]
+        self.size = j + 1
+        return abs(float(self.g[j + 1]))
+
+    @property
+    def residual_norm(self) -> float:
+        """Current least-squares residual, equal to ``||b - A x_j||_2`` of
+        the outer iteration (in exact arithmetic)."""
+        return abs(float(self.g[self.size]))
+
+    def solve(self) -> np.ndarray:
+        """Back-substitute for the coefficient vector ``y`` of the current
+        dimension."""
+        k = self.size
+        if k == 0:
+            return np.zeros(0)
+        y = np.zeros(k)
+        for i in range(k - 1, -1, -1):
+            s = self.g[i] - self.r[i, i + 1 : k] @ y[i + 1 : k]
+            rii = self.r[i, i]
+            if rii == 0.0:
+                raise np.linalg.LinAlgError(
+                    "singular Hessenberg system (lucky breakdown should have "
+                    "been handled by the caller)"
+                )
+            y[i] = s / rii
+        return y

@@ -1,0 +1,83 @@
+"""Standard restarted GMRES with fixed left preconditioning.
+
+Solves ``C A x = C b``: the preconditioner must stay constant across the
+cycle (updates are built from the basis ``V``, Eq. 3), in contrast to
+:func:`repro.solvers.fgmres`.  Kept as the reference point FGMRES is
+validated against — with a fixed preconditioner both must converge to the
+same solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.givens import GivensLSQ
+from repro.solvers.result import SolveResult
+
+
+def gmres(
+    matvec,
+    b: np.ndarray,
+    precond=None,
+    x0: np.ndarray | None = None,
+    restart: int = 25,
+    tol: float = 1e-6,
+    max_iter: int = 10_000,
+    breakdown_tol: float = 1e-14,
+) -> SolveResult:
+    """Left-preconditioned restarted GMRES; same signature as ``fgmres``.
+
+    Note the residual history tracks the *preconditioned* residual
+    ``||C r||`` (that is what the least-squares process minimizes under
+    left preconditioning).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if not np.all(np.isfinite(b)):
+        raise ValueError("right-hand side contains NaN or Inf")
+    n = len(b)
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    if precond is None:
+        precond = lambda v: v.copy()  # noqa: E731 - trivial identity
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+
+    r0 = precond(b - matvec(x))
+    norm_r0 = float(np.linalg.norm(r0))
+    history = [1.0]
+    if norm_r0 == 0.0:
+        return SolveResult(x, True, 0, 0, history)
+
+    total_iters = 0
+    restarts = 0
+    converged = False
+    r = r0
+    beta = norm_r0
+    while not converged and total_iters < max_iter:
+        restarts += 1
+        v = np.zeros((restart + 1, n))
+        v[0] = r / beta
+        lsq = GivensLSQ(restart, beta)
+        j = 0
+        while j < restart and total_iters < max_iter:
+            w = precond(matvec(v[j]))
+            h = np.empty(j + 2)
+            h[: j + 1] = v[: j + 1] @ w
+            w = w - h[: j + 1] @ v[: j + 1]
+            h[j + 1] = np.linalg.norm(w)
+            res = lsq.append_column(h)
+            total_iters += 1
+            history.append(res / norm_r0)
+            if res / norm_r0 <= tol or h[j + 1] <= breakdown_tol:
+                converged = True
+                j += 1
+                break
+            v[j + 1] = w / h[j + 1]
+            j += 1
+        y = lsq.solve()
+        if len(y):
+            x = x + y @ v[: len(y)]
+        r = precond(b - matvec(x))
+        beta = float(np.linalg.norm(r))
+        if beta / norm_r0 <= tol:
+            converged = True
+    return SolveResult(x, converged, total_iters, restarts, history)

@@ -1,0 +1,50 @@
+"""Solver result container shared by all Krylov implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution.
+    converged:
+        Whether the relative-residual tolerance was met.
+    iterations:
+        Total inner iterations across all restart cycles (the paper's
+        reported iteration counts).
+    restarts:
+        Number of restart cycles started.
+    residual_history:
+        Relative residual ``||r_i|| / ||r_0||`` after every inner
+        iteration, starting with 1.0 at iteration 0 — the convergence
+        curves of Figs. 11-14.
+    final_residual:
+        Last entry of the history.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    restarts: int
+    residual_history: list = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        if not self.residual_history:
+            return float("nan")
+        return float(self.residual_history[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult(converged={self.converged}, "
+            f"iterations={self.iterations}, restarts={self.restarts}, "
+            f"final_residual={self.final_residual:.3e})"
+        )

@@ -1,0 +1,29 @@
+"""Sparse-matrix substrate.
+
+A small, NumPy-vectorized sparse-matrix kernel library built from scratch
+(the paper's solver never calls a general-purpose sparse library: each
+subdomain needs exactly matvec, row 1-norms, diagonal extraction, symmetric
+diagonal scaling and — for the ILU(0) comparison — an in-pattern
+factorization with triangular solves).
+
+``COOMatrix`` is the assembly-friendly triplet format produced by the FEM
+layer; ``CSRMatrix`` is the compute format used by every solver kernel.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.ops import (
+    matvec_flops,
+    row_norms1,
+    scale_symmetric,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "BSRMatrix",
+    "matvec_flops",
+    "row_norms1",
+    "scale_symmetric",
+]

@@ -1,0 +1,152 @@
+"""Block sparse row (BSR) matrices for FEM systems.
+
+Plane-elasticity matrices have a natural 2x2 (3-D: 3x3) block structure —
+one block per coupled node pair.  Storing them block-wise keeps the index
+arrays ``b^2`` times smaller, which is the classic memory-traffic
+optimization production FEM solvers apply to exactly the matrices this
+package builds.
+
+A measured caveat, recorded by ``benchmarks/test_kernel_microbench.py``:
+in *pure NumPy* the scalar CSR ``reduceat`` matvec stays faster than the
+batched block kernel (tiny-block batched products do not amortize NumPy's
+per-op overhead), so the solvers keep CSR; BSR is provided as the
+compressed interchange format and for the index-compression accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+class BSRMatrix:
+    """Square block-CSR matrix with uniform ``b x b`` blocks.
+
+    Parameters
+    ----------
+    n_block_rows:
+        Number of block rows (matrix dimension is ``n_block_rows * b``).
+    indptr, indices:
+        Block-row pointers and block-column indices (CSR layout over
+        blocks).
+    blocks:
+        Array of shape ``(n_blocks, b, b)`` aligned with ``indices``.
+    """
+
+    def __init__(self, n_block_rows, indptr, indices, blocks):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.blocks = np.ascontiguousarray(blocks, dtype=np.float64)
+        if self.blocks.ndim != 3 or self.blocks.shape[1] != self.blocks.shape[2]:
+            raise ValueError("blocks must have shape (n_blocks, b, b)")
+        self.n_block_rows = int(n_block_rows)
+        self.b = int(self.blocks.shape[1])
+        if len(self.indptr) != self.n_block_rows + 1:
+            raise ValueError("indptr must have length n_block_rows + 1")
+        if self.indptr[-1] != len(self.indices) or len(self.indices) != len(
+            self.blocks
+        ):
+            raise ValueError("indices/blocks inconsistent with indptr")
+
+    @property
+    def shape(self) -> tuple:
+        """Scalar matrix shape."""
+        n = self.n_block_rows * self.b
+        return (n, n)
+
+    @property
+    def nnz(self) -> int:
+        """Stored scalar entries (blocks are dense)."""
+        return self.blocks.size
+
+    @classmethod
+    def from_csr(cls, a: CSRMatrix, b: int) -> "BSRMatrix":
+        """Convert a CSR matrix whose dimension is a multiple of ``b``.
+
+        Any scalar entry inside a touched block materializes the whole
+        block (zero-padded) — the standard BSR fill convention.
+        """
+        n, m = a.shape
+        if n != m or n % b:
+            raise ValueError("matrix must be square with dimension % b == 0")
+        nbr = n // b
+        rows = np.repeat(np.arange(n), np.diff(a.indptr))
+        brows = rows // b
+        bcols = a.indices // b
+        # Unique (block-row, block-col) pairs, CSR-ordered.
+        order = np.lexsort((bcols, brows))
+        br = brows[order]
+        bc = bcols[order]
+        new_block = np.empty(len(br), dtype=bool)
+        if len(br):
+            new_block[0] = True
+            new_block[1:] = (br[1:] != br[:-1]) | (bc[1:] != bc[:-1])
+        block_id_sorted = np.cumsum(new_block) - 1
+        n_blocks = int(block_id_sorted[-1]) + 1 if len(br) else 0
+        blocks = np.zeros((n_blocks, b, b))
+        lr = rows[order] % b
+        lc = a.indices[order] % b
+        blocks[block_id_sorted, lr, lc] = a.data[order]
+        starts = np.flatnonzero(new_block)
+        indices = bc[starts]
+        indptr = np.zeros(nbr + 1, dtype=np.int64)
+        np.add.at(indptr, br[starts] + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(nbr, indptr, indices, blocks)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A x`` via one batched block-GEMV over all blocks.
+
+        Blocks are CSR-ordered by block row, so the per-row accumulation
+        is a segmented ``reduceat`` (contiguous segments), not a scattered
+        ``add.at``.
+        """
+        n = self.n_block_rows * self.b
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n,):
+            raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+        xb = x.reshape(self.n_block_rows, self.b)
+        out = np.zeros((self.n_block_rows, self.b))
+        if len(self.blocks) == 0:
+            return out.ravel()
+        # Gather the input block per stored block, multiply all at once:
+        # contrib[k] = blocks[k] @ x_block[indices[k]], computed as an
+        # elementwise product + axis sum (faster than batched matmul for
+        # tiny blocks).
+        contrib = (self.blocks * xb[self.indices][:, None, :]).sum(axis=2)
+        lengths = np.diff(self.indptr)
+        nonempty = lengths > 0
+        starts = self.indptr[:-1][nonempty]
+        out[nonempty] = np.add.reduceat(contrib, starts, axis=0)
+        return out.ravel()
+
+    def tocsr(self) -> CSRMatrix:
+        """Expand back to scalar CSR (explicit zeros from block fill kept)."""
+        from repro.sparse.coo import COOMatrix
+
+        nb, b = len(self.blocks), self.b
+        brow = np.repeat(
+            np.repeat(np.arange(self.n_block_rows), np.diff(self.indptr)),
+            b * b,
+        )
+        bcol = np.repeat(self.indices, b * b)
+        lr = np.tile(np.repeat(np.arange(b), b), nb)
+        lc = np.tile(np.tile(np.arange(b), b), nb)
+        coo = COOMatrix(
+            self.shape,
+            brow * b + lr,
+            bcol * b + lc,
+            self.blocks.ravel(),
+        )
+        return coo.tocsr()
+
+    def toarray(self) -> np.ndarray:
+        """Dense copy; for tests."""
+        return self.tocsr().toarray()
+
+    def __repr__(self) -> str:
+        return (
+            f"BSRMatrix(shape={self.shape}, b={self.b}, "
+            f"blocks={len(self.blocks)})"
+        )

@@ -1,0 +1,45 @@
+"""Free-standing sparse operations shared by the preconditioning layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def row_norms1(a: CSRMatrix) -> np.ndarray:
+    """Row-wise discrete :math:`L_1` norms :math:`d_i = \\|k_i\\|_1` (Eq. 10)."""
+    return a.row_norms1()
+
+
+def scale_symmetric(a: CSRMatrix, d: np.ndarray) -> CSRMatrix:
+    """Symmetric diagonal scaling :math:`DAD` with :math:`D=\\mathrm{diag}(d)`.
+
+    This is the transformation :math:`A = DKD` of Eq. 11; it preserves the
+    sparsity pattern and symmetry of ``a``.
+    """
+    return a.scale_rows(d).scale_cols(d)
+
+
+def matvec_flops(a: CSRMatrix) -> int:
+    """Floating-point operations of one matvec: a multiply and an add per entry."""
+    return 2 * a.nnz
+
+
+def axpy_flops(n: int) -> int:
+    """Flops of a DAXPY of length ``n``."""
+    return 2 * n
+
+
+def dot_flops(n: int) -> int:
+    """Flops of an inner product of length ``n``."""
+    return 2 * n
+
+
+def spmm_dense(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Sparse-times-dense product ``A @ B`` column by column."""
+    b = np.asarray(b, dtype=np.float64)
+    out = np.empty((a.shape[0], b.shape[1]))
+    for j in range(b.shape[1]):
+        a.matvec(b[:, j], out=out[:, j])
+    return out

@@ -1,0 +1,24 @@
+"""Spectrum estimation for polynomial preconditioning.
+
+Polynomial preconditioners are built purely from an interval estimate
+:math:`\\Theta \\supset \\sigma(A)` (Section 2.1).  This package provides
+the Gershgorin bound that justifies norm-1 diagonal scaling (Theorem 1),
+a Lanczos estimator of extreme eigenvalues for sharper intervals, and the
+interval-union container :class:`SpectrumIntervals` used by the GLS
+construction.
+"""
+
+from repro.spectrum.gershgorin import gershgorin_bound, gershgorin_intervals
+from repro.spectrum.intervals import SpectrumIntervals
+from repro.spectrum.lanczos import (
+    estimate_condition_number,
+    lanczos_extreme_eigenvalues,
+)
+
+__all__ = [
+    "gershgorin_bound",
+    "gershgorin_intervals",
+    "SpectrumIntervals",
+    "lanczos_extreme_eigenvalues",
+    "estimate_condition_number",
+]

@@ -1,0 +1,94 @@
+"""Union-of-intervals spectrum estimates (Eq. 18).
+
+The GLS polynomial preconditioner accepts :math:`\\Theta =
+\\bigcup_k (\\ell_k, h_k)` with :math:`0 \\notin \\Theta` — a union of
+disjoint open intervals possibly straddling the origin, which is what lets
+it handle symmetric *indefinite* systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpectrumIntervals:
+    """A validated, sorted union of disjoint open intervals excluding zero.
+
+    Parameters
+    ----------
+    intervals:
+        Tuple of ``(lo, hi)`` pairs satisfying Eq. 18's ordering:
+        ``lo_1 < hi_1 <= lo_2 < hi_2 <= ...`` and ``0 not in (lo_k, hi_k)``.
+    """
+
+    intervals: tuple
+
+    def __init__(self, intervals):
+        pairs = tuple((float(lo), float(hi)) for lo, hi in intervals)
+        if not pairs:
+            raise ValueError("at least one interval required")
+        pairs = tuple(sorted(pairs))
+        for lo, hi in pairs:
+            if not lo < hi:
+                raise ValueError(f"empty interval ({lo}, {hi})")
+            if lo < 0.0 < hi:
+                raise ValueError("Theta must not contain 0 (Eq. 18)")
+        for (_, hi1), (lo2, _) in zip(pairs, pairs[1:]):
+            if hi1 > lo2:
+                raise ValueError("intervals must be disjoint and ordered")
+        object.__setattr__(self, "intervals", pairs)
+
+    @classmethod
+    def single(cls, lo: float, hi: float) -> "SpectrumIntervals":
+        """The common one-interval case, e.g. ``(0, 1)`` after scaling."""
+        return cls([(lo, hi)])
+
+    @classmethod
+    def unit(cls, eps: float = 2.2e-16) -> "SpectrumIntervals":
+        """The paper's default after norm-1 scaling: :math:`(\\varepsilon, 1)`."""
+        return cls([(eps, 1.0)])
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of disjoint intervals (the paper's :math:`N_I`)."""
+        return len(self.intervals)
+
+    @property
+    def lo(self) -> float:
+        """Leftmost endpoint."""
+        return self.intervals[0][0]
+
+    @property
+    def hi(self) -> float:
+        """Rightmost endpoint."""
+        return self.intervals[-1][1]
+
+    def contains(self, x) -> np.ndarray:
+        """Vectorized membership test (open intervals)."""
+        x = np.asarray(x, dtype=np.float64)
+        result = np.zeros(x.shape, dtype=bool)
+        for lo, hi in self.intervals:
+            result |= (x > lo) & (x < hi)
+        return result
+
+    def sample(self, per_interval: int = 200) -> np.ndarray:
+        """Evaluation grid with ``per_interval`` points inside each interval
+        (endpoints excluded); used for residual-polynomial plots and
+        sup-norm checks."""
+        if per_interval < 1:
+            raise ValueError("need at least one sample per interval")
+        chunks = []
+        for lo, hi in self.intervals:
+            t = (np.arange(per_interval) + 0.5) / per_interval
+            chunks.append(lo + t * (hi - lo))
+        return np.concatenate(chunks)
+
+    def measure(self) -> float:
+        """Total length of the union."""
+        return sum(hi - lo for lo, hi in self.intervals)
+
+    def __iter__(self):
+        return iter(self.intervals)

@@ -1,0 +1,44 @@
+"""Shared fixtures: small FEM problems reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.cantilever import cantilever_problem
+from repro.fem.material import Material
+
+
+@pytest.fixture(scope="session")
+def tiny_problem():
+    """4x3-element cantilever: small enough for dense reference solves."""
+    return cantilever_problem(nx=4, ny=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dynamic_problem():
+    """Same mesh with the consistent mass matrix."""
+    return cantilever_problem(nx=4, ny=3, with_mass=True)
+
+
+@pytest.fixture(scope="session")
+def mesh1_problem():
+    """The paper's Mesh1 (7x1, 28 equations)."""
+    return cantilever_problem(1)
+
+
+@pytest.fixture(scope="session")
+def mesh2_problem():
+    """The paper's Mesh2 (40x8, 656 equations)."""
+    return cantilever_problem(2)
+
+
+@pytest.fixture(scope="session")
+def soft_material():
+    """A mild material that keeps matrix entries O(1)."""
+    return Material(E=100.0, nu=0.3, rho=1.0, thickness=1.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,70 @@
+"""Table 1 analytic cost model and its agreement with recorded counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.complexity import ArnoldiStepCost, arnoldi_step_cost
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.core.rdd import build_rdd_system, rdd_fgmres
+from repro.fem.cantilever import cantilever_problem
+from repro.partition.element_partition import ElementPartition
+from repro.partition.node_partition import NodePartition
+from repro.precond.neumann import NeumannPolynomial
+
+
+def test_table1_formulas():
+    assert arnoldi_step_cost("edd-basic", 7) == ArnoldiStepCost(10, 2, 8)
+    assert arnoldi_step_cost("edd-enhanced", 7) == ArnoldiStepCost(8, 2, 8)
+    assert arnoldi_step_cost("rdd", 7) == ArnoldiStepCost(8, 2, 8)
+
+
+def test_enhanced_saves_two_exchanges_always():
+    for deg in (0, 1, 5, 10):
+        basic = arnoldi_step_cost("edd-basic", deg)
+        enh = arnoldi_step_cost("edd-enhanced", deg)
+        assert basic.exchanges - enh.exchanges == 2
+        assert basic.matvecs == enh.matvecs
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        arnoldi_step_cost("edd-basic", -1)
+    with pytest.raises(ValueError):
+        arnoldi_step_cost("feti", 3)
+
+
+@pytest.mark.parametrize(
+    "variant,degree", [("basic", 3), ("enhanced", 3), ("enhanced", 0)]
+)
+def test_edd_counters_match_model(variant, degree):
+    """Run a full solve and check measured per-iteration exchanges against
+    the Table 1 formula (restart overhead subtracted exactly)."""
+    p = cantilever_problem(nx=6, ny=2)
+    part = ElementPartition(
+        p.mesh, np.repeat([0, 1], 6), 2
+    )  # two strips, 1 neighbour pair
+    f_full = p.bc.expand(p.load)
+    system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+    pre = NeumannPolynomial(degree) if degree else None
+    res = edd_fgmres(system, pre, tol=1e-8, restart=100, variant=variant)
+    assert res.converged
+    assert res.restarts == 1
+    model = arnoldi_step_cost(f"edd-{variant}", degree)
+    msgs = system.comm.stats.ranks[0].nbr_messages
+    # one restart cycle: +2 exchanges for the initial residual assembly
+    assert msgs == model.exchanges * res.iterations + 2
+    reds = system.comm.stats.ranks[0].reductions
+    assert reds == model.reductions * res.iterations + 2
+
+
+def test_rdd_counters_match_model():
+    p = cantilever_problem(nx=6, ny=2)
+    part = NodePartition.build(p.mesh, 2)
+    system = build_rdd_system(p.mesh, p.bc, part, p.stiffness, p.load)
+    degree = 3
+    res = rdd_fgmres(system, NeumannPolynomial(degree), tol=1e-8, restart=100)
+    assert res.converged and res.restarts == 1
+    model = arnoldi_step_cost("rdd", degree)
+    msgs = system.comm.stats.ranks[0].nbr_messages
+    assert msgs == model.exchanges * res.iterations + 2

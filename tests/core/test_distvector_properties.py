@@ -1,0 +1,118 @@
+"""Property-based tests of the distributed vector algebra and the
+interface-assembly operator — the invariants the EDD formulation rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributed import DistVector, build_edd_system
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.element_partition import ElementPartition
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+def _system(seed_parts=2):
+    mesh = structured_quad_mesh(4, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition.build(mesh, seed_parts)
+    return build_edd_system(mesh, MAT, bc, part, np.zeros(mesh.n_dofs))
+
+
+SYSTEM = _system()
+
+
+def _rand_global(seed):
+    x = np.random.default_rng(seed).standard_normal(SYSTEM.n_global)
+    return SYSTEM.distribute(x), x
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), alpha=st.floats(-5, 5), beta=st.floats(-5, 5))
+def test_exchange_is_linear(seed, alpha, beta):
+    """⊕Σ∂Ω is a linear operator: assemble(a*u + b*v) == a*assemble(u) +
+    b*assemble(v)."""
+    rng = np.random.default_rng(seed)
+    u = DistVector(
+        [rng.standard_normal(n) for n in SYSTEM.submap.local_sizes],
+        "local",
+        SYSTEM.comm,
+    )
+    v = DistVector(
+        [rng.standard_normal(n) for n in SYSTEM.submap.local_sizes],
+        "local",
+        SYSTEM.comm,
+    )
+    lhs = SYSTEM.assemble(alpha * u + beta * v)
+    rhs_a = SYSTEM.assemble(u)
+    rhs_b = SYSTEM.assemble(v)
+    for lp, ap, bp in zip(lhs.parts, rhs_a.parts, rhs_b.parts):
+        assert np.allclose(lp, alpha * ap + beta * bp, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_assemble_localize_idempotent(seed):
+    """assemble ∘ localize is the identity on global-distributed vectors."""
+    v, _ = _rand_global(seed)
+    w = SYSTEM.assemble(SYSTEM.localize(v))
+    for a, b in zip(v.parts, w.parts):
+        assert np.allclose(a, b, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mixed_dot_equals_global_dot(seed):
+    """Eq. 33 for arbitrary vectors, not just solver iterates."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(SYSTEM.n_global)
+    y = rng.standard_normal(SYSTEM.n_global)
+    lhs = SYSTEM.dot(SYSTEM.localize(SYSTEM.distribute(x)), SYSTEM.distribute(y))
+    assert lhs == pytest.approx(float(x @ y), rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_matvec_assembled_is_global_operator(seed):
+    """EDD matvec + exchange equals the assembled operator on any input."""
+    v, x = _rand_global(seed)
+    y = SYSTEM.matvec_assembled(v)
+    y_true = SYSTEM.to_global_vector(y)
+    a_global = np.zeros((SYSTEM.n_global, SYSTEM.n_global))
+    for s, a in enumerate(SYSTEM.a_local):
+        g = SYSTEM.submap.l2g[s]
+        a_global[np.ix_(g, g)] += a.toarray()
+    assert np.allclose(y_true, a_global @ x, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    alpha=st.floats(-3, 3, allow_nan=False),
+)
+def test_distvector_vector_space_axioms(seed, alpha):
+    u, _ = _rand_global(seed)
+    v, _ = _rand_global(seed + 1)
+    # commutativity and scalar distribution
+    s1 = u + v
+    s2 = v + u
+    for a, b in zip(s1.parts, s2.parts):
+        assert np.array_equal(a, b)
+    d1 = alpha * (u + v)
+    d2 = alpha * u + alpha * v
+    for a, b in zip(d1.parts, d2.parts):
+        assert np.allclose(a, b, atol=1e-10)
+    # subtraction inverts addition
+    z = (u + v) - v
+    for a, b in zip(z.parts, u.parts):
+        assert np.allclose(a, b, atol=1e-10)
+
+
+def test_copy_is_deep():
+    v, _ = _rand_global(0)
+    w = v.copy()
+    w.parts[0][0] = 1e9
+    assert v.parts[0][0] != 1e9

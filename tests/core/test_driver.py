@@ -1,0 +1,109 @@
+"""High-level driver API."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import make_preconditioner, solve_cantilever
+from repro.parallel.machine import SGI_ORIGIN
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_make_preconditioner_specs():
+    assert make_preconditioner(None) is None
+    assert make_preconditioner("none") is None
+    g = make_preconditioner("gls(7)")
+    assert g.name == "GLS(7)"
+    n = make_preconditioner("neumann(12)")
+    assert n.name == "Neum(12)"
+    with pytest.raises(ValueError):
+        make_preconditioner("ilu(0)")
+
+
+def test_make_preconditioner_custom_theta():
+    th = SpectrumIntervals.single(0.2, 0.8)
+    g = make_preconditioner("gls(5)", th)
+    assert g.theta is th
+
+
+def test_solve_by_mesh_id():
+    s = solve_cantilever(1, n_parts=2, precond="gls(3)")
+    assert s.result.converged
+    assert s.n_parts == 2
+    assert s.precond_name == "GLS(3)"
+
+
+def test_solve_prebuilt_problem(tiny_problem):
+    s = solve_cantilever(tiny_problem, n_parts=3, precond="gls(7)")
+    assert s.result.converged
+    u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    assert np.allclose(s.result.x, u_ref, rtol=1e-4, atol=1e-10)
+
+
+@pytest.mark.parametrize("method", ["edd-basic", "edd-enhanced", "rdd"])
+def test_all_methods_agree(tiny_problem, method):
+    s = solve_cantilever(tiny_problem, n_parts=2, method=method, tol=1e-8)
+    u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    assert s.result.converged
+    assert np.allclose(s.result.x, u_ref, rtol=1e-5, atol=1e-10)
+    assert s.method == method
+
+
+def test_unknown_method(tiny_problem):
+    with pytest.raises(ValueError):
+        solve_cantilever(tiny_problem, method="feti")
+
+
+def test_dynamic_solve(tiny_dynamic_problem):
+    s = solve_cantilever(
+        tiny_dynamic_problem, n_parts=2, dynamic=True, mass_shift=(2.0, 1.0)
+    )
+    assert s.result.converged
+    k_eff = (
+        tiny_dynamic_problem.stiffness.toarray()
+        + 2.0 * tiny_dynamic_problem.mass.toarray()
+    )
+    u_ref = np.linalg.solve(k_eff, tiny_dynamic_problem.load)
+    assert np.allclose(s.result.x, u_ref, rtol=1e-4, atol=1e-10)
+
+
+def test_dynamic_needs_mass(tiny_problem):
+    with pytest.raises(ValueError, match="with_mass"):
+        solve_cantilever(tiny_problem, dynamic=True)
+
+
+def test_dynamic_rdd(tiny_dynamic_problem):
+    s = solve_cantilever(
+        tiny_dynamic_problem,
+        n_parts=2,
+        method="rdd",
+        dynamic=True,
+        mass_shift=(2.0, 1.0),
+    )
+    assert s.result.converged
+
+
+def test_modeled_time_positive(tiny_problem):
+    s = solve_cantilever(tiny_problem, n_parts=2)
+    assert s.modeled_time(SGI_ORIGIN) > 0
+
+
+def test_stats_recorded(tiny_problem):
+    s = solve_cantilever(tiny_problem, n_parts=4)
+    assert s.stats.n_ranks == 4
+    assert s.stats.total_flops > 0
+    assert s.stats.total_nbr_messages > 0
+
+
+def test_bj_ilu0_spec_rdd(tiny_problem):
+    s = solve_cantilever(
+        tiny_problem, n_parts=3, method="rdd", precond="bj-ilu0", tol=1e-8
+    )
+    assert s.result.converged
+    assert s.precond_name == "BJ-ILU0(P=3)"
+    u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    assert np.allclose(s.result.x, u_ref, rtol=1e-5, atol=1e-10)
+
+
+def test_bj_ilu0_rejected_for_edd(tiny_problem):
+    with pytest.raises(ValueError, match="rdd"):
+        solve_cantilever(tiny_problem, method="edd-enhanced", precond="bj-ilu0")

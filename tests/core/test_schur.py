@@ -1,0 +1,72 @@
+"""Primal Schur-complement substructuring."""
+
+import numpy as np
+import pytest
+
+from repro.core.schur import schur_solve
+from repro.fem.cantilever import cantilever_problem
+from repro.partition.element_partition import ElementPartition
+
+
+def _solve(problem, n_parts, **kw):
+    part = ElementPartition.build(problem.mesh, n_parts)
+    return schur_solve(
+        problem.mesh,
+        problem.material,
+        problem.bc,
+        part,
+        problem.bc.expand(problem.load),
+        **kw,
+    )
+
+
+def test_matches_direct_solve(tiny_problem):
+    res = _solve(tiny_problem, 3, tol=1e-10)
+    assert res.converged
+    u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    err = np.linalg.norm(res.x - u_ref) / np.linalg.norm(u_ref)
+    assert err < 1e-8
+
+
+def test_two_subdomains(tiny_problem):
+    res = _solve(tiny_problem, 2, tol=1e-10)
+    assert res.converged
+    u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    assert np.linalg.norm(res.x - u_ref) / np.linalg.norm(u_ref) < 1e-8
+
+
+def test_interface_much_smaller_than_system(mesh2_problem):
+    res = _solve(mesh2_problem, 4)
+    assert res.converged
+    assert res.n_interface < mesh2_problem.n_eqn / 4
+
+
+def test_fewer_iterations_than_unpreconditioned_gmres(mesh2_problem):
+    """The Schur complement is far better conditioned than K itself."""
+    from repro.precond.scaling import scale_system
+    from repro.solvers.fgmres import fgmres
+
+    res = _solve(mesh2_problem, 4)
+    ss = scale_system(mesh2_problem.stiffness, mesh2_problem.load)
+    plain = fgmres(ss.a.matvec, ss.b, tol=1e-6)
+    assert res.converged
+    assert res.iterations < plain.iterations
+
+
+def test_factor_flops_counted(tiny_problem):
+    res = _solve(tiny_problem, 2)
+    assert res.factor_flops > 0
+    # more subdomains -> smaller interiors -> cheaper cubic factorizations
+    res4 = _solve(tiny_problem, 4)
+    assert res4.factor_flops < res.factor_flops
+
+
+def test_single_subdomain_rejected(tiny_problem):
+    with pytest.raises(ValueError, match="no interface"):
+        _solve(tiny_problem, 1)
+
+
+def test_iterative_phase_stats_recorded(tiny_problem):
+    res = _solve(tiny_problem, 2)
+    assert res.stats.total_nbr_messages > 0
+    assert res.stats.max_reductions > 0

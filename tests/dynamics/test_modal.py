@@ -1,0 +1,69 @@
+"""Modal analysis."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.dynamics.modal import lowest_modes
+from repro.fem.cantilever import cantilever_problem
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def beam():
+    return cantilever_problem(nx=10, ny=2, with_mass=True)
+
+
+@pytest.fixture(scope="module")
+def exact_eigs(beam):
+    return scipy.linalg.eigh(
+        beam.stiffness.toarray(), beam.mass.toarray(), eigvals_only=True
+    )
+
+
+def test_lowest_frequencies_match_dense(beam, exact_eigs):
+    result = lowest_modes(beam.stiffness, beam.mass, n_modes=4)
+    omega_exact = np.sqrt(exact_eigs[:4])
+    assert np.allclose(result.omega, omega_exact, rtol=1e-6)
+
+
+def test_modes_mass_orthonormal(beam):
+    result = lowest_modes(beam.stiffness, beam.mass, n_modes=3)
+    gram = result.modes.T @ np.column_stack(
+        [beam.mass.matvec(result.modes[:, j]) for j in range(3)]
+    )
+    assert np.allclose(gram, np.eye(3), atol=1e-6)
+
+
+def test_modes_satisfy_eigen_equation(beam):
+    result = lowest_modes(beam.stiffness, beam.mass, n_modes=2)
+    for j in range(2):
+        phi = result.modes[:, j]
+        r = beam.stiffness.matvec(phi) - result.omega[j] ** 2 * beam.mass.matvec(phi)
+        assert np.linalg.norm(r) < 1e-5 * np.linalg.norm(
+            beam.stiffness.matvec(phi)
+        )
+
+
+def test_first_mode_is_bending(beam):
+    """The fundamental cantilever mode is transverse bending: the tip's
+    y-displacement dominates its x-displacement."""
+    result = lowest_modes(beam.stiffness, beam.mass, n_modes=1)
+    phi = beam.bc.expand(result.modes[:, 0])
+    tip_nodes = beam.mesh.nodes_on(lambda x, y: x == x.max())
+    uy = np.abs(phi[tip_nodes * 2 + 1]).max()
+    ux = np.abs(phi[tip_nodes * 2]).max()
+    assert uy > 3 * ux
+
+
+def test_frequencies_ascending(beam):
+    result = lowest_modes(beam.stiffness, beam.mass, n_modes=5)
+    assert np.all(np.diff(result.omega) >= 0)
+    assert np.allclose(result.frequencies_hz, result.omega / (2 * np.pi))
+
+
+def test_validation(beam):
+    with pytest.raises(ValueError):
+        lowest_modes(beam.stiffness, CSRMatrix.eye(3), n_modes=1)
+    with pytest.raises(ValueError):
+        lowest_modes(beam.stiffness, beam.mass, n_modes=0)

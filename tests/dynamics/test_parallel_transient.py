@@ -1,0 +1,78 @@
+"""Distributed transient driver vs the sequential one."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.newmark import NewmarkIntegrator
+from repro.dynamics.parallel_transient import run_parallel_transient
+from repro.dynamics.transient import run_transient
+from repro.precond.gls import GLSPolynomial
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_dynamic_problem):
+    p = tiny_dynamic_problem
+    nm = NewmarkIntegrator(p.stiffness, p.mass, dt=0.2)
+    return p, nm
+
+
+def test_matches_sequential_transient(setup):
+    """Same physics, same trajectory — distributed vs sequential solves."""
+    p, nm = setup
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    seq = run_transient(
+        nm,
+        lambda t: p.load,
+        5,
+        precond_factory=lambda mv: (lambda v: g.apply_linear(mv, v)),
+        tol=1e-10,
+    )
+    par = run_parallel_transient(
+        p.mesh,
+        p.material,
+        p.bc,
+        nm,
+        lambda t: p.load,
+        5,
+        n_parts=3,
+        precond=g,
+        tol=1e-10,
+    )
+    assert np.allclose(
+        par.displacements, seq.displacements, rtol=1e-5, atol=1e-10
+    )
+
+
+def test_stats_accumulate_across_steps(setup):
+    p, nm = setup
+    g = GLSPolynomial.unit_interval(5, eps=1e-6)
+    one = run_parallel_transient(
+        p.mesh, p.material, p.bc, nm, lambda t: p.load, 1, n_parts=2, precond=g
+    )
+    three = run_parallel_transient(
+        p.mesh, p.material, p.bc, nm, lambda t: p.load, 3, n_parts=2, precond=g
+    )
+    assert three.stats.total_nbr_messages > 2 * one.stats.total_nbr_messages
+    assert three.total_iterations > one.total_iterations
+
+
+def test_zero_load_stays_at_rest(setup):
+    p, nm = setup
+    res = run_parallel_transient(
+        p.mesh,
+        p.material,
+        p.bc,
+        nm,
+        lambda t: np.zeros_like(p.load),
+        3,
+        n_parts=2,
+    )
+    assert np.allclose(res.displacements, 0.0)
+
+
+def test_step_count_validated(setup):
+    p, nm = setup
+    with pytest.raises(ValueError):
+        run_parallel_transient(
+            p.mesh, p.material, p.bc, nm, lambda t: p.load, 0, n_parts=2
+        )

@@ -1,0 +1,109 @@
+"""Global assembly: correctness against hand-assembled references and the
+subset-assembly property EDD relies on."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_matrix, element_dof_map, element_matrices
+from repro.fem.elements import q4_stiffness
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh, truss_mesh
+
+MAT = Material(E=100.0, nu=0.3, rho=1.0, thickness=1.0)
+
+
+def test_element_dof_map_interleaved():
+    mesh = structured_quad_mesh(1, 1)
+    dofs = element_dof_map(mesh)
+    # nodes of the single element: 0,1,3,2 -> dofs interleaved
+    assert np.array_equal(dofs[0], [0, 1, 2, 3, 6, 7, 4, 5])
+
+
+def test_single_element_assembly_equals_element_matrix():
+    mesh = structured_quad_mesh(1, 1)
+    k = assemble_matrix(mesh, MAT).toarray()
+    ke = q4_stiffness(mesh.element_coords(0), MAT)
+    dofs = element_dof_map(mesh)[0]
+    assert np.allclose(k[np.ix_(dofs, dofs)], ke)
+
+
+def test_assembly_symmetric():
+    mesh = structured_quad_mesh(3, 2)
+    k = assemble_matrix(mesh, MAT).toarray()
+    assert np.allclose(k, k.T)
+
+
+def test_assembly_rigid_body_null_space():
+    """Unconstrained global stiffness annihilates translations/rotation."""
+    mesh = structured_quad_mesh(3, 2)
+    k = assemble_matrix(mesh, MAT).toarray()
+    tx = np.tile([1.0, 0.0], mesh.n_nodes)
+    ty = np.tile([0.0, 1.0], mesh.n_nodes)
+    rot = np.column_stack([-mesh.coords[:, 1], mesh.coords[:, 0]]).ravel()
+    scale = np.abs(k).max()
+    assert np.allclose(k @ tx, 0.0, atol=1e-9 * scale)
+    assert np.allclose(k @ ty, 0.0, atol=1e-9 * scale)
+    assert np.allclose(k @ rot, 0.0, atol=1e-9 * scale)
+
+
+def test_subset_assembly_sums_to_full():
+    """The EDD identity: sum of subdomain matrices == global matrix."""
+    mesh = structured_quad_mesh(4, 3)
+    full = assemble_matrix(mesh, MAT).toarray()
+    half1 = assemble_matrix(
+        mesh, MAT, element_subset=np.arange(0, 6)
+    ).toarray()
+    half2 = assemble_matrix(
+        mesh, MAT, element_subset=np.arange(6, 12)
+    ).toarray()
+    assert np.allclose(half1 + half2, full)
+
+
+def test_empty_subset_gives_zero_matrix():
+    mesh = structured_quad_mesh(2, 2)
+    coo = assemble_matrix(mesh, MAT, element_subset=np.array([], dtype=np.int64))
+    assert coo.nnz == 0
+
+
+def test_mass_assembly_total_mass():
+    mesh = structured_quad_mesh(4, 2, lx=4.0, ly=2.0)
+    m = assemble_matrix(mesh, MAT, "mass").toarray()
+    tx = np.tile([1.0, 0.0], mesh.n_nodes)
+    total = MAT.rho * MAT.thickness * 8.0  # area 4x2
+    assert np.isclose(tx @ m @ tx, total)
+
+
+def test_congruence_cache_consistency():
+    """Structured mesh: all element matrices identical; stretched mesh: not."""
+    mesh = structured_quad_mesh(3, 3)
+    mats = element_matrices(mesh, MAT)
+    assert np.allclose(mats[0], mats[-1])
+    # Different element shapes must NOT be served from the cache.
+    stretched = structured_quad_mesh(2, 1, lx=3.0, ly=1.0)
+    stretched.coords[1, 0] = 1.0  # make the two elements incongruent
+    mats2 = element_matrices(stretched, MAT)
+    assert not np.allclose(mats2[0], mats2[1])
+
+
+def test_truss_assembly_matches_fig5_global_matrix():
+    """Eq. 29: two-element truss global stiffness."""
+    mesh = truss_mesh(2, length=2.0)  # each element length 1
+    mat = Material(E=7.0)
+    k = assemble_matrix(mesh, mat, truss_area=3.0).toarray()
+    ael = 21.0  # A*E/l
+    expected = ael * np.array(
+        [[1.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 1.0]]
+    )
+    assert np.allclose(k, expected)
+
+
+def test_unknown_kind_rejected():
+    mesh = structured_quad_mesh(1, 1)
+    with pytest.raises(ValueError):
+        assemble_matrix(mesh, MAT, kind="damping")
+
+
+def test_truss_mass_not_implemented():
+    mesh = truss_mesh(2)
+    with pytest.raises(NotImplementedError):
+        assemble_matrix(mesh, MAT, kind="mass")

@@ -1,0 +1,84 @@
+"""Dirichlet boundary conditions and system reduction."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import DirichletBC, apply_dirichlet, clamp_edge_dofs
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+def test_free_and_fixed_partition():
+    bc = DirichletBC(6, np.array([1, 4]))
+    assert np.array_equal(bc.free, [0, 2, 3, 5])
+    assert bc.n_free == 4
+
+
+def test_duplicate_fixed_deduplicated():
+    bc = DirichletBC(4, np.array([2, 2, 0]))
+    assert np.array_equal(bc.fixed, [0, 2])
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        DirichletBC(4, np.array([4]))
+
+
+def test_full_to_free_mapping():
+    bc = DirichletBC(5, np.array([0, 3]))
+    assert np.array_equal(bc.full_to_free(), [-1, 0, 1, -1, 2])
+
+
+def test_expand_inverts_reduction():
+    bc = DirichletBC(5, np.array([2]))
+    u_free = np.array([1.0, 2.0, 3.0, 4.0])
+    full = bc.expand(u_free)
+    assert np.array_equal(full, [1.0, 2.0, 0.0, 3.0, 4.0])
+    assert np.array_equal(full[bc.free], u_free)
+
+
+@pytest.mark.parametrize(
+    "edge,expected_nodes", [("left", 3), ("right", 3), ("bottom", 4), ("top", 4)]
+)
+def test_clamp_edges(edge, expected_nodes):
+    mesh = structured_quad_mesh(3, 2)
+    bc = clamp_edge_dofs(mesh, edge)
+    assert len(bc.fixed) == 2 * expected_nodes
+
+
+def test_clamp_unknown_edge():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError):
+        clamp_edge_dofs(mesh, "diagonal")
+
+
+def test_apply_dirichlet_makes_spd():
+    """Clamping removes the rigid-body null space."""
+    mesh = structured_quad_mesh(3, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    k = assemble_matrix(mesh, MAT)
+    reduced, _ = apply_dirichlet(k, np.zeros(mesh.n_dofs), bc)
+    evals = np.linalg.eigvalsh(reduced.toarray())
+    assert evals.min() > 0
+
+
+def test_apply_dirichlet_equals_dense_slicing():
+    mesh = structured_quad_mesh(2, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    k = assemble_matrix(mesh, MAT)
+    f = np.arange(float(mesh.n_dofs))
+    reduced, f_red = apply_dirichlet(k, f, bc)
+    free = bc.free
+    assert np.allclose(reduced.toarray(), k.toarray()[np.ix_(free, free)])
+    assert np.array_equal(f_red, f[free])
+
+
+def test_apply_dirichlet_shape_checks():
+    mesh = structured_quad_mesh(2, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    k = assemble_matrix(mesh, MAT)
+    with pytest.raises(ValueError):
+        apply_dirichlet(k, np.zeros(3), bc)

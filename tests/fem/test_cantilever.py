@@ -1,0 +1,75 @@
+"""The Table 2 mesh family and cantilever problem factory."""
+
+import numpy as np
+import pytest
+
+from repro.fem.cantilever import (
+    PAPER_MESHES,
+    cantilever_problem,
+    paper_mesh,
+)
+
+
+@pytest.mark.parametrize("k", list(PAPER_MESHES))
+def test_table2_node_counts(k):
+    mesh, _ = paper_mesh(k)
+    assert mesh.n_nodes == PAPER_MESHES[k][2]
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_table2_equation_counts(k):
+    p = cantilever_problem(k)
+    assert p.n_eqn == PAPER_MESHES[k][3]
+
+
+def test_unknown_mesh_id():
+    with pytest.raises(ValueError):
+        paper_mesh(11)
+
+
+def test_explicit_dimensions():
+    p = cantilever_problem(nx=3, ny=2)
+    assert p.mesh.n_elements == 6
+    # left edge clamped: 3 nodes x 2 dofs removed
+    assert p.n_eqn == p.mesh.n_dofs - 6
+
+
+def test_missing_dimensions_rejected():
+    with pytest.raises(ValueError):
+        cantilever_problem()
+
+
+def test_stiffness_spd(tiny_problem):
+    a = tiny_problem.stiffness.toarray()
+    assert np.allclose(a, a.T)
+    assert np.linalg.eigvalsh(a).min() > 0
+
+
+def test_mass_spd(tiny_dynamic_problem):
+    m = tiny_dynamic_problem.mass.toarray()
+    assert np.allclose(m, m.T)
+    assert np.linalg.eigvalsh(m).min() > 0
+
+
+def test_mass_absent_by_default(tiny_problem):
+    assert tiny_problem.mass is None
+
+
+def test_pulling_load_is_axial(tiny_problem):
+    """Default load: uniform x-traction on the right edge."""
+    f = tiny_problem.load
+    assert f.sum() > 0
+    # expanded back to full dofs, all y-components vanish
+    full = tiny_problem.bc.expand(f)
+    assert np.allclose(full[1::2], 0.0)
+
+
+def test_solution_physical(tiny_problem):
+    """Pulling a cantilever to the right moves every free node right."""
+    u = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    full = tiny_problem.bc.expand(u)
+    ux = full[0::2]
+    assert ux.max() > 0
+    # tip displacement largest at the loaded (right) edge
+    tip_nodes = tiny_problem.mesh.nodes_on(lambda x, y: x == x.max())
+    assert np.isclose(ux.max(), ux[tip_nodes].max())

@@ -1,0 +1,117 @@
+"""Element matrices: symmetry, definiteness, rigid-body modes, exact values."""
+
+import numpy as np
+import pytest
+
+from repro.fem.elements import (
+    q4_mass,
+    q4_stiffness,
+    t3_mass,
+    t3_stiffness,
+    truss_stiffness,
+)
+from repro.fem.material import Material
+
+MAT = Material(E=100.0, nu=0.3, rho=2.0, thickness=0.5)
+UNIT_SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+TRI = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+def test_q4_stiffness_symmetric_psd():
+    ke = q4_stiffness(UNIT_SQUARE, MAT)
+    assert np.allclose(ke, ke.T)
+    evals = np.linalg.eigvalsh(ke)
+    assert evals.min() > -1e-10
+
+
+def test_q4_stiffness_rigid_body_modes():
+    """Three zero-energy modes: two translations, one rotation."""
+    ke = q4_stiffness(UNIT_SQUARE, MAT)
+    evals = np.linalg.eigvalsh(ke)
+    assert np.sum(np.abs(evals) < 1e-9 * np.abs(evals).max()) == 3
+    tx = np.tile([1.0, 0.0], 4)
+    ty = np.tile([0.0, 1.0], 4)
+    assert np.allclose(ke @ tx, 0.0, atol=1e-10)
+    assert np.allclose(ke @ ty, 0.0, atol=1e-10)
+    rot = np.column_stack([-UNIT_SQUARE[:, 1], UNIT_SQUARE[:, 0]]).ravel()
+    assert np.allclose(ke @ rot, 0.0, atol=1e-9)
+
+
+def test_q4_stiffness_scales_with_thickness():
+    thick = Material(E=100.0, nu=0.3, thickness=2.0)
+    thin = Material(E=100.0, nu=0.3, thickness=1.0)
+    assert np.allclose(
+        q4_stiffness(UNIT_SQUARE, thick), 2 * q4_stiffness(UNIT_SQUARE, thin)
+    )
+
+
+def test_q4_stiffness_translation_invariant():
+    shifted = UNIT_SQUARE + np.array([5.0, -3.0])
+    assert np.allclose(q4_stiffness(UNIT_SQUARE, MAT), q4_stiffness(shifted, MAT))
+
+
+def test_q4_inverted_element_rejected():
+    cw = UNIT_SQUARE[::-1]
+    with pytest.raises(ValueError, match="degenerate or inverted"):
+        q4_stiffness(cw, MAT)
+
+
+def test_q4_wrong_shape_rejected():
+    with pytest.raises(ValueError):
+        q4_stiffness(UNIT_SQUARE[:3], MAT)
+
+
+def test_q4_mass_total():
+    """Row sums of the consistent mass reproduce total mass per direction."""
+    me = q4_mass(UNIT_SQUARE, MAT)
+    total = MAT.rho * MAT.thickness * 1.0  # area = 1
+    tx = np.tile([1.0, 0.0], 4)
+    assert np.isclose(tx @ me @ tx, total)
+    assert np.allclose(me, me.T)
+    assert np.linalg.eigvalsh(me).min() > 0
+
+
+def test_t3_stiffness_symmetric_with_rigid_modes():
+    ke = t3_stiffness(TRI, MAT)
+    assert np.allclose(ke, ke.T)
+    evals = np.linalg.eigvalsh(ke)
+    assert np.sum(np.abs(evals) < 1e-9 * np.abs(evals).max()) == 3
+
+
+def test_t3_inverted_rejected():
+    with pytest.raises(ValueError, match="degenerate or inverted"):
+        t3_stiffness(TRI[::-1], MAT)
+
+
+def test_t3_mass_total():
+    me = t3_mass(TRI, MAT)
+    total = MAT.rho * MAT.thickness * 0.5
+    tx = np.array([1.0, 0.0] * 3)
+    assert np.isclose(tx @ me @ tx, total)
+
+
+def test_two_t3_equal_one_q4_for_constant_strain():
+    """Pure axial stretch: the T3 pair and the Q4 give the same energy."""
+    u = np.zeros(8)
+    u[0::2] = UNIT_SQUARE[:, 0] * 0.01  # u_x = 0.01 * x
+    kq = q4_stiffness(UNIT_SQUARE, MAT)
+    e_q4 = u @ kq @ u
+    t1 = UNIT_SQUARE[[0, 1, 2]]
+    t2 = UNIT_SQUARE[[0, 2, 3]]
+    k1 = t3_stiffness(t1, MAT)
+    k2 = t3_stiffness(t2, MAT)
+    u1 = np.zeros(6)
+    u1[0::2] = t1[:, 0] * 0.01
+    u2 = np.zeros(6)
+    u2[0::2] = t2[:, 0] * 0.01
+    assert np.isclose(u1 @ k1 @ u1 + u2 @ k2 @ u2, e_q4, rtol=1e-10)
+
+
+def test_truss_stiffness_exact():
+    ke = truss_stiffness(length=2.0, area=3.0, youngs=4.0)
+    assert np.allclose(ke, 6.0 * np.array([[1, -1], [-1, 1]]))
+
+
+def test_truss_zero_length_rejected():
+    with pytest.raises(ValueError):
+        truss_stiffness(0.0, 1.0, 1.0)

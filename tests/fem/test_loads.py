@@ -1,0 +1,62 @@
+"""Load vectors."""
+
+import numpy as np
+import pytest
+
+from repro.fem.loads import edge_traction_load, point_load
+from repro.fem.mesh import structured_quad_mesh, truss_mesh
+
+
+def test_point_load_placement():
+    mesh = structured_quad_mesh(2, 2)
+    f = point_load(mesh, node=4, components=(3.0, -1.0))
+    assert f[8] == 3.0
+    assert f[9] == -1.0
+    assert np.count_nonzero(f) == 2
+
+
+def test_point_load_validation():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError):
+        point_load(mesh, node=99, components=(1.0, 0.0))
+    with pytest.raises(ValueError):
+        point_load(mesh, node=0, components=(1.0,))
+
+
+def test_edge_traction_total_force():
+    """Total applied force equals traction x edge length."""
+    mesh = structured_quad_mesh(4, 3, lx=4.0, ly=3.0)
+    f = edge_traction_load(mesh, "right", (2.0, 0.5))
+    fx = f[0::2].sum()
+    fy = f[1::2].sum()
+    assert np.isclose(fx, 2.0 * 3.0)
+    assert np.isclose(fy, 0.5 * 3.0)
+
+
+def test_edge_traction_interior_nodes_get_double_tributary():
+    mesh = structured_quad_mesh(2, 2, lx=2.0, ly=2.0)
+    f = edge_traction_load(mesh, "right", (1.0, 0.0))
+    right_nodes = mesh.nodes_on(lambda x, y: x == 2.0)
+    vals = f[right_nodes * 2]
+    vals_sorted = np.sort(vals)
+    # corner nodes get 0.5, the midside node gets 1.0
+    assert np.allclose(vals_sorted, [0.5, 0.5, 1.0])
+
+
+def test_edge_traction_all_edges():
+    mesh = structured_quad_mesh(3, 3)
+    for edge in ("left", "right", "top", "bottom"):
+        f = edge_traction_load(mesh, edge, (1.0, 0.0))
+        assert np.isclose(f.sum(), 1.0)
+
+
+def test_edge_traction_unknown_edge():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError):
+        edge_traction_load(mesh, "front", (1.0, 0.0))
+
+
+def test_edge_traction_needs_two_nodes():
+    mesh = truss_mesh(3)
+    with pytest.raises(ValueError, match="fewer than 2"):
+        edge_traction_load(mesh, "left", (1.0,))

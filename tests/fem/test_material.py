@@ -1,0 +1,47 @@
+"""Material validation and constitutive matrices."""
+
+import numpy as np
+import pytest
+
+from repro.fem.material import Material
+
+
+def test_plane_stress_matrix():
+    m = Material(E=1.0, nu=0.0)
+    d = m.elasticity_matrix()
+    assert np.allclose(d, np.diag([1.0, 1.0, 0.5]))
+
+
+def test_plane_strain_differs_from_plane_stress():
+    ps = Material(E=10.0, nu=0.3, plane_stress=True).elasticity_matrix()
+    pe = Material(E=10.0, nu=0.3, plane_stress=False).elasticity_matrix()
+    assert not np.allclose(ps, pe)
+    # plane strain is stiffer in the normal directions
+    assert pe[0, 0] > ps[0, 0]
+
+
+def test_elasticity_matrix_spd():
+    d = Material(E=5.0, nu=0.25).elasticity_matrix()
+    assert np.allclose(d, d.T)
+    assert np.linalg.eigvalsh(d).min() > 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(E=-1.0),
+        dict(nu=0.5),
+        dict(nu=-1.0),
+        dict(rho=0.0),
+        dict(thickness=-2.0),
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Material(**kwargs)
+
+
+def test_frozen():
+    m = Material()
+    with pytest.raises(Exception):
+        m.E = 7.0

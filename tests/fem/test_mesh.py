@@ -1,0 +1,86 @@
+"""Structured mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import (
+    Mesh,
+    structured_quad_mesh,
+    structured_tri_mesh,
+    truss_mesh,
+)
+
+
+def test_quad_mesh_counts():
+    m = structured_quad_mesh(3, 2)
+    assert m.n_nodes == 12
+    assert m.n_elements == 6
+    assert m.n_dofs == 24
+
+
+def test_quad_mesh_connectivity_counterclockwise():
+    m = structured_quad_mesh(2, 2, lx=2.0, ly=2.0)
+    for e in range(m.n_elements):
+        c = m.element_coords(e)
+        # shoelace area positive => counterclockwise
+        area = 0.5 * np.sum(
+            c[:, 0] * np.roll(c[:, 1], -1) - np.roll(c[:, 0], -1) * c[:, 1]
+        )
+        assert area > 0
+
+
+def test_quad_mesh_covers_domain():
+    m = structured_quad_mesh(4, 3, lx=4.0, ly=3.0)
+    assert m.coords[:, 0].min() == 0.0
+    assert m.coords[:, 0].max() == 4.0
+    assert m.coords[:, 1].max() == 3.0
+
+
+def test_tri_mesh_doubles_elements():
+    q = structured_quad_mesh(3, 2)
+    t = structured_tri_mesh(3, 2)
+    assert t.n_elements == 2 * q.n_elements
+    assert t.n_nodes == q.n_nodes
+    # total area preserved
+    total = 0.0
+    for e in range(t.n_elements):
+        c = t.element_coords(e)
+        total += 0.5 * abs(
+            (c[1, 0] - c[0, 0]) * (c[2, 1] - c[0, 1])
+            - (c[2, 0] - c[0, 0]) * (c[1, 1] - c[0, 1])
+        )
+    assert np.isclose(total, 1.0)
+
+
+def test_truss_mesh_fig5():
+    m = truss_mesh(2)
+    assert m.n_nodes == 3
+    assert m.n_elements == 2
+    assert m.dofs_per_node == 1
+    assert np.array_equal(m.elements, [[0, 1], [1, 2]])
+
+
+def test_nodes_on_predicate():
+    m = structured_quad_mesh(2, 2)
+    left = m.nodes_on(lambda x, y: x == 0.0)
+    assert len(left) == 3
+
+
+def test_element_centroids():
+    m = structured_quad_mesh(1, 1)
+    assert np.allclose(m.element_centroids(), [[0.5, 0.5]])
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        structured_quad_mesh(0, 1)
+    with pytest.raises(ValueError):
+        truss_mesh(0)
+
+
+def test_mesh_validation():
+    coords = np.zeros((2, 2))
+    with pytest.raises(ValueError, match="missing node"):
+        Mesh(coords, np.array([[0, 5, 1, 0]]), "q4")
+    with pytest.raises(ValueError, match="need 4 nodes"):
+        Mesh(coords, np.array([[0, 1]]), "q4")

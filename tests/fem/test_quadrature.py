@@ -1,0 +1,62 @@
+"""Quadrature rules: exactness orders."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import (
+    gauss_1d,
+    gauss_chebyshev,
+    gauss_quad_2d,
+    triangle_rule,
+)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_gauss_1d_exact_for_degree_2n_minus_1(n):
+    pts, wts = gauss_1d(n)
+    for degree in range(2 * n):
+        exact = (1 - (-1) ** (degree + 1)) / (degree + 1)
+        assert np.isclose(np.sum(wts * pts**degree), exact, atol=1e-13)
+
+
+def test_gauss_1d_unknown_order():
+    with pytest.raises(ValueError):
+        gauss_1d(7)
+
+
+def test_gauss_quad_2d_weights_sum_to_area():
+    _, wts = gauss_quad_2d(2)
+    assert np.isclose(wts.sum(), 4.0)
+
+
+def test_gauss_quad_2d_exact_bilinear():
+    pts, wts = gauss_quad_2d(2)
+    # integral of x^2 y^2 over [-1,1]^2 is 4/9
+    val = np.sum(wts * pts[:, 0] ** 2 * pts[:, 1] ** 2)
+    assert np.isclose(val, 4.0 / 9.0)
+
+
+def test_triangle_rule_weights_sum_to_one():
+    for order in (1, 2):
+        _, wts = triangle_rule(order)
+        assert np.isclose(wts.sum(), 1.0)
+
+
+def test_triangle_rule_order2_exact_for_quadratics():
+    pts, wts = triangle_rule(2)
+    # integral of L1^2 over reference triangle (area 1/2) is 1/12;
+    # normalized by area -> 1/6.
+    assert np.isclose(np.sum(wts * pts[:, 0] ** 2), 1.0 / 6.0)
+
+
+def test_triangle_rule_unknown_order():
+    with pytest.raises(ValueError):
+        triangle_rule(5)
+
+
+def test_gauss_chebyshev_moments():
+    nodes, wts = gauss_chebyshev(16)
+    # ∫ (1-t²)^{-1/2} dt = pi ; ∫ t² (1-t²)^{-1/2} dt = pi/2
+    assert np.isclose(np.sum(wts), np.pi)
+    assert np.isclose(np.sum(wts * nodes**2), np.pi / 2)
+    assert np.isclose(np.sum(wts * nodes), 0.0, atol=1e-12)

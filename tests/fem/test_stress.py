@@ -1,0 +1,140 @@
+"""Stress recovery."""
+
+import numpy as np
+import pytest
+
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh, structured_tri_mesh
+from repro.fem.stress import (
+    element_stresses,
+    nodal_stresses,
+    stress_concentration_factor,
+    von_mises,
+)
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+def _uniaxial_field(mesh, strain=0.01):
+    """u_x = strain * x, u_y = -nu * strain * y: uniaxial stress state."""
+    u = np.zeros(mesh.n_dofs)
+    u[0::2] = strain * mesh.coords[:, 0]
+    u[1::2] = -MAT.nu * strain * mesh.coords[:, 1]
+    return u
+
+
+def test_uniaxial_stress_exact_q4():
+    mesh = structured_quad_mesh(3, 2)
+    u = _uniaxial_field(mesh)
+    sig = element_stresses(mesh, MAT, u)
+    expected_sxx = MAT.E * 0.01  # uniaxial: sigma_xx = E*eps
+    assert np.allclose(sig[:, 0], expected_sxx, rtol=1e-12)
+    assert np.allclose(sig[:, 1], 0.0, atol=1e-10)
+    assert np.allclose(sig[:, 2], 0.0, atol=1e-12)
+
+
+def test_uniaxial_stress_exact_t3():
+    mesh = structured_tri_mesh(3, 2)
+    u = _uniaxial_field(mesh)
+    sig = element_stresses(mesh, MAT, u)
+    assert np.allclose(sig[:, 0], MAT.E * 0.01, rtol=1e-12)
+
+
+def test_pure_shear():
+    mesh = structured_quad_mesh(2, 2)
+    gamma = 0.02
+    u = np.zeros(mesh.n_dofs)
+    u[0::2] = gamma * mesh.coords[:, 1]  # u_x = gamma*y
+    sig = element_stresses(mesh, MAT, u)
+    g = MAT.E / (2 * (1 + MAT.nu))
+    assert np.allclose(sig[:, 2], g * gamma, rtol=1e-12)
+    assert np.allclose(sig[:, 0], 0.0, atol=1e-10)
+
+
+def test_nodal_averaging_constant_field():
+    mesh = structured_quad_mesh(3, 3)
+    sig_e = np.tile([5.0, 1.0, 0.5], (mesh.n_elements, 1))
+    sig_n = nodal_stresses(mesh, sig_e)
+    assert np.allclose(sig_n, [5.0, 1.0, 0.5])
+
+
+def test_von_mises_known_values():
+    assert von_mises(np.array([1.0, 0.0, 0.0])) == pytest.approx(1.0)
+    assert von_mises(np.array([0.0, 0.0, 1.0])) == pytest.approx(np.sqrt(3))
+    assert von_mises(np.array([1.0, 1.0, 0.0])) == pytest.approx(1.0)
+
+
+def test_full_vector_required():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError, match="all DOFs"):
+        element_stresses(mesh, MAT, np.zeros(3))
+
+
+def test_unsupported_element_type():
+    from repro.fem.mesh import truss_mesh
+
+    with pytest.raises(ValueError, match="unsupported"):
+        element_stresses(truss_mesh(2), MAT, np.zeros(3))
+
+
+def test_scf_uniform_plate_is_one():
+    """No hole, uniform tension: SCF == 1."""
+    mesh = structured_quad_mesh(4, 4)
+    u = _uniaxial_field(mesh)
+    scf = stress_concentration_factor(mesh, MAT, u, far_field=MAT.E * 0.01)
+    assert scf == pytest.approx(1.0, rel=1e-10)
+
+
+def test_scf_perforated_plate_well_above_one():
+    """Central hole under tension concentrates stress (Kirsch: 3 for an
+    infinite plate; finite width and a coarse mesh give a lower but
+    clearly amplified value)."""
+    from repro.fem.assembly import assemble_matrix
+    from repro.fem.bc import apply_dirichlet, clamp_edge_dofs
+    from repro.fem.loads import edge_traction_load
+    from repro.fem.unstructured import perforated_plate
+
+    mesh = perforated_plate(nx=32, ny=16, lx=4.0, ly=2.0, hole_radius=0.25)
+    bc = clamp_edge_dofs(mesh, "left")
+    t = 1.0
+    f = edge_traction_load(mesh, "right", (t, 0.0))
+    k = assemble_matrix(mesh, MAT)
+    k_red, f_red = apply_dirichlet(k, f, bc)
+    u = bc.expand(np.linalg.solve(k_red.toarray(), f_red))
+    scf = stress_concentration_factor(mesh, MAT, u, far_field=t)
+    assert scf > 1.8
+
+
+def test_3d_uniaxial_stress_exact():
+    from repro.fem.stress import element_stresses_3d
+    from repro.fem.three_d import structured_hex_mesh
+
+    mat3 = Material(E=50.0, nu=0.0)
+    mesh = structured_hex_mesh(2, 2, 2)
+    strain = 0.01
+    u = np.zeros(mesh.n_dofs)
+    u[0::3] = strain * mesh.coords[:, 0]
+    sig = element_stresses_3d(mesh, mat3, u)
+    assert np.allclose(sig[:, 0], mat3.E * strain, rtol=1e-12)
+    assert np.allclose(sig[:, 1:], 0.0, atol=1e-10)
+
+
+def test_3d_von_mises_uniaxial():
+    sig = np.array([2.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    assert von_mises(sig) == pytest.approx(2.0)
+    # hydrostatic state has zero von Mises stress
+    hydro = np.array([3.0, 3.0, 3.0, 0.0, 0.0, 0.0])
+    assert von_mises(hydro) == pytest.approx(0.0)
+
+
+def test_von_mises_bad_width():
+    with pytest.raises(ValueError):
+        von_mises(np.zeros(4))
+
+
+def test_3d_wrong_mesh_type():
+    from repro.fem.stress import element_stresses_3d
+
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError, match="h8"):
+        element_stresses_3d(mesh, MAT, np.zeros(mesh.n_dofs))

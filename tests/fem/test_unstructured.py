@@ -1,0 +1,100 @@
+"""Unstructured Delaunay meshes and the full pipeline on them."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.bc import apply_dirichlet, clamp_edge_dofs
+from repro.fem.loads import edge_traction_load
+from repro.fem.material import Material
+from repro.fem.unstructured import delaunay_mesh, perforated_plate
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+def test_mesh_covers_domain_area():
+    mesh = delaunay_mesh(8, 6, lx=2.0, ly=1.5, jitter=0.2)
+    total = 0.0
+    for e in range(mesh.n_elements):
+        c = mesh.element_coords(e)
+        total += 0.5 * (
+            (c[1, 0] - c[0, 0]) * (c[2, 1] - c[0, 1])
+            - (c[2, 0] - c[0, 0]) * (c[1, 1] - c[0, 1])
+        )
+    assert total == pytest.approx(3.0, rel=1e-10)
+
+
+def test_all_triangles_counterclockwise():
+    mesh = delaunay_mesh(10, 10, jitter=0.3, seed=3)
+    for e in range(mesh.n_elements):
+        c = mesh.element_coords(e)
+        area2 = (c[1, 0] - c[0, 0]) * (c[2, 1] - c[0, 1]) - (
+            c[2, 0] - c[0, 0]
+        ) * (c[1, 1] - c[0, 1])
+        assert area2 > 0
+
+
+def test_boundary_points_preserved():
+    mesh = delaunay_mesh(6, 4, lx=3.0, ly=2.0, jitter=0.4, seed=1)
+    x, y = mesh.coords[:, 0], mesh.coords[:, 1]
+    assert np.isclose(x.min(), 0.0) and np.isclose(x.max(), 3.0)
+    # left edge still has ny+1 = 5 exactly-on-boundary nodes
+    assert np.count_nonzero(np.abs(x) < 1e-12) == 5
+
+
+def test_jitter_validation():
+    with pytest.raises(ValueError):
+        delaunay_mesh(4, 4, jitter=0.6)
+    with pytest.raises(ValueError):
+        delaunay_mesh(1, 4)
+
+
+def test_perforated_plate_removes_hole():
+    mesh = perforated_plate(nx=16, ny=8, hole_radius=0.25)
+    centroids = mesh.element_centroids()
+    d2 = (centroids[:, 0] - 1.0) ** 2 + (centroids[:, 1] - 0.5) ** 2
+    assert d2.min() > 0.25**2 * 0.4  # no element deep inside the hole
+
+
+def test_hole_too_big_rejected():
+    with pytest.raises(ValueError):
+        perforated_plate(hole_radius=0.6, ly=1.0)
+
+
+def test_unused_nodes_dropped():
+    mesh = perforated_plate(nx=20, ny=10, hole_radius=0.3)
+    used = np.unique(mesh.elements.ravel())
+    assert len(used) == mesh.n_nodes
+
+
+def test_assembled_system_spd_and_solvable():
+    mesh = perforated_plate(nx=16, ny=8, hole_radius=0.2)
+    bc = clamp_edge_dofs(mesh, "left")
+    f = edge_traction_load(mesh, "right", (1.0, 0.0))
+    k = assemble_matrix(mesh, MAT)
+    k_red, f_red = apply_dirichlet(k, f, bc)
+    evals = np.linalg.eigvalsh(k_red.toarray())
+    assert evals.min() > 0
+    u = np.linalg.solve(k_red.toarray(), f_red)
+    assert bc.expand(u)[0::2].max() > 0
+
+
+def test_full_edd_pipeline_on_perforated_plate():
+    """Unstructured non-convex domain through partition + EDD + GLS."""
+    from repro.core.distributed import build_edd_system
+    from repro.core.edd import edd_fgmres
+    from repro.partition.element_partition import ElementPartition
+    from repro.precond.gls import GLSPolynomial
+
+    mesh = perforated_plate(nx=16, ny=8, hole_radius=0.2)
+    bc = clamp_edge_dofs(mesh, "left")
+    f = edge_traction_load(mesh, "right", (1.0, 0.0))
+    part = ElementPartition.build(mesh, 4, method="greedy")
+    system = build_edd_system(mesh, MAT, bc, part, f)
+    res = edd_fgmres(system, GLSPolynomial.unit_interval(7, eps=1e-6), tol=1e-8)
+    assert res.converged
+    k = assemble_matrix(mesh, MAT)
+    k_red, f_red = apply_dirichlet(k, f, bc)
+    u_ref = np.linalg.solve(k_red.toarray(), f_red)
+    err = np.linalg.norm(res.x - u_ref) / np.linalg.norm(u_ref)
+    assert err < 1e-6

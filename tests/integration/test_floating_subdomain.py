@@ -1,0 +1,100 @@
+"""The paper's motivating failure case (Section 3.2.3): local ILU on a
+floating subdomain is singular; polynomial preconditioning is immune."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.element_partition import ElementPartition
+from repro.precond.base import SingularPreconditionerError
+from repro.precond.gls import GLSPolynomial
+from repro.precond.ilu import ilu0_factor
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+@pytest.fixture(scope="module")
+def floating_setup():
+    """4x1 cantilever clamped at the left, split into left/right halves:
+    the right subdomain has no Dirichlet DOF -> it floats."""
+    mesh = structured_quad_mesh(4, 1)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition(mesh, np.array([0, 0, 1, 1]), 2)
+    f = np.zeros(mesh.n_dofs)
+    f[-2] = 1.0
+    system = build_edd_system(mesh, MAT, bc, part, f)
+    return mesh, bc, part, system, f
+
+
+def test_right_subdomain_floats(floating_setup):
+    """Its local matrix keeps the 3 rigid-body modes -> singular."""
+    _, _, _, system, _ = floating_setup
+    # subdomain 1 is the unclamped right half (pre-scaling singularity is
+    # preserved by symmetric diagonal scaling)
+    a1 = system.a_local[1].toarray()
+    evals = np.linalg.eigvalsh(a1)
+    assert np.sum(np.abs(evals) < 1e-10 * np.abs(evals).max()) >= 3
+
+
+def test_local_ilu_breaks_down_single_element_subdomain():
+    """With a one-element floating subdomain the local pattern is dense, so
+    ILU(0) coincides with exact LU and must hit the singular pivot.  (On
+    larger floating subdomains the dropped fill can keep pivots nonzero —
+    the factorization then 'succeeds' but is meaningless, which is the
+    'occasionally suffers' wording of Section 3.2.3.)"""
+    mesh = structured_quad_mesh(2, 1)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition(mesh, np.array([0, 1]), 2)
+    f = np.zeros(mesh.n_dofs)
+    system = build_edd_system(mesh, MAT, bc, part, f)
+    with pytest.raises(SingularPreconditionerError):
+        ilu0_factor(system.a_local[1])
+
+
+def test_local_ilu_on_larger_floating_subdomain_is_unreliable(floating_setup):
+    """Even when the incomplete factorization of the singular local matrix
+    completes, applying it amplifies the rigid-body modes instead of
+    approximating an inverse."""
+    _, _, _, system, _ = floating_setup
+    from repro.precond.ilu import ILU0Preconditioner
+
+    try:
+        ilu = ILU0Preconditioner(system.a_local[1])
+    except SingularPreconditionerError:
+        return  # breakdown is the expected paper behaviour; done
+    a1 = system.a_local[1].toarray()
+    v = np.ones(a1.shape[0])
+    z = ilu.apply(v)
+    # A singular matrix has no inverse; the 'preconditioned' residual
+    # cannot be uniformly small.
+    assert np.linalg.norm(v - a1 @ z) > 1e-3 * np.linalg.norm(v)
+
+
+def test_left_subdomain_is_fine(floating_setup):
+    """The clamped half factors without trouble — the failure is really
+    about missing Dirichlet support, not ILU itself."""
+    _, _, _, system, _ = floating_setup
+    lu = ilu0_factor(system.a_local[0])
+    assert lu.nnz == system.a_local[0].nnz
+
+
+def test_polynomial_preconditioner_unaffected(floating_setup):
+    """GLS never touches local matrices alone — the solve converges to the
+    true solution despite the floating subdomain."""
+    mesh, bc, part, system, f = floating_setup
+    res = edd_fgmres(
+        system, GLSPolynomial.unit_interval(7, eps=1e-6), tol=1e-10
+    )
+    assert res.converged
+    # reference from the assembled reduced system
+    from repro.fem.assembly import assemble_matrix
+    from repro.fem.bc import apply_dirichlet
+
+    k = assemble_matrix(mesh, MAT)
+    k_red, f_red = apply_dirichlet(k, f, bc)
+    u_ref = np.linalg.solve(k_red.toarray(), f_red)
+    assert np.allclose(res.x, u_ref, rtol=1e-6, atol=1e-12)

@@ -1,0 +1,51 @@
+"""Randomized end-to-end property: for arbitrary small meshes, partition
+counts, degrees and variants, the distributed solve equals the direct one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.fem.cantilever import cantilever_problem
+from repro.partition.element_partition import ElementPartition
+from repro.precond.gls import GLSPolynomial
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nx=st.integers(2, 6),
+    ny=st.integers(1, 4),
+    n_parts=st.integers(1, 4),
+    degree=st.integers(0, 8),
+    variant=st.sampled_from(["basic", "enhanced"]),
+    orth=st.sampled_from(["cgs", "mgs"]),
+)
+def test_edd_equals_direct_for_any_configuration(
+    nx, ny, n_parts, degree, variant, orth
+):
+    n_parts = min(n_parts, nx * ny)
+    problem = cantilever_problem(nx=nx, ny=ny)
+    part = ElementPartition.build(problem.mesh, n_parts)
+    system = build_edd_system(
+        problem.mesh,
+        problem.material,
+        problem.bc,
+        part,
+        problem.bc.expand(problem.load),
+    )
+    pre = GLSPolynomial.unit_interval(degree, eps=1e-6) if degree else None
+    res = edd_fgmres(
+        system,
+        pre,
+        tol=1e-9,
+        restart=60,
+        max_iter=5000,
+        variant=variant,
+        orthogonalization=orth,
+    )
+    assert res.converged
+    u_ref = np.linalg.solve(problem.stiffness.toarray(), problem.load)
+    err = np.linalg.norm(res.x - u_ref) / np.linalg.norm(u_ref)
+    assert err < 1e-6

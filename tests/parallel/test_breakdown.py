@@ -1,0 +1,53 @@
+"""Modeled-time breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import (
+    SGI_ORIGIN,
+    MachineModel,
+    modeled_time,
+    time_breakdown,
+)
+from repro.parallel.stats import CommStats
+
+
+def _stats(flops=0, msgs=0, words=0, reds=0, red_words=0, p=4):
+    cs = CommStats(p)
+    for r in cs.ranks:
+        r.flops = flops
+        r.nbr_messages = msgs
+        r.nbr_words = words
+        r.reductions = reds
+        r.reduction_words = red_words
+    return cs
+
+
+def test_components_sum_to_total():
+    cs = _stats(flops=10_000, msgs=5, words=300, reds=7, red_words=14)
+    bd = time_breakdown(cs, SGI_ORIGIN)
+    assert bd["total"] == pytest.approx(
+        bd["compute"] + bd["p2p"] + bd["reduction"]
+    )
+    assert bd["total"] == pytest.approx(modeled_time(cs, SGI_ORIGIN))
+
+
+def test_pure_compute():
+    m = MachineModel("t", 1e6, 1e-3, 1e6, 1e-3)
+    bd = time_breakdown(_stats(flops=2_000_000), m)
+    assert bd["compute"] == pytest.approx(2.0)
+    assert bd["p2p"] == 0.0
+    assert bd["reduction"] == 0.0
+
+
+def test_pure_p2p():
+    m = MachineModel("t", 1e6, latency=1e-3, bandwidth=8e6, reduce_latency=0)
+    bd = time_breakdown(_stats(msgs=10, words=1000), m)
+    assert bd["p2p"] == pytest.approx(10 * 1e-3 + 8000 / 8e6)
+    assert bd["compute"] == 0.0
+
+
+def test_reduction_counts_tree_hops():
+    m = MachineModel("t", 1e6, 0, 1e12, reduce_latency=1e-6)
+    bd = time_breakdown(_stats(reds=5, red_words=5, p=8), m)
+    assert bd["reduction"] == pytest.approx(5 * 3e-6, rel=1e-3)

@@ -1,0 +1,90 @@
+"""Machine models and modeled time/speedup."""
+
+import math
+
+import pytest
+
+from repro.parallel.machine import (
+    IBM_SP2,
+    SGI_ORIGIN,
+    MachineModel,
+    modeled_time,
+    speedup,
+)
+from repro.parallel.stats import CommStats
+
+
+def make_stats(n_ranks, flops, msgs=0, words=0, reds=0, red_words=0):
+    cs = CommStats(n_ranks)
+    for r in cs.ranks:
+        r.flops = flops
+        r.nbr_messages = msgs
+        r.nbr_words = words
+        r.reductions = reds
+        r.reduction_words = red_words
+    return cs
+
+
+def test_compute_only_time():
+    m = MachineModel("t", flop_rate=1e6, latency=0, bandwidth=1e9, reduce_latency=0)
+    cs = make_stats(1, flops=2_000_000)
+    assert modeled_time(cs, m) == pytest.approx(2.0)
+
+
+def test_message_time_latency_plus_bandwidth():
+    m = MachineModel("t", 1e6, latency=1e-3, bandwidth=8e3, reduce_latency=0)
+    # one message of 10 words = 80 bytes: 1ms + 10ms
+    assert m.msg_time(10) == pytest.approx(0.011)
+
+
+def test_reduce_time_log2_tree():
+    m = MachineModel("t", 1e6, 0, 1e12, reduce_latency=1e-6)
+    assert m.reduce_time(1) == 0.0
+    assert m.reduce_time(8) == pytest.approx(3e-6, rel=1e-3)
+    assert m.reduce_time(5) == pytest.approx(3e-6, rel=1e-3)  # ceil(log2 5)=3
+
+
+def test_modeled_time_uses_busiest_rank():
+    m = MachineModel("t", 1e6, 0, 1e12, 0)
+    cs = make_stats(2, flops=100)
+    cs.ranks[1].flops = 1_000_000
+    assert modeled_time(cs, m) == pytest.approx(1.0)
+
+
+def test_speedup_perfect_when_no_comm():
+    m = MachineModel("t", 1e6, 0, 1e12, 0)
+    seq = make_stats(1, flops=8_000)
+    par = make_stats(8, flops=1_000)
+    assert speedup(seq, par, m) == pytest.approx(8.0)
+
+
+def test_speedup_degrades_with_latency():
+    m = MachineModel("t", 1e6, latency=1e-3, bandwidth=1e12, reduce_latency=0)
+    seq = make_stats(1, flops=8_000)
+    par = make_stats(8, flops=1_000, msgs=10)
+    assert speedup(seq, par, m) < 1.0  # latency dominates this tiny problem
+
+
+def test_origin_faster_than_sp2_on_comm_bound_run():
+    """The Fig. 17(e) contrast: same counters, Origin's cheap messaging wins."""
+    seq = make_stats(1, flops=1_000_000)
+    par = make_stats(8, flops=125_000, msgs=200, words=2_000, reds=100)
+    assert speedup(seq, par, SGI_ORIGIN) > speedup(seq, par, IBM_SP2)
+
+
+def test_speedup_rejects_empty_parallel_run():
+    m = MachineModel("t", 1e6, 0, 1e12, 0)
+    seq = make_stats(1, flops=100)
+    par = make_stats(2, flops=0)
+    with pytest.raises(ValueError):
+        speedup(seq, par, m)
+
+
+def test_machines_registry():
+    from repro.parallel.machine import MACHINES
+
+    assert MACHINES["sp2"] is IBM_SP2
+    assert MACHINES["origin"] is SGI_ORIGIN
+    # the qualitative calibration the experiments rely on
+    assert IBM_SP2.latency > SGI_ORIGIN.latency
+    assert IBM_SP2.bandwidth < SGI_ORIGIN.bandwidth

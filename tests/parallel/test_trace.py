@@ -1,0 +1,81 @@
+"""Message-trace validation: the symmetry a correct MPI exchange must have."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistVector
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh
+from repro.parallel.comm import VirtualComm
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+
+MAT = Material(E=100.0, nu=0.3)
+
+
+@pytest.fixture
+def traced_comm():
+    mesh = structured_quad_mesh(4, 4)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition.build(mesh, 4)
+    submap = build_subdomain_map(mesh, part, bc)
+    return VirtualComm(submap, trace=True), submap
+
+
+def test_trace_disabled_by_default(traced_comm):
+    _, submap = traced_comm
+    comm = VirtualComm(submap)
+    comm.interface_assemble([np.zeros(n) for n in submap.local_sizes])
+    assert comm.message_log == []
+
+
+def test_interface_messages_pairwise_symmetric(traced_comm):
+    """For every message s -> t there is a t -> s message of equal size —
+    interface sharing is symmetric by construction."""
+    comm, submap = traced_comm
+    comm.interface_assemble([np.zeros(n) for n in submap.local_sizes])
+    log = set(comm.message_log)
+    assert log
+    for s, t, words in log:
+        assert (t, s, words) in log
+
+
+def test_no_self_messages(traced_comm):
+    comm, submap = traced_comm
+    comm.interface_assemble([np.zeros(n) for n in submap.local_sizes])
+    assert all(s != t for s, t, _ in comm.message_log)
+
+
+def test_message_sizes_match_shared_dofs(traced_comm):
+    comm, submap = traced_comm
+    comm.interface_assemble([np.zeros(n) for n in submap.local_sizes])
+    for s, t, words in comm.message_log:
+        assert words == len(submap.shared[s][t])
+
+
+def test_log_accumulates_per_collective(traced_comm):
+    comm, submap = traced_comm
+    parts = [np.zeros(n) for n in submap.local_sizes]
+    comm.interface_assemble(parts)
+    n1 = len(comm.message_log)
+    comm.interface_assemble(parts)
+    assert len(comm.message_log) == 2 * n1
+
+
+def test_halo_exchange_traced():
+    from repro.core.rdd import build_rdd_system
+    from repro.fem.cantilever import cantilever_problem
+    from repro.partition.node_partition import NodePartition
+
+    p = cantilever_problem(nx=4, ny=3)
+    part = NodePartition.build(p.mesh, 3)
+    system = build_rdd_system(p.mesh, p.bc, part, p.stiffness, p.load)
+    system.comm.trace = True
+    x = [np.zeros(len(o)) for o in system.own]
+    system.comm.halo_exchange(x, system.plan)
+    log = system.comm.message_log
+    assert log
+    # every message's words match the plan's send list
+    for s, t, words in log:
+        assert words == len(system.plan[s][t][0])

@@ -1,0 +1,65 @@
+"""Mesh connectivity graphs."""
+
+import networkx as nx
+import numpy as np
+
+from repro.fem.mesh import structured_quad_mesh, structured_tri_mesh, truss_mesh
+from repro.partition.dual_graph import (
+    element_dual_graph,
+    interface_nodes,
+    node_graph,
+)
+
+
+def test_quad_dual_graph_is_grid():
+    mesh = structured_quad_mesh(3, 2)
+    g = element_dual_graph(mesh)
+    assert g.number_of_nodes() == 6
+    # 3x2 element grid: 2*(3-1) + 3*(2-1) edge-adjacencies... rows: per row
+    # nx-1 horizontal pairs x ny rows + nx vertical pairs x (ny-1)
+    assert g.number_of_edges() == 2 * 2 + 3 * 1
+
+
+def test_dual_graph_connected():
+    g = element_dual_graph(structured_quad_mesh(5, 4))
+    assert nx.is_connected(g)
+
+
+def test_tri_dual_graph_excludes_corner_contact():
+    """Triangles sharing only one node are not dual-adjacent."""
+    mesh = structured_tri_mesh(2, 1)
+    g = element_dual_graph(mesh)
+    # 4 triangles; each quad's pair shares the diagonal; neighbours across
+    # the vertical midline share an edge.
+    assert g.number_of_nodes() == 4
+    for u, v in g.edges:
+        shared = set(mesh.elements[u]) & set(mesh.elements[v])
+        assert len(shared) >= 2
+
+
+def test_truss_dual_uses_single_shared_node():
+    g = element_dual_graph(truss_mesh(4))
+    assert g.number_of_edges() == 3  # chain
+
+
+def test_node_graph_matches_matrix_adjacency():
+    mesh = structured_quad_mesh(2, 2)
+    g = node_graph(mesh)
+    # interior node (4) is connected to all others in its 4 elements: all 8
+    assert g.degree[4] == 8
+    assert nx.is_connected(g)
+
+
+def test_interface_nodes_strip_partition():
+    mesh = structured_quad_mesh(4, 1, lx=4.0)
+    parts = np.array([0, 0, 1, 1])
+    iface = interface_nodes(mesh, parts)
+    # boundary between elements 1 and 2 at x=2: one node per mesh row
+    xs = mesh.coords[iface, 0]
+    assert np.allclose(xs, 2.0)
+    assert len(iface) == 2
+
+
+def test_interface_nodes_empty_for_single_part():
+    mesh = structured_quad_mesh(3, 3)
+    assert len(interface_nodes(mesh, np.zeros(9, dtype=int))) == 0

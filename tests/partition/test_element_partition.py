@@ -1,0 +1,53 @@
+"""Element-based (EDD) partitions."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.element_partition import ElementPartition
+
+
+def test_build_rcb_balanced():
+    mesh = structured_quad_mesh(8, 4)
+    part = ElementPartition.build(mesh, 4)
+    assert np.array_equal(part.sizes(), [8, 8, 8, 8])
+    assert part.imbalance() == 1.0
+
+
+def test_build_greedy():
+    mesh = structured_quad_mesh(6, 6)
+    part = ElementPartition.build(mesh, 3, method="greedy")
+    sizes = part.sizes()
+    assert sizes.sum() == 36
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_unknown_method():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError):
+        ElementPartition.build(mesh, 2, method="metis")
+
+
+def test_subdomain_elements_cover_all():
+    mesh = structured_quad_mesh(5, 3)
+    part = ElementPartition.build(mesh, 3)
+    all_elems = np.concatenate(
+        [part.subdomain_elements(s) for s in range(3)]
+    )
+    assert np.array_equal(np.sort(all_elems), np.arange(15))
+
+
+def test_interface_nodes_on_strip():
+    mesh = structured_quad_mesh(4, 4, lx=4.0, ly=4.0)
+    part = ElementPartition(mesh, np.repeat([0, 1], 8), 2)
+    iface = part.interface_nodes()
+    assert np.allclose(mesh.coords[iface, 1], 2.0)
+    assert len(iface) == 5
+
+
+def test_validation():
+    mesh = structured_quad_mesh(2, 2)
+    with pytest.raises(ValueError, match="one part index"):
+        ElementPartition(mesh, np.zeros(3, dtype=int), 1)
+    with pytest.raises(ValueError, match="out of range"):
+        ElementPartition(mesh, np.array([0, 0, 0, 5]), 2)

@@ -1,0 +1,56 @@
+"""Greedy graph-growing partitioner."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.dual_graph import element_dual_graph
+from repro.partition.greedy import greedy_graph_partition
+
+
+def test_balanced_on_path_graph():
+    g = nx.path_graph(9)
+    parts = greedy_graph_partition(g, 3)
+    assert np.array_equal(np.bincount(parts), [3, 3, 3])
+
+
+def test_parts_contiguous_on_mesh():
+    mesh = structured_quad_mesh(6, 4)
+    g = element_dual_graph(mesh)
+    parts = greedy_graph_partition(g, 4)
+    for p in range(4):
+        sub = g.subgraph(np.flatnonzero(parts == p).tolist())
+        assert nx.is_connected(sub)
+
+
+def test_quota_distribution_non_divisible():
+    g = nx.path_graph(10)
+    parts = greedy_graph_partition(g, 3)
+    sizes = np.bincount(parts, minlength=3)
+    assert sizes.sum() == 10
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_single_part():
+    g = nx.cycle_graph(5)
+    assert np.all(greedy_graph_partition(g, 1) == 0)
+
+
+def test_vertex_labels_must_be_range():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    with pytest.raises(ValueError):
+        greedy_graph_partition(g, 2)
+
+
+def test_too_many_parts():
+    with pytest.raises(ValueError):
+        greedy_graph_partition(nx.path_graph(2), 3)
+
+
+def test_deterministic():
+    g = element_dual_graph(structured_quad_mesh(5, 5))
+    a = greedy_graph_partition(g, 5)
+    b = greedy_graph_partition(g, 5)
+    assert np.array_equal(a, b)

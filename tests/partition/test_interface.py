@@ -1,0 +1,85 @@
+"""Subdomain maps: the B_s operators and the interface exchange plan."""
+
+import numpy as np
+import pytest
+
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+
+
+@pytest.fixture
+def strip_case():
+    mesh = structured_quad_mesh(4, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition(mesh, np.array([0, 0, 1, 1] * 2), 2)
+    return mesh, bc, build_subdomain_map(mesh, part, bc)
+
+
+def test_multiplicity_interior_one_interface_two(strip_case):
+    _, _, submap = strip_case
+    assert submap.multiplicity.min() == 1
+    assert submap.multiplicity.max() == 2
+    # interface at x=2: 3 nodes x 2 dofs
+    assert len(submap.interface_dofs()) == 6
+
+
+def test_l2g_sorted_and_in_range(strip_case):
+    _, bc, submap = strip_case
+    for g in submap.l2g:
+        assert np.all(np.diff(g) > 0)
+        assert g.min() >= 0 and g.max() < bc.n_free
+
+
+def test_shared_lists_symmetric(strip_case):
+    _, _, submap = strip_case
+    assert submap.neighbors(0) == [1]
+    assert submap.neighbors(1) == [0]
+    assert len(submap.shared[0][1]) == len(submap.shared[1][0]) == 6
+    assert submap.exchange_words(0) == 6
+
+
+def test_shared_local_indices_map_to_same_globals(strip_case):
+    _, _, submap = strip_case
+    g0 = submap.l2g[0][submap.shared[0][1]]
+    g1 = submap.l2g[1][submap.shared[1][0]]
+    assert np.array_equal(np.sort(g0), np.sort(g1))
+
+
+def test_restrict_assemble_roundtrip(strip_case):
+    """assemble(ownership-masked restrict(x)) == x, and
+    assemble(restrict(x)) counts interface dofs with multiplicity."""
+    _, bc, submap = strip_case
+    x = np.random.default_rng(0).standard_normal(bc.n_free)
+    parts = submap.restrict(x)
+    assembled = submap.assemble(parts)
+    assert np.allclose(assembled, submap.multiplicity * x)
+
+
+def test_uncovered_dof_rejected():
+    mesh = structured_quad_mesh(2, 1)
+    bc = clamp_edge_dofs(mesh, "left")
+    # assign both elements to part 0 of a claimed 2-part partition: part 1
+    # covers nothing, but all dofs are still covered -> fine
+    part = ElementPartition(mesh, np.array([0, 0]), 2)
+    with pytest.raises(ValueError):
+        # part 1 has no elements -> its l2g is empty, but coverage of free
+        # dofs is complete, so instead check multiplicty path via an
+        # artificial bc that frees a node no element covers.
+        from repro.fem.bc import DirichletBC
+
+        bad_bc = DirichletBC(mesh.n_dofs + 2, np.array([0]))
+        build_subdomain_map(mesh, part, bad_bc)
+
+
+def test_four_way_corner_sharing():
+    """2x2 partition of a 2x2 mesh: the centre node is shared by all four."""
+    mesh = structured_quad_mesh(2, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition(mesh, np.array([0, 1, 2, 3]), 4)
+    submap = build_subdomain_map(mesh, part, bc)
+    assert submap.multiplicity.max() == 4
+    # every subdomain neighbours every other through the centre node
+    for s in range(4):
+        assert len(submap.neighbors(s)) == 3

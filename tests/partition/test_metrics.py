@@ -1,0 +1,68 @@
+"""Partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.mesh import structured_quad_mesh
+from repro.partition.dual_graph import element_dual_graph
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+from repro.partition.metrics import edge_cut, partition_metrics
+
+
+def _submap(nx, ny, parts_array, p):
+    mesh = structured_quad_mesh(nx, ny)
+    bc = clamp_edge_dofs(mesh, "left")
+    part = ElementPartition(mesh, parts_array, p)
+    return mesh, build_subdomain_map(mesh, part, bc)
+
+
+def test_strip_partition_metrics():
+    mesh, submap = _submap(4, 2, np.array([0, 0, 1, 1] * 2), 2)
+    m = partition_metrics(submap)
+    assert m.n_parts == 2
+    assert m.max_neighbors == 1
+    assert m.avg_neighbors == 1.0
+    # interface: 3 nodes x 2 dofs of 44 free dofs... count directly
+    iface = np.count_nonzero(submap.multiplicity >= 2)
+    assert m.interface_fraction == pytest.approx(iface / submap.n_global)
+    assert m.total_shared_words == 2 * iface  # each side sends the iface
+
+
+def test_imbalance_modest_for_equal_strips():
+    # Equal element counts, but the clamped edge removes DOFs from the
+    # left strip only, so a mild DOF imbalance remains.
+    _, submap = _submap(4, 2, np.array([0, 0, 1, 1] * 2), 2)
+    m = partition_metrics(submap)
+    assert 1.0 <= m.imbalance <= 1.3
+
+
+def test_quarter_partition_more_neighbors():
+    mesh = structured_quad_mesh(4, 4)
+    bc = clamp_edge_dofs(mesh, "left")
+    parts = np.zeros(16, dtype=int)
+    for e in range(16):
+        col, row = e % 4, e // 4
+        parts[e] = (1 if col >= 2 else 0) + 2 * (1 if row >= 2 else 0)
+    part = ElementPartition(mesh, parts, 4)
+    submap = build_subdomain_map(mesh, part, bc)
+    m = partition_metrics(submap)
+    assert m.max_neighbors == 3  # corner sharing connects all quadrants
+
+
+def test_edge_cut_counts_crossings():
+    mesh = structured_quad_mesh(4, 1)
+    g = element_dual_graph(mesh)
+    assert edge_cut(np.array([0, 0, 1, 1]), g) == 1
+    assert edge_cut(np.array([0, 1, 0, 1]), g) == 3
+    assert edge_cut(np.zeros(4, dtype=int), g) == 0
+
+
+def test_rcb_cut_no_worse_than_stripes_on_square():
+    """RCB (block-wise) cuts fewer dual edges than 1-element stripes."""
+    mesh = structured_quad_mesh(8, 8)
+    g = element_dual_graph(mesh)
+    rcb = ElementPartition.build(mesh, 8, "rcb").parts
+    stripes = np.arange(64) % 8  # pathological round-robin
+    assert edge_cut(rcb, g) < edge_cut(stripes, g)

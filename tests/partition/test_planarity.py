@@ -1,0 +1,42 @@
+"""Section 5's planarity remark.
+
+The paper's footnote: "In finite element analysis, G(K) is planar for a
+3-noded triangular element" — and the text argues that higher-order
+elements (4-noded quadrilaterals etc.) make G(K) non-planar, degrading the
+scalability of row-based sparse matvec.  networkx can check this exactly.
+"""
+
+import networkx as nx
+
+from repro.fem.mesh import structured_quad_mesh, structured_tri_mesh
+from repro.partition.dual_graph import node_graph
+
+
+def test_t3_node_graph_is_planar():
+    mesh = structured_tri_mesh(6, 4)
+    planar, _ = nx.check_planarity(node_graph(mesh))
+    assert planar
+
+
+def test_q4_node_graph_is_not_planar():
+    """Q4 couples all 4 nodes of each cell pairwise; adjacent cells create
+    K5/K3,3 minors."""
+    mesh = structured_quad_mesh(6, 4)
+    planar, _ = nx.check_planarity(node_graph(mesh))
+    assert not planar
+
+
+def test_single_q4_element_still_planar():
+    """One quad alone (a 4-clique) is planar; non-planarity emerges from
+    the assembled mesh."""
+    mesh = structured_quad_mesh(1, 1)
+    planar, _ = nx.check_planarity(node_graph(mesh))
+    assert planar
+
+
+def test_h8_node_graph_not_planar():
+    from repro.fem.three_d import structured_hex_mesh
+
+    mesh = structured_hex_mesh(2, 2, 2)
+    planar, _ = nx.check_planarity(node_graph(mesh))
+    assert not planar

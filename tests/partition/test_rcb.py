@@ -1,0 +1,87 @@
+"""Recursive coordinate bisection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.rcb import recursive_coordinate_bisection
+
+
+def _grid_points(nx, ny):
+    xx, yy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    return np.column_stack([xx.ravel(), yy.ravel()]).astype(float)
+
+
+def test_two_parts_split_longest_axis():
+    pts = _grid_points(8, 2)
+    parts = recursive_coordinate_bisection(pts, 2)
+    # longest axis is x: left half part 0, right half part 1
+    left = pts[parts == 0][:, 0]
+    right = pts[parts == 1][:, 0]
+    assert left.max() < right.min()
+
+
+def test_balanced_power_of_two():
+    pts = _grid_points(8, 8)
+    parts = recursive_coordinate_bisection(pts, 4)
+    sizes = np.bincount(parts)
+    assert np.array_equal(sizes, [16, 16, 16, 16])
+
+
+def test_non_power_of_two_balanced():
+    pts = _grid_points(9, 7)
+    parts = recursive_coordinate_bisection(pts, 3)
+    sizes = np.bincount(parts, minlength=3)
+    assert sizes.max() - sizes.min() <= 1
+    assert sizes.sum() == 63
+
+
+def test_single_part():
+    pts = _grid_points(3, 3)
+    parts = recursive_coordinate_bisection(pts, 1)
+    assert np.all(parts == 0)
+
+
+def test_deterministic():
+    pts = _grid_points(10, 10)
+    a = recursive_coordinate_bisection(pts, 8)
+    b = recursive_coordinate_bisection(pts, 8)
+    assert np.array_equal(a, b)
+
+
+def test_more_parts_than_points_rejected():
+    with pytest.raises(ValueError):
+        recursive_coordinate_bisection(np.zeros((2, 2)), 3)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        recursive_coordinate_bisection(np.zeros((4, 2)), 0)
+    with pytest.raises(ValueError):
+        recursive_coordinate_bisection(np.zeros(4), 2)
+
+
+def test_coincident_points_still_partition():
+    pts = np.zeros((10, 2))
+    parts = recursive_coordinate_bisection(pts, 5)
+    assert np.array_equal(np.bincount(parts), [2] * 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    p=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_partition_complete_and_balanced(n, p, seed):
+    """Property: every point assigned, sizes within one per level."""
+    if p > n:
+        p = n
+    pts = np.random.default_rng(seed).random((n, 2))
+    parts = recursive_coordinate_bisection(pts, p)
+    sizes = np.bincount(parts, minlength=p)
+    assert sizes.sum() == n
+    assert (sizes > 0).all()
+    # proportional splitting keeps imbalance small
+    assert sizes.max() - sizes.min() <= max(2, n // p)

@@ -1,0 +1,85 @@
+"""Recursive spectral bisection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.fem.mesh import structured_quad_mesh
+from repro.fem.unstructured import perforated_plate
+from repro.partition.dual_graph import element_dual_graph
+from repro.partition.element_partition import ElementPartition
+from repro.partition.metrics import edge_cut
+from repro.partition.spectral import spectral_bisection_partition
+
+
+def test_path_graph_halves():
+    g = nx.path_graph(10)
+    parts = spectral_bisection_partition(g, 2)
+    # the Fiedler vector of a path is monotone: perfect halves, 1 cut edge
+    assert np.bincount(parts).tolist() == [5, 5]
+    assert edge_cut(parts, g) == 1
+
+
+def test_balanced_on_mesh():
+    g = element_dual_graph(structured_quad_mesh(8, 8))
+    parts = spectral_bisection_partition(g, 4)
+    sizes = np.bincount(parts, minlength=4)
+    assert sizes.sum() == 64
+    assert sizes.max() - sizes.min() <= 2
+
+
+def test_non_power_of_two():
+    g = element_dual_graph(structured_quad_mesh(6, 5))
+    parts = spectral_bisection_partition(g, 3)
+    sizes = np.bincount(parts, minlength=3)
+    assert sizes.sum() == 30
+    assert sizes.max() - sizes.min() <= 2
+
+
+def test_cut_quality_on_square():
+    """Spectral bisection of a square dual grid cuts along a straight
+    line: the cut must be near-minimal (~side length)."""
+    g = element_dual_graph(structured_quad_mesh(10, 10))
+    parts = spectral_bisection_partition(g, 2)
+    assert edge_cut(parts, g) <= 14  # minimum is 10
+
+
+def test_deterministic():
+    g = element_dual_graph(structured_quad_mesh(6, 6))
+    a = spectral_bisection_partition(g, 4)
+    b = spectral_bisection_partition(g, 4)
+    assert np.array_equal(a, b)
+
+
+def test_validation():
+    g = nx.path_graph(4)
+    with pytest.raises(ValueError):
+        spectral_bisection_partition(g, 0)
+    with pytest.raises(ValueError):
+        spectral_bisection_partition(g, 5)
+    h = nx.Graph()
+    h.add_edge("a", "b")
+    with pytest.raises(ValueError):
+        spectral_bisection_partition(h, 2)
+
+
+def test_full_pipeline_with_spectral_partition():
+    from repro.core.driver import solve_cantilever
+    from repro.fem.cantilever import cantilever_problem
+
+    p = cantilever_problem(nx=6, ny=3)
+    s = solve_cantilever(
+        p, n_parts=4, precond="gls(5)", partition_method="spectral", tol=1e-8
+    )
+    assert s.result.converged
+    u_ref = np.linalg.solve(p.stiffness.toarray(), p.load)
+    err = np.linalg.norm(s.result.x - u_ref) / np.linalg.norm(u_ref)
+    assert err < 1e-6
+
+
+def test_unstructured_plate_partition():
+    mesh = perforated_plate(nx=16, ny=8, hole_radius=0.2)
+    part = ElementPartition.build(mesh, 4, method="spectral")
+    sizes = part.sizes()
+    assert sizes.sum() == mesh.n_elements
+    assert sizes.max() - sizes.min() <= max(2, mesh.n_elements // 50)

@@ -1,0 +1,73 @@
+"""Chebyshev polynomial preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.precond.chebyshev import ChebyshevPolynomial
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_residual_equioscillates_on_interval():
+    """The Chebyshev residual attains its max with alternating signs."""
+    th = SpectrumIntervals.single(0.2, 1.0)
+    c = ChebyshevPolynomial(th, 5)
+    lam = np.linspace(0.2, 1.0, 2001)
+    r = c.residual(lam)
+    peak = np.max(np.abs(r))
+    # residual bounded by 1/T_m(center) and hits it at both ends
+    assert np.isclose(np.abs(r[0]), peak, rtol=1e-6)
+    assert np.isclose(np.abs(r[-1]), peak, rtol=1e-6)
+
+
+def test_minimax_beats_gls_sup_norm():
+    """Chebyshev minimizes the sup norm, GLS the weighted L2 norm — so on
+    the sup norm metric Chebyshev must win (or tie) at equal degree."""
+    from repro.precond.gls import GLSPolynomial
+
+    th = SpectrumIntervals.single(0.1, 1.0)
+    m = 8
+    grid = th.sample(500)
+    cheb = np.max(np.abs(ChebyshevPolynomial(th, m).residual(grid)))
+    gls = np.max(np.abs(GLSPolynomial(th, m).residual(grid)))
+    assert cheb <= gls * (1 + 1e-9)
+
+
+def test_matvec_count_is_degree():
+    calls = []
+
+    def mv(v):
+        calls.append(1)
+        return 0.3 * v
+
+    ChebyshevPolynomial(SpectrumIntervals.single(0.1, 1.0), 6).apply_linear(
+        mv, np.ones(3)
+    )
+    assert len(calls) == 6
+
+
+def test_power_coefficients_consistent():
+    c = ChebyshevPolynomial(SpectrumIntervals.single(0.2, 0.9), 5)
+    lam = np.linspace(0.2, 0.9, 9)
+    assert np.allclose(
+        np.polynomial.Polynomial(c.power_coefficients())(lam), c.evaluate(lam)
+    )
+
+
+def test_union_rejected():
+    with pytest.raises(ValueError, match="single interval"):
+        ChebyshevPolynomial(SpectrumIntervals([(-2, -1), (1, 2)]), 4)
+
+
+def test_nonpositive_interval_rejected():
+    with pytest.raises(ValueError, match="positive"):
+        ChebyshevPolynomial(SpectrumIntervals([(-2.0, -1.0)]), 4)
+
+
+def test_residual_shrinks_with_degree():
+    th = SpectrumIntervals.single(0.15, 1.0)
+    grid = th.sample(300)
+    sups = [
+        np.max(np.abs(ChebyshevPolynomial(th, m).residual(grid)))
+        for m in (2, 4, 8, 12)
+    ]
+    assert all(b < a for a, b in zip(sups, sups[1:]))

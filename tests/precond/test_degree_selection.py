@@ -1,0 +1,99 @@
+"""A-priori degree selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import build_edd_system
+from repro.core.edd import edd_fgmres
+from repro.fem.cantilever import cantilever_problem
+from repro.parallel.machine import SGI_ORIGIN, modeled_time
+from repro.partition.element_partition import ElementPartition
+from repro.precond.degree_selection import (
+    choose_degree,
+    choose_degree_for_system,
+    estimate_degree_cost,
+)
+from repro.precond.gls import GLSPolynomial
+from repro.spectrum.intervals import SpectrumIntervals
+
+# A Lanczos-informed window (matching Mesh2-like spectra after scaling);
+# the universal (1e-6, 1) window works too but its huge kappa makes every
+# degree look iteration-starved and the optimum runs off to high degrees.
+THETA = SpectrumIntervals.single(2e-3, 0.95)
+ARGS = dict(
+    tol=1e-6,
+    machine=SGI_ORIGIN,
+    nnz_per_rank=5_000,
+    n_per_rank=400,
+    exchange_words=60,
+    n_neighbors=2,
+    n_ranks=8,
+)
+
+
+def test_iterations_decrease_with_degree():
+    ests = [estimate_degree_cost(THETA, m, **ARGS) for m in (1, 4, 8)]
+    iters = [e.iterations for e in ests]
+    assert iters[0] > iters[1] > iters[2]
+    kappas = [e.kappa for e in ests]
+    assert kappas[0] > kappas[1] > kappas[2]
+
+
+def test_choose_degree_interior_optimum():
+    """The predicted optimum is interior: neither degree 1 (too many
+    iterations) nor a huge degree (iteration count saturates while cost
+    per iteration keeps growing)."""
+    best, ests = choose_degree(THETA, candidates=tuple(range(1, 31)), **ARGS)
+    assert 3 < best < 28
+    by_degree = {e.degree: e.time for e in ests}
+    assert by_degree[30] > by_degree[best]
+    assert by_degree[1] > by_degree[best]
+
+
+def test_prediction_ranks_real_runs():
+    """The predictive ranking must agree with measured modeled times on a
+    real system for well-separated candidates."""
+    p = cantilever_problem(2)
+    part = ElementPartition.build(p.mesh, 4)
+    f_full = p.bc.expand(p.load)
+
+    measured = {}
+    for m in (1, 7):
+        system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+        res = edd_fgmres(
+            system, GLSPolynomial(THETA, m), tol=1e-6, max_iter=4000
+        )
+        assert res.converged
+        measured[m] = modeled_time(system.comm.stats, SGI_ORIGIN)
+
+    system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+    _, ests = choose_degree_for_system(
+        system, SGI_ORIGIN, tol=1e-6, candidates=(1, 7)
+    )
+    predicted = {e.degree: e.time for e in ests}
+    # same winner predicted and measured
+    assert (predicted[1] < predicted[7]) == (measured[1] < measured[7])
+
+
+def test_chosen_degree_close_to_empirical_best():
+    """On Mesh2/P=4 the empirical best degree among candidates and the
+    predicted best give modeled times within 2x of each other."""
+    p = cantilever_problem(2)
+    part = ElementPartition.build(p.mesh, 4)
+    f_full = p.bc.expand(p.load)
+    candidates = (2, 5, 8)
+
+    times = {}
+    for m in candidates:
+        system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+        res = edd_fgmres(
+            system, GLSPolynomial(THETA, m), tol=1e-6, max_iter=4000
+        )
+        assert res.converged
+        times[m] = modeled_time(system.comm.stats, SGI_ORIGIN)
+
+    system = build_edd_system(p.mesh, p.material, p.bc, part, f_full)
+    best, _ = choose_degree_for_system(
+        system, SGI_ORIGIN, tol=1e-6, candidates=candidates
+    )
+    assert times[best] <= 2.0 * min(times.values())

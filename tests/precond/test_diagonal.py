@@ -1,0 +1,45 @@
+"""Jacobi preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.precond.base import (
+    IdentityPreconditioner,
+    SingularPreconditionerError,
+)
+from repro.precond.diagonal import JacobiPreconditioner
+from repro.sparse.csr import CSRMatrix
+
+
+def test_applies_inverse_diagonal():
+    a = CSRMatrix.from_dense(np.array([[2.0, 1.0], [1.0, 4.0]]))
+    p = JacobiPreconditioner(a)
+    assert np.allclose(p.apply(np.array([2.0, 4.0])), [1.0, 1.0])
+
+
+def test_zero_diagonal_rejected():
+    a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+    with pytest.raises(SingularPreconditionerError):
+        JacobiPreconditioner(a)
+
+
+def test_length_checked():
+    a = CSRMatrix.eye(3)
+    with pytest.raises(ValueError):
+        JacobiPreconditioner(a).apply(np.zeros(2))
+
+
+def test_identity_preconditioner_copies():
+    p = IdentityPreconditioner()
+    v = np.array([1.0, 2.0])
+    z = p.apply(v)
+    assert np.array_equal(z, v)
+    z[0] = 99.0
+    assert v[0] == 1.0
+    assert p.name == "I"
+
+
+def test_as_operator():
+    a = CSRMatrix.eye(2)
+    op = JacobiPreconditioner(a).as_operator()
+    assert np.allclose(op(np.array([3.0, 4.0])), [3.0, 4.0])

@@ -1,0 +1,93 @@
+"""ILU(0) factorization and the floating-subdomain failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_matrix
+from repro.fem.material import Material
+from repro.fem.mesh import structured_quad_mesh
+from repro.precond.base import SingularPreconditionerError
+from repro.precond.ilu import ILU0Preconditioner, ilu0_factor
+from repro.precond.scaling import scale_system
+from repro.sparse.csr import CSRMatrix
+
+
+def test_exact_lu_on_dense_pattern():
+    """With a full pattern, ILU(0) IS the LU factorization."""
+    rng = np.random.default_rng(0)
+    a_dense = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)  # keep every entry
+    ilu = ILU0Preconditioner(a)
+    v = rng.standard_normal(6)
+    assert np.allclose(ilu.apply(v), np.linalg.solve(a_dense, v), atol=1e-9)
+
+
+def test_tridiagonal_exact():
+    """Tridiagonal matrices incur no fill, so ILU(0) is exact."""
+    n = 12
+    dense = 2.0 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+    a = CSRMatrix.from_dense(dense)
+    ilu = ILU0Preconditioner(a)
+    v = np.random.default_rng(1).standard_normal(n)
+    assert np.allclose(ilu.apply(v), np.linalg.solve(dense, v), atol=1e-9)
+
+
+def test_factor_preserves_pattern(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    lu = ilu0_factor(ss.a)
+    assert lu.nnz == ss.a.nnz
+    assert np.array_equal(np.sort(lu.indices), np.sort(ss.a.indices))
+
+
+def test_preconditioner_reduces_residual(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    ilu = ILU0Preconditioner(ss.a)
+    z = ilu.apply(ss.b)
+    r = ss.b - ss.a.matvec(z)
+    assert np.linalg.norm(r) < 0.7 * np.linalg.norm(ss.b)
+
+
+def test_zero_pivot_raises():
+    a = CSRMatrix.from_dense(
+        np.array([[0.0, 1.0], [1.0, 0.0]]), tol=-1.0
+    )
+    with pytest.raises(SingularPreconditionerError, match="pivot"):
+        ilu0_factor(a)
+
+
+def test_missing_diagonal_raises():
+    a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(SingularPreconditionerError, match="diagonal"):
+        ilu0_factor(a)
+
+
+def test_floating_subdomain_singular():
+    """Section 3.2.3: a subdomain with no Dirichlet support 'floats' — its
+    local stiffness is singular and local ILU breaks down."""
+    mesh = structured_quad_mesh(2, 2)
+    mat = Material(E=100.0, nu=0.3)
+    # Assemble only the right column of elements; its matrix restricted to
+    # its own DOFs has the rigid-body null space -> singular.
+    k = assemble_matrix(mesh, mat, element_subset=np.array([1, 3]))
+    csr = k.tocsr()
+    touched = np.unique(np.concatenate([csr.tocoo().rows]))
+    local = csr.submatrix(touched, touched)
+    with pytest.raises(SingularPreconditionerError):
+        ilu0_factor(local)
+
+
+def test_nonsquare_rejected():
+    with pytest.raises(ValueError):
+        ilu0_factor(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+def test_vector_length_checked(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    ilu = ILU0Preconditioner(ss.a)
+    with pytest.raises(ValueError):
+        ilu.apply(np.zeros(3))
+
+
+def test_name(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    assert ILU0Preconditioner(ss.a).name == "ILU(0)"

@@ -1,0 +1,100 @@
+"""Neumann series polynomial preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.precond.neumann import NeumannPolynomial
+from repro.precond.scaling import scale_system
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_degree_zero_is_scaled_identity():
+    p = NeumannPolynomial(0, omega=0.5)
+    v = np.array([2.0, 4.0])
+    z = p.apply_linear(lambda x: x, v)
+    assert np.allclose(z, 0.5 * v)
+
+
+def test_truncated_geometric_series_explicit():
+    """For scalar a: P_m(a) = omega * sum (1 - omega a)^i."""
+    p = NeumannPolynomial(4, omega=0.7)
+    a = 0.9
+    expected = 0.7 * sum((1 - 0.7 * a) ** i for i in range(5))
+    z = p.apply_linear(lambda x: a * x, np.array([1.0]))
+    assert np.allclose(z, expected)
+
+
+def test_converges_to_inverse_with_degree():
+    """Residual polynomial shrinks as the degree grows (rho(G) < 1)."""
+    lam = np.linspace(0.2, 0.9, 30)
+    errs = []
+    for m in (2, 5, 10, 20):
+        p = NeumannPolynomial(m)
+        errs.append(np.max(np.abs(p.residual(lam))))
+    assert all(e2 < e1 for e1, e2 in zip(errs, errs[1:]))
+
+
+def test_residual_is_geometric_tail():
+    """1 - lambda P_m(lambda) == (1 - omega lambda)^{m+1} exactly."""
+    p = NeumannPolynomial(6, omega=0.8)
+    lam = np.linspace(0.05, 1.2, 17)
+    assert np.allclose(p.residual(lam), (1 - 0.8 * lam) ** 7, atol=1e-12)
+
+
+def test_power_coefficients_match_evaluate():
+    p = NeumannPolynomial(5, omega=1.3)
+    coef = p.power_coefficients()
+    lam = np.linspace(0.1, 0.9, 7)
+    horner = np.polynomial.Polynomial(coef)(lam)
+    assert np.allclose(horner, p.evaluate(lam))
+
+
+def test_matvec_count():
+    calls = []
+
+    def counting_matvec(v):
+        calls.append(1)
+        return 0.5 * v
+
+    p = NeumannPolynomial(7)
+    p.apply_linear(counting_matvec, np.ones(3))
+    assert len(calls) == 7
+
+
+def test_for_interval_picks_midpoint_omega():
+    th = SpectrumIntervals.single(0.2, 1.0)
+    p = NeumannPolynomial.for_interval(th, 5)
+    assert p.omega == pytest.approx(2.0 / 1.2)
+
+
+def test_for_interval_rejects_union_and_indefinite():
+    with pytest.raises(ValueError):
+        NeumannPolynomial.for_interval(
+            SpectrumIntervals([(-2, -1), (1, 2)]), 3
+        )
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        NeumannPolynomial(-1)
+    with pytest.raises(ValueError):
+        NeumannPolynomial(3, omega=0.0)
+
+
+def test_preconditions_fem_system(tiny_problem):
+    """Applying Neumann(10) reduces the residual of one Richardson step."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    p = NeumannPolynomial(10, matvec=ss.a.matvec)
+    z = p.apply(ss.b)
+    r = ss.b - ss.a.matvec(z)
+    assert np.linalg.norm(r) < 0.8 * np.linalg.norm(ss.b)
+
+
+def test_apply_requires_bound_matvec():
+    p = NeumannPolynomial(2)
+    with pytest.raises(RuntimeError):
+        p.apply(np.ones(2))
+
+
+def test_name():
+    assert NeumannPolynomial(20).name == "Neum(20)"

@@ -1,0 +1,79 @@
+"""Norm-1 diagonal scaling (Section 2.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precond.scaling import norm1_scaling, scale_system
+from repro.sparse.csr import CSRMatrix
+
+
+def test_scaling_vector_values():
+    k = CSRMatrix.from_dense(np.array([[2.0, -2.0], [-2.0, 6.0]]))
+    d = norm1_scaling(k)
+    assert np.allclose(d, [1 / 2.0, 1 / np.sqrt(8.0)])
+
+
+def test_zero_row_rejected():
+    k = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+    with pytest.raises(ValueError, match="zero row"):
+        norm1_scaling(k)
+
+
+def test_scaled_system_solution_maps_back(tiny_problem):
+    """Solving the scaled system and unscaling equals solving the original."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    x = np.linalg.solve(ss.a.toarray(), ss.b)
+    u = ss.unscale_solution(x)
+    u_direct = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
+    assert np.allclose(u, u_direct, rtol=1e-9)
+
+
+def test_scale_initial_guess_inverse_of_unscale(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    u0 = np.random.default_rng(0).standard_normal(len(ss.b))
+    assert np.allclose(ss.unscale_solution(ss.scale_initial_guess(u0)), u0)
+
+
+def test_spectrum_in_unit_interval_spd(tiny_problem):
+    """Theorem 1 consequence (Eq. 12): sigma(DKD) in (0, 1]."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    evals = np.linalg.eigvalsh(ss.a.toarray())
+    assert evals.min() > 0
+    assert evals.max() <= 1.0 + 1e-12
+
+
+def test_condition_number_reduced(tiny_problem):
+    """The material's large E makes K badly scaled; scaling helps."""
+    from repro.fem.cantilever import cantilever_problem
+    from repro.fem.material import Material
+
+    p = cantilever_problem(nx=4, ny=3, material=Material(E=2e11, nu=0.3))
+    k = p.stiffness.toarray()
+    ss = scale_system(p.stiffness, p.load)
+    a = ss.a.toarray()
+    cond_k = np.linalg.cond(k)
+    cond_a = np.linalg.cond(a)
+    assert cond_a <= cond_k
+
+
+def test_rhs_length_checked(tiny_problem):
+    with pytest.raises(ValueError):
+        scale_system(tiny_problem.stiffness, np.zeros(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 5000))
+def test_spd_spectrum_bound_property(n, seed):
+    """Property: for random SPD matrices, norm-1 scaling maps the spectrum
+    into (0, 1]."""
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    spd = m @ m.T + n * np.eye(n)
+    k = CSRMatrix.from_dense(spd)
+    d = norm1_scaling(k)
+    a = k.scale_rows(d).scale_cols(d).toarray()
+    evals = np.linalg.eigvalsh(a)
+    assert evals.min() > 0
+    assert evals.max() <= 1.0 + 1e-10

@@ -1,0 +1,80 @@
+"""SSOR preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.precond.base import SingularPreconditionerError
+from repro.precond.scaling import scale_system
+from repro.precond.ssor import SSORPreconditioner
+from repro.solvers.fgmres import fgmres
+from repro.sparse.csr import CSRMatrix
+
+
+def _dense_reference(a_dense, omega, v):
+    """Direct evaluation of z = w(2-w) (D+wU)^{-1} D (D+wL)^{-1} v."""
+    d = np.diag(np.diag(a_dense))
+    l = np.tril(a_dense, -1)
+    u = np.triu(a_dense, 1)
+    y = np.linalg.solve(d + omega * l, v)
+    return omega * (2 - omega) * np.linalg.solve(d + omega * u, d @ y)
+
+
+@pytest.mark.parametrize("omega", [0.8, 1.0, 1.4])
+def test_apply_matches_dense_formula(omega):
+    rng = np.random.default_rng(0)
+    a_dense = rng.standard_normal((8, 8))
+    a_dense = a_dense @ a_dense.T + 8 * np.eye(8)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    v = rng.standard_normal(8)
+    p = SSORPreconditioner(a, omega=omega)
+    assert np.allclose(p.apply(v), _dense_reference(a_dense, omega, v), atol=1e-10)
+
+
+def test_symmetric_gauss_seidel_at_omega_one(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    p = SSORPreconditioner(ss.a, omega=1.0)
+    z = p.apply(ss.b)
+    r = ss.b - ss.a.matvec(z)
+    assert np.linalg.norm(r) < np.linalg.norm(ss.b)
+
+
+def test_preconditioning_reduces_fgmres_iterations(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    plain = fgmres(ss.a.matvec, ss.b, tol=1e-6)
+    p = SSORPreconditioner(ss.a)
+    pre = fgmres(ss.a.matvec, ss.b, p.apply, tol=1e-6)
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+
+
+def test_preconditioner_symmetric_for_symmetric_matrix(tiny_problem):
+    """SSOR of a symmetric matrix is symmetric (needed for CG use)."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    p = SSORPreconditioner(ss.a)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(ss.a.shape[0])
+    y = rng.standard_normal(ss.a.shape[0])
+    assert np.isclose(x @ p.apply(y), y @ p.apply(x), rtol=1e-10)
+
+
+def test_invalid_omega():
+    a = CSRMatrix.eye(3)
+    for omega in (0.0, 2.0, -1.0):
+        with pytest.raises(ValueError):
+            SSORPreconditioner(a, omega=omega)
+
+
+def test_zero_diagonal_rejected():
+    a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(SingularPreconditionerError):
+        SSORPreconditioner(a)
+
+
+def test_vector_length_checked():
+    p = SSORPreconditioner(CSRMatrix.eye(3))
+    with pytest.raises(ValueError):
+        p.apply(np.zeros(2))
+
+
+def test_name():
+    assert SSORPreconditioner(CSRMatrix.eye(2), omega=1.5).name == "SSOR(1.5)"

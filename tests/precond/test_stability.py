@@ -1,0 +1,54 @@
+"""Eq. 24 stability bound and the Fig. 3 blow-up."""
+
+import numpy as np
+import pytest
+
+from repro.precond.gls import GLSPolynomial
+from repro.precond.neumann import NeumannPolynomial
+from repro.precond.stability import coefficient_error_bound, stability_curve
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_bound_formula():
+    p = NeumannPolynomial(3, omega=1.0)
+    coef = p.power_coefficients()
+    eps = 1e-16
+    expected = 3 * eps * np.sum(np.abs(coef))
+    assert coefficient_error_bound(p, eps) == pytest.approx(expected)
+
+
+def test_gls_bound_explodes_with_degree_fig3():
+    """Fig. 3: on Theta = (0, 1) the GLS coefficient sum grows explosively;
+    the paper's conclusion is to keep m below ~10."""
+    th = SpectrumIntervals.single(1e-6, 1.0)
+    degrees = [2, 6, 10, 14, 18]
+    curve = stability_curve(lambda m: GLSPolynomial(th, m), degrees)
+    assert np.all(np.diff(curve) > 0)
+    assert curve[-1] / curve[0] > 1e4  # explosive growth
+
+
+def test_union_interval_worse_than_single_fig3():
+    """Fig. 3's second curve: an indefinite union amplifies the blow-up."""
+    single = SpectrumIntervals.single(1e-6, 1.0)
+    union = SpectrumIntervals([(-4, -1), (7, 10)])
+    m = 10
+    b_single = coefficient_error_bound(GLSPolynomial(single, m))
+    b_union = coefficient_error_bound(GLSPolynomial(union, m))
+    assert b_union != b_single  # different windows, different conditioning
+
+
+def test_neumann_bound_stays_tame():
+    """Neumann on (0,1) with omega=1: coefficients are binomial sums; the
+    bound grows but far slower than GLS's."""
+    degrees = [2, 6, 10]
+    neum = stability_curve(lambda m: NeumannPolynomial(m), degrees)
+    gls = stability_curve(
+        lambda m: GLSPolynomial(SpectrumIntervals.single(1e-6, 1.0), m),
+        degrees,
+    )
+    assert neum[-1] < gls[-1]
+
+
+def test_bound_zero_degree():
+    p = NeumannPolynomial(0)
+    assert coefficient_error_bound(p) == 0.0  # m = 0 prefactor

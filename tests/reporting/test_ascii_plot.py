@@ -1,0 +1,58 @@
+"""ASCII semilog plots."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import convergence_plot, semilogy_plot
+from repro.solvers.result import SolveResult
+
+
+def test_basic_render():
+    out = semilogy_plot({"a": [1.0, 0.1, 0.01, 0.001]})
+    lines = out.splitlines()
+    assert any("*" in line for line in lines)
+    assert "* a" in lines[-1]
+    assert "1e+0" in out and "1e-3" in out
+
+
+def test_monotone_series_descends():
+    """A decreasing series must render with later markers lower."""
+    out = semilogy_plot({"a": [1.0, 1e-2, 1e-4, 1e-6]}, width=40, height=10)
+    rows = [i for i, line in enumerate(out.splitlines()) if "*" in line]
+    first_row = min(rows)
+    last_row = max(rows)
+    assert last_row > first_row  # lower on the canvas = larger row index
+
+
+def test_two_series_distinct_markers():
+    out = semilogy_plot({"a": [1.0, 0.1], "b": [1.0, 0.5]})
+    assert "*" in out and "o" in out
+    assert "* a" in out and "o b" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        semilogy_plot({})
+    with pytest.raises(ValueError):
+        semilogy_plot({"a": [0.0, 0.0]})
+    with pytest.raises(ValueError):
+        semilogy_plot({"a": [1.0]})
+    with pytest.raises(ValueError):
+        semilogy_plot({chr(97 + i): [1.0, 0.5] for i in range(9)})
+
+
+def test_convergence_plot_from_results():
+    res = SolveResult(
+        x=np.zeros(1),
+        converged=True,
+        iterations=3,
+        restarts=1,
+        residual_history=[1.0, 0.1, 0.01, 0.001],
+    )
+    out = convergence_plot({"GLS(7)": res})
+    assert "GLS(7)" in out
+
+
+def test_zero_values_clamped_not_crash():
+    out = semilogy_plot({"a": [1.0, 0.0, 0.01]})
+    assert "*" in out

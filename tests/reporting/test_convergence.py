@@ -1,0 +1,33 @@
+"""Convergence reporting helpers."""
+
+import numpy as np
+
+from repro.reporting.convergence import convergence_table, iterations_to_tol
+from repro.solvers.result import SolveResult
+
+
+def _result(history, converged=True):
+    return SolveResult(
+        x=np.zeros(1),
+        converged=converged,
+        iterations=len(history) - 1,
+        restarts=1,
+        residual_history=history,
+    )
+
+
+def test_iterations_to_tol():
+    r = _result([1.0, 0.5, 0.05, 0.005])
+    assert iterations_to_tol(r, 1e-1) == 2
+    assert iterations_to_tol(r, 1e-2) == 3
+    assert iterations_to_tol(r, 1e-9) is None
+
+
+def test_convergence_table_contents():
+    out = convergence_table(
+        {"GLS(7)": _result([1.0, 0.01]), "ILU(0)": _result([1.0, 0.5], False)},
+        tols=(1e-1,),
+    )
+    assert "GLS(7)" in out
+    assert "NO" in out  # unconverged flagged
+    assert "-" in out  # missing tolerance shown as dash

@@ -1,0 +1,25 @@
+"""Table formatting."""
+
+import pytest
+
+from repro.reporting.tables import format_table
+
+
+def test_alignment_and_header():
+    out = format_table(["a", "long"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "---" in lines[1]
+    assert len(lines) == 4
+    # columns aligned: every row same width
+    assert len(set(len(line) for line in [lines[0]] + lines[2:])) == 1
+
+
+def test_title():
+    out = format_table(["x"], [[1]], title="Table 3")
+    assert out.splitlines()[0] == "Table 3"
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])

@@ -1,0 +1,62 @@
+"""Adaptive-window GLS FGMRES."""
+
+import numpy as np
+import pytest
+
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.solvers.adaptive import _ritz_values, adaptive_fgmres
+from repro.solvers.fgmres import fgmres
+
+
+def test_ritz_values_bracket_spectrum(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    evals = np.linalg.eigvalsh(ss.a.toarray())
+    ritz = _ritz_values(ss.a.matvec, ss.b, 30)
+    assert ritz.max() <= evals.max() + 1e-10
+    assert ritz.min() >= evals.min() - 1e-10
+    # the top Ritz value is a good lambda_max estimate
+    assert ritz.max() > 0.9 * evals.max()
+
+
+def test_ritz_rejects_zero_start():
+    with pytest.raises(ValueError):
+        _ritz_values(lambda v: v, np.zeros(4), 5)
+
+
+def test_converges_and_matches_direct(mesh2_problem):
+    ss = scale_system(mesh2_problem.stiffness, mesh2_problem.load)
+    result, theta = adaptive_fgmres(ss.a.matvec, ss.b, degree=7, tol=1e-8)
+    assert result.converged
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    err = np.linalg.norm(result.x - u_ref) / np.linalg.norm(u_ref)
+    assert err < 1e-6
+    # window is inside the universal (0, ~1.1) band but tighter
+    assert 0 < theta.lo
+    assert theta.hi < 1.2
+
+
+def test_window_contains_true_spectrum(mesh2_problem):
+    """The padding must keep the true extremes inside the window — an
+    under-window is the Fig. 10 failure mode."""
+    ss = scale_system(mesh2_problem.stiffness, mesh2_problem.load)
+    _, theta = adaptive_fgmres(ss.a.matvec, ss.b, degree=5, tol=1e-6)
+    from repro.spectrum.lanczos import lanczos_extreme_eigenvalues
+
+    lo, hi = lanczos_extreme_eigenvalues(ss.a.matvec, ss.a.shape[0], n_steps=60)
+    assert theta.hi >= hi
+    assert theta.lo <= lo * 1.01
+
+
+def test_no_slower_than_naive_window(mesh2_problem):
+    """Including the probing cost, the adaptive run should not lose badly
+    to the fixed naive window (and typically wins on per-cycle rate)."""
+    ss = scale_system(mesh2_problem.stiffness, mesh2_problem.load)
+    mv = ss.a.matvec
+    adaptive, theta = adaptive_fgmres(mv, ss.b, degree=10, tol=1e-6)
+    g = GLSPolynomial.unit_interval(10, eps=1e-6)
+    naive = fgmres(mv, ss.b, lambda v: g.apply_linear(mv, v), tol=1e-6)
+    assert adaptive.converged and naive.converged
+    # post-probe iterations strictly beat the naive window
+    post_probe = adaptive.iterations - 25
+    assert post_probe <= naive.iterations

@@ -1,0 +1,70 @@
+"""BiCGSTAB baseline."""
+
+import numpy as np
+import pytest
+
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.solvers.bicgstab import bicgstab
+from repro.sparse.csr import CSRMatrix
+
+
+def test_solves_spd(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = bicgstab(ss.a.matvec, ss.b, tol=1e-10, max_iter=5000)
+    assert res.converged
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    assert np.allclose(res.x, u_ref, rtol=1e-5, atol=1e-10)
+
+
+def test_solves_unsymmetric():
+    rng = np.random.default_rng(0)
+    a_dense = rng.standard_normal((15, 15)) + 15 * np.eye(15)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    b = rng.standard_normal(15)
+    res = bicgstab(a.matvec, b, tol=1e-10)
+    assert res.converged
+    assert np.allclose(a_dense @ res.x, b, atol=1e-7)
+
+
+def test_polynomial_preconditioning_accelerates(mesh2_problem):
+    ss = scale_system(mesh2_problem.stiffness, mesh2_problem.load)
+    plain = bicgstab(ss.a.matvec, ss.b, tol=1e-6, max_iter=5000)
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    pre = bicgstab(
+        ss.a.matvec,
+        ss.b,
+        lambda v: g.apply_linear(ss.a.matvec, v),
+        tol=1e-6,
+    )
+    assert plain.converged and pre.converged
+    assert pre.iterations < plain.iterations
+
+
+def test_zero_rhs():
+    a = CSRMatrix.eye(3)
+    res = bicgstab(a.matvec, np.zeros(3))
+    assert res.converged and res.iterations == 0
+
+
+def test_true_residual_meets_tolerance(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = bicgstab(ss.a.matvec, ss.b, tol=1e-8)
+    r = ss.b - ss.a.matvec(res.x)
+    assert np.linalg.norm(r) / np.linalg.norm(ss.b) <= 1e-7
+
+
+def test_initial_guess(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    res = bicgstab(ss.a.matvec, ss.b, x0=u_ref, tol=1e-10)
+    assert res.converged
+    assert res.iterations == 0
+
+
+def test_breakdown_reported_not_raised():
+    # rho = <r_shadow, r> = 0 immediately for this construction
+    a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [-1.0, 0.0]]))
+    b = np.array([1.0, 0.0])
+    res = bicgstab(a.matvec, b, tol=1e-14, max_iter=50)
+    assert isinstance(res.converged, bool)  # never raises

@@ -1,0 +1,60 @@
+"""Preconditioned conjugate gradients."""
+
+import numpy as np
+import pytest
+
+from repro.precond.gls import GLSPolynomial
+from repro.precond.scaling import scale_system
+from repro.solvers.cg import cg
+from repro.sparse.csr import CSRMatrix
+
+
+def test_solves_spd(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = cg(ss.a.matvec, ss.b, tol=1e-10)
+    assert res.converged
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    assert np.allclose(res.x, u_ref, rtol=1e-6)
+
+
+def test_exact_in_n_iterations():
+    """CG terminates in at most n steps in exact arithmetic."""
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((8, 8))
+    a_dense = m @ m.T + 8 * np.eye(8)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    b = rng.standard_normal(8)
+    res = cg(a.matvec, b, tol=1e-12, max_iter=20)
+    assert res.converged
+    assert res.iterations <= 9
+
+
+def test_polynomial_preconditioning_accelerates(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    plain = cg(ss.a.matvec, ss.b, tol=1e-8)
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    pre = cg(
+        ss.a.matvec, ss.b, lambda v: g.apply_linear(ss.a.matvec, v), tol=1e-8
+    )
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+
+
+def test_indefinite_matrix_breaks_down_honestly():
+    a = CSRMatrix.from_dense(np.diag([1.0, -1.0]))
+    res = cg(a.matvec, np.array([1.0, 1.0]), tol=1e-12)
+    assert not res.converged
+
+
+def test_zero_rhs():
+    a = CSRMatrix.eye(3)
+    res = cg(a.matvec, np.zeros(3))
+    assert res.converged and res.iterations == 0
+
+
+def test_history_tracks_true_residual(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = cg(ss.a.matvec, ss.b, tol=1e-8)
+    hist = np.asarray(res.residual_history)
+    assert hist[0] == 1.0
+    assert hist[-1] <= 1e-8

@@ -1,0 +1,149 @@
+"""Sequential flexible GMRES (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precond.gls import GLSPolynomial
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.scaling import scale_system
+from repro.solvers.fgmres import fgmres
+from repro.sparse.csr import CSRMatrix
+
+
+def test_solves_small_spd():
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((10, 10))
+    a_dense = m @ m.T + 10 * np.eye(10)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    b = rng.standard_normal(10)
+    res = fgmres(a.matvec, b, tol=1e-10)
+    assert res.converged
+    assert np.allclose(res.x, np.linalg.solve(a_dense, b), atol=1e-7)
+
+
+def test_solves_unsymmetric():
+    """GMRES's selling point over CG: general unsymmetric systems."""
+    rng = np.random.default_rng(1)
+    a_dense = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    b = rng.standard_normal(12)
+    res = fgmres(a.matvec, b, tol=1e-10, restart=12)
+    assert res.converged
+    assert np.allclose(a_dense @ res.x, b, atol=1e-7)
+
+
+def test_zero_rhs_immediate():
+    a = CSRMatrix.eye(4)
+    res = fgmres(a.matvec, np.zeros(4))
+    assert res.converged
+    assert res.iterations == 0
+    assert np.array_equal(res.x, np.zeros(4))
+
+
+def test_initial_guess_respected():
+    a = CSRMatrix.eye(5)
+    b = np.arange(5.0)
+    res = fgmres(a.matvec, b, x0=b.copy())
+    assert res.converged
+    assert res.iterations <= 1
+
+
+def test_restart_cycles_counted(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = fgmres(ss.a.matvec, ss.b, restart=5, tol=1e-8)
+    assert res.converged
+    assert res.restarts > 1
+    assert res.iterations > 5
+
+
+def test_residual_history_tracks_convergence(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = fgmres(ss.a.matvec, ss.b, tol=1e-7)
+    hist = np.asarray(res.residual_history)
+    assert hist[0] == 1.0
+    assert hist[-1] <= 1e-7
+    assert len(hist) == res.iterations + 1
+
+
+def test_true_residual_matches_tolerance(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = fgmres(ss.a.matvec, ss.b, tol=1e-8)
+    r = ss.b - ss.a.matvec(res.x)
+    assert np.linalg.norm(r) / np.linalg.norm(ss.b) <= 1e-7
+
+
+def test_max_iter_reported_unconverged(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = fgmres(ss.a.matvec, ss.b, tol=1e-12, max_iter=3)
+    assert not res.converged
+    assert res.iterations == 3
+
+
+def test_flexible_preconditioning_converges_faster(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    plain = fgmres(ss.a.matvec, ss.b, tol=1e-6)
+    g = GLSPolynomial.unit_interval(7, eps=1e-6)
+    pre = fgmres(
+        ss.a.matvec, ss.b, lambda v: g.apply_linear(ss.a.matvec, v), tol=1e-6
+    )
+    assert pre.converged
+    assert pre.iterations < plain.iterations / 2
+
+
+def test_variable_preconditioner_allowed(tiny_problem):
+    """FGMRES's defining feature: the preconditioner may change per step."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    state = {"count": 0}
+    g3 = GLSPolynomial.unit_interval(3, eps=1e-6)
+    g7 = GLSPolynomial.unit_interval(7, eps=1e-6)
+
+    def alternating(v):
+        state["count"] += 1
+        g = g3 if state["count"] % 2 else g7
+        return g.apply_linear(ss.a.matvec, v)
+
+    res = fgmres(ss.a.matvec, ss.b, alternating, tol=1e-6)
+    assert res.converged
+    r = ss.b - ss.a.matvec(res.x)
+    assert np.linalg.norm(r) / np.linalg.norm(ss.b) <= 1e-5
+
+
+def test_ilu_preconditioned(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    ilu = ILU0Preconditioner(ss.a)
+    res = fgmres(ss.a.matvec, ss.b, ilu.apply, tol=1e-8)
+    assert res.converged
+
+
+def test_invalid_restart():
+    a = CSRMatrix.eye(2)
+    with pytest.raises(ValueError):
+        fgmres(a.matvec, np.ones(2), restart=0)
+
+
+def test_happy_breakdown_exact_solution():
+    """If b is an eigenvector, the Krylov space is 1-D and FGMRES stops."""
+    a = CSRMatrix.diag(np.array([2.0, 3.0, 4.0]))
+    b = np.array([1.0, 0.0, 0.0])
+    res = fgmres(a.matvec, b, tol=1e-14)
+    assert res.converged
+    assert res.iterations == 1
+    assert np.allclose(res.x, [0.5, 0.0, 0.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 15), seed=st.integers(0, 5000))
+def test_converges_on_random_spd_property(n, seed):
+    """Property: unrestarted FGMRES solves any well-conditioned SPD system
+    within n iterations."""
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    a_dense = m @ m.T + n * np.eye(n)
+    a = CSRMatrix.from_dense(a_dense, tol=-1.0)
+    b = rng.standard_normal(n)
+    res = fgmres(a.matvec, b, restart=n, tol=1e-9)
+    assert res.converged
+    assert res.iterations <= n + 1
+    assert np.allclose(a_dense @ res.x, b, atol=1e-6 * np.linalg.norm(b))

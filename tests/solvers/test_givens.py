@@ -1,0 +1,83 @@
+"""Incremental Givens least squares."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.givens import GivensLSQ
+
+
+def _hessenberg(n, seed=0):
+    rng = np.random.default_rng(seed)
+    h = np.zeros((n + 1, n))
+    for j in range(n):
+        h[: j + 2, j] = rng.standard_normal(j + 2)
+        h[j + 1, j] = abs(h[j + 1, j]) + 0.5  # keep subdiagonal nonzero
+    return h
+
+
+def test_residual_matches_lstsq():
+    n = 6
+    h = _hessenberg(n)
+    beta = 2.5
+    lsq = GivensLSQ(n, beta)
+    rhs = np.zeros(n + 1)
+    rhs[0] = beta
+    for j in range(n):
+        res = lsq.append_column(h[: j + 2, j])
+        y_ref, residuals, *_ = np.linalg.lstsq(
+            h[: j + 2, : j + 1], rhs[: j + 2], rcond=None
+        )
+        r_ref = np.linalg.norm(h[: j + 2, : j + 1] @ y_ref - rhs[: j + 2])
+        assert res == pytest.approx(r_ref, abs=1e-10)
+
+
+def test_solution_matches_lstsq():
+    n = 5
+    h = _hessenberg(n, seed=1)
+    beta = 1.0
+    lsq = GivensLSQ(n, beta)
+    for j in range(n):
+        lsq.append_column(h[: j + 2, j])
+    y = lsq.solve()
+    rhs = np.zeros(n + 1)
+    rhs[0] = beta
+    y_ref, *_ = np.linalg.lstsq(h, rhs, rcond=None)
+    assert np.allclose(y, y_ref, atol=1e-10)
+
+
+def test_zero_column_breakdown_handled():
+    lsq = GivensLSQ(2, 1.0)
+    lsq.append_column(np.array([0.0, 0.0]))
+    # rotation defaults to identity; solving would hit the zero pivot
+    with pytest.raises(np.linalg.LinAlgError):
+        lsq.solve()
+
+
+def test_full_system_rejects_more_columns():
+    lsq = GivensLSQ(1, 1.0)
+    lsq.append_column(np.array([1.0, 0.5]))
+    with pytest.raises(RuntimeError, match="full"):
+        lsq.append_column(np.array([1.0, 1.0, 1.0]))
+
+
+def test_wrong_column_length_rejected():
+    lsq = GivensLSQ(3, 1.0)
+    with pytest.raises(ValueError):
+        lsq.append_column(np.array([1.0, 2.0, 3.0]))
+
+
+def test_empty_solve():
+    lsq = GivensLSQ(3, 1.0)
+    assert len(lsq.solve()) == 0
+    assert lsq.residual_norm == pytest.approx(1.0)
+
+
+def test_residual_monotone_nonincreasing():
+    n = 8
+    h = _hessenberg(n, seed=2)
+    lsq = GivensLSQ(n, 3.0)
+    prev = 3.0
+    for j in range(n):
+        res = lsq.append_column(h[: j + 2, j])
+        assert res <= prev + 1e-12
+        prev = res

@@ -1,0 +1,55 @@
+"""Standard left-preconditioned GMRES."""
+
+import numpy as np
+import pytest
+
+from repro.precond.ilu import ILU0Preconditioner
+from repro.precond.scaling import scale_system
+from repro.solvers.fgmres import fgmres
+from repro.solvers.gmres import gmres
+from repro.sparse.csr import CSRMatrix
+
+
+def test_unpreconditioned_matches_fgmres(tiny_problem):
+    """With identity preconditioning GMRES and FGMRES are the same method."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    a = gmres(ss.a.matvec, ss.b, tol=1e-8)
+    b = fgmres(ss.a.matvec, ss.b, tol=1e-8)
+    assert a.converged and b.converged
+    assert a.iterations == b.iterations
+    assert np.allclose(a.x, b.x, atol=1e-8)
+
+
+def test_left_preconditioning_reduces_iterations(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    plain = gmres(ss.a.matvec, ss.b, tol=1e-6)
+    ilu = ILU0Preconditioner(ss.a)
+    pre = gmres(ss.a.matvec, ss.b, ilu.apply, tol=1e-6)
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+
+
+def test_solution_correct_with_preconditioner(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    ilu = ILU0Preconditioner(ss.a)
+    res = gmres(ss.a.matvec, ss.b, ilu.apply, tol=1e-10)
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    assert np.allclose(res.x, u_ref, rtol=1e-6, atol=1e-12)
+
+
+def test_zero_rhs():
+    a = CSRMatrix.eye(3)
+    res = gmres(a.matvec, np.zeros(3))
+    assert res.converged and res.iterations == 0
+
+
+def test_invalid_restart():
+    a = CSRMatrix.eye(2)
+    with pytest.raises(ValueError):
+        gmres(a.matvec, np.ones(2), restart=-1)
+
+
+def test_unconverged_flagged(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = gmres(ss.a.matvec, ss.b, tol=1e-14, max_iter=2)
+    assert not res.converged

@@ -1,0 +1,98 @@
+"""MINRES for symmetric (indefinite) systems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.fgmres import fgmres
+from repro.solvers.minres import minres
+from repro.sparse.csr import CSRMatrix
+
+
+def _sym_indefinite(n, seed, n_neg):
+    rng = np.random.default_rng(seed)
+    evals = np.concatenate(
+        [-rng.uniform(1, 4, n_neg), rng.uniform(1, 4, n - n_neg)]
+    )
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    dense = q @ np.diag(evals) @ q.T
+    return dense, rng.standard_normal(n)
+
+
+def test_spd_matches_direct(tiny_problem):
+    from repro.precond.scaling import scale_system
+
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    res = minres(ss.a.matvec, ss.b, tol=1e-10, max_iter=5000)
+    assert res.converged
+    u_ref = np.linalg.solve(ss.a.toarray(), ss.b)
+    assert np.linalg.norm(res.x - u_ref) < 1e-6 * np.linalg.norm(u_ref)
+
+
+def test_indefinite_system_where_cg_fails():
+    dense, b = _sym_indefinite(14, 0, 5)
+    from repro.solvers.cg import cg
+
+    a = CSRMatrix.from_dense(dense, tol=-1.0)
+    assert not cg(a.matvec, b, tol=1e-10, max_iter=100).converged
+    res = minres(a.matvec, b, tol=1e-10)
+    assert res.converged
+    assert np.allclose(dense @ res.x, b, atol=1e-7)
+
+
+def test_terminates_in_n_iterations():
+    dense, b = _sym_indefinite(10, 1, 3)
+    res = minres(lambda v: dense @ v, b, tol=1e-12, max_iter=50)
+    assert res.converged
+    assert res.iterations <= 11
+
+
+def test_matches_gmres_on_symmetric():
+    dense, b = _sym_indefinite(12, 2, 4)
+    a = CSRMatrix.from_dense(dense, tol=-1.0)
+    mr = minres(a.matvec, b, tol=1e-10)
+    gm = fgmres(a.matvec, b, restart=12, tol=1e-10)
+    assert mr.converged and gm.converged
+    assert np.allclose(mr.x, gm.x, atol=1e-6)
+
+
+def test_zero_rhs():
+    a = CSRMatrix.eye(3)
+    res = minres(a.matvec, np.zeros(3))
+    assert res.converged and res.iterations == 0
+
+
+def test_exact_initial_guess():
+    dense, b = _sym_indefinite(8, 3, 2)
+    x_ref = np.linalg.solve(dense, b)
+    res = minres(lambda v: dense @ v, b, x0=x_ref, tol=1e-8)
+    assert res.converged
+    assert res.iterations <= 1
+
+
+def test_nan_rejected():
+    a = CSRMatrix.eye(2)
+    with pytest.raises(ValueError, match="NaN or Inf"):
+        minres(a.matvec, np.array([np.nan, 1.0]))
+
+
+def test_residual_history_monotone():
+    """MINRES minimizes the residual over growing Krylov spaces, so the
+    estimate never increases."""
+    dense, b = _sym_indefinite(15, 4, 6)
+    res = minres(lambda v: dense @ v, b, tol=1e-12, max_iter=20)
+    hist = np.asarray(res.residual_history)
+    assert np.all(np.diff(hist) <= 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(4, 16), seed=st.integers(0, 2000), n_neg=st.integers(1, 3))
+def test_random_indefinite_property(n, seed, n_neg):
+    """Property: MINRES solves arbitrary well-conditioned symmetric
+    indefinite systems."""
+    n_neg = min(n_neg, n - 1)
+    dense, b = _sym_indefinite(n, seed, n_neg)
+    res = minres(lambda v: dense @ v, b, tol=1e-10, max_iter=5 * n)
+    assert res.converged
+    assert np.allclose(dense @ res.x, b, atol=1e-6 * np.linalg.norm(b))

@@ -1,0 +1,88 @@
+"""Block sparse row matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _fem_like_csr(seed=0):
+    from repro.fem.cantilever import cantilever_problem
+
+    return cantilever_problem(nx=4, ny=3).stiffness
+
+
+def test_from_csr_roundtrip_values():
+    a = _fem_like_csr()
+    bsr = BSRMatrix.from_csr(a, 2)
+    assert np.allclose(bsr.toarray(), a.toarray())
+
+
+def test_matvec_matches_csr():
+    a = _fem_like_csr()
+    bsr = BSRMatrix.from_csr(a, 2)
+    x = np.random.default_rng(0).standard_normal(a.shape[1])
+    assert np.allclose(bsr.matvec(x), a.matvec(x), atol=1e-12)
+
+
+def test_block_structure_compresses_indices():
+    """FEM 2-dof-per-node matrices: block indices are ~4x fewer than
+    scalar indices."""
+    a = _fem_like_csr()
+    bsr = BSRMatrix.from_csr(a, 2)
+    assert len(bsr.indices) < a.nnz / 3
+
+
+def test_dimension_must_divide():
+    a = CSRMatrix.eye(5)
+    with pytest.raises(ValueError):
+        BSRMatrix.from_csr(a, 2)
+
+
+def test_identity_blocks():
+    a = CSRMatrix.eye(6)
+    bsr = BSRMatrix.from_csr(a, 3)
+    assert bsr.n_block_rows == 2
+    assert len(bsr.blocks) == 2
+    assert np.allclose(bsr.toarray(), np.eye(6))
+
+
+def test_matvec_wrong_length():
+    bsr = BSRMatrix.from_csr(CSRMatrix.eye(4), 2)
+    with pytest.raises(ValueError):
+        bsr.matvec(np.ones(3))
+
+
+def test_nnz_counts_dense_blocks():
+    a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+    bsr = BSRMatrix.from_csr(a, 2)
+    assert bsr.nnz == 4  # whole block materialized
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="blocks must have shape"):
+        BSRMatrix(1, [0, 1], [0], np.zeros((1, 2, 3)))
+    with pytest.raises(ValueError, match="indptr"):
+        BSRMatrix(2, [0, 1], [0], np.zeros((1, 2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nb=st.integers(1, 6),
+    b=st.integers(1, 3),
+    seed=st.integers(0, 5000),
+    density=st.floats(0.1, 1.0),
+)
+def test_matvec_property(nb, b, seed, density):
+    """Property: BSR matvec == dense product for arbitrary block patterns."""
+    rng = np.random.default_rng(seed)
+    n = nb * b
+    dense = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    a = CSRMatrix.from_dense(dense)
+    bsr = BSRMatrix.from_csr(a, b)
+    x = rng.standard_normal(n)
+    assert np.allclose(bsr.matvec(x), dense @ x, atol=1e-10)
+    assert np.allclose(bsr.toarray(), dense, atol=1e-12)

@@ -1,0 +1,77 @@
+"""COO format: construction, duplicate summation, conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.coo import COOMatrix
+
+
+def test_duplicates_summed_in_tocsr():
+    coo = COOMatrix(
+        (2, 2),
+        np.array([0, 0, 1, 0]),
+        np.array([0, 1, 1, 0]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+    dense = coo.tocsr().toarray()
+    assert np.array_equal(dense, [[5.0, 2.0], [0.0, 3.0]])
+
+
+def test_toarray_matches_tocsr():
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, 6, size=40)
+    cols = rng.integers(0, 5, size=40)
+    data = rng.standard_normal(40)
+    coo = COOMatrix((6, 5), rows, cols, data)
+    assert np.allclose(coo.toarray(), coo.tocsr().toarray())
+
+
+def test_empty_matrix():
+    coo = COOMatrix.empty((3, 4))
+    assert coo.nnz == 0
+    csr = coo.tocsr()
+    assert csr.nnz == 0
+    assert csr.shape == (3, 4)
+    assert np.array_equal(csr.toarray(), np.zeros((3, 4)))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="equal length"):
+        COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+
+def test_row_index_out_of_range_rejected():
+    with pytest.raises(ValueError, match="row index"):
+        COOMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+
+
+def test_col_index_out_of_range_rejected():
+    with pytest.raises(ValueError, match="column index"):
+        COOMatrix((2, 2), np.array([0]), np.array([5]), np.array([1.0]))
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix((2, 2), np.array([-1]), np.array([0]), np.array([1.0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    m=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+    nnz=st.integers(0, 60),
+)
+def test_tocsr_equals_scatter_add(n, m, seed, nnz):
+    """Property: CSR conversion agrees with a dense scatter-add for any
+    triplet soup including duplicates."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, m, size=nnz)
+    data = rng.standard_normal(nnz)
+    coo = COOMatrix((n, m), rows, cols, data)
+    dense = np.zeros((n, m))
+    np.add.at(dense, (rows, cols), data)
+    assert np.allclose(coo.tocsr().toarray(), dense)

@@ -1,0 +1,181 @@
+"""CSR kernels, cross-checked against dense NumPy and scipy.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+
+
+def _random_csr(n, m, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, m)) * (rng.random((n, m)) < density)
+    return CSRMatrix.from_dense(dense), dense
+
+
+def test_from_dense_roundtrip():
+    a, dense = _random_csr(7, 5, 0.4, 1)
+    assert np.allclose(a.toarray(), dense)
+
+
+def test_from_dense_drops_below_tolerance():
+    dense = np.array([[1.0, 1e-12], [0.0, 2.0]])
+    a = CSRMatrix.from_dense(dense, tol=1e-9)
+    assert a.nnz == 2
+
+
+def test_matvec_against_scipy():
+    a, dense = _random_csr(20, 16, 0.3, 2)
+    x = np.random.default_rng(3).standard_normal(16)
+    assert np.allclose(a.matvec(x), sp.csr_matrix(dense) @ x)
+
+
+def test_matvec_handles_empty_rows():
+    dense = np.zeros((4, 4))
+    dense[1, 2] = 3.0  # rows 0, 2, 3 empty
+    a = CSRMatrix.from_dense(dense)
+    y = a.matvec(np.array([1.0, 2.0, 4.0, 8.0]))
+    assert np.array_equal(y, [0.0, 12.0, 0.0, 0.0])
+
+
+def test_matvec_out_parameter_reused():
+    a, dense = _random_csr(6, 6, 0.5, 4)
+    x = np.ones(6)
+    out = np.full(6, 99.0)
+    res = a.matvec(x, out=out)
+    assert res is out
+    assert np.allclose(out, dense @ x)
+
+
+def test_matvec_wrong_length_rejected():
+    a, _ = _random_csr(3, 4, 0.5, 5)
+    with pytest.raises(ValueError, match="expected"):
+        a.matvec(np.ones(3))
+
+
+def test_matmul_operator():
+    a, dense = _random_csr(5, 5, 0.6, 6)
+    x = np.arange(5.0)
+    assert np.allclose(a @ x, dense @ x)
+
+
+def test_rmatvec_is_transpose_product():
+    a, dense = _random_csr(6, 4, 0.5, 7)
+    y = np.random.default_rng(8).standard_normal(6)
+    assert np.allclose(a.rmatvec(y), dense.T @ y)
+
+
+def test_diagonal_extraction_with_missing_entries():
+    dense = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 3.0], [4.0, 0.0, 5.0]])
+    a = CSRMatrix.from_dense(dense)
+    assert np.array_equal(a.diagonal(), [1.0, 0.0, 5.0])
+
+
+def test_diagonal_rectangular():
+    dense = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0]])
+    assert np.array_equal(CSRMatrix.from_dense(dense).diagonal(), [1.0, 2.0])
+
+
+def test_row_norms1():
+    dense = np.array([[1.0, -2.0], [0.0, 0.0]])
+    assert np.array_equal(CSRMatrix.from_dense(dense).row_norms1(), [3.0, 0.0])
+
+
+def test_scale_rows_and_cols():
+    a, dense = _random_csr(5, 4, 0.5, 9)
+    dr = np.arange(1.0, 6.0)
+    dc = np.arange(1.0, 5.0)
+    assert np.allclose(a.scale_rows(dr).toarray(), np.diag(dr) @ dense)
+    assert np.allclose(a.scale_cols(dc).toarray(), dense @ np.diag(dc))
+
+
+def test_scale_rows_wrong_length():
+    a, _ = _random_csr(5, 4, 0.5, 10)
+    with pytest.raises(ValueError):
+        a.scale_rows(np.ones(4))
+
+
+def test_transpose():
+    a, dense = _random_csr(6, 3, 0.5, 11)
+    assert np.allclose(a.transpose().toarray(), dense.T)
+
+
+def test_transpose_involution():
+    a, dense = _random_csr(5, 7, 0.4, 12)
+    assert np.allclose(a.transpose().transpose().toarray(), dense)
+
+
+def test_submatrix():
+    a, dense = _random_csr(8, 8, 0.5, 13)
+    ri = np.array([1, 3, 6])
+    ci = np.array([0, 2, 5, 7])
+    sub = a.submatrix(ri, ci)
+    assert sub.shape == (3, 4)
+    assert np.allclose(sub.toarray(), dense[np.ix_(ri, ci)])
+
+
+def test_submatrix_empty_selection():
+    a, _ = _random_csr(4, 4, 0.5, 14)
+    sub = a.submatrix(np.array([1]), np.array([], dtype=np.int64))
+    assert sub.shape == (1, 0)
+    assert sub.nnz == 0
+
+
+def test_eye_and_diag():
+    assert np.allclose(CSRMatrix.eye(4).toarray(), np.eye(4))
+    d = np.array([2.0, 3.0])
+    assert np.allclose(CSRMatrix.diag(d).toarray(), np.diag(d))
+
+
+def test_is_symmetric():
+    dense = np.array([[2.0, 1.0], [1.0, 3.0]])
+    assert CSRMatrix.from_dense(dense).is_symmetric()
+    dense[0, 1] = 5.0
+    assert not CSRMatrix.from_dense(dense).is_symmetric()
+
+
+def test_tocoo_roundtrip():
+    a, dense = _random_csr(6, 6, 0.4, 15)
+    assert np.allclose(a.tocoo().tocsr().toarray(), dense)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError, match="nondecreasing"):
+        CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_row_lengths():
+    a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 0.0]]))
+    assert np.array_equal(a.row_lengths(), [2, 0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    m=st.integers(1, 12),
+    seed=st.integers(0, 10_000),
+    density=st.floats(0.0, 1.0),
+)
+def test_matvec_matches_dense(n, m, seed, density):
+    """Property: matvec == dense product for arbitrary sparsity patterns."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, m)) * (rng.random((n, m)) < density)
+    a = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(m)
+    assert np.allclose(a.matvec(x), dense @ x, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 10), seed=st.integers(0, 10_000))
+def test_rmatvec_adjoint_identity(n, seed):
+    """Property: <Ax, y> == <x, A^T y>."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.5)
+    a = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    assert np.isclose(a.matvec(x) @ y, x @ a.rmatvec(y), atol=1e-10)

@@ -1,0 +1,53 @@
+"""Free-standing sparse ops."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    axpy_flops,
+    dot_flops,
+    matvec_flops,
+    row_norms1,
+    scale_symmetric,
+    spmm_dense,
+)
+
+
+def test_scale_symmetric_matches_dense():
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((6, 6))
+    dense = dense + dense.T
+    a = CSRMatrix.from_dense(dense)
+    d = rng.random(6) + 0.5
+    scaled = scale_symmetric(a, d)
+    assert np.allclose(scaled.toarray(), np.diag(d) @ dense @ np.diag(d))
+
+
+def test_scale_symmetric_preserves_symmetry():
+    rng = np.random.default_rng(1)
+    dense = rng.standard_normal((5, 5))
+    dense = dense + dense.T
+    scaled = scale_symmetric(CSRMatrix.from_dense(dense), rng.random(5) + 0.1)
+    out = scaled.toarray()
+    assert np.allclose(out, out.T)
+
+
+def test_row_norms1_delegates():
+    a = CSRMatrix.from_dense(np.array([[1.0, -2.0], [3.0, 0.0]]))
+    assert np.array_equal(row_norms1(a), [3.0, 3.0])
+
+
+def test_flop_formulas():
+    a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+    assert matvec_flops(a) == 6
+    assert axpy_flops(10) == 20
+    assert dot_flops(10) == 20
+
+
+def test_spmm_dense():
+    rng = np.random.default_rng(2)
+    dense = rng.standard_normal((5, 4))
+    a = CSRMatrix.from_dense(dense)
+    b = rng.standard_normal((4, 3))
+    assert np.allclose(spmm_dense(a, b), dense @ b)

@@ -1,0 +1,49 @@
+"""Gershgorin bounds (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.precond.scaling import scale_system
+from repro.sparse.csr import CSRMatrix
+from repro.spectrum.gershgorin import gershgorin_bound, gershgorin_intervals
+
+
+def test_bound_dominates_spectrum():
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((8, 8))
+    dense = dense + dense.T
+    a = CSRMatrix.from_dense(dense)
+    lam_max = np.linalg.eigvalsh(dense).max()
+    assert gershgorin_bound(a) >= lam_max
+
+
+def test_bound_is_exact_max_row_norm(tiny_problem):
+    k = tiny_problem.stiffness
+    assert gershgorin_bound(k) == pytest.approx(k.row_norms1().max())
+
+
+def test_theorem1_spectrum_in_unit_interval(tiny_problem):
+    """The Eq. 12 claim: sigma(DKD) subset (0, 1)."""
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    evals = np.linalg.eigvalsh(ss.a.toarray())
+    assert evals.min() > 0
+    assert evals.max() <= 1.0 + 1e-12
+
+
+def test_intervals_enclose_spectrum():
+    rng = np.random.default_rng(1)
+    dense = rng.standard_normal((10, 10))
+    dense = dense + dense.T
+    a = CSRMatrix.from_dense(dense)
+    lo, hi = gershgorin_intervals(a)
+    evals = np.linalg.eigvalsh(dense)
+    assert evals.min() >= lo.min() - 1e-12
+    assert evals.max() <= hi.max() + 1e-12
+
+
+def test_square_required():
+    a = CSRMatrix.from_dense(np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        gershgorin_bound(a)
+    with pytest.raises(ValueError):
+        gershgorin_intervals(a)

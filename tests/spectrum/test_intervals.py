@@ -1,0 +1,94 @@
+"""SpectrumIntervals validation and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectrum.intervals import SpectrumIntervals
+
+
+def test_single_interval():
+    th = SpectrumIntervals.single(0.1, 2.5)
+    assert th.n_intervals == 1
+    assert th.lo == 0.1
+    assert th.hi == 2.5
+
+
+def test_unit_default():
+    th = SpectrumIntervals.unit()
+    assert th.lo > 0
+    assert th.hi == 1.0
+
+
+def test_union_sorted_regardless_of_input_order():
+    th = SpectrumIntervals([(7, 10), (-4, -1)])
+    assert th.intervals == ((-4.0, -1.0), (7.0, 10.0))
+    assert th.n_intervals == 2
+
+
+def test_zero_must_be_excluded():
+    with pytest.raises(ValueError, match="must not contain 0"):
+        SpectrumIntervals([(-1.0, 1.0)])
+
+
+def test_zero_endpoint_allowed():
+    SpectrumIntervals([(0.0, 1.0)])  # open interval: 0 not inside
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(ValueError, match="empty interval"):
+        SpectrumIntervals([(2.0, 2.0)])
+
+
+def test_overlap_rejected():
+    with pytest.raises(ValueError, match="disjoint"):
+        SpectrumIntervals([(1.0, 3.0), (2.0, 4.0)])
+
+
+def test_touching_allowed():
+    th = SpectrumIntervals([(1.0, 2.0), (2.0, 3.0)])
+    assert th.n_intervals == 2
+
+
+def test_no_intervals_rejected():
+    with pytest.raises(ValueError):
+        SpectrumIntervals([])
+
+
+def test_contains():
+    th = SpectrumIntervals([(-4, -1), (7, 10)])
+    x = np.array([-5.0, -2.0, 0.0, 8.0, 10.0])
+    assert np.array_equal(th.contains(x), [False, True, False, True, False])
+
+
+def test_sample_inside_and_counted():
+    th = SpectrumIntervals([(0.1, 1.0), (2.0, 3.0)])
+    grid = th.sample(50)
+    assert len(grid) == 100
+    assert th.contains(grid).all()
+
+
+def test_measure():
+    th = SpectrumIntervals([(0.0, 1.0), (2.0, 2.5)])
+    assert th.measure() == pytest.approx(1.5)
+
+
+def test_the_paper_fig2c_union():
+    """The 4-interval indefinite union of Fig. 2(c) validates."""
+    th = SpectrumIntervals(
+        [(-6.0, -4.1), (-3.9, -0.1), (0.1, 5.9), (6.1, 8.0)]
+    )
+    assert th.n_intervals == 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lo=st.floats(0.001, 5.0),
+    width=st.floats(0.01, 5.0),
+    n=st.integers(1, 100),
+)
+def test_sample_within_bounds_property(lo, width, n):
+    th = SpectrumIntervals.single(lo, lo + width)
+    g = th.sample(n)
+    assert (g > lo).all() and (g < lo + width).all()

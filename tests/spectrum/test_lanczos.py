@@ -1,0 +1,41 @@
+"""Lanczos extreme-eigenvalue estimation."""
+
+import numpy as np
+import pytest
+
+from repro.precond.scaling import scale_system
+from repro.spectrum.lanczos import lanczos_extreme_eigenvalues
+
+
+def test_exact_on_diagonal_matrix():
+    d = np.array([0.5, 1.0, 2.0, 5.0, 9.0])
+    lo, hi = lanczos_extreme_eigenvalues(lambda v: d * v, 5, n_steps=5)
+    assert lo == pytest.approx(0.5, abs=1e-8)
+    assert hi == pytest.approx(9.0, abs=1e-8)
+
+
+def test_fem_matrix_estimates(tiny_problem):
+    ss = scale_system(tiny_problem.stiffness, tiny_problem.load)
+    evals = np.linalg.eigvalsh(ss.a.toarray())
+    lo, hi = lanczos_extreme_eigenvalues(
+        ss.a.matvec, ss.a.shape[0], n_steps=40
+    )
+    # Ritz values lie inside the spectrum and converge to the extremes.
+    assert evals.min() - 1e-10 <= lo
+    assert hi <= evals.max() + 1e-10
+    assert hi == pytest.approx(evals.max(), rel=1e-4)
+
+
+def test_steps_capped_at_dimension():
+    d = np.array([1.0, 2.0])
+    lo, hi = lanczos_extreme_eigenvalues(lambda v: d * v, 2, n_steps=50)
+    assert (lo, hi) == (pytest.approx(1.0), pytest.approx(2.0))
+
+
+def test_deterministic_for_fixed_seed():
+    rng = np.random.default_rng(5)
+    m = rng.standard_normal((20, 20))
+    m = m + m.T
+    a = lanczos_extreme_eigenvalues(lambda v: m @ v, 20, n_steps=10, seed=3)
+    b = lanczos_extreme_eigenvalues(lambda v: m @ v, 20, n_steps=10, seed=3)
+    assert a == b

@@ -1,0 +1,65 @@
+"""API quality meta-tests: every public item is documented and importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_module_importable_and_documented(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__, f"{modname} lacks a module docstring"
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_public_callables_documented(modname):
+    mod = importlib.import_module(modname)
+    for name, obj in vars(mod).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != modname:
+            continue  # re-export; documented at its home
+        assert obj.__doc__, f"{modname}.{name} lacks a docstring"
+        if inspect.isclass(obj):
+            for mname, meth in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                assert (
+                    meth.__doc__
+                ), f"{modname}.{name}.{mname} lacks a docstring"
+
+
+def test_all_exports_resolve():
+    for modname in MODULES + ["repro"]:
+        mod = importlib.import_module(modname)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{modname}.__all__ lists missing {name}"
+
+
+def test_api_reference_up_to_date(tmp_path):
+    """docs/API.md regenerates identically — catches stale references."""
+    import pathlib
+    import subprocess
+    import sys
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    current = (repo / "docs" / "API.md").read_text()
+    subprocess.run(
+        [sys.executable, str(repo / "tools" / "gen_api.py")],
+        check=True,
+        capture_output=True,
+    )
+    regenerated = (repo / "docs" / "API.md").read_text()
+    assert current == regenerated

@@ -1,0 +1,88 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_solve_command(capsys):
+    rc = main(["solve", "--mesh", "1", "-p", "2", "--precond", "gls(3)"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "converged=True" in out
+    assert "modeled time" in out
+
+
+def test_solve_rdd(capsys):
+    rc = main(["solve", "--mesh", "1", "-p", "2", "--method", "rdd"])
+    assert rc == 0
+    assert "rdd" in capsys.readouterr().out
+
+
+def test_solve_dynamic(capsys):
+    rc = main(["solve", "--mesh", "1", "-p", "2", "--dynamic"])
+    assert rc == 0
+
+
+def test_solve_none_precond(capsys):
+    rc = main(["solve", "--mesh", "1", "-p", "1", "--precond", "none"])
+    assert rc == 0
+    assert ", I," in capsys.readouterr().out
+
+
+def test_scaling_command(capsys):
+    rc = main(["scaling", "--mesh", "1", "--ranks", "1", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_scaling_skips_infeasible_ranks(capsys):
+    # Mesh1 has 7 elements; P=8 must be skipped, not crash
+    rc = main(["scaling", "--mesh", "1", "--ranks", "1", "8"])
+    assert rc == 0
+
+
+def test_convergence_command(capsys):
+    rc = main(["convergence", "--mesh", "1", "--preconds", "none", "gls(3)"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "GLS(3)" in out
+
+
+def test_meshes_command(capsys):
+    rc = main(["meshes"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "40400" in out  # Mesh10 equation count
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_sp2_machine_option(capsys):
+    rc = main(
+        ["scaling", "--mesh", "1", "--ranks", "1", "2", "--machine", "sp2"]
+    )
+    assert rc == 0
+    assert "IBM SP2" in capsys.readouterr().out
+
+
+def test_solve_json_export(tmp_path, capsys):
+    path = tmp_path / "runs.json"
+    rc = main(
+        ["solve", "--mesh", "1", "-p", "2", "--json", str(path)]
+    )
+    assert rc == 0
+    rc = main(
+        ["solve", "--mesh", "1", "-p", "4", "--json", str(path)]
+    )
+    assert rc == 0
+    from repro.io.records import load_records
+
+    records = load_records(path)
+    assert len(records) == 2
+    assert records[0].n_parts == 2
+    assert records[1].n_parts == 4

@@ -1,0 +1,72 @@
+"""Reproduction orchestrator."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    reproduce_all,
+    reproduce_convergence,
+    reproduce_scaling,
+    reproduce_table2,
+)
+
+
+def test_table2_all_ok(tmp_path):
+    table = reproduce_table2(str(tmp_path))
+    assert "MISMATCH" not in table
+    assert table.count("OK") == 10
+    assert (tmp_path / "table2.txt").exists()
+
+
+def test_convergence_outputs(tmp_path):
+    table = reproduce_convergence(str(tmp_path), mesh_id=1)
+    assert "GLS(7)" in table
+    payload = json.loads((tmp_path / "convergence_mesh1.json").read_text())
+    assert payload["GLS(7)"]["converged"]
+    # degree monotonicity visible in the serialized data
+    assert payload["GLS(20)"]["iterations"] <= payload["GLS(7)"]["iterations"]
+
+
+def test_scaling_outputs(tmp_path):
+    table = reproduce_scaling(
+        str(tmp_path), mesh_id=1, degrees=(7,), ranks=(1, 2)
+    )
+    assert "speedup" in table
+    from repro.io.records import load_records
+
+    records = load_records(tmp_path / "table3_mesh1.json")
+    assert len(records) == 2
+    assert all(r.converged for r in records)
+
+
+def test_reproduce_all_writes_everything(tmp_path):
+    out = tmp_path / "results"
+    tables = reproduce_all(str(out), mesh_id=1)
+    assert set(tables) == {"table2", "convergence", "scaling"}
+    files = os.listdir(out)
+    assert "table2.txt" in files
+    assert "convergence_mesh2.txt" in files
+    assert "table3_mesh1.txt" in files
+
+
+def test_cli_reproduce(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["reproduce", "--out", str(tmp_path / "r"), "--mesh", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "results written" in out
+
+
+def test_cli_convergence_plot(capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["convergence", "--mesh", "1", "--preconds", "none", "gls(3)", "--plot"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rel. r" in out  # the plot's y-label

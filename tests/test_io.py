@@ -1,0 +1,49 @@
+"""Experiment-record serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.io.records import (
+    RunRecord,
+    load_records,
+    record_from_summary,
+    save_records,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    summary = solve_cantilever(1, n_parts=2, precond="gls(3)")
+    return record_from_summary(summary, "mesh1/gls3/p2", n_eqn=28)
+
+
+def test_record_fields(record):
+    assert record.label == "mesh1/gls3/p2"
+    assert record.method == "edd-enhanced"
+    assert record.precond == "GLS(3)"
+    assert record.n_parts == 2
+    assert record.n_eqn == 28
+    assert record.converged
+    assert record.total_flops > 0
+    assert set(record.modeled_times) == {"sp2", "origin"}
+    assert all(t > 0 for t in record.modeled_times.values())
+
+
+def test_roundtrip(tmp_path, record):
+    path = tmp_path / "runs.json"
+    save_records([record, record], path)
+    loaded = load_records(path)
+    assert len(loaded) == 2
+    assert loaded[0] == record
+
+
+def test_json_is_plain_types(tmp_path, record):
+    import json
+
+    path = tmp_path / "runs.json"
+    save_records([record], path)
+    payload = json.loads(path.read_text())
+    assert isinstance(payload[0]["total_flops"], int)
+    assert isinstance(payload[0]["final_residual"], float)
+    assert isinstance(payload[0]["converged"], bool)
