@@ -311,9 +311,9 @@ def build_edd_system_from_assembler(
     if any(np.any(d == 0.0) for d in d_hat):
         raise ValueError("zero scaled row; partition left an isolated DOF")
     d_parts = [1.0 / np.sqrt(d) for d in d_hat]
-    a_local = [
-        a.scale_rows(d).scale_cols(d) for a, d in zip(a_local, d_parts)
-    ]
+    # One-pass fused symmetric scaling: a single new matrix per subdomain
+    # instead of the intermediate DA that scale_rows().scale_cols() builds.
+    a_local = [a.scale_sym(d, d) for a, d in zip(a_local, d_parts)]
 
     f_free = f_full[bc.free]
     b_parts = _ownership_split(submap, f_free)

@@ -24,6 +24,7 @@ from repro.partition.node_partition import NodePartition
 from repro.precond.gls import GLSPolynomial
 from repro.precond.neumann import NeumannPolynomial
 from repro.solvers.result import SolveResult
+from repro.sparse.kernels import use_backend
 from repro.spectrum.intervals import SpectrumIntervals
 
 
@@ -91,6 +92,7 @@ def solve_cantilever(
     dynamic: bool = False,
     mass_shift: tuple = (1.0, 2.5e-1),
     max_iter: int = 10_000,
+    kernel_backend: str | None = None,
 ) -> ParallelSolveSummary:
     """Solve a cantilever problem with the chosen decomposition.
 
@@ -109,7 +111,25 @@ def solve_cantilever(
         Solve the elastodynamics effective system
         :math:`(\\alpha M + \\beta K)u = f` (Eq. 52) instead of the static
         one; ``mass_shift`` supplies :math:`(\\alpha, \\beta)`.
+    kernel_backend:
+        Sparse-kernel backend name for this solve (see
+        :mod:`repro.sparse.kernels`); None keeps the session default
+        (``REPRO_KERNEL_BACKEND`` or ``"numpy"``).
     """
+    if kernel_backend is not None:
+        with use_backend(kernel_backend):
+            return solve_cantilever(
+                problem,
+                n_parts=n_parts,
+                method=method,
+                precond=precond,
+                restart=restart,
+                tol=tol,
+                partition_method=partition_method,
+                dynamic=dynamic,
+                mass_shift=mass_shift,
+                max_iter=max_iter,
+            )
     if isinstance(problem, int):
         problem = cantilever_problem(problem, with_mass=dynamic)
     if dynamic and problem.mass is None:

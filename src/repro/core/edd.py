@@ -84,6 +84,9 @@ def edd_fgmres(
     restarts = 0
     converged = False
     beta = norm_b0
+    # Reusable CGS coefficient workspace (rank-partials per basis vector);
+    # sized once for the whole solve instead of per Arnoldi step.
+    partial_buf = np.empty((restart, system.n_parts))
     while not converged and total_iters < max_iter:
         restarts += 1
         v_loc = [(1.0 / beta) * r_loc]
@@ -108,7 +111,7 @@ def edd_fgmres(
                 # coefficients from the unmodified w via the mixed-format
                 # inner product, batched into ONE allreduce of j+1 words
                 # (Eq. 33).
-                partial = np.zeros((len(v_loc), system.n_parts))
+                partial = partial_buf[: len(v_loc)]
                 for i in range(len(v_loc)):
                     partial[i] = v_loc[i].local_dots(w_hat)
                 h[: j + 1] = system.comm.allreduce_sum(

@@ -137,7 +137,7 @@ def build_rdd_system(
     traffic is not charged — counters start at zero for the solve.
     """
     d = norm1_scaling(k_reduced)
-    a = k_reduced.scale_rows(d).scale_cols(d)
+    a = k_reduced.scale_sym(d, d)  # fused one-pass DKD
     b_scaled = d * f_reduced
 
     dof_parts_full = np.repeat(partition.parts, mesh.dofs_per_node)

@@ -1,10 +1,22 @@
-"""Preconditioner interfaces."""
+"""Preconditioner interfaces.
+
+Polynomial preconditioners carry a small reusable workspace so that the
+NumPy fast path of ``apply_linear`` performs **zero array allocations per
+degree**: the recurrences run over preallocated ping-pong buffers and the
+matvec writes into a workspace via ``out=`` whenever the supplied matvec
+supports it (detected with :func:`repro.sparse.kernels.accepts_out`).
+Distributed vector types (``DistVector``, ``_RDDVector``) keep using the
+generic arithmetic recurrence unchanged, so the per-application exchange
+counts of the EDD/RDD drivers (Table 1) are untouched.
+"""
 
 from __future__ import annotations
 
 import abc
 
 import numpy as np
+
+from repro.sparse.kernels import accepts_out
 
 
 class SingularPreconditionerError(RuntimeError):
@@ -33,8 +45,12 @@ class Preconditioner(abc.ABC):
 class IdentityPreconditioner(Preconditioner):
     """No preconditioning: ``z = v``."""
 
-    def apply(self, v: np.ndarray) -> np.ndarray:
-        """Return a copy of ``v`` (the identity map)."""
+    def apply(self, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Return a copy of ``v`` (the identity map); writes into ``out``
+        when given."""
+        if out is not None:
+            out[:] = v
+            return out
         return np.array(v, dtype=np.float64, copy=True)
 
     @property
@@ -59,12 +75,15 @@ class PolynomialPreconditioner(Preconditioner):
         self._matvec = matvec
 
     @abc.abstractmethod
-    def apply_linear(self, matvec, v):
+    def apply_linear(self, matvec, v, out=None):
         """Compute ``P_m(A) v`` with ``A`` given only through ``matvec``.
 
         ``v`` may be any object supporting numpy-style arithmetic
         (``+``, ``-``, scalar ``*``, ``copy()``), allowing distributed
-        vector types.
+        vector types.  When ``v`` is a 1-D ``ndarray`` and ``matvec``
+        accepts ``out=``, implementations run an allocation-free workspace
+        recurrence and write the result into ``out`` (allocated when
+        None).  ``out`` is only meaningful for ndarray inputs.
         """
 
     @abc.abstractmethod
@@ -72,14 +91,70 @@ class PolynomialPreconditioner(Preconditioner):
         """Coefficients ``a_0..a_m`` of ``P_m`` in the power basis;
         consumed by the Eq. 24 stability bound."""
 
-    def apply(self, v: np.ndarray) -> np.ndarray:
+    def apply(self, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Apply ``P_m(A) v`` through the construction-time bound matvec."""
         if self._matvec is None:
             raise RuntimeError(
                 "preconditioner was built without a bound matrix; "
                 "use apply_linear(matvec, v)"
             )
-        return self.apply_linear(self._matvec, np.asarray(v, dtype=np.float64))
+        return self.apply_linear(
+            self._matvec, np.asarray(v, dtype=np.float64), out=out
+        )
+
+    # ------------------------------------------------------------------
+    # Workspace fast-path plumbing (zero allocations per degree)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _use_fast_path(matvec, v) -> bool:
+        """ndarray input + out=-capable matvec -> workspace recurrence."""
+        return isinstance(v, np.ndarray) and v.ndim == 1 and accepts_out(matvec)
+
+    def _workspace(self, n: int, count: int) -> np.ndarray:
+        """``count`` reusable length-``n`` buffers, cached across
+        applications (rows of one ``(count, n)`` array)."""
+        ws = self.__dict__.get("_ws")
+        if ws is None or ws.shape[0] < count or ws.shape[1] != n:
+            ws = np.empty((count, n))
+            self._ws = ws
+        return ws
+
+    @staticmethod
+    def _finish(z, out):
+        """Copy a generic-path result into ``out`` when requested."""
+        if out is not None and isinstance(z, np.ndarray):
+            out[:] = z
+            return out
+        return z
+
+    def _three_term_apply(self, matvec, v, out, alphas, betas, mus, degree):
+        """Workspace Stieltjes recurrence ``z = sum_i mu_i phi_i(A) v``.
+
+        Shared by the GLS and plain least-squares polynomials.  Four
+        ping-pong buffers; every step is one ``matvec`` into a workspace
+        plus in-place AXPY-style updates — zero allocations per degree.
+        Safe when ``out`` aliases ``v`` (``v`` is consumed before ``out``
+        is first written).
+        """
+        n = v.shape[0]
+        ws = self._workspace(n, 4)
+        phi_prev, phi, w, tmp = ws[0], ws[1], ws[2], ws[3]
+        np.multiply(v, 1.0 / betas[0], out=phi)
+        if out is None:
+            out = np.empty(n)
+        np.multiply(phi, mus[0], out=out)
+        phi_prev[:] = 0.0
+        for i in range(degree):
+            matvec(phi, out=w)
+            np.multiply(phi, alphas[i], out=tmp)
+            np.subtract(w, tmp, out=w)
+            np.multiply(phi_prev, betas[i], out=tmp)
+            np.subtract(w, tmp, out=w)
+            np.multiply(w, 1.0 / betas[i + 1], out=w)
+            np.multiply(w, mus[i + 1], out=tmp)
+            np.add(out, tmp, out=out)
+            phi_prev, phi, w = phi, w, phi_prev
+        return out
 
     def evaluate(self, lam) -> np.ndarray:
         """Evaluate the scalar polynomial ``P_m`` on an array of points

@@ -60,14 +60,32 @@ class ChebyshevPolynomial(PolynomialPreconditioner):
             raise AssertionError("Chebyshev residual must satisfy R(0)=1")
         self._coef = num[1:].copy()
 
-    def apply_linear(self, matvec, v):
+    def apply_linear(self, matvec, v, out=None):
         """Horner evaluation ``z = (a_0 + a_1 A + ... + a_m A^m) v`` —
-        ``degree`` matvecs."""
+        ``degree`` matvecs.
+
+        NumPy inputs with an ``out=``-capable matvec evaluate Horner over
+        two cached buffers (``v`` is staged into one of them first, so
+        ``out`` may alias ``v``): zero allocations per degree.
+        """
         coef = self._coef
+        if self._use_fast_path(matvec, v):
+            n = v.shape[0]
+            ws = self._workspace(n, 2)
+            vv, t = ws[0], ws[1]
+            vv[:] = v
+            if out is None:
+                out = np.empty(n)
+            np.multiply(vv, coef[-1], out=out)
+            for c in coef[-2::-1]:
+                matvec(out, out=t)
+                np.multiply(vv, c, out=out)
+                np.add(out, t, out=out)
+            return out
         z = coef[-1] * v
         for c in coef[-2::-1]:
             z = matvec(z) + c * v
-        return z
+        return self._finish(z, out)
 
     def power_coefficients(self) -> np.ndarray:
         """Power-basis coefficients of ``P`` (already stored that way)."""

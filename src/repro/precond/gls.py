@@ -140,9 +140,19 @@ class GLSPolynomial(PolynomialPreconditioner):
         norm-1 diagonal scaling."""
         return cls(SpectrumIntervals.single(eps, 1.0), degree, matvec=matvec)
 
-    def apply_linear(self, matvec, v):
+    def apply_linear(self, matvec, v, out=None):
         """``z = sum_i mu_i phi_i(A) v`` via the three-term recurrence —
-        exactly ``degree`` matvecs."""
+        exactly ``degree`` matvecs.
+
+        NumPy inputs with an ``out=``-capable matvec run the workspace
+        recurrence of :meth:`PolynomialPreconditioner._three_term_apply`:
+        zero allocations per degree.
+        """
+        if self._use_fast_path(matvec, v):
+            return self._three_term_apply(
+                matvec, v, out, self._alphas, self._betas, self._mus,
+                self.degree,
+            )
         a, b, mu = self._alphas, self._betas, self._mus
         phi_prev = None
         phi = (1.0 / b[0]) * v
@@ -154,7 +164,7 @@ class GLSPolynomial(PolynomialPreconditioner):
             nxt = (1.0 / b[i + 1]) * nxt
             z = z + mu[i + 1] * nxt
             phi_prev, phi = phi, nxt
-        return z
+        return self._finish(z, out)
 
     def power_coefficients(self) -> np.ndarray:
         """Power-basis coefficients of ``P_m`` (via the recurrence on

@@ -82,8 +82,14 @@ class LeastSquaresPolynomial(PolynomialPreconditioner):
                 phi_prev, phi = phi, nxt
         self._mus = mus
 
-    def apply_linear(self, matvec, v):
-        """Same three-term recurrence as GLS — ``degree`` matvecs."""
+    def apply_linear(self, matvec, v, out=None):
+        """Same three-term recurrence as GLS — ``degree`` matvecs; shares
+        the zero-allocation workspace fast path."""
+        if self._use_fast_path(matvec, v):
+            return self._three_term_apply(
+                matvec, v, out, self._alphas, self._betas, self._mus,
+                self.degree,
+            )
         a, b, mu = self._alphas, self._betas, self._mus
         phi_prev = None
         phi = (1.0 / b[0]) * v
@@ -95,7 +101,7 @@ class LeastSquaresPolynomial(PolynomialPreconditioner):
             nxt = (1.0 / b[i + 1]) * nxt
             z = z + mu[i + 1] * nxt
             phi_prev, phi = phi, nxt
-        return z
+        return self._finish(z, out)
 
     def power_coefficients(self) -> np.ndarray:
         """Power-basis coefficients via the recurrence on polynomials."""

@@ -50,15 +50,34 @@ class NeumannPolynomial(PolynomialPreconditioner):
             )
         return cls(degree, omega=2.0 / (theta.lo + theta.hi), matvec=matvec)
 
-    def apply_linear(self, matvec, v):
+    def apply_linear(self, matvec, v, out=None):
         """Algorithm 7: ``z = omega * sum_{i=0..m} G^i v`` via the
-        recurrence ``s <- s - omega A s`` (one matvec per term)."""
+        recurrence ``s <- s - omega A s`` (one matvec per term).
+
+        NumPy inputs with an ``out=``-capable matvec run on two cached
+        ping-pong buffers: zero allocations per degree.
+        """
+        if self._use_fast_path(matvec, v):
+            n = v.shape[0]
+            ws = self._workspace(n, 2)
+            s, t = ws[0], ws[1]
+            s[:] = v
+            if out is None:
+                out = np.empty(n)
+            out[:] = s  # via s: safe when out aliases v
+            for _ in range(self.degree):
+                matvec(s, out=t)
+                np.multiply(t, self.omega, out=t)
+                np.subtract(s, t, out=s)
+                np.add(out, s, out=out)
+            np.multiply(out, self.omega, out=out)
+            return out
         s = v.copy()
         z = v.copy()
         for _ in range(self.degree):
             s = s - self.omega * matvec(s)
             z = z + s
-        return self.omega * z
+        return self._finish(self.omega * z, out)
 
     def power_coefficients(self) -> np.ndarray:
         """Coefficients of :math:`\\omega\\sum_{i\\le m} (1-\\omega\\lambda)^i`

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import scale_symmetric
+from repro.sparse.ops import scale_symmetric, scaled_matvec
 
 
 def norm1_scaling(k: CSRMatrix) -> np.ndarray:
@@ -30,6 +30,42 @@ def norm1_scaling(k: CSRMatrix) -> np.ndarray:
     return 1.0 / np.sqrt(d)
 
 
+class ScaledOperator:
+    """The scaled operator :math:`DKD` applied matrix-free.
+
+    Computes :math:`y = D\\,(K\\,(D x))` with the fused kernel of
+    :func:`repro.sparse.ops.scaled_matvec` — never materializing the
+    scaled matrix.  Accepts ``out=`` and reuses an internal gather buffer,
+    so steady-state applications are allocation-free; this is the operator
+    to hand to the Krylov/polynomial hot loops when the scaled matrix
+    itself is not needed (e.g. transient re-scaling, ablation sweeps).
+    """
+
+    __slots__ = ("k", "d", "_work")
+
+    def __init__(self, k: CSRMatrix, d: np.ndarray):
+        d = np.asarray(d, dtype=np.float64)
+        if d.shape != (k.shape[0],) or k.shape[0] != k.shape[1]:
+            raise ValueError("ScaledOperator needs a square K and matching d")
+        self.k = k
+        self.d = d
+        self._work = np.empty(k.shape[0])
+
+    @property
+    def shape(self):
+        return self.k.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.k.nnz
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``out = D K D x`` (fused; zero allocations when ``out`` given)."""
+        return scaled_matvec(self.d, self.k, self.d, x, out=out, work=self._work)
+
+    __call__ = matvec
+
+
 @dataclass
 class ScaledSystem:
     """The transformed system ``A x = b`` of Eq. 11 plus its back-map.
@@ -42,11 +78,21 @@ class ScaledSystem:
         Scaled right-hand side :math:`b = Df`.
     d:
         The scaling vector (diagonal of :math:`D`).
+    k:
+        The original (unscaled) matrix, kept for the matrix-free
+        :meth:`operator`; ``None`` for systems built before scaling.
     """
 
     a: CSRMatrix
     b: np.ndarray
     d: np.ndarray
+    k: CSRMatrix | None = None
+
+    def operator(self) -> ScaledOperator:
+        """The fused matrix-free :math:`DKD` operator (requires ``k``)."""
+        if self.k is None:
+            raise ValueError("ScaledSystem was built without the unscaled K")
+        return ScaledOperator(self.k, self.d)
 
     def unscale_solution(self, x: np.ndarray) -> np.ndarray:
         """Recover the original unknowns :math:`u = D x`."""
@@ -70,4 +116,4 @@ def scale_system(k: CSRMatrix, f: np.ndarray) -> ScaledSystem:
     if f.shape != (k.shape[0],):
         raise ValueError("rhs length mismatch")
     d = norm1_scaling(k)
-    return ScaledSystem(a=scale_symmetric(k, d), b=d * f, d=d)
+    return ScaledSystem(a=scale_symmetric(k, d), b=d * f, d=d, k=k)

@@ -4,6 +4,14 @@ FGMRES differs from GMRES in that solution updates are built from the
 *preconditioned* vectors ``z_j = C v_j`` (kept in ``Z``), so the
 preconditioner may vary from step to step — the property the paper relies
 on to plug in polynomial preconditioners "constructed at required stages".
+
+The inner loop is allocation-free in steady state: the Krylov basis ``V``
+(``(restart+1, n)``) and the preconditioned block ``Z`` are preallocated
+once per solve and reused across restart cycles, Gram-Schmidt runs through
+``np.dot(..., out=...)`` and in-place AXPYs, and the matvec/preconditioner
+write into workspace rows whenever they accept ``out=`` (detected via
+:func:`repro.sparse.kernels.accepts_out`; allocating callables still
+work, just without the zero-allocation guarantee).
 """
 
 from __future__ import annotations
@@ -12,6 +20,14 @@ import numpy as np
 
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
+from repro.sparse.kernels import accepts_out
+
+
+def _identity_precond(v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    if out is not None:
+        out[:] = v
+        return out
+    return v.copy()
 
 
 def fgmres(
@@ -29,12 +45,12 @@ def fgmres(
     Parameters
     ----------
     matvec:
-        Callable ``v -> A v``.
+        Callable ``v -> A v``; may accept ``out=`` for workspace reuse.
     b:
         Right-hand side.
     precond:
         Callable ``v -> z ~= A^{-1} v`` (the flexible preconditioner);
-        identity when None.
+        identity when None.  May accept ``out=``.
     x0:
         Initial guess (zero when None).
     restart:
@@ -54,11 +70,29 @@ def fgmres(
     if restart < 1:
         raise ValueError("restart must be >= 1")
     if precond is None:
-        precond = lambda v: v.copy()  # noqa: E731 - trivial identity
+        precond = _identity_precond
+    mv_out = accepts_out(matvec)
+    pc_out = accepts_out(precond)
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
-    r0 = b - matvec(x)
-    norm_r0 = float(np.linalg.norm(r0))
+    # Per-solve workspace, reused across all restart cycles.
+    v = np.empty((restart + 1, n))
+    z = np.empty((restart, n))
+    w = np.empty(n)
+    tmp = np.empty(n)
+    r = np.empty(n)
+    hcol = np.empty(restart + 1)
+
+    def residual(into: np.ndarray) -> None:
+        """into = b - A x, through the workspace when possible."""
+        if mv_out:
+            matvec(x, out=into)
+        else:
+            into[:] = matvec(x)
+        np.subtract(b, into, out=into)
+
+    residual(r)
+    norm_r0 = float(np.linalg.norm(r))
     history = [1.0]
     if norm_r0 == 0.0:
         return SolveResult(x, True, 0, 0, history)
@@ -66,23 +100,27 @@ def fgmres(
     total_iters = 0
     restarts = 0
     converged = False
-    r = r0
     beta = norm_r0
     while not converged and total_iters < max_iter:
         restarts += 1
-        v = np.zeros((restart + 1, n))
-        z = np.zeros((restart, n))
-        v[0] = r / beta
+        np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
         j = 0
         while j < restart and total_iters < max_iter:
-            z[j] = precond(v[j])
-            w = matvec(z[j])
-            h = np.empty(j + 2)
+            if pc_out:
+                precond(v[j], out=z[j])
+            else:
+                z[j] = precond(v[j])
+            if mv_out:
+                matvec(z[j], out=w)
+            else:
+                w[:] = matvec(z[j])
+            h = hcol[: j + 2]
             # Classical Gram-Schmidt: all projections off the unmodified w,
             # matching the paper's listings (and its communication count).
-            h[: j + 1] = v[: j + 1] @ w
-            w = w - h[: j + 1] @ v[: j + 1]
+            np.dot(v[: j + 1], w, out=h[: j + 1])
+            np.dot(h[: j + 1], v[: j + 1], out=tmp)
+            w -= tmp
             h[j + 1] = np.linalg.norm(w)
             res = lsq.append_column(h)
             total_iters += 1
@@ -97,12 +135,13 @@ def fgmres(
                 converged = True
                 j += 1
                 break
-            v[j + 1] = w / h[j + 1]
+            np.divide(w, h[j + 1], out=v[j + 1])
             j += 1
         y = lsq.solve()
         if len(y):
-            x = x + y @ z[: len(y)]
-        r = b - matvec(x)
+            np.dot(y, z[: len(y)], out=tmp)
+            x += tmp
+        residual(r)
         beta = float(np.linalg.norm(r))
         if beta / norm_r0 <= tol:
             converged = True

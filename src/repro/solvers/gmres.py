@@ -5,14 +5,20 @@ cycle (updates are built from the basis ``V``, Eq. 3), in contrast to
 :func:`repro.solvers.fgmres`.  Kept as the reference point FGMRES is
 validated against — with a fixed preconditioner both must converge to the
 same solution.
+
+Shares FGMRES's workspace discipline: preallocated basis, in-place
+Gram-Schmidt, ``out=``-aware matvec/preconditioner (see
+:mod:`repro.solvers.fgmres`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.fgmres import _identity_precond
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
+from repro.sparse.kernels import accepts_out
 
 
 def gmres(
@@ -38,11 +44,32 @@ def gmres(
     if restart < 1:
         raise ValueError("restart must be >= 1")
     if precond is None:
-        precond = lambda v: v.copy()  # noqa: E731 - trivial identity
+        precond = _identity_precond
+    mv_out = accepts_out(matvec)
+    pc_out = accepts_out(precond)
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
-    r0 = precond(b - matvec(x))
-    norm_r0 = float(np.linalg.norm(r0))
+    # Per-solve workspace, reused across all restart cycles.
+    v = np.empty((restart + 1, n))
+    w = np.empty(n)
+    tmp = np.empty(n)
+    r = np.empty(n)
+    hcol = np.empty(restart + 1)
+
+    def precond_residual(into: np.ndarray) -> None:
+        """into = C (b - A x), through the workspace when possible."""
+        if mv_out:
+            matvec(x, out=tmp)
+        else:
+            tmp[:] = matvec(x)
+        np.subtract(b, tmp, out=tmp)
+        if pc_out:
+            precond(tmp, out=into)
+        else:
+            into[:] = precond(tmp)
+
+    precond_residual(r)
+    norm_r0 = float(np.linalg.norm(r))
     history = [1.0]
     if norm_r0 == 0.0:
         return SolveResult(x, True, 0, 0, history)
@@ -50,19 +77,25 @@ def gmres(
     total_iters = 0
     restarts = 0
     converged = False
-    r = r0
     beta = norm_r0
     while not converged and total_iters < max_iter:
         restarts += 1
-        v = np.zeros((restart + 1, n))
-        v[0] = r / beta
+        np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
         j = 0
         while j < restart and total_iters < max_iter:
-            w = precond(matvec(v[j]))
-            h = np.empty(j + 2)
-            h[: j + 1] = v[: j + 1] @ w
-            w = w - h[: j + 1] @ v[: j + 1]
+            if mv_out:
+                matvec(v[j], out=tmp)
+            else:
+                tmp[:] = matvec(v[j])
+            if pc_out:
+                precond(tmp, out=w)
+            else:
+                w[:] = precond(tmp)
+            h = hcol[: j + 2]
+            np.dot(v[: j + 1], w, out=h[: j + 1])
+            np.dot(h[: j + 1], v[: j + 1], out=tmp)
+            w -= tmp
             h[j + 1] = np.linalg.norm(w)
             res = lsq.append_column(h)
             total_iters += 1
@@ -71,12 +104,13 @@ def gmres(
                 converged = True
                 j += 1
                 break
-            v[j + 1] = w / h[j + 1]
+            np.divide(w, h[j + 1], out=v[j + 1])
             j += 1
         y = lsq.solve()
         if len(y):
-            x = x + y @ v[: len(y)]
-        r = precond(b - matvec(x))
+            np.dot(y, v[: len(y)], out=tmp)
+            x += tmp
+        precond_residual(r)
         beta = float(np.linalg.norm(r))
         if beta / norm_r0 <= tol:
             converged = True

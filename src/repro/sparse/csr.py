@@ -2,16 +2,27 @@
 
 The matvec is the time-dominant kernel of every algorithm in the paper
 (polynomial preconditioning *is* a chain of matvecs), so it is implemented
-with a fully vectorized gather + segmented reduction.
+with a fully vectorized gather + segmented reduction, dispatched through
+the pluggable backends of :mod:`repro.sparse.kernels`.
+
+**Immutability convention.**  A ``CSRMatrix`` is frozen after
+construction: no method mutates ``indptr``/``indices``/``data`` (scaling
+and transposition return new matrices).  This lets the hot kernels cache
+derived arrays — the COO row-index view, the ``reduceat`` segment starts,
+the nonempty-row mask and the per-matrix scratch buffers — lazily and
+*never invalidate them*.  Anything that needs a modified matrix must build
+a new one.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse import kernels
+
 
 class CSRMatrix:
-    """Compressed sparse row matrix.
+    """Compressed sparse row matrix (immutable by convention, see module doc).
 
     Parameters
     ----------
@@ -39,6 +50,9 @@ class CSRMatrix:
             raise ValueError("indptr must be nondecreasing")
         if len(self.indices) != len(self.data):
             raise ValueError("indices and data must have equal length")
+        # Lazy caches of derived arrays and kernel workspaces; safe because
+        # the matrix is immutable after this point.
+        self._cache: dict = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -87,14 +101,77 @@ class CSRMatrix:
         )
 
     # ------------------------------------------------------------------
+    # Cached derived arrays (lazy; never invalidated — see module doc)
+    # ------------------------------------------------------------------
+    def row_indices(self) -> np.ndarray:
+        """The COO row-index view ``repeat(arange(n), row_lengths)``.
+
+        Computed once and cached; shared by every kernel that needs
+        per-entry row identities (rmatvec, diagonal, scaling, transpose,
+        conversions).  Treat as read-only.
+        """
+        rows = self._cache.get("rows")
+        if rows is None:
+            rows = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+            self._cache["rows"] = rows
+        return rows
+
+    def _row_segments(self):
+        """``(starts, nonempty_mask, all_nonempty)`` for segmented sums.
+
+        ``starts`` are the ``reduceat`` segment starts restricted to rows
+        owning at least one entry; when every row is nonempty (the common
+        FEM case) kernels reduce straight into ``out``.
+        """
+        seg = self._cache.get("segments")
+        if seg is None:
+            lengths = np.diff(self.indptr)
+            nonempty = lengths > 0
+            all_nonempty = bool(nonempty.all())
+            starts = (
+                self.indptr[:-1]
+                if all_nonempty
+                else self.indptr[:-1][nonempty]
+            )
+            seg = (starts, nonempty, all_nonempty)
+            self._cache["segments"] = seg
+        return seg
+
+    def _nnz_buffer(self) -> np.ndarray:
+        """Scratch array of length ``nnz`` for gathered products."""
+        buf = self._cache.get("nnz_buf")
+        if buf is None:
+            buf = np.empty(self.nnz)
+            self._cache["nnz_buf"] = buf
+        return buf
+
+    def _rowsum_buffer(self) -> np.ndarray:
+        """Scratch array holding one partial sum per nonempty row."""
+        buf = self._cache.get("rowsum_buf")
+        if buf is None:
+            buf = np.empty(len(self._row_segments()[0]))
+            self._cache["rowsum_buf"] = buf
+        return buf
+
+    def _matmat_buffers(self):
+        """Contiguous column scratch pair for the column-loop SpMM."""
+        bufs = self._cache.get("matmat_bufs")
+        if bufs is None:
+            bufs = (np.empty(self.shape[1]), np.empty(self.shape[0]))
+            self._cache["matmat_bufs"] = bufs
+        return bufs
+
+    # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``y = A @ x`` via gather + segmented sum.
+        """``y = A @ x``, dispatched to the active kernel backend.
 
-        ``np.add.reduceat`` over the row pointer gives a per-row sum in one
-        vectorized pass; rows with no stored entries are zeroed explicitly
-        because ``reduceat`` repeats the next segment for empty ones.
+        ``out`` (when given) is fully overwritten and returned; it must not
+        alias ``x`` — backends stream products while reading ``x``, so an
+        aliased call raises rather than silently corrupting.
         """
         n, m = self.shape
         x = np.asarray(x, dtype=np.float64)
@@ -102,39 +179,68 @@ class CSRMatrix:
             raise ValueError(f"x has shape {x.shape}, expected ({m},)")
         if out is None:
             out = np.empty(n)
+        elif out.shape != (n,):
+            raise ValueError(f"out has shape {out.shape}, expected ({n},)")
+        elif np.shares_memory(out, x):
+            raise ValueError("matvec out= must not alias x")
         if self.nnz == 0:
             out[:] = 0.0
             return out
-        prod = self.data * x[self.indices]
-        lengths = np.diff(self.indptr)
-        nonempty = lengths > 0
-        out[:] = 0.0
-        # reduceat needs strictly valid segment starts; restrict to rows
-        # that own at least one entry.
-        starts = self.indptr[:-1][nonempty]
-        out[nonempty] = np.add.reduceat(prod, starts)
-        return out
+        return kernels.get_backend().matvec(self, x, out)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
 
-    def rmatvec(self, y: np.ndarray) -> np.ndarray:
-        """``x = A.T @ y`` via scatter-add."""
+    def rmatvec(self, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``x = A.T @ y`` via scatter-add (backend-dispatched).
+
+        Same ``out`` contract as :meth:`matvec`.
+        """
         n, m = self.shape
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (n,):
             raise ValueError(f"y has shape {y.shape}, expected ({n},)")
-        out = np.zeros(m)
-        rows = np.repeat(np.arange(n), np.diff(self.indptr))
-        np.add.at(out, self.indices, self.data * y[rows])
-        return out
+        if out is None:
+            out = np.empty(m)
+        elif out.shape != (m,):
+            raise ValueError(f"out has shape {out.shape}, expected ({m},)")
+        elif np.shares_memory(out, y):
+            raise ValueError("rmatvec out= must not alias y")
+        if self.nnz == 0:
+            out[:] = 0.0
+            return out
+        return kernels.get_backend().rmatvec(self, y, out)
+
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-RHS product ``Y = A @ X`` for an ``(m, k)`` block (SpMM).
+
+        Lets callers apply the operator to several vectors per sparse-matrix
+        sweep (block orthogonalization, multi-vector polynomial
+        application).  ``out`` (``(n, k)``, fully overwritten) must not
+        alias ``X``.
+        """
+        n, m = self.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != m:
+            raise ValueError(f"X has shape {x.shape}, expected ({m}, k)")
+        k = x.shape[1]
+        if out is None:
+            out = np.empty((n, k))
+        elif out.shape != (n, k):
+            raise ValueError(f"out has shape {out.shape}, expected ({n}, {k})")
+        elif np.shares_memory(out, x):
+            raise ValueError("matmat out= must not alias X")
+        if self.nnz == 0 or k == 0:
+            out[:] = 0.0
+            return out
+        return kernels.get_backend().matmat(self, x, out)
 
     def diagonal(self) -> np.ndarray:
         """Extract the main diagonal (zeros where not stored)."""
         n, m = self.shape
         k = min(n, m)
         out = np.zeros(k)
-        rows = np.repeat(np.arange(n), np.diff(self.indptr))
+        rows = self.row_indices()
         on_diag = rows == self.indices
         out[rows[on_diag]] = self.data[on_diag]
         return out[:k]
@@ -145,10 +251,11 @@ class CSRMatrix:
         out = np.zeros(n)
         if self.nnz == 0:
             return out
-        lengths = np.diff(self.indptr)
-        nonempty = lengths > 0
-        starts = self.indptr[:-1][nonempty]
-        out[nonempty] = np.add.reduceat(np.abs(self.data), starts)
+        starts, nonempty, all_nonempty = self._row_segments()
+        if all_nonempty:
+            np.add.reduceat(np.abs(self.data), starts, out=out)
+        else:
+            out[nonempty] = np.add.reduceat(np.abs(self.data), starts)
         return out
 
     def scale_rows(self, d: np.ndarray) -> "CSRMatrix":
@@ -156,9 +263,11 @@ class CSRMatrix:
         d = np.asarray(d, dtype=np.float64)
         if d.shape != (self.shape[0],):
             raise ValueError("row scaling vector has wrong length")
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
         return CSRMatrix(
-            self.shape, self.indptr.copy(), self.indices.copy(), self.data * d[rows]
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data * d[self.row_indices()],
         )
 
     def scale_cols(self, d: np.ndarray) -> "CSRMatrix":
@@ -173,10 +282,28 @@ class CSRMatrix:
             self.data * d[self.indices],
         )
 
+    def scale_sym(self, d_left: np.ndarray, d_right: np.ndarray) -> "CSRMatrix":
+        """``diag(d_left) @ A @ diag(d_right)`` in a single data pass.
+
+        One new matrix instead of the two that chaining
+        :meth:`scale_rows` / :meth:`scale_cols` would materialize — the
+        setup-time half of the fused scaled matvec (the solve-time half is
+        :func:`repro.sparse.ops.scaled_matvec`).
+        """
+        d_left = np.asarray(d_left, dtype=np.float64)
+        d_right = np.asarray(d_right, dtype=np.float64)
+        if d_left.shape != (self.shape[0],):
+            raise ValueError("row scaling vector has wrong length")
+        if d_right.shape != (self.shape[1],):
+            raise ValueError("column scaling vector has wrong length")
+        data = self.data * d_left[self.row_indices()]
+        data *= d_right[self.indices]
+        return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), data)
+
     def transpose(self) -> "CSRMatrix":
         """Explicit transpose (CSR of :math:`A^T`)."""
         n, m = self.shape
-        rows = np.repeat(np.arange(n), np.diff(self.indptr))
+        rows = self.row_indices()
         order = np.lexsort((rows, self.indices))
         t_indices = rows[order]
         t_data = self.data[order]
@@ -189,62 +316,80 @@ class CSRMatrix:
         """Extract ``A[row_idx][:, col_idx]`` (both index arrays, no slices).
 
         Columns outside ``col_idx`` are dropped; the result is re-indexed to
-        the local numbering implied by ``col_idx``.
+        the local numbering implied by ``col_idx``.  Fully vectorized: the
+        per-row entry ranges are flattened into one gather index built from
+        the row pointer, so cost is O(selected nnz), with no Python loop.
         """
         row_idx = np.asarray(row_idx, dtype=np.int64)
         col_idx = np.asarray(col_idx, dtype=np.int64)
         n, m = self.shape
         col_map = np.full(m, -1, dtype=np.int64)
         col_map[col_idx] = np.arange(len(col_idx))
-        out_rows = []
-        out_cols = []
-        out_data = []
-        for new_r, r in enumerate(row_idx):
-            lo, hi = self.indptr[r], self.indptr[r + 1]
-            cols = col_map[self.indices[lo:hi]]
-            keep = cols >= 0
-            k = int(keep.sum())
-            if k:
-                out_rows.append(np.full(k, new_r, dtype=np.int64))
-                out_cols.append(cols[keep])
-                out_data.append(self.data[lo:hi][keep])
-        if out_rows:
-            rows = np.concatenate(out_rows)
-            cols = np.concatenate(out_cols)
-            data = np.concatenate(out_data)
-        else:
-            rows = np.zeros(0, dtype=np.int64)
-            cols = np.zeros(0, dtype=np.int64)
-            data = np.zeros(0)
+        lens = self.indptr[row_idx + 1] - self.indptr[row_idx]
+        total = int(lens.sum())
+        # gather[p] walks each selected row's [indptr[r], indptr[r+1]) range.
+        offsets = np.zeros(len(row_idx) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        gather = (
+            np.repeat(self.indptr[row_idx] - offsets[:-1], lens)
+            + np.arange(total, dtype=np.int64)
+        )
+        cols = col_map[self.indices[gather]]
+        keep = cols >= 0
+        new_rows = np.repeat(
+            np.arange(len(row_idx), dtype=np.int64), lens
+        )[keep]
         indptr = np.zeros(len(row_idx) + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
-        return CSRMatrix((len(row_idx), len(col_idx)), indptr, cols, data)
+        np.cumsum(
+            np.bincount(new_rows, minlength=len(row_idx)).astype(np.int64),
+            out=indptr[1:],
+        )
+        return CSRMatrix(
+            (len(row_idx), len(col_idx)),
+            indptr,
+            cols[keep],
+            self.data[gather][keep],
+        )
 
     def toarray(self) -> np.ndarray:
         """Dense copy; for tests and tiny examples."""
         out = np.zeros(self.shape)
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        out[rows, self.indices] = self.data
+        out[self.row_indices(), self.indices] = self.data
         return out
 
     def tocoo(self):
         """Convert back to triplet format."""
         from repro.sparse.coo import COOMatrix
 
-        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
-        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy())
+        return COOMatrix(
+            self.shape,
+            self.row_indices().copy(),
+            self.indices.copy(),
+            self.data.copy(),
+        )
 
     def is_symmetric(self, tol: float = 1e-12) -> bool:
-        """Check :math:`A = A^T` up to ``tol`` (pattern-independent)."""
+        """Check :math:`A = A^T` up to ``tol`` (pattern-independent).
+
+        When the transpose has the identical sparsity pattern the check is
+        a direct (exact, cheap) data comparison; a pattern or nnz mismatch
+        — possible for symmetric values padded with explicit zeros — falls
+        through to random matvec probes.
+        """
+        n, m = self.shape
+        if n != m:
+            return False
         t = self.transpose()
-        if self.nnz != t.nnz:
-            # Patterns may still differ by explicit zeros; fall back to dense
-            # only for small matrices, otherwise compare via matvec probes.
-            pass
+        if (
+            self.nnz == t.nnz
+            and np.array_equal(self.indptr, t.indptr)
+            and np.array_equal(self.indices, t.indices)
+        ):
+            return bool(np.allclose(self.data, t.data, atol=tol, rtol=1e-10))
+        # Patterns differ (explicit zeros); decide by matvec probes.
         rng = np.random.default_rng(0)
         for _ in range(3):
-            x = rng.standard_normal(self.shape[1])
+            x = rng.standard_normal(m)
             if not np.allclose(self.matvec(x), t.matvec(x), atol=tol, rtol=1e-10):
                 return False
         return True

@@ -16,9 +16,37 @@ def scale_symmetric(a: CSRMatrix, d: np.ndarray) -> CSRMatrix:
     """Symmetric diagonal scaling :math:`DAD` with :math:`D=\\mathrm{diag}(d)`.
 
     This is the transformation :math:`A = DKD` of Eq. 11; it preserves the
-    sparsity pattern and symmetry of ``a``.
+    sparsity pattern and symmetry of ``a``.  Materializes a single new
+    matrix in one data pass (no intermediate ``DA``).
     """
-    return a.scale_rows(d).scale_cols(d)
+    return a.scale_sym(d, d)
+
+
+def scaled_matvec(
+    d_left: np.ndarray,
+    a: CSRMatrix,
+    d_right: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    work: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fused ``out = diag(d_left) @ A @ diag(d_right) @ x``.
+
+    Applies the Eq. 11 scaled operator without ever materializing
+    :math:`DAD`: one gather-scaled copy of ``x`` into ``work``, one plain
+    matvec, one in-place row scale.  ``work`` (length ``a.shape[1]``) and
+    ``out`` (length ``a.shape[0]``) are reused when supplied, so the
+    steady-state cost is the matvec plus ``2n`` multiplies and zero
+    allocations.
+    """
+    n, m = a.shape
+    x = np.asarray(x, dtype=np.float64)
+    if work is None:
+        work = np.empty(m)
+    np.multiply(d_right, x, out=work)
+    out = a.matvec(work, out=out)
+    np.multiply(out, d_left, out=out)
+    return out
 
 
 def matvec_flops(a: CSRMatrix) -> int:
@@ -36,10 +64,7 @@ def dot_flops(n: int) -> int:
     return 2 * n
 
 
-def spmm_dense(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Sparse-times-dense product ``A @ B`` column by column."""
+def spmm_dense(a: CSRMatrix, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Sparse-times-dense product ``A @ B`` via the backend SpMM kernel."""
     b = np.asarray(b, dtype=np.float64)
-    out = np.empty((a.shape[0], b.shape[1]))
-    for j in range(b.shape[1]):
-        a.matvec(b[:, j], out=out[:, j])
-    return out
+    return a.matmat(b, out=out)

@@ -179,3 +179,93 @@ def test_rmatvec_adjoint_identity(n, seed):
     x = rng.standard_normal(n)
     y = rng.standard_normal(n)
     assert np.isclose(a.matvec(x) @ y, x @ a.rmatvec(y), atol=1e-10)
+
+
+def test_is_symmetric_rectangular_false():
+    a, _ = _random_csr(3, 5, 0.6, 21)
+    assert not a.is_symmetric()
+
+
+def test_is_symmetric_explicit_zero_pattern_mismatch():
+    """Symmetric values whose pattern is asymmetric because of an explicit
+    stored zero: nnz differs from the transpose's, and the check must fall
+    through to matvec probes and still answer True."""
+    # A = [[1, 0(stored), ], [0, 2]] with the (0,1) zero stored explicitly.
+    indptr = np.array([0, 2, 3])
+    indices = np.array([0, 1, 1])
+    data = np.array([1.0, 0.0, 2.0])
+    a = CSRMatrix((2, 2), indptr, indices, data)
+    t = a.transpose()
+    assert a.nnz == t.nnz  # transpose keeps the explicit zero
+    # Drop the explicit zero from the transpose to force an nnz mismatch.
+    t_clean = CSRMatrix.from_dense(t.toarray())
+    assert a.nnz != t_clean.nnz
+    assert a.is_symmetric()
+
+
+def test_is_symmetric_asymmetric_with_explicit_zero():
+    """Pattern mismatch AND numerically asymmetric: probes must say False."""
+    indptr = np.array([0, 2, 3])
+    indices = np.array([0, 1, 1])
+    data = np.array([1.0, 7.0, 2.0])  # (0,1)=7 stored, (1,0) missing
+    a = CSRMatrix((2, 2), indptr, indices, data)
+    assert not a.is_symmetric()
+
+
+def _submatrix_reference(a, row_idx, col_idx):
+    """The seed's per-row Python loop, kept as the parity oracle."""
+    row_idx = np.asarray(row_idx, dtype=np.int64)
+    col_idx = np.asarray(col_idx, dtype=np.int64)
+    n, m = a.shape
+    col_map = np.full(m, -1, dtype=np.int64)
+    col_map[col_idx] = np.arange(len(col_idx))
+    out_rows, out_cols, out_data = [], [], []
+    for new_r, r in enumerate(row_idx):
+        lo, hi = a.indptr[r], a.indptr[r + 1]
+        cols = col_map[a.indices[lo:hi]]
+        keep = cols >= 0
+        k = int(keep.sum())
+        if k:
+            out_rows.append(np.full(k, new_r, dtype=np.int64))
+            out_cols.append(cols[keep])
+            out_data.append(a.data[lo:hi][keep])
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        data = np.concatenate(out_data)
+    else:
+        rows = np.zeros(0, dtype=np.int64)
+        cols = np.zeros(0, dtype=np.int64)
+        data = np.zeros(0)
+    indptr = np.zeros(len(row_idx) + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix((len(row_idx), len(col_idx)), indptr, cols, data)
+
+
+def test_submatrix_vectorized_matches_loop_reference():
+    rng = np.random.default_rng(77)
+    for trial in range(25):
+        n = int(rng.integers(1, 40))
+        m = int(rng.integers(1, 40))
+        density = float(rng.random()) * 0.6
+        dense = rng.random((n, m))
+        dense[dense > density] = 0.0
+        a = CSRMatrix.from_dense(dense)
+        ri = rng.permutation(n)[: int(rng.integers(0, n)) + 1]
+        ci = rng.permutation(m)[: int(rng.integers(0, m)) + 1]
+        got = a.submatrix(ri, ci)
+        ref = _submatrix_reference(a, ri, ci)
+        assert got.shape == ref.shape
+        assert np.array_equal(got.indptr, ref.indptr)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.data, ref.data)
+
+
+def test_submatrix_duplicate_rows():
+    a, dense = _random_csr(6, 6, 0.5, 22)
+    ri = np.array([2, 2, 4])
+    ci = np.arange(6)
+    assert np.allclose(
+        a.submatrix(ri, ci).toarray(), dense[np.ix_(ri, ci)]
+    )
