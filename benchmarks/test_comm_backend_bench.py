@@ -1,0 +1,167 @@
+"""Comm-backend wall-clock benchmark -> BENCH_parallel.json.
+
+Measures *actual* solve-phase wall-clock (not the modeled SP2/Origin
+times) for both communicator backends across a Table 2 mesh subset, a
+rank sweep and GLS degrees 0/3/7 — the measured counterpart of the
+paper's Figs. 15-17 speedup study.  Every run also asserts backend
+parity (identical iteration counts), so the timing table can never
+silently drift from the bit-identical contract.
+
+The headline acceptance number — thread-backend speedup > 1.3x over
+virtual at P=4 with GLS(7) — is only asserted when the host actually
+has multiple cores: the ThreadComm design gets its concurrency from
+GIL-releasing scipy/numpy kernels, which cannot beat serial execution
+on a single-CPU container.  The JSON records ``cpu_count`` so readers
+can interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.fem.cantilever import PAPER_MESHES
+from repro.sparse.kernels import available_backends
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MESH_IDS = (2, 3, 4)  # 656 / 1640 / 5100 equations
+DEGREES = (0, 3, 7)
+RANKS = (1, 2, 4)
+BACKENDS = ("virtual", "thread")
+
+
+def _kernel_backend() -> str | None:
+    """Prefer a GIL-releasing C kernel backend (thread concurrency needs
+    it); fall back to the session default when only numpy is available."""
+    for name in ("scipy", "numba"):
+        if name in available_backends():
+            return name
+    return None
+
+
+def _wall_solve(problem, n_parts, backend, degree, repeats=3):
+    """Best-of-``repeats`` solve wall-clock plus the last summary."""
+    opts = SolverOptions(
+        precond=f"gls({degree})",
+        comm_backend=backend,
+        kernel_backend=_kernel_backend(),
+    )
+    best = float("inf")
+    summary = None
+    for _ in range(repeats):
+        summary = solve_cantilever(problem, n_parts=n_parts, options=opts)
+        best = min(best, summary.wall_time)
+    return best, summary
+
+
+def validate_schema(report: dict) -> None:
+    """Assert the BENCH_parallel.json shape the CI smoke checks."""
+    for key in ("suite", "cpu_count", "thread_workers", "runs", "speedup_p4_gls7"):
+        assert key in report, f"missing key {key!r}"
+    assert report["suite"] == "comm-backend"
+    assert report["cpu_count"] >= 1
+    assert len(report["runs"]) > 0
+    for run in report["runs"]:
+        for key in (
+            "mesh",
+            "n_eqn",
+            "degree",
+            "n_parts",
+            "backend",
+            "wall_time",
+            "iterations",
+            "converged",
+        ):
+            assert key in run, f"run missing key {key!r}"
+        assert run["backend"] in BACKENDS
+        assert run["wall_time"] > 0.0
+        assert run["converged"] is True
+
+
+def test_bench_comm_backends_json(problems):
+    """Time both backends over meshes x degrees x ranks, write the table
+    to ``BENCH_parallel.json`` and assert parity plus (multicore only)
+    the >1.3x acceptance speedup."""
+    report: dict = {
+        "suite": "comm-backend",
+        "cpu_count": os.cpu_count() or 1,
+        "thread_workers": int(
+            os.environ.get("REPRO_THREAD_WORKERS", 0)
+        ) or max(2, os.cpu_count() or 1),
+        "kernel_backend": _kernel_backend() or "default",
+        "runs": [],
+    }
+    iters_by_config: dict = {}
+    for mesh_id in MESH_IDS:
+        problem = problems(mesh_id)
+        n_eqn = PAPER_MESHES[mesh_id][3]
+        for degree in DEGREES:
+            for n_parts in RANKS:
+                for backend in BACKENDS:
+                    wall, s = _wall_solve(problem, n_parts, backend, degree)
+                    report["runs"].append(
+                        {
+                            "mesh": mesh_id,
+                            "n_eqn": n_eqn,
+                            "degree": degree,
+                            "n_parts": n_parts,
+                            "backend": backend,
+                            "wall_time": wall,
+                            "iterations": s.result.iterations,
+                            "converged": bool(s.result.converged),
+                        }
+                    )
+                    key = (mesh_id, degree, n_parts)
+                    if key in iters_by_config:
+                        assert iters_by_config[key] == s.result.iterations, (
+                            f"backend changed iteration count at {key}"
+                        )
+                    iters_by_config[key] = s.result.iterations
+
+    def _wall(mesh_id, degree, n_parts, backend):
+        (run,) = [
+            r
+            for r in report["runs"]
+            if (r["mesh"], r["degree"], r["n_parts"], r["backend"])
+            == (mesh_id, degree, n_parts, backend)
+        ]
+        return run["wall_time"]
+
+    largest = MESH_IDS[-1]
+    report["speedup_p4_gls7"] = _wall(largest, 7, 4, "virtual") / _wall(
+        largest, 7, 4, "thread"
+    )
+    validate_schema(report)
+
+    out_path = REPO_ROOT / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print("\ncomm-backend bench (solve wall seconds):")
+    for run in report["runs"]:
+        print(
+            f"  mesh{run['mesh']} gls({run['degree']}) P={run['n_parts']} "
+            f"{run['backend']:>7}: {run['wall_time']:.4f}s "
+            f"({run['iterations']} it)"
+        )
+    print(f"speedup @ mesh{largest}/gls(7)/P=4: {report['speedup_p4_gls7']:.2f}x")
+
+    if (os.cpu_count() or 1) >= 2:
+        assert report["speedup_p4_gls7"] > 1.3, (
+            f"thread backend is only {report['speedup_p4_gls7']:.2f}x the "
+            f"virtual backend at P=4/GLS(7) on {report['cpu_count']} cores "
+            "(need > 1.3x)"
+        )
+
+
+def test_bench_parallel_schema_of_existing_file():
+    """CI smoke: if BENCH_parallel.json is checked in / regenerated, it
+    must satisfy the schema above."""
+    path = REPO_ROOT / "BENCH_parallel.json"
+    if not path.exists():
+        import pytest
+
+        pytest.skip("BENCH_parallel.json not generated yet")
+    validate_schema(json.loads(path.read_text()))

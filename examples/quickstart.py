@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import solve_cantilever
+from repro import SolverOptions, solve_cantilever
 from repro.fem.cantilever import cantilever_problem
 from repro.parallel.machine import IBM_SP2, SGI_ORIGIN
 
@@ -23,7 +23,10 @@ def main() -> None:
         f"{problem.mesh.n_nodes} nodes, {problem.n_eqn} equations"
     )
 
-    summary = solve_cantilever(problem, n_parts=8, precond="gls(7)")
+    # comm_backend="thread" runs the 8 rank programs concurrently on a
+    # worker pool — bit-identical to the default serial "virtual" backend.
+    options = SolverOptions(precond="gls(7)")
+    summary = solve_cantilever(problem, n_parts=8, options=options)
     res = summary.result
     print(f"\nEDD-FGMRES-GLS(7) on P=8 subdomains: {res}")
 

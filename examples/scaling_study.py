@@ -11,6 +11,7 @@ Run:  python examples/scaling_study.py [mesh_id]
 import sys
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import cantilever_problem
 from repro.parallel.machine import IBM_SP2, SGI_ORIGIN, modeled_time
 from repro.reporting.tables import format_table
@@ -31,7 +32,9 @@ def main() -> None:
     for m in DEGREES:
         t1 = {}
         for p in RANKS:
-            s = solve_cantilever(problem, n_parts=p, precond=f"gls({m})")
+            s = solve_cantilever(
+                problem, n_parts=p, options=SolverOptions(precond=f"gls({m})")
+            )
             assert s.result.converged
             for machine in (SGI_ORIGIN, IBM_SP2):
                 tp = modeled_time(s.stats, machine)

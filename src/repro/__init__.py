@@ -7,8 +7,8 @@ Polynomial Preconditioning"* (UMN TR 05-001 / ICPP 2006).
 
 Quick start::
 
-    from repro import solve_cantilever
-    summary = solve_cantilever(4, n_parts=8, precond="gls(7)")
+    from repro import SolverOptions, solve_cantilever
+    summary = solve_cantilever(4, n_parts=8, options=SolverOptions(precond="gls(7)"))
     print(summary.result)
 
 Package layout:
@@ -30,13 +30,17 @@ Package layout:
 """
 
 from repro.core.driver import ParallelSolveSummary, solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import cantilever_problem
+from repro.precond.spec import make_preconditioner
 from repro.solvers import cg, fgmres, gmres
 
 __version__ = "1.0.0"
 
 __all__ = [
     "solve_cantilever",
+    "SolverOptions",
+    "make_preconditioner",
     "cantilever_problem",
     "ParallelSolveSummary",
     "fgmres",

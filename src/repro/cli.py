@@ -16,6 +16,7 @@ import sys
 import numpy as np
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import PAPER_MESHES, cantilever_problem
 from repro.parallel.machine import MACHINES, modeled_time
 from repro.reporting.convergence import convergence_table
@@ -47,6 +48,20 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--tol", type=float, default=1e-6)
     solve.add_argument("--restart", type=int, default=25)
     solve.add_argument("--dynamic", action="store_true")
+    solve.add_argument(
+        "--comm-backend",
+        choices=["virtual", "thread"],
+        default=None,
+        help=(
+            "communicator backend executing the rank loops (default: "
+            "REPRO_COMM_BACKEND or 'virtual')"
+        ),
+    )
+    solve.add_argument(
+        "--kernel-backend",
+        default=None,
+        help="sparse-kernel backend for this solve (see repro.sparse.kernels)",
+    )
     solve.add_argument(
         "--json",
         metavar="PATH",
@@ -93,19 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_solve(args) -> int:
     """``repro solve``: one cantilever solve with full reporting."""
     problem = cantilever_problem(args.mesh, with_mass=args.dynamic)
-    summary = solve_cantilever(
-        problem,
-        n_parts=args.parts,
+    options = SolverOptions(
         method=args.method,
         precond=None if args.precond == "none" else args.precond,
         tol=args.tol,
         restart=args.restart,
         dynamic=args.dynamic,
+        comm_backend=args.comm_backend,
+        kernel_backend=args.kernel_backend,
     )
+    summary = solve_cantilever(problem, n_parts=args.parts, options=options)
     res = summary.result
     print(
         f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
-        f"{summary.precond_name}, P={args.parts}"
+        f"{summary.precond_name}, P={args.parts}, "
+        f"comm={summary.comm_backend}"
     )
     print(res)
     if not args.dynamic:
@@ -150,7 +167,9 @@ def cmd_scaling(args) -> int:
     for p in args.ranks:
         if p > problem.mesh.n_elements:
             continue
-        s = solve_cantilever(problem, n_parts=p, precond=args.precond)
+        s = solve_cantilever(
+            problem, n_parts=p, options=SolverOptions(precond=args.precond)
+        )
         tp = modeled_time(s.stats, machine)
         if t1 is None:
             t1 = tp

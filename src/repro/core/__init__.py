@@ -23,10 +23,12 @@ from repro.core.distributed import (
 from repro.core.edd import edd_fgmres
 from repro.core.rdd import RDDSystem, build_rdd_system, rdd_fgmres
 from repro.core.driver import ParallelSolveSummary, solve_cantilever
+from repro.core.options import SolverOptions
 from repro.core.complexity import ArnoldiStepCost, arnoldi_step_cost
 from repro.core.schur import SchurResult, schur_solve
 
 __all__ = [
+    "SolverOptions",
     "DistVector",
     "EDDSystem",
     "build_edd_system",

@@ -25,7 +25,7 @@ from repro.fem.assembly import assemble_matrix
 from repro.fem.bc import DirichletBC
 from repro.fem.material import Material
 from repro.fem.mesh import Mesh
-from repro.parallel.comm import VirtualComm
+from repro.parallel.comm import Comm, make_comm
 from repro.partition.element_partition import ElementPartition
 from repro.partition.interface import SubdomainMap, build_subdomain_map
 from repro.sparse.coo import COOMatrix
@@ -38,7 +38,11 @@ class DistVector:
     Supports the vector arithmetic the Krylov recurrences need (``+``,
     ``-``, scalar ``*``, ``copy``) and charges the owning communicator one
     flop per element per arithmetic operation — so the recorded flops of a
-    distributed run mirror what each MPI rank would execute.
+    distributed run mirror what each MPI rank would execute.  Every
+    operation is expressed as a per-rank closure dispatched through
+    :meth:`Comm.run_ranks`, so the concurrent backends execute the P rank
+    bodies genuinely in parallel while the serial backend runs them in
+    rank order; results are identical either way.
 
     ``kind`` tags the format (``"local"`` or ``"global"``); arithmetic
     requires operands of matching kind (adding mixed formats is the classic
@@ -47,7 +51,7 @@ class DistVector:
 
     __slots__ = ("parts", "kind", "comm")
 
-    def __init__(self, parts: list, kind: str, comm: VirtualComm):
+    def __init__(self, parts: list, kind: str, comm: Comm):
         if kind not in ("local", "global"):
             raise ValueError("kind must be 'local' or 'global'")
         self.parts = parts
@@ -58,31 +62,42 @@ class DistVector:
         """Deep copy (same kind, same communicator)."""
         return DistVector([p.copy() for p in self.parts], self.kind, self.comm)
 
-    def _charge(self) -> None:
-        for r, p in enumerate(self.parts):
-            self.comm.add_flops(r, len(p))
+    def _total_size(self) -> int:
+        return sum(len(p) for p in self.parts)
+
+    def _zip_map(self, other: "DistVector", op) -> "DistVector":
+        """Elementwise binary op as a per-rank SPMD body (1 flop/element)."""
+        comm = self.comm
+        a, b = self.parts, other.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = op(a[r], b[r])
+            comm.add_flops(r, len(out[r]))
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistVector(out, self.kind, comm)
 
     def __add__(self, other: "DistVector") -> "DistVector":
         self._require_same(other)
-        out = DistVector(
-            [a + b for a, b in zip(self.parts, other.parts)], self.kind, self.comm
-        )
-        out._charge()
-        return out
+        return self._zip_map(other, np.add)
 
     def __sub__(self, other: "DistVector") -> "DistVector":
         self._require_same(other)
-        out = DistVector(
-            [a - b for a, b in zip(self.parts, other.parts)], self.kind, self.comm
-        )
-        out._charge()
-        return out
+        return self._zip_map(other, np.subtract)
 
     def __mul__(self, scalar) -> "DistVector":
         scalar = float(scalar)
-        out = DistVector([scalar * p for p in self.parts], self.kind, self.comm)
-        out._charge()
-        return out
+        comm = self.comm
+        a = self.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = scalar * a[r]
+            comm.add_flops(r, len(a[r]))
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistVector(out, self.kind, comm)
 
     __rmul__ = __mul__
 
@@ -98,10 +113,15 @@ class DistVector:
     def local_dots(self, other: "DistVector") -> np.ndarray:
         """Per-rank partial inner products (no communication, no format
         check: Eq. 33 deliberately pairs a local with a global vector)."""
-        out = np.empty(len(self.parts))
-        for r, (a, b) in enumerate(zip(self.parts, other.parts)):
-            out[r] = a @ b
-            self.comm.add_flops(r, 2 * len(a))
+        comm = self.comm
+        a, b = self.parts, other.parts
+        out = np.empty(len(a))
+
+        def body(r: int) -> None:
+            out[r] = a[r] @ b[r]
+            comm.add_flops(r, 2 * len(a[r]))
+
+        comm.run_ranks(body, work=2 * self._total_size())
         return out
 
 
@@ -130,7 +150,7 @@ class EDDSystem:
     """
 
     submap: SubdomainMap
-    comm: VirtualComm
+    comm: Comm
     a_local: list
     b_local: list
     d_parts: list
@@ -139,6 +159,16 @@ class EDDSystem:
     @property
     def n_parts(self) -> int:
         return self.submap.n_parts
+
+    @property
+    def nnz_total(self) -> int:
+        """Total stored entries across subdomain matrices (cached); the
+        per-matvec work estimate handed to ``run_ranks``."""
+        cached = self.__dict__.get("_nnz_total")
+        if cached is None:
+            cached = sum(a.nnz for a in self.a_local)
+            self.__dict__["_nnz_total"] = cached
+        return cached
 
     @property
     def n_global(self) -> int:
@@ -191,14 +221,24 @@ class EDDSystem:
     # ------------------------------------------------------------------
     def matvec_local(self, v: DistVector) -> DistVector:
         """:math:`\\tilde y^{(s)} = \\hat A^{(s)} \\hat x^{(s)}` (Eq. 37):
-        global-distributed in, local-distributed out, zero communication."""
+        global-distributed in, local-distributed out, zero communication.
+        The P subdomain matvecs are independent rank bodies — this is the
+        solve's dominant work and the region the thread backend overlaps
+        across cores."""
         if v.kind != "global":
             raise ValueError("matvec needs a global-distributed input")
-        parts = []
-        for r, (a, p) in enumerate(zip(self.a_local, v.parts)):
-            parts.append(a.matvec(p))
-            self.comm.add_flops(r, 2 * a.nnz)
-        return DistVector(parts, "local", self.comm)
+        comm = self.comm
+        a_local = self.a_local
+        x_parts = v.parts
+        parts = [None] * len(a_local)
+
+        def body(r: int) -> None:
+            a = a_local[r]
+            parts[r] = a.matvec(x_parts[r])
+            comm.add_flops(r, 2 * a.nnz)
+
+        comm.run_ranks(body, work=2 * self.nnz_total)
+        return DistVector(parts, "local", comm)
 
     def matvec_assembled(self, v: DistVector) -> DistVector:
         """Matvec followed by interface assembly: global in, global out.
@@ -235,6 +275,7 @@ def build_edd_system(
     partition: ElementPartition,
     f_full: np.ndarray,
     mass_shift: tuple | None = None,
+    comm_backend: str | None = None,
 ) -> EDDSystem:
     """Assemble the per-subdomain scaled *elasticity* system of Algorithm 4.
 
@@ -247,6 +288,9 @@ def build_edd_system(
 
     ``mass_shift = (alpha, beta)`` builds the elastodynamics effective
     matrix :math:`\\alpha M + \\beta K` per subdomain instead (Eq. 52).
+    ``comm_backend`` selects the communicator backend (``"virtual"`` /
+    ``"thread"``; None uses the session default of
+    :func:`repro.parallel.comm.get_comm_backend`).
 
     Other PDEs plug in through :func:`build_edd_system_from_assembler`.
 
@@ -268,7 +312,9 @@ def build_edd_system(
             )
         return coo
 
-    return build_edd_system_from_assembler(mesh, bc, partition, f_full, assembler)
+    return build_edd_system_from_assembler(
+        mesh, bc, partition, f_full, assembler, comm_backend=comm_backend
+    )
 
 
 def build_edd_system_from_assembler(
@@ -277,6 +323,7 @@ def build_edd_system_from_assembler(
     partition: ElementPartition,
     f_full: np.ndarray,
     assembler,
+    comm_backend: str | None = None,
 ) -> EDDSystem:
     """Generic EDD system builder for any PDE.
 
@@ -284,10 +331,11 @@ def build_edd_system_from_assembler(
     unassembled matrix contribution on *full* (unreduced) DOF numbering —
     e.g. a scalar conductivity assembly for heat problems.  Everything
     else (reduction, localization, distributed norm-1 scaling, rhs
-    ownership split) is PDE-independent.
+    ownership split) is PDE-independent.  ``comm_backend`` picks the
+    communicator implementation (None = session default).
     """
     submap = build_subdomain_map(mesh, partition, bc)
-    comm = VirtualComm(submap)
+    comm = make_comm(submap, backend=comm_backend)
     full_to_free = bc.full_to_free()
 
     a_local = []

@@ -5,27 +5,33 @@ partition, subdomain assembly, distributed norm-1 scaling, polynomial
 preconditioning, FGMRES solve — and returns the solution together with the
 recorded communication statistics and modeled machine times, which is what
 every benchmark consumes.
+
+Configuration travels in one :class:`repro.core.options.SolverOptions`
+value passed as ``options=``.  The former keyword-per-knob signature
+(``method=``, ``precond=``, ``restart=`` ...) still works through a
+deprecation shim that folds the keywords into a ``SolverOptions`` and
+warns once per session.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.distributed import build_edd_system
 from repro.core.edd import edd_fgmres
+from repro.core.options import SolverOptions
 from repro.core.rdd import build_rdd_system, rdd_fgmres
 from repro.fem.cantilever import CantileverProblem, cantilever_problem
 from repro.parallel.machine import MachineModel, modeled_time
 from repro.parallel.stats import CommStats
 from repro.partition.element_partition import ElementPartition
 from repro.partition.node_partition import NodePartition
-from repro.precond.gls import GLSPolynomial
-from repro.precond.neumann import NeumannPolynomial
-from repro.solvers.result import SolveResult
+from repro.precond.spec import BJ_ILU0_MARKER, make_preconditioner
+from repro.solvers.result import SolveResult  # noqa: F401  (public re-export)
 from repro.sparse.kernels import use_backend
-from repro.spectrum.intervals import SpectrumIntervals
 
 
 @dataclass
@@ -44,6 +50,14 @@ class ParallelSolveSummary:
         ``"edd-basic"``, ``"edd-enhanced"`` or ``"rdd"``.
     precond_name:
         Display name of the preconditioner used.
+    options:
+        The resolved :class:`SolverOptions` the solve ran with.
+    comm_backend:
+        Name of the communicator backend that executed the rank loops
+        (``"virtual"`` or ``"thread"``).
+    wall_time:
+        Measured wall-clock seconds of the solve phase (system build
+        excluded) — complements :meth:`modeled_time`.
     """
 
     result: SolveResult
@@ -51,48 +65,84 @@ class ParallelSolveSummary:
     n_parts: int
     method: str
     precond_name: str
+    options: SolverOptions | None = None
+    comm_backend: str = "virtual"
+    wall_time: float = field(default=0.0, compare=False)
 
     def modeled_time(self, machine: MachineModel) -> float:
         """Modeled wall-clock seconds on ``machine``."""
         return modeled_time(self.stats, machine)
 
+    def to_dict(self, include_x: bool = False) -> dict:
+        """JSON-serializable summary: result, counters and configuration.
 
-def make_preconditioner(spec: str | None, theta: SpectrumIntervals | None = None):
-    """Parse a preconditioner spec string.
+        Consumed by ``repro solve --json`` (via
+        :func:`repro.io.records.record_from_summary`) and the parallel
+        benchmark emitter.
+        """
+        return {
+            "method": self.method,
+            "precond": self.precond_name,
+            "n_parts": self.n_parts,
+            "comm_backend": self.comm_backend,
+            "wall_time": float(self.wall_time),
+            "result": self.result.to_dict(include_x=include_x),
+            "stats": self.stats.to_dict(),
+            "options": None if self.options is None else self.options.to_dict(),
+        }
 
-    ``"gls(7)"``, ``"neumann(20)"`` and ``None``/``"none"`` are accepted —
-    the preconditioners applicable to distributed unassembled systems.
-    ``"bj-ilu0"`` (block-Jacobi ILU, RDD only) is resolved later by
-    :func:`solve_cantilever` since it needs the built system; here it
-    returns the spec marker.  ``theta`` defaults to the post-scaling
-    window :math:`(10^{-6}, 1)`.
+
+#: Former keyword parameters of :func:`solve_cantilever`, now fields of
+#: :class:`SolverOptions`; passing them still works through the shim below.
+_LEGACY_KWARGS = (
+    "method",
+    "precond",
+    "restart",
+    "tol",
+    "partition_method",
+    "dynamic",
+    "mass_shift",
+    "max_iter",
+    "kernel_backend",
+    "comm_backend",
+    "orthogonalization",
+)
+
+_legacy_warned = False
+
+
+def _resolve_options(options, kwargs) -> SolverOptions:
+    """Fold legacy keyword arguments into a :class:`SolverOptions`.
+
+    Warns once per session when legacy keywords are used; unknown keywords
+    raise ``TypeError`` like a normal bad signature would.
     """
-    if spec is None or spec == "none":
-        return None
-    if theta is None:
-        theta = SpectrumIntervals.single(1e-6, 1.0)
-    spec = spec.strip().lower()
-    if spec.startswith("gls(") and spec.endswith(")"):
-        return GLSPolynomial(theta, int(spec[4:-1]))
-    if spec.startswith("neumann(") and spec.endswith(")"):
-        return NeumannPolynomial(int(spec[8:-1]))
-    if spec == "bj-ilu0":
-        return "bj-ilu0"
-    raise ValueError(f"unknown preconditioner spec {spec!r}")
+    global _legacy_warned
+    unknown = set(kwargs) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            "solve_cantilever() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}"
+        )
+    if not kwargs:
+        return options if options is not None else SolverOptions()
+    if not _legacy_warned:
+        _legacy_warned = True
+        warnings.warn(
+            "passing solver knobs as keyword arguments to solve_cantilever "
+            "is deprecated; pass options=SolverOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    base = options if options is not None else SolverOptions()
+    return base.replace(**kwargs)
 
 
 def solve_cantilever(
     problem: CantileverProblem | int,
     n_parts: int = 1,
-    method: str = "edd-enhanced",
-    precond: str | None = "gls(7)",
-    restart: int = 25,
-    tol: float = 1e-6,
-    partition_method: str = "rcb",
-    dynamic: bool = False,
-    mass_shift: tuple = (1.0, 2.5e-1),
-    max_iter: int = 10_000,
-    kernel_backend: str | None = None,
+    options: SolverOptions | None = None,
+    **kwargs,
 ) -> ParallelSolveSummary:
     """Solve a cantilever problem with the chosen decomposition.
 
@@ -102,51 +152,44 @@ def solve_cantilever(
         A prebuilt :class:`CantileverProblem` or a Table 2 mesh id.
     n_parts:
         Number of subdomains / ranks ``P``.
-    method:
-        ``"edd-enhanced"`` (Algorithm 6, default), ``"edd-basic"``
-        (Algorithm 5) or ``"rdd"`` (Algorithm 8).
-    precond:
-        Spec string for :func:`make_preconditioner`.
-    dynamic:
-        Solve the elastodynamics effective system
-        :math:`(\\alpha M + \\beta K)u = f` (Eq. 52) instead of the static
-        one; ``mass_shift`` supplies :math:`(\\alpha, \\beta)`.
-    kernel_backend:
-        Sparse-kernel backend name for this solve (see
-        :mod:`repro.sparse.kernels`); None keeps the session default
-        (``REPRO_KERNEL_BACKEND`` or ``"numpy"``).
+    options:
+        A :class:`SolverOptions` bundling every solver knob — method,
+        preconditioner spec, restart/tol/max_iter, partitioner, kernel and
+        communicator backends, orthogonalization and the elastodynamics
+        shift.  Defaults to ``SolverOptions()`` (enhanced EDD, GLS(7)).
+    **kwargs:
+        Deprecated: the former per-knob keywords (``method=``,
+        ``precond=``, ...) are folded into ``options`` with a one-time
+        ``DeprecationWarning``.
     """
-    if kernel_backend is not None:
-        with use_backend(kernel_backend):
+    import time
+
+    options = _resolve_options(options, kwargs)
+    if options.kernel_backend is not None:
+        with use_backend(options.kernel_backend):
             return solve_cantilever(
-                problem,
-                n_parts=n_parts,
-                method=method,
-                precond=precond,
-                restart=restart,
-                tol=tol,
-                partition_method=partition_method,
-                dynamic=dynamic,
-                mass_shift=mass_shift,
-                max_iter=max_iter,
+                problem, n_parts, options.replace(kernel_backend=None)
             )
     if isinstance(problem, int):
-        problem = cantilever_problem(problem, with_mass=dynamic)
-    if dynamic and problem.mass is None:
+        problem = cantilever_problem(problem, with_mass=options.dynamic)
+    if options.dynamic and problem.mass is None:
         raise ValueError("dynamic solve requires a problem built with_mass=True")
-    pc = make_preconditioner(precond)
-    if pc == "bj-ilu0" and method != "rdd":
+    pc = make_preconditioner(options.precond)
+    if pc == BJ_ILU0_MARKER and options.method != "rdd":
         raise ValueError(
             "bj-ilu0 is a local (assembled-block) preconditioner; it only "
             "applies to the rdd method"
         )
-    pc_name = pc.name if pc is not None and pc != "bj-ilu0" else (
-        "BJ-ILU0" if pc == "bj-ilu0" else "I"
+    pc_name = pc.name if pc is not None and pc != BJ_ILU0_MARKER else (
+        "BJ-ILU0" if pc == BJ_ILU0_MARKER else "I"
     )
+    method = options.method
 
     if method in ("edd-basic", "edd-enhanced"):
-        epart = ElementPartition.build(problem.mesh, n_parts, partition_method)
-        shift = mass_shift if dynamic else None
+        epart = ElementPartition.build(
+            problem.mesh, n_parts, options.partition_method
+        )
+        shift = options.mass_shift if options.dynamic else None
         f_full = problem.bc.expand(problem.load)
         system = build_edd_system(
             problem.mesh,
@@ -155,45 +198,52 @@ def solve_cantilever(
             epart,
             f_full,
             mass_shift=shift,
+            comm_backend=options.comm_backend,
         )
-        result = edd_fgmres(
-            system,
-            pc,
-            restart=restart,
-            tol=tol,
-            max_iter=max_iter,
-            variant="basic" if method == "edd-basic" else "enhanced",
-        )
-        stats = system.comm.stats
+        t0 = time.perf_counter()
+        result = edd_fgmres(system, pc, options=options)
+        wall = time.perf_counter() - t0
     elif method == "rdd":
-        npart = NodePartition.build(problem.mesh, n_parts, partition_method)
-        if dynamic:
-            alpha, beta = mass_shift
+        npart = NodePartition.build(
+            problem.mesh, n_parts, options.partition_method
+        )
+        if options.dynamic:
+            alpha, beta = options.mass_shift
             k = _combine(problem.stiffness, problem.mass, beta, alpha)
         else:
             k = problem.stiffness
         system = build_rdd_system(
-            problem.mesh, problem.bc, npart, k, problem.load
+            problem.mesh,
+            problem.bc,
+            npart,
+            k,
+            problem.load,
+            comm_backend=options.comm_backend,
         )
-        if pc == "bj-ilu0":
+        if pc == BJ_ILU0_MARKER:
             from repro.precond.block_jacobi import BlockJacobiILU
 
             pc = BlockJacobiILU(system)
             pc_name = pc.name
-        result = rdd_fgmres(
-            system, pc, restart=restart, tol=tol, max_iter=max_iter
-        )
-        stats = system.comm.stats
-    else:
+        t0 = time.perf_counter()
+        result = rdd_fgmres(system, pc, options=options)
+        wall = time.perf_counter() - t0
+    else:  # pragma: no cover - SolverOptions validates, belt and braces
         raise ValueError(f"unknown method {method!r}")
 
-    return ParallelSolveSummary(
+    comm = system.comm
+    summary = ParallelSolveSummary(
         result=result,
-        stats=stats,
+        stats=comm.stats,
         n_parts=n_parts,
         method=method,
         precond_name=pc_name,
+        options=options,
+        comm_backend=comm.backend_name,
+        wall_time=wall,
     )
+    comm.close()
+    return summary
 
 
 def _combine(k, m, beta: float, alpha: float):

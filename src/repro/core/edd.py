@@ -51,6 +51,7 @@ def edd_fgmres(
     variant: str = "enhanced",
     breakdown_tol: float = 1e-14,
     orthogonalization: str = "cgs",
+    options=None,
 ) -> SolveResult:
     """Solve the scaled EDD system; returns the *unscaled* global solution.
 
@@ -60,7 +61,25 @@ def edd_fgmres(
     one batched allreduce per step) or modified (``"mgs"``: j+1 sequential
     allreduces per step) Gram-Schmidt.  All communication flows through
     ``system.comm`` and is recorded in its counters.
+
+    ``options`` — a :class:`repro.core.options.SolverOptions` — is the
+    unified configuration surface shared with :func:`rdd_fgmres` and the
+    driver: when given, it supplies ``restart``/``tol``/``max_iter``/
+    ``orthogonalization``, the variant (from ``options.method``) and, if
+    ``precond`` is None, the preconditioner parsed from
+    ``options.precond``.
     """
+    if options is not None:
+        restart = options.restart
+        tol = options.tol
+        max_iter = options.max_iter
+        orthogonalization = options.orthogonalization
+        if options.method in ("edd-basic", "edd-enhanced"):
+            variant = options.method[len("edd-"):]
+        if precond is None:
+            from repro.precond.spec import make_preconditioner
+
+            precond = make_preconditioner(options.precond)
     if variant not in ("basic", "enhanced"):
         raise ValueError("variant must be 'basic' or 'enhanced'")
     if orthogonalization not in ("cgs", "mgs"):
@@ -110,16 +129,40 @@ def edd_fgmres(
                 # Classical Gram-Schmidt (the paper's listings): all
                 # coefficients from the unmodified w via the mixed-format
                 # inner product, batched into ONE allreduce of j+1 words
-                # (Eq. 33).
-                partial = partial_buf[: len(v_loc)]
-                for i in range(len(v_loc)):
-                    partial[i] = v_loc[i].local_dots(w_hat)
-                h[: j + 1] = system.comm.allreduce_sum(
-                    list(partial.T), words=j + 1
-                )
-                for i in range(j + 1):
-                    w_loc = w_loc - h[i] * v_loc[i]
-                    w_hat = w_hat - h[i] * v_hat[i]
+                # (Eq. 33).  Both rank loops — the j+1 partial dots and
+                # the j+1 AXPY pairs — are fused into single per-rank
+                # bodies so the backend dispatches each region once per
+                # step instead of once per basis vector.
+                comm = system.comm
+                partial = partial_buf[: j + 1]
+                n_local = sum(len(p) for p in w_hat.parts)
+
+                def dots_body(r: int) -> None:
+                    wr = w_hat.parts[r]
+                    for i in range(j + 1):
+                        partial[i, r] = v_loc[i].parts[r] @ wr
+                    comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+                comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
+                h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
+
+                new_loc: list = [None] * system.n_parts
+                new_hat: list = [None] * system.n_parts
+
+                def ortho_body(r: int) -> None:
+                    wl = w_loc.parts[r]
+                    wh = w_hat.parts[r]
+                    for i in range(j + 1):
+                        hi = h[i]
+                        wl = wl - hi * v_loc[i].parts[r]
+                        wh = wh - hi * v_hat[i].parts[r]
+                    new_loc[r] = wl
+                    new_hat[r] = wh
+                    comm.add_flops(r, 4 * (j + 1) * len(wl))
+
+                comm.run_ranks(ortho_body, work=4 * (j + 1) * n_local)
+                w_loc = DistVector(new_loc, "local", comm)
+                w_hat = DistVector(new_hat, "global", comm)
             else:
                 # Modified Gram-Schmidt: numerically sturdier, but each
                 # projection needs the *updated* w — j+1 sequential

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.fem.bc import DirichletBC
 from repro.fem.mesh import Mesh
-from repro.parallel.comm import VirtualComm
+from repro.parallel.comm import Comm, make_comm
 from repro.partition.interface import SubdomainMap
 from repro.partition.node_partition import NodePartition
 from repro.precond.base import PolynomialPreconditioner
@@ -40,7 +40,7 @@ class RDDSystem:
     Attributes
     ----------
     comm:
-        Virtual communicator (a trivial :class:`SubdomainMap` backs it;
+        Communicator backend (a trivial :class:`SubdomainMap` backs it;
         all traffic goes through :meth:`halo_exchange`).
     own:
         Per rank, the global free-DOF indices it owns (disjoint).
@@ -62,7 +62,7 @@ class RDDSystem:
         Per rank, Fig. 8 element-copy counts (setup redundancy metric).
     """
 
-    comm: VirtualComm
+    comm: Comm
     own: list
     a_loc: list
     a_ext: list
@@ -79,27 +79,51 @@ class RDDSystem:
 
     def matvec(self, x_parts: list) -> list:
         """Eq. 48: halo exchange then
-        ``y = K_loc x_loc + K_ext x_ext`` per rank."""
-        ext_vals = self.comm.halo_exchange(x_parts, self.plan)
-        out = []
-        for r in range(self.n_parts):
-            y = self.a_loc[r].matvec(x_parts[r])
-            self.comm.add_flops(r, 2 * self.a_loc[r].nnz)
-            if self.a_ext[r].shape[1]:
-                y = y + self.a_ext[r].matvec(ext_vals[r])
-                self.comm.add_flops(
-                    r, 2 * self.a_ext[r].nnz + len(y)
-                )
-            out.append(y)
+        ``y = K_loc x_loc + K_ext x_ext`` per rank.  The per-rank block
+        products are independent bodies dispatched through
+        :meth:`Comm.run_ranks` — the region the thread backend overlaps
+        across cores."""
+        comm = self.comm
+        ext_vals = comm.halo_exchange(x_parts, self.plan)
+        a_loc, a_ext = self.a_loc, self.a_ext
+        out = [None] * self.n_parts
+
+        def body(r: int) -> None:
+            y = a_loc[r].matvec(x_parts[r])
+            comm.add_flops(r, 2 * a_loc[r].nnz)
+            if a_ext[r].shape[1]:
+                y = y + a_ext[r].matvec(ext_vals[r])
+                comm.add_flops(r, 2 * a_ext[r].nnz + len(y))
+            out[r] = y
+
+        comm.run_ranks(body, work=2 * self.nnz_total)
         return out
+
+    @property
+    def nnz_total(self) -> int:
+        """Total stored entries across rank blocks (cached); the
+        per-matvec work estimate handed to ``run_ranks``."""
+        cached = self.__dict__.get("_nnz_total")
+        if cached is None:
+            cached = sum(a.nnz for a in self.a_loc) + sum(
+                a.nnz for a in self.a_ext
+            )
+            self.__dict__["_nnz_total"] = cached
+        return cached
 
     def dot(self, x_parts: list, y_parts: list) -> float:
         """Eq. 47: local dots + one allreduce."""
+        comm = self.comm
         partial = np.empty(self.n_parts)
-        for r in range(self.n_parts):
+
+        def body(r: int) -> None:
             partial[r] = x_parts[r] @ y_parts[r]
-            self.comm.add_flops(r, 2 * len(x_parts[r]))
-        return float(self.comm.allreduce_sum(list(partial)))
+            comm.add_flops(r, 2 * len(x_parts[r]))
+
+        comm.run_ranks(
+            body, work=2 * sum(len(x) for x in x_parts)
+        )
+        return float(comm.allreduce_sum(list(partial)))
 
     def replication_factor(self) -> float:
         """Total element copies over unique elements (Fig. 8 overhead);
@@ -125,6 +149,7 @@ def build_rdd_system(
     k_reduced: CSRMatrix,
     f_reduced: np.ndarray,
     reorder_local: bool = True,
+    comm_backend: str | None = None,
 ) -> RDDSystem:
     """Split the assembled, reduced system into the RDD structure.
 
@@ -135,6 +160,8 @@ def build_rdd_system(
     coupling) come first, boundary rows last, so a real implementation
     could overlap the interior matvec with the halo exchange.  Setup
     traffic is not charged — counters start at zero for the solve.
+    ``comm_backend`` selects the communicator implementation (``"virtual"``
+    / ``"thread"``; None uses the session default).
     """
     d = norm1_scaling(k_reduced)
     a = k_reduced.scale_sym(d, d)  # fused one-pass DKD
@@ -209,7 +236,7 @@ def build_rdd_system(
         multiplicity=np.ones(a.shape[0], dtype=np.int64),
         shared=[dict() for _ in range(p)],
     )
-    comm = VirtualComm(trivial_map)
+    comm = make_comm(trivial_map, backend=comm_backend)
 
     system = RDDSystem(
         comm=comm,
@@ -229,18 +256,24 @@ def build_rdd_system(
 
 
 def _axpy_parts(comm, y_parts, alpha, x_parts):
-    out = []
-    for r, (y, x) in enumerate(zip(y_parts, x_parts)):
-        out.append(y + alpha * x)
-        comm.add_flops(r, 2 * len(y))
+    out = [None] * len(y_parts)
+
+    def body(r: int) -> None:
+        out[r] = y_parts[r] + alpha * x_parts[r]
+        comm.add_flops(r, 2 * len(y_parts[r]))
+
+    comm.run_ranks(body, work=2 * sum(len(y) for y in y_parts))
     return out
 
 
 def _scale_parts(comm, alpha, x_parts):
-    out = []
-    for r, x in enumerate(x_parts):
-        out.append(alpha * x)
-        comm.add_flops(r, len(x))
+    out = [None] * len(x_parts)
+
+    def body(r: int) -> None:
+        out[r] = alpha * x_parts[r]
+        comm.add_flops(r, len(x_parts[r]))
+
+    comm.run_ranks(body, work=sum(len(x) for x in x_parts))
     return out
 
 
@@ -304,11 +337,28 @@ def rdd_fgmres(
     tol: float = 1e-6,
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
+    options=None,
 ) -> SolveResult:
     """Algorithm 8: restarted FGMRES on the row-partitioned scaled system.
 
     Returns the *unscaled* global solution, like :func:`edd_fgmres`.
+    ``options`` — a :class:`repro.core.options.SolverOptions` — supplies
+    ``restart``/``tol``/``max_iter`` and, when ``precond`` is None, the
+    preconditioner parsed from ``options.precond`` (the same unified
+    surface :func:`edd_fgmres` accepts).
     """
+    if options is not None:
+        restart = options.restart
+        tol = options.tol
+        max_iter = options.max_iter
+        if precond is None:
+            from repro.precond.spec import make_preconditioner
+
+            precond = make_preconditioner(options.precond)
+            if precond == "bj-ilu0":
+                from repro.precond.block_jacobi import BlockJacobiILU
+
+                precond = BlockJacobiILU(system)
     if restart < 1:
         raise ValueError("restart must be >= 1")
     comm = system.comm
@@ -339,13 +389,30 @@ def rdd_fgmres(
             w = system.matvec(z)
             h = np.empty(j + 2)
             partial = np.zeros((j + 1, p))
-            for i in range(j + 1):
-                for rank in range(p):
-                    partial[i, rank] = v[i][rank] @ w[rank]
-                    comm.add_flops(rank, 2 * len(w[rank]))
+            n_local = sum(len(wr) for wr in w)
+
+            # Fused per-rank CGS bodies (one dispatch per region instead
+            # of one per basis vector), mirroring edd_fgmres.
+            def dots_body(r: int) -> None:
+                wr = w[r]
+                for i in range(j + 1):
+                    partial[i, r] = v[i][r] @ wr
+                comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+            comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
             h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
-            for i in range(j + 1):
-                w = _axpy_parts(comm, w, -h[i], v[i])
+
+            new_w: list = [None] * p
+
+            def ortho_body(r: int) -> None:
+                wr = w[r]
+                for i in range(j + 1):
+                    wr = wr - h[i] * v[i][r]
+                new_w[r] = wr
+                comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+            comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
+            w = new_w
             h[j + 1] = np.sqrt(max(system.dot(w, w), 0.0))
             res = lsq.append_column(h)
             total_iters += 1

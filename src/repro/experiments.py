@@ -19,6 +19,7 @@ import os
 import numpy as np
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import PAPER_MESHES, cantilever_problem
 from repro.io.records import record_from_summary, save_records
 from repro.parallel.machine import SGI_ORIGIN, modeled_time
@@ -94,7 +95,9 @@ def reproduce_scaling(
         for q in ranks:
             if q > p.mesh.n_elements:
                 continue
-            s = solve_cantilever(p, n_parts=q, precond=f"gls({m})")
+            s = solve_cantilever(
+                p, n_parts=q, options=SolverOptions(precond=f"gls({m})")
+            )
             t = modeled_time(s.stats, SGI_ORIGIN)
             if t1 is None:
                 t1 = t

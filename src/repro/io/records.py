@@ -47,30 +47,40 @@ class RunRecord:
     nbr_words: int
     reductions: int
     modeled_times: dict
+    comm_backend: str = "virtual"
+    wall_time: float = 0.0
 
 
 def record_from_summary(
     summary: ParallelSolveSummary, label: str, n_eqn: int
 ) -> RunRecord:
-    """Flatten a :class:`ParallelSolveSummary` into a :class:`RunRecord`."""
-    st = summary.stats
+    """Flatten a :class:`ParallelSolveSummary` into a :class:`RunRecord`.
+
+    Consumes :meth:`ParallelSolveSummary.to_dict` so the CLI's ``--json``
+    output and the benchmark emitters share one serialization path.
+    """
+    payload = summary.to_dict()
+    result, stats = payload["result"], payload["stats"]
     return RunRecord(
         label=label,
-        method=summary.method,
-        precond=summary.precond_name,
-        n_parts=summary.n_parts,
+        method=payload["method"],
+        precond=payload["precond"],
+        n_parts=payload["n_parts"],
         n_eqn=int(n_eqn),
-        iterations=summary.result.iterations,
-        converged=bool(summary.result.converged),
-        final_residual=float(summary.result.final_residual),
-        total_flops=int(st.total_flops),
-        max_flops=int(st.max_flops),
-        nbr_messages=int(st.total_nbr_messages),
-        nbr_words=int(st.total_nbr_words),
-        reductions=int(st.max_reductions),
+        iterations=result["iterations"],
+        converged=result["converged"],
+        final_residual=result["final_residual"],
+        total_flops=stats["total_flops"],
+        max_flops=stats["max_flops"],
+        nbr_messages=stats["total_nbr_messages"],
+        nbr_words=stats["total_nbr_words"],
+        reductions=stats["max_reductions"],
         modeled_times={
-            key: modeled_time(st, machine) for key, machine in MACHINES.items()
+            key: modeled_time(summary.stats, machine)
+            for key, machine in MACHINES.items()
         },
+        comm_backend=payload["comm_backend"],
+        wall_time=payload["wall_time"],
     )
 
 

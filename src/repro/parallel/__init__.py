@@ -9,10 +9,27 @@ exact message counts, word volumes and flops.  :mod:`repro.parallel.machine`
 then converts those counters into modeled wall-clock time on calibrated
 SP2/Origin machine models, from which the speedup studies (Table 3,
 Figs. 15-17) are regenerated.
+
+Two interchangeable :class:`Comm` backends execute the SPMD rank loops:
+the deterministic single-thread :class:`VirtualComm` (default) and the
+shared-memory :class:`~repro.parallel.thread_comm.ThreadComm`, which runs
+rank bodies on a persistent worker pool.  Both share the collective
+implementations of the :class:`Comm` base class, so results are
+bit-identical; select with :func:`make_comm` / :func:`set_comm_backend` /
+the ``REPRO_COMM_BACKEND`` environment variable.
 """
 
 from repro.parallel.stats import CommStats, RankStats
-from repro.parallel.comm import VirtualComm
+from repro.parallel.comm import (
+    Comm,
+    VirtualComm,
+    available_comm_backends,
+    get_comm_backend,
+    make_comm,
+    set_comm_backend,
+    use_comm_backend,
+)
+from repro.parallel.thread_comm import ThreadComm
 from repro.parallel.machine import (
     IBM_SP2,
     MACHINES,
@@ -26,7 +43,14 @@ from repro.parallel.machine import (
 __all__ = [
     "RankStats",
     "CommStats",
+    "Comm",
     "VirtualComm",
+    "ThreadComm",
+    "make_comm",
+    "available_comm_backends",
+    "get_comm_backend",
+    "set_comm_backend",
+    "use_comm_backend",
     "MachineModel",
     "IBM_SP2",
     "SGI_ORIGIN",

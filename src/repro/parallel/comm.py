@@ -1,15 +1,33 @@
-"""The virtual communicator.
+"""Pluggable communicator backends.
 
-``VirtualComm`` plays the role MPI plays in the paper's C implementation.
 The SPMD algorithms in :mod:`repro.core` are written exactly as the paper's
 listings — per-rank local arrays, nearest-neighbour interface assemblies
-``⊕Σ∂Ω``, halo scatter/gathers and allreduces — but all ranks live in one
-process and collectives operate on the list of per-rank arrays at once.
-This keeps execution deterministic while recording, per rank, precisely the
-traffic a real MPI run would generate.
+``⊕Σ∂Ω``, halo scatter/gathers and allreduces — against the abstract
+:class:`Comm` interface defined here.  Two backends implement it:
+
+* :class:`VirtualComm` (``"virtual"``, the default) plays the role MPI
+  plays in the paper's C implementation: all ranks live in one process and
+  every rank body runs serially, which keeps execution deterministic while
+  recording, per rank, precisely the traffic a real MPI run would generate.
+* :class:`~repro.parallel.thread_comm.ThreadComm` (``"thread"``) dispatches
+  the same per-rank bodies onto a persistent pool of worker threads with a
+  real cross-thread barrier, so the P subdomain kernels genuinely run
+  concurrently whenever the sparse kernel backend releases the GIL
+  (scipy's C loops and numpy's ufunc inner loops both do).
+
+Both backends share the collective implementations in :class:`Comm` —
+including the fixed-topology binary-tree allreduce — so a solve is
+**bit-identical** across backends: same iteration counts, same residual
+histories, same recorded counters.  Selection: ``make_comm(submap)``
+consults ``set_comm_backend(name)`` / the ``REPRO_COMM_BACKEND``
+environment variable (read at first use), mirroring the kernel-backend
+registry in :mod:`repro.sparse.kernels`.
 """
 
 from __future__ import annotations
+
+import os
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -17,8 +35,13 @@ from repro.parallel.stats import CommStats
 from repro.partition.interface import SubdomainMap
 
 
-class VirtualComm:
-    """A P-rank communicator bound to a subdomain map.
+class Comm:
+    """Abstract P-rank communicator bound to a subdomain map.
+
+    Subclasses supply the execution strategy through :meth:`run_ranks`
+    (and optionally :meth:`barrier`); every collective defined here is
+    expressed in terms of it plus deterministic orchestrator-side data
+    movement, which is what guarantees backend-independent numerics.
 
     Parameters
     ----------
@@ -26,23 +49,54 @@ class VirtualComm:
         The EDD :class:`SubdomainMap` (used for interface assembly); RDD
         solvers use :meth:`halo_exchange` with explicit plans instead and
         may pass a map with empty sharing.
+    trace:
+        When tracing, every point-to-point message is appended to
+        :attr:`message_log` as a ``(src, dst, words)`` tuple — the
+        validation tests assert the symmetry properties a correct MPI
+        exchange must have.
     """
+
+    #: Registry name of the backend (``"virtual"``, ``"thread"``, ...).
+    backend_name = "abstract"
 
     def __init__(self, submap: SubdomainMap, trace: bool = False):
         self.submap = submap
         self.size = submap.n_parts
         self.stats = CommStats(self.size)
-        #: When tracing, every point-to-point message is appended as a
-        #: ``(src, dst, words)`` tuple — the validation tests assert the
-        #: symmetry properties a correct MPI exchange must have.
         self.trace = trace
         self.message_log: list = []
+
+    # ------------------------------------------------------------------
+    # Backend primitives
+    # ------------------------------------------------------------------
+    def run_ranks(self, body, work: int | None = None) -> list:
+        """Execute ``body(rank)`` once per rank; return the P results.
+
+        This is the SPMD dispatch point: solver loops hand each rank's
+        loop body to the backend as a closure.  Bodies MUST only touch
+        rank-``r`` state (their slice of the part lists and
+        ``stats.ranks[r]``) so that a concurrent backend needs no locks.
+        ``work`` is an optional estimate of the total scalar operations
+        across ranks; backends may run tiny bodies inline to avoid
+        dispatch overhead (the results are identical either way).
+        """
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Synchronize all ranks.
+
+        The serial backend is trivially synchronized; concurrent backends
+        override this with a real cross-thread barrier.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (worker threads); idempotent."""
 
     # ------------------------------------------------------------------
     # Flop accounting (kernels call these; data ops happen elsewhere)
     # ------------------------------------------------------------------
     def add_flops(self, rank: int, n: int) -> None:
-        """Charge ``n`` flops to ``rank``."""
+        """Charge ``n`` flops to ``rank`` (disjoint per-rank update)."""
         self.stats.ranks[rank].flops += int(n)
 
     def add_flops_all(self, per_rank) -> None:
@@ -51,16 +105,18 @@ class VirtualComm:
             self.stats.ranks[r].flops += int(n)
 
     # ------------------------------------------------------------------
-    # Collectives
+    # Collectives (shared by all backends — deterministic by construction)
     # ------------------------------------------------------------------
     def interface_assemble(self, parts: list) -> list:
         """The paper's ``⊕Σ∂Ω`` (Eq. 28): local-distributed -> global-distributed.
 
         Every subdomain adds its neighbours' contributions on shared DOFs.
         Implemented with a scatter-add through the global numbering (which
-        yields exactly the assembled values), while communication is charged
-        per neighbouring pair: one message of ``len(shared)`` words each way.
-        Interface-DOF additions are also charged as flops.
+        yields exactly the assembled values) followed by a per-rank
+        gather-back dispatched through :meth:`run_ranks`; communication is
+        charged per neighbouring pair: one message of ``len(shared)``
+        words each way.  Interface-DOF additions are also charged as
+        flops.
         """
         submap = self.submap
         if len(parts) != self.size:
@@ -68,7 +124,12 @@ class VirtualComm:
         glob = np.zeros(submap.n_global)
         for g, p in zip(submap.l2g, parts):
             np.add.at(glob, g, p)
-        out = [glob[g].copy() for g in submap.l2g]
+        out = [None] * self.size
+
+        def gather(s: int) -> None:
+            out[s] = glob[submap.l2g[s]].copy()
+
+        self.run_ranks(gather, work=submap.n_global)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, local_idx in submap.shared[s].items():
@@ -84,17 +145,22 @@ class VirtualComm:
 
         ``values`` is a per-rank list of scalars or equal-length arrays;
         returns the elementwise sum (same on every rank, as MPI_Allreduce
-        would).  Each rank is charged one reduction of ``words`` words.
+        would).  The sum is combined in **fixed binary-tree order** —
+        ``(v0+v1)+(v2+v3)...`` — the pairing a recursive-doubling MPI
+        allreduce performs, identical on every backend so results stay
+        bit-reproducible.  Each rank is charged one reduction of
+        ``words`` words.
         """
         if len(values) != self.size:
             raise ValueError("one value per rank required")
-        total = values[0]
-        for v in values[1:]:
-            total = total + v
-        for r in self.stats.ranks:
-            r.reductions += 1
-            r.reduction_words += int(words)
-        return total
+        vals = list(values)
+        while len(vals) > 1:
+            nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
+            if len(vals) % 2:
+                nxt.append(vals[-1])
+            vals = nxt
+        self.stats.charge_all_ranks(reductions=1, reduction_words=int(words))
+        return vals[0]
 
     def halo_exchange(self, x_parts: list, plan: dict) -> list:
         """Row-partition halo scatter/gather (Eq. 48's first two steps).
@@ -103,23 +169,32 @@ class VirtualComm:
         recv_slots)``: rank ``s`` sends ``x_parts[s][send_local_idx]`` to
         ``t``; the values rank ``s`` *receives* from ``t`` land in its
         external buffer at positions ``recv_slots``.  Returns the per-rank
-        external vectors.
+        external vectors.  Data movement is receiver-centric — each rank
+        fills only its own external buffer — so the gather dispatches
+        through :meth:`run_ranks`; sender-side charging stays serial.
         """
         if len(x_parts) != self.size:
             raise ValueError("one part per rank required")
         ext_sizes = [0] * self.size
+        total_words = 0
         for s in range(self.size):
             for t, (_, recv_slots) in plan[s].items():
                 ext_sizes[s] = max(
                     ext_sizes[s], (int(recv_slots.max()) + 1) if len(recv_slots) else 0
                 )
+                total_words += len(recv_slots)
         ext = [np.zeros(n) for n in ext_sizes]
+
+        def receive(s: int) -> None:
+            buf = ext[s]
+            for t, (_, recv_slots) in plan[s].items():
+                send_idx, _ = plan[t][s]
+                buf[recv_slots] = x_parts[t][send_idx]
+
+        self.run_ranks(receive, work=total_words)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, (send_idx, _) in plan[s].items():
-                payload = x_parts[s][send_idx]
-                _, recv_slots = plan[t][s]
-                ext[t][recv_slots] = payload
                 rs.nbr_messages += 1
                 rs.nbr_words += len(send_idx)
                 if self.trace:
@@ -129,3 +204,80 @@ class VirtualComm:
     def reset_stats(self) -> None:
         """Zero all counters (e.g. after setup, before the timed solve)."""
         self.stats.reset()
+
+
+class VirtualComm(Comm):
+    """The deterministic serial backend (``"virtual"``, the default).
+
+    Rank bodies execute one after another in the calling thread — the
+    behaviour every prior version of this codebase had — so it is also the
+    reference implementation the concurrent backends are tested against.
+    """
+
+    backend_name = "virtual"
+
+    def run_ranks(self, body, work: int | None = None) -> list:
+        """Run ``body(rank)`` serially, in rank order."""
+        return [body(r) for r in range(self.size)]
+
+
+# ----------------------------------------------------------------------
+# Backend registry (mirrors repro.sparse.kernels)
+# ----------------------------------------------------------------------
+_COMM_BACKENDS = ("virtual", "thread")
+_current: list = [None]  # resolved lazily so the env var wins at first use
+
+
+def available_comm_backends() -> tuple:
+    """Names of the registered communicator backends."""
+    return _COMM_BACKENDS
+
+
+def _resolve(name: str) -> str:
+    name = name.strip().lower()
+    if name not in _COMM_BACKENDS:
+        raise ValueError(
+            f"unknown comm backend {name!r}; available: {_COMM_BACKENDS}"
+        )
+    return name
+
+
+def get_comm_backend() -> str:
+    """The active backend name (env ``REPRO_COMM_BACKEND`` at first use)."""
+    if _current[0] is None:
+        _current[0] = _resolve(os.environ.get("REPRO_COMM_BACKEND", "virtual"))
+    return _current[0]
+
+
+def set_comm_backend(name: str) -> str | None:
+    """Select the communicator backend by name; returns the previous one."""
+    prev = _current[0]
+    _current[0] = _resolve(name)
+    return prev
+
+
+@contextmanager
+def use_comm_backend(name: str):
+    """Context manager: run a block under a specific comm backend."""
+    prev = _current[0]
+    set_comm_backend(name)
+    try:
+        yield
+    finally:
+        _current[0] = prev
+
+
+def make_comm(
+    submap: SubdomainMap, backend: str | None = None, trace: bool = False
+) -> Comm:
+    """Construct a communicator for ``submap`` on the chosen backend.
+
+    ``backend=None`` uses the session default (``set_comm_backend`` /
+    ``REPRO_COMM_BACKEND``, falling back to ``"virtual"``).
+    """
+    name = _resolve(backend) if backend is not None else get_comm_backend()
+    if name == "thread":
+        from repro.parallel.thread_comm import ThreadComm
+
+        return ThreadComm(submap, trace=trace)
+    return VirtualComm(submap, trace=trace)

@@ -4,10 +4,22 @@ These counters are the simulation's ground truth: every kernel reports the
 flops it performed and every collective reports the messages it moved, per
 rank.  The machine models consume them; the Table 1 complexity tests assert
 against them.
+
+Thread-safety contract (the :class:`~repro.parallel.thread_comm.ThreadComm`
+backend runs rank bodies concurrently):
+
+* **Per-rank updates are disjoint** — rank ``r``'s body only ever touches
+  ``stats.ranks[r]``, so plain ``+=`` on a single :class:`RankStats` from
+  its own worker thread needs no lock.
+* **Cross-rank updates** (reductions charge *every* rank, snapshots read
+  all ranks at once) go through :meth:`CommStats.charge_all_ranks`, which
+  holds the stats lock so a concurrent hammer of chargers and readers
+  still yields exact totals.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -46,10 +58,18 @@ class RankStats:
 
 @dataclass
 class CommStats:
-    """Counters for all ranks of a virtual communicator."""
+    """Counters for all ranks of a communicator.
+
+    A single :class:`threading.Lock` guards every operation that spans
+    ranks; per-rank increments from the owning rank's thread are lock-free
+    by the disjointness contract documented in the module docstring.
+    """
 
     n_ranks: int
     ranks: list = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.ranks:
@@ -57,15 +77,39 @@ class CommStats:
         if len(self.ranks) != self.n_ranks:
             raise ValueError("one RankStats per rank required")
 
+    def charge_all_ranks(
+        self,
+        flops: int = 0,
+        nbr_messages: int = 0,
+        nbr_words: int = 0,
+        reductions: int = 0,
+        reduction_words: int = 0,
+    ) -> None:
+        """Atomically add the same increments to *every* rank.
+
+        This is the collective-side charging path (allreduces and barriers
+        hit all ranks symmetrically); holding the lock makes it safe to
+        call concurrently with itself and with :meth:`snapshot`.
+        """
+        with self._lock:
+            for r in self.ranks:
+                r.flops += int(flops)
+                r.nbr_messages += int(nbr_messages)
+                r.nbr_words += int(nbr_words)
+                r.reductions += int(reductions)
+                r.reduction_words += int(reduction_words)
+
     def reset(self) -> None:
         """Zero every counter."""
-        self.ranks = [RankStats() for _ in range(self.n_ranks)]
+        with self._lock:
+            self.ranks = [RankStats() for _ in range(self.n_ranks)]
 
     def snapshot(self) -> "CommStats":
-        """Deep copy of the current counters."""
+        """Deep copy of the current counters (atomic across ranks)."""
         copy = CommStats(self.n_ranks)
-        for dst, src in zip(copy.ranks, self.ranks):
-            dst.merge(src)
+        with self._lock:
+            for dst, src in zip(copy.ranks, self.ranks):
+                dst.merge(src)
         return copy
 
     def delta(self, earlier: "CommStats") -> "CommStats":
@@ -78,6 +122,31 @@ class CommStats:
             o.reductions = now.reductions - then.reductions
             o.reduction_words = now.reduction_words - then.reduction_words
         return out
+
+    def to_dict(self) -> dict:
+        """JSON-serializable totals plus per-rank counters (atomic)."""
+        with self._lock:
+            per_rank = [
+                {
+                    "flops": int(r.flops),
+                    "nbr_messages": int(r.nbr_messages),
+                    "nbr_words": int(r.nbr_words),
+                    "reductions": int(r.reductions),
+                    "reduction_words": int(r.reduction_words),
+                }
+                for r in self.ranks
+            ]
+        return {
+            "n_ranks": self.n_ranks,
+            "total_flops": sum(r["flops"] for r in per_rank),
+            "max_flops": max((r["flops"] for r in per_rank), default=0),
+            "total_nbr_messages": sum(r["nbr_messages"] for r in per_rank),
+            "total_nbr_words": sum(r["nbr_words"] for r in per_rank),
+            "max_reductions": max(
+                (r["reductions"] for r in per_rank), default=0
+            ),
+            "per_rank": per_rank,
+        }
 
     @property
     def total_flops(self) -> int:

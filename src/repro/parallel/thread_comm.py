@@ -1,0 +1,238 @@
+"""Shared-memory concurrent communicator backend.
+
+:class:`ThreadComm` executes the per-rank SPMD bodies the solvers hand to
+:meth:`~repro.parallel.comm.Comm.run_ranks` on a **persistent pool of
+worker threads**, the way FastIPC drives its per-block kernels: the pool is
+created once, workers park on a condition variable between parallel
+regions, and each ``run_ranks`` call is one fork-join region whose join is
+a real barrier.  Rank ``r``'s body runs on worker ``r % n_workers``, so
+with ``n_workers >= n_parts`` every subdomain gets its own thread.
+
+True concurrency comes from the GIL-releasing kernel substrate of
+:mod:`repro.sparse.kernels`: scipy's ``_sparsetools`` C loops and numpy's
+ufunc inner loops drop the GIL, so on an N-core machine the P per-rank
+matvecs of every Arnoldi step (and each of the ``m`` polynomial-
+preconditioner matvecs inside it) overlap on real hardware.  Numerics are
+bit-identical to :class:`~repro.parallel.comm.VirtualComm`: bodies touch
+disjoint rank state, collectives (including the binary-tree allreduce) are
+shared base-class code, and per-rank flop counters are disjoint by the
+:mod:`repro.parallel.stats` contract.
+
+Tuning environment variables (read at pool construction):
+
+* ``REPRO_THREAD_WORKERS`` — worker count cap (default: CPU count, but at
+  least 2 so concurrency paths are exercised on single-core CI runners).
+* ``REPRO_THREAD_MIN_WORK`` — minimum estimated scalar-op count below
+  which a region runs inline instead of fanning out (default 8192);
+  results are identical either way, this only avoids paying dispatch
+  latency on tiny vectors.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.parallel.comm import Comm
+from repro.partition.interface import SubdomainMap
+
+_DEFAULT_MIN_WORK = 8192
+
+
+def _default_workers() -> int:
+    """Worker cap from ``REPRO_THREAD_WORKERS`` or the CPU count (min 2)."""
+    env = os.environ.get("REPRO_THREAD_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(2, os.cpu_count() or 1)
+
+
+class _WorkerPool:
+    """A persistent fork-join pool: broadcast a body, strided rank loop,
+    join-as-barrier.
+
+    ``run(body, n_ranks)`` wakes every worker; worker ``w`` executes
+    ``body(r)`` for ranks ``w, w + n, w + 2n, ...`` and the caller blocks
+    until all workers finish (the join is the region's barrier).  One
+    condition variable carries both the wake-up broadcast and the
+    completion count, keeping per-region overhead to two lock handoffs.
+    """
+
+    def __init__(self, n_workers: int):
+        self.n_workers = n_workers
+        # Serializes whole fork-join regions: two communicators sharing
+        # the pool take turns instead of interleaving broadcast state.
+        self._run_lock = threading.Lock()
+        self._cv = threading.Condition()
+        self._generation = 0
+        self._body = None
+        self._n_ranks = 0
+        self._pending = 0
+        self._errors: list = []
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(w,),
+                name=f"repro-comm-{w}",
+                daemon=True,
+            )
+            for w in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker_loop(self, w: int) -> None:
+        """Park on the condition variable; run strided ranks when woken."""
+        seen = 0
+        while True:
+            with self._cv:
+                while self._generation == seen and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    return
+                seen = self._generation
+                body, n_ranks = self._body, self._n_ranks
+            try:
+                for r in range(w, n_ranks, self.n_workers):
+                    body(r)
+            except BaseException as exc:  # propagate to the orchestrator
+                with self._cv:
+                    self._errors.append(exc)
+            finally:
+                with self._cv:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._cv.notify_all()
+
+    def run(self, body, n_ranks: int) -> None:
+        """Execute one parallel region and wait for its barrier."""
+        with self._run_lock:
+            with self._cv:
+                if self._closed:
+                    raise RuntimeError("worker pool is closed")
+                self._body = body
+                self._n_ranks = n_ranks
+                self._pending = self.n_workers
+                self._errors = []
+                self._generation += 1
+                self._cv.notify_all()
+                while self._pending:
+                    self._cv.wait()
+                self._body = None
+                if self._errors:
+                    raise self._errors[0]
+
+    def close(self) -> None:
+        """Wake and terminate all workers; idempotent."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+
+# One shared pool per process, grown on demand; ThreadComm instances are
+# cheap because they only borrow it.  Guarded by a lock so concurrent
+# communicators serialize their parallel regions instead of interleaving
+# bodies from different solves on the same workers.
+_pool_lock = threading.Lock()
+_shared_pool: list = [None]
+_in_worker = threading.local()
+
+
+def _acquire_pool(n_workers: int) -> _WorkerPool:
+    """The process-wide pool, recreated larger when a caller needs it."""
+    with _pool_lock:
+        pool = _shared_pool[0]
+        if pool is None or pool.n_workers < n_workers:
+            if pool is not None:
+                pool.close()
+            pool = _WorkerPool(n_workers)
+            _shared_pool[0] = pool
+        return pool
+
+
+class ThreadComm(Comm):
+    """Concurrent shared-memory backend (``"thread"``).
+
+    Parameters
+    ----------
+    submap:
+        DOF sharing structure (same as :class:`VirtualComm`).
+    trace:
+        Record per-message tuples in :attr:`message_log`.
+    n_workers:
+        Worker-thread cap; defaults to ``REPRO_THREAD_WORKERS`` or the
+        CPU count.  Ranks beyond the cap are strided over the workers.
+    min_parallel_work:
+        Estimated scalar-op threshold below which ``run_ranks`` executes
+        inline (identical results, no dispatch latency); defaults to
+        ``REPRO_THREAD_MIN_WORK`` or 8192.
+    """
+
+    backend_name = "thread"
+
+    def __init__(
+        self,
+        submap: SubdomainMap,
+        trace: bool = False,
+        n_workers: int | None = None,
+        min_parallel_work: int | None = None,
+    ):
+        super().__init__(submap, trace=trace)
+        if n_workers is None:
+            n_workers = _default_workers()
+        self.n_workers = max(1, min(int(n_workers), self.size))
+        if min_parallel_work is None:
+            min_parallel_work = int(
+                os.environ.get("REPRO_THREAD_MIN_WORK", _DEFAULT_MIN_WORK)
+            )
+        self.min_parallel_work = min_parallel_work
+
+    def run_ranks(self, body, work: int | None = None) -> list:
+        """Dispatch ``body(rank)`` across the persistent worker pool.
+
+        Collects per-rank return values exactly like the serial backend.
+        Falls back to inline execution when the communicator is single
+        rank, the estimated ``work`` is below the parallel threshold, or
+        the caller is itself a pool worker (nested regions would
+        deadlock); results are identical on every path.
+        """
+        if (
+            self.size == 1
+            or self.n_workers == 1
+            or getattr(_in_worker, "active", False)
+            or (work is not None and work < self.min_parallel_work)
+        ):
+            return [body(r) for r in range(self.size)]
+        results = [None] * self.size
+
+        def wrapped(r: int) -> None:
+            _in_worker.active = True
+            try:
+                results[r] = body(r)
+            finally:
+                _in_worker.active = False
+
+        _acquire_pool(self.n_workers).run(wrapped, self.size)
+        return results
+
+    def barrier(self) -> None:
+        """A real cross-thread barrier: every worker must arrive before
+        any leaves.  (Each ``run_ranks`` join is already a barrier; this
+        exposes the primitive directly for SPMD-style callers.)"""
+        if self.n_workers == 1 or getattr(_in_worker, "active", False):
+            return
+        gate = threading.Barrier(self.n_workers)
+
+        def wait(_r: int) -> None:
+            gate.wait()
+
+        _acquire_pool(self.n_workers).run(wait, self.n_workers)
+
+    def close(self) -> None:
+        """Release the borrowed pool reference (the shared pool itself
+        stays alive for other communicators); idempotent."""

@@ -35,8 +35,11 @@ from repro.precond.stability import (
     coefficient_error_bound,
     stability_curve,
 )
+from repro.precond.spec import make_preconditioner, spec_of
 
 __all__ = [
+    "make_preconditioner",
+    "spec_of",
     "Preconditioner",
     "IdentityPreconditioner",
     "SingularPreconditionerError",

@@ -37,6 +37,16 @@ class Preconditioner(abc.ABC):
         """Short display name, e.g. ``GLS(7)``."""
         return type(self).__name__
 
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string:
+        ``repro.precond.spec.make_preconditioner(p.spec)`` rebuilds an
+        equivalent preconditioner.  Families without a spec grammar raise
+        ``NotImplementedError``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no spec-string form"
+        )
+
     def as_operator(self):
         """The preconditioner as a plain callable ``v -> C v``."""
         return self.apply

@@ -59,3 +59,9 @@ class BlockJacobiILU(Preconditioner):
     @property
     def name(self) -> str:
         return f"BJ-ILU0(P={self._system.n_parts})"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string (``"bj-ilu0"``; rebuilding needs
+        the RDD system, which the driver supplies)."""
+        return "bj-ilu0"

@@ -94,3 +94,8 @@ class ChebyshevPolynomial(PolynomialPreconditioner):
     @property
     def name(self) -> str:
         return f"Cheb({self.degree})"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string, e.g. ``"cheb(5)"``."""
+        return f"cheb({self.degree})"

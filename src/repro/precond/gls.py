@@ -190,3 +190,8 @@ class GLSPolynomial(PolynomialPreconditioner):
     @property
     def name(self) -> str:
         return f"GLS({self.degree})"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string, e.g. ``"gls(7)"``."""
+        return f"gls({self.degree})"

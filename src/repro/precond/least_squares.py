@@ -121,3 +121,8 @@ class LeastSquaresPolynomial(PolynomialPreconditioner):
     @property
     def name(self) -> str:
         return f"LS({self.degree})"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string, e.g. ``"ls(7)"``."""
+        return f"ls({self.degree})"

@@ -96,3 +96,8 @@ class NeumannPolynomial(PolynomialPreconditioner):
     @property
     def name(self) -> str:
         return f"Neum({self.degree})"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string, e.g. ``"neumann(20)"``."""
+        return f"neumann({self.degree})"

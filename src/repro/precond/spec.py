@@ -1,0 +1,77 @@
+"""Preconditioner spec strings: parsing and round-tripping.
+
+A *spec* is a short string naming a preconditioner family and its degree,
+e.g. ``"gls(7)"`` — the notation the paper's tables use.  This module is
+the public home of :func:`make_preconditioner` (re-exported by
+:mod:`repro.core.driver` for backwards compatibility); every constructed
+preconditioner carries a ``spec`` property such that
+``make_preconditioner(p.spec)`` rebuilds an equivalent preconditioner
+(with the default spectrum window).
+
+Accepted grammar (case-insensitive):
+
+* ``None`` / ``"none"`` — no preconditioning.
+* ``"gls(m)"`` — generalized least-squares polynomial of degree ``m``.
+* ``"neumann(m)"`` — Neumann series of degree ``m``.
+* ``"cheb(m)"`` — Chebyshev residual polynomial of degree ``m``.
+* ``"ls(m)"`` — classical Jacobi-weight least-squares of degree ``m``.
+* ``"bj-ilu0"`` — block-Jacobi ILU(0) (RDD only); returned as the marker
+  string because it needs a built system to construct.
+"""
+
+from __future__ import annotations
+
+from repro.spectrum.intervals import SpectrumIntervals
+
+#: The marker :func:`make_preconditioner` returns for block-Jacobi ILU —
+#: resolution into a real preconditioner needs the built RDD system.
+BJ_ILU0_MARKER = "bj-ilu0"
+
+
+def make_preconditioner(spec: str | None, theta: SpectrumIntervals | None = None):
+    """Parse a preconditioner spec string.
+
+    ``"gls(7)"``, ``"neumann(20)"``, ``"cheb(5)"``, ``"ls(7)"`` and
+    ``None``/``"none"`` are accepted — the preconditioners applicable to
+    distributed unassembled systems.  ``"bj-ilu0"`` (block-Jacobi ILU,
+    RDD only) is resolved later by :func:`repro.core.driver.solve_cantilever`
+    since it needs the built system; here it returns the spec marker.
+    ``theta`` defaults to the post-scaling window :math:`(10^{-6}, 1)`.
+    """
+    if spec is None or spec == "none":
+        return None
+    if theta is None:
+        theta = SpectrumIntervals.single(1e-6, 1.0)
+    spec = spec.strip().lower()
+    if spec.startswith("gls(") and spec.endswith(")"):
+        from repro.precond.gls import GLSPolynomial
+
+        return GLSPolynomial(theta, int(spec[4:-1]))
+    if spec.startswith("neumann(") and spec.endswith(")"):
+        from repro.precond.neumann import NeumannPolynomial
+
+        return NeumannPolynomial(int(spec[8:-1]))
+    if spec.startswith("cheb(") and spec.endswith(")"):
+        from repro.precond.chebyshev import ChebyshevPolynomial
+
+        return ChebyshevPolynomial(theta, int(spec[5:-1]))
+    if spec.startswith("ls(") and spec.endswith(")"):
+        from repro.precond.least_squares import LeastSquaresPolynomial
+
+        return LeastSquaresPolynomial(theta, int(spec[3:-1]))
+    if spec == BJ_ILU0_MARKER:
+        return BJ_ILU0_MARKER
+    raise ValueError(f"unknown preconditioner spec {spec!r}")
+
+
+def spec_of(precond) -> str:
+    """The round-trippable spec string of a preconditioner (or ``"none"``).
+
+    Accepts None, the ``"bj-ilu0"`` marker, or any object with a ``spec``
+    property.
+    """
+    if precond is None:
+        return "none"
+    if isinstance(precond, str):
+        return precond
+    return precond.spec

@@ -42,6 +42,25 @@ class SolveResult:
             return float("nan")
         return float(self.residual_history[-1])
 
+    def to_dict(self, include_x: bool = False) -> dict:
+        """JSON-serializable summary of the solve.
+
+        The solution vector is omitted unless ``include_x`` is set (it
+        dominates the payload and most records only need convergence
+        data).  Consumed by the benchmark emitters and ``repro solve
+        --json``.
+        """
+        out = {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "restarts": int(self.restarts),
+            "final_residual": float(self.final_residual),
+            "residual_history": [float(r) for r in self.residual_history],
+        }
+        if include_x:
+            out["x"] = np.asarray(self.x).tolist()
+        return out
+
     def __repr__(self) -> str:
         return (
             f"SolveResult(converged={self.converged}, "

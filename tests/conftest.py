@@ -42,3 +42,17 @@ def soft_material():
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["virtual", "thread"], ids=["comm-virtual", "comm-thread"])
+def comm_backend(request):
+    """Parameterize a test over both communicator backends.
+
+    Results must be bit-identical across the two (the Comm contract);
+    solver tests taking this fixture therefore run twice and assert the
+    same numbers both times.
+    """
+    from repro.parallel.comm import use_comm_backend
+
+    with use_comm_backend(request.param):
+        yield request.param

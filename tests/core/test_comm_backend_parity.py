@@ -1,0 +1,69 @@
+"""Backend parity: virtual and thread communicators must be bit-identical.
+
+The Comm contract (shared collectives, disjoint rank bodies, fixed
+binary-tree allreduce) guarantees a solve produces the same floats on
+every backend; these tests pin that down with exact — not approximate —
+comparisons of iteration counts, residual histories and counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+
+
+def _solve(problem, backend, **changes):
+    opts = SolverOptions(**changes).replace(comm_backend=backend)
+    return solve_cantilever(problem, n_parts=4, options=opts)
+
+
+@pytest.mark.parametrize(
+    "method,precond",
+    [
+        ("edd-enhanced", "gls(7)"),
+        ("edd-enhanced", "none"),
+        ("edd-basic", "gls(3)"),
+        ("edd-enhanced", "neumann(10)"),
+        ("rdd", "gls(7)"),
+        ("rdd", "bj-ilu0"),
+    ],
+)
+def test_solve_bit_identical_across_backends(tiny_problem, method, precond):
+    sv = _solve(tiny_problem, "virtual", method=method, precond=precond)
+    st = _solve(tiny_problem, "thread", method=method, precond=precond)
+    assert sv.comm_backend == "virtual" and st.comm_backend == "thread"
+    assert sv.result.iterations == st.result.iterations
+    assert sv.result.restarts == st.result.restarts
+    # Bit-identical, not merely close:
+    assert sv.result.residual_history == st.result.residual_history
+    assert np.array_equal(sv.result.x, st.result.x)
+
+
+def test_counters_identical_across_backends(tiny_problem):
+    sv = _solve(tiny_problem, "virtual")
+    st = _solve(tiny_problem, "thread")
+    for rv, rt in zip(sv.stats.ranks, st.stats.ranks):
+        assert rv == rt
+
+
+def test_mgs_orthogonalization_parity(tiny_problem):
+    sv = _solve(tiny_problem, "virtual", orthogonalization="mgs")
+    st = _solve(tiny_problem, "thread", orthogonalization="mgs")
+    assert sv.result.residual_history == st.result.residual_history
+
+
+def test_dynamic_solve_parity(tiny_dynamic_problem):
+    sv = _solve(tiny_dynamic_problem, "virtual", dynamic=True)
+    st = _solve(tiny_dynamic_problem, "thread", dynamic=True)
+    assert sv.result.residual_history == st.result.residual_history
+    assert np.array_equal(sv.result.x, st.result.x)
+
+
+def test_forced_pool_path_parity(tiny_problem, monkeypatch):
+    """Zero inline threshold: every region goes through the worker pool."""
+    monkeypatch.setenv("REPRO_THREAD_MIN_WORK", "0")
+    sv = _solve(tiny_problem, "virtual")
+    st = _solve(tiny_problem, "thread")
+    assert sv.result.residual_history == st.result.residual_history
+    assert np.array_equal(sv.result.x, st.result.x)

@@ -27,14 +27,15 @@ def _direct(problem):
     return np.linalg.solve(problem.stiffness.toarray(), problem.load)
 
 
-def test_matches_direct_solve(tiny_problem):
+def test_matches_direct_solve(tiny_problem, comm_backend):
     system = _build(tiny_problem, 3)
+    assert system.comm.backend_name == comm_backend
     res = edd_fgmres(system, GLSPolynomial.unit_interval(7, eps=1e-6), tol=1e-10)
     assert res.converged
     assert np.allclose(res.x, _direct(tiny_problem), rtol=1e-6, atol=1e-12)
 
 
-def test_unpreconditioned_matches_direct(tiny_problem):
+def test_unpreconditioned_matches_direct(tiny_problem, comm_backend):
     system = _build(tiny_problem, 2)
     res = edd_fgmres(system, None, tol=1e-10, restart=60)
     assert res.converged

@@ -37,8 +37,9 @@ def test_matvec_matches_global_product(tiny_problem):
     assert np.allclose(y, a @ x, atol=1e-12)
 
 
-def test_matches_direct_solve(tiny_problem):
+def test_matches_direct_solve(tiny_problem, comm_backend):
     system = _build(tiny_problem, 3)
+    assert system.comm.backend_name == comm_backend
     res = rdd_fgmres(
         system, GLSPolynomial.unit_interval(7, eps=1e-6), tol=1e-10
     )

@@ -1,0 +1,268 @@
+"""ThreadComm backend: pool execution, collectives parity, registry,
+thread-safe counters."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.mesh import structured_quad_mesh
+from repro.parallel.comm import (
+    VirtualComm,
+    available_comm_backends,
+    get_comm_backend,
+    make_comm,
+    set_comm_backend,
+    use_comm_backend,
+)
+from repro.parallel.stats import CommStats
+from repro.parallel.thread_comm import ThreadComm, _WorkerPool
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+
+
+@pytest.fixture
+def submap4():
+    mesh = structured_quad_mesh(8, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    labels = np.repeat(np.arange(4), 2)
+    part = ElementPartition(mesh, np.concatenate([labels, labels]), 4)
+    return build_subdomain_map(mesh, part, bc), bc
+
+
+def _thread_comm(submap, **kw):
+    # min_parallel_work=0 forces the pool path even for tiny test vectors.
+    kw.setdefault("min_parallel_work", 0)
+    kw.setdefault("n_workers", 4)
+    return ThreadComm(submap, **kw)
+
+
+# ----------------------------------------------------------------------
+# Worker pool mechanics
+# ----------------------------------------------------------------------
+def test_pool_runs_every_rank_once():
+    pool = _WorkerPool(3)
+    try:
+        hits = [0] * 10
+        pool.run(lambda r: hits.__setitem__(r, hits[r] + 1), 10)
+        assert hits == [1] * 10
+    finally:
+        pool.close()
+
+
+def test_pool_runs_on_worker_threads():
+    pool = _WorkerPool(2)
+    try:
+        names = [None] * 4
+        pool.run(
+            lambda r: names.__setitem__(r, threading.current_thread().name), 4
+        )
+        assert all(n.startswith("repro-comm-") for n in names)
+        assert len(set(names)) == 2  # strided over both workers
+    finally:
+        pool.close()
+
+
+def test_pool_propagates_body_exception():
+    pool = _WorkerPool(2)
+    try:
+        def boom(r):
+            if r == 1:
+                raise RuntimeError("rank 1 failed")
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            pool.run(boom, 3)
+        # The pool must survive a failed region.
+        out = [0] * 3
+        pool.run(lambda r: out.__setitem__(r, r), 3)
+        assert out == [0, 1, 2]
+    finally:
+        pool.close()
+
+
+def test_pool_close_idempotent():
+    pool = _WorkerPool(2)
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.run(lambda r: None, 1)
+
+
+def test_run_ranks_collects_results(submap4):
+    submap, _ = submap4
+    comm = _thread_comm(submap)
+    assert comm.run_ranks(lambda r: r * r) == [0, 1, 4, 9]
+
+
+def test_run_ranks_concurrent_bodies_overlap(submap4):
+    """With enough workers, rank bodies genuinely wait for each other."""
+    submap, _ = submap4
+    comm = _thread_comm(submap)
+    gate = threading.Barrier(4, timeout=10.0)
+
+    def body(r):
+        gate.wait()  # deadlocks unless all four bodies run concurrently
+        return r
+
+    assert comm.run_ranks(body) == [0, 1, 2, 3]
+
+
+def test_run_ranks_inline_below_threshold(submap4):
+    """Small regions run on the calling thread (identical results)."""
+    submap, _ = submap4
+    comm = ThreadComm(submap, n_workers=4, min_parallel_work=10**9)
+    main = threading.current_thread().name
+    names = comm.run_ranks(
+        lambda r: threading.current_thread().name, work=16
+    )
+    assert names == [main] * 4
+
+
+def test_nested_run_ranks_does_not_deadlock(submap4):
+    submap, _ = submap4
+    comm = _thread_comm(submap)
+
+    def outer(r):
+        inner = comm.run_ranks(lambda q: (r, q))
+        return inner[r]
+
+    assert comm.run_ranks(outer) == [(r, r) for r in range(4)]
+
+
+def test_barrier_returns(submap4):
+    submap, _ = submap4
+    comm = _thread_comm(submap)
+    comm.barrier()  # must not hang
+    comm.close()
+
+
+# ----------------------------------------------------------------------
+# Collective parity against the serial reference backend
+# ----------------------------------------------------------------------
+def test_collectives_bit_identical_to_virtual(submap4):
+    submap, bc = submap4
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(bc.n_free)
+    parts = submap.restrict(x)
+    vals = [rng.standard_normal(3) for _ in range(4)]
+
+    vc = VirtualComm(submap)
+    tc = _thread_comm(submap)
+    va = vc.interface_assemble(parts)
+    ta = tc.interface_assemble(parts)
+    for a, b in zip(va, ta):
+        assert np.array_equal(a, b)
+    assert np.array_equal(
+        vc.allreduce_sum(vals, words=3), tc.allreduce_sum(vals, words=3)
+    )
+    for rv, rt in zip(vc.stats.ranks, tc.stats.ranks):
+        assert rv == rt  # identical per-rank counters too
+
+
+def test_halo_exchange_parity(submap4):
+    submap, _ = submap4
+    rng = np.random.default_rng(3)
+    x_parts = [rng.standard_normal(5) for _ in range(4)]
+    # ring plan: rank s trades two entries with each of its two neighbours,
+    # clockwise traffic landing in ext slots [0,1], counter-clockwise in [2,3]
+    plan = {
+        s: {
+            (s + 1) % 4: (np.array([0, 1]), np.array([0, 1])),
+            (s - 1) % 4: (np.array([2, 3]), np.array([2, 3])),
+        }
+        for s in range(4)
+    }
+    vc = VirtualComm(submap)
+    tc = _thread_comm(submap)
+    for a, b in zip(vc.halo_exchange(x_parts, plan), tc.halo_exchange(x_parts, plan)):
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Thread-safe counters
+# ----------------------------------------------------------------------
+def test_commstats_concurrent_hammer():
+    """Concurrent per-rank increments + cross-rank charges stay exact."""
+    stats = CommStats(8)
+    n_iter = 2000
+
+    def per_rank(r):
+        for _ in range(n_iter):
+            stats.ranks[r].flops += 3
+
+    def collective():
+        for _ in range(n_iter):
+            stats.charge_all_ranks(reductions=1, reduction_words=2)
+
+    threads = [threading.Thread(target=per_rank, args=(r,)) for r in range(8)]
+    threads += [threading.Thread(target=collective) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for r in stats.ranks:
+        assert r.flops == 3 * n_iter
+        assert r.reductions == 4 * n_iter
+        assert r.reduction_words == 8 * n_iter
+
+
+def test_commstats_snapshot_during_charges():
+    """Snapshots taken mid-hammer see a consistent cross-rank state."""
+    stats = CommStats(4)
+    stop = threading.Event()
+
+    def charger():
+        while not stop.is_set():
+            stats.charge_all_ranks(flops=1)
+
+    t = threading.Thread(target=charger)
+    t.start()
+    try:
+        for _ in range(200):
+            snap = stats.snapshot()
+            flops = [r.flops for r in snap.ranks]
+            assert len(set(flops)) == 1  # all ranks charged atomically
+    finally:
+        stop.set()
+        t.join()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_roundtrip():
+    assert set(available_comm_backends()) == {"virtual", "thread"}
+    prev = get_comm_backend()
+    try:
+        set_comm_backend("thread")
+        assert get_comm_backend() == "thread"
+        with use_comm_backend("virtual"):
+            assert get_comm_backend() == "virtual"
+        assert get_comm_backend() == "thread"
+    finally:
+        set_comm_backend(prev)
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown comm backend"):
+        set_comm_backend("mpi")
+
+
+def test_make_comm_selects_backend(submap4):
+    submap, _ = submap4
+    assert make_comm(submap, backend="virtual").backend_name == "virtual"
+    assert make_comm(submap, backend="thread").backend_name == "thread"
+    with use_comm_backend("thread"):
+        assert isinstance(make_comm(submap), ThreadComm)
+
+
+def test_env_tunables(submap4, monkeypatch):
+    submap, _ = submap4
+    monkeypatch.setenv("REPRO_THREAD_WORKERS", "1")
+    monkeypatch.setenv("REPRO_THREAD_MIN_WORK", "123")
+    comm = ThreadComm(submap)
+    assert comm.n_workers == 1
+    assert comm.min_parallel_work == 123
+    # n_workers == 1 short-circuits to inline execution
+    assert comm.run_ranks(lambda r: r) == [0, 1, 2, 3]
