@@ -50,11 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--dynamic", action="store_true")
     solve.add_argument(
         "--comm-backend",
-        choices=["virtual", "thread"],
+        choices=["virtual", "thread", "chaos"],
         default=None,
         help=(
             "communicator backend executing the rank loops (default: "
-            "REPRO_COMM_BACKEND or 'virtual')"
+            "REPRO_COMM_BACKEND or 'virtual'); 'chaos' wraps an inner "
+            "backend with deterministic fault injection"
+        ),
+    )
+    solve.add_argument(
+        "--fault-plan",
+        metavar="JSON_OR_PATH",
+        default=None,
+        help=(
+            "chaos fault plan as a JSON string or a path to a .json file "
+            "(implies --comm-backend chaos); equivalent to setting "
+            "REPRO_CHAOS_PLAN"
         ),
     )
     solve.add_argument(
@@ -107,17 +118,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_solve(args) -> int:
     """``repro solve``: one cantilever solve with full reporting."""
+    from contextlib import nullcontext
+
     problem = cantilever_problem(args.mesh, with_mass=args.dynamic)
+    comm_backend = args.comm_backend
+    chaos_ctx = nullcontext()
+    if args.fault_plan is not None:
+        import os
+
+        from repro.parallel.chaos import FaultPlan, use_fault_plan
+
+        raw = args.fault_plan
+        if raw.endswith(".json") and os.path.exists(raw):
+            with open(raw, encoding="utf-8") as fh:
+                raw = fh.read()
+        inner = comm_backend if comm_backend not in (None, "chaos") else "virtual"
+        chaos_ctx = use_fault_plan(FaultPlan.from_json(raw), inner=inner)
+        comm_backend = "chaos"
     options = SolverOptions(
         method=args.method,
         precond=None if args.precond == "none" else args.precond,
         tol=args.tol,
         restart=args.restart,
         dynamic=args.dynamic,
-        comm_backend=args.comm_backend,
+        comm_backend=comm_backend,
         kernel_backend=args.kernel_backend,
     )
-    summary = solve_cantilever(problem, n_parts=args.parts, options=options)
+    with chaos_ctx:
+        summary = solve_cantilever(problem, n_parts=args.parts, options=options)
     res = summary.result
     print(
         f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
@@ -129,6 +157,9 @@ def cmd_solve(args) -> int:
         r = problem.load - problem.stiffness.matvec(res.x)
         rel = np.linalg.norm(r) / np.linalg.norm(problem.load)
         print(f"true relative residual: {rel:.3e}")
+    for event in res.diagnostics:
+        print(f"diagnostic: [{event.kind}] iter {event.iteration}: "
+              f"{event.detail}")
     st = summary.stats
     print(
         f"flops={st.total_flops:,} messages={st.total_nbr_messages} "

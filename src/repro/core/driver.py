@@ -30,8 +30,16 @@ from repro.parallel.stats import CommStats
 from repro.partition.element_partition import ElementPartition
 from repro.partition.node_partition import NodePartition
 from repro.precond.spec import BJ_ILU0_MARKER, make_preconditioner
+from repro.solvers.diagnostics import DiagnosticEvent
 from repro.solvers.result import SolveResult  # noqa: F401  (public re-export)
 from repro.sparse.kernels import use_backend
+
+#: Convergence-verification slack: a solve that claims convergence at
+#: ``tol`` (measured on the scaled, preconditioned system) is demoted when
+#: its *unscaled* residual against the serially assembled operator exceeds
+#: ``tol * _VERIFY_SLACK`` — generous enough for the norm-1 scaling's
+#: conditioning, tight enough that any injected-fault wrong answer trips it.
+_VERIFY_SLACK = 100.0
 
 
 @dataclass
@@ -54,10 +62,17 @@ class ParallelSolveSummary:
         The resolved :class:`SolverOptions` the solve ran with.
     comm_backend:
         Name of the communicator backend that executed the rank loops
-        (``"virtual"`` or ``"thread"``).
+        (``"virtual"``, ``"thread"`` or ``"chaos"``).
     wall_time:
         Measured wall-clock seconds of the solve phase (system build
         excluded) — complements :meth:`modeled_time`.
+    true_residual:
+        Unscaled relative residual ``||b - A x|| / ||b||`` recomputed by
+        the driver against the *serially assembled* operator — built
+        before any communicator exists, so it is trustworthy even when the
+        distributed solve ran through a fault-injecting backend.  A solve
+        that claims convergence but fails this check is demoted (see
+        :data:`_VERIFY_SLACK`) with a ``residual_mismatch`` diagnostic.
     """
 
     result: SolveResult
@@ -68,6 +83,7 @@ class ParallelSolveSummary:
     options: SolverOptions | None = None
     comm_backend: str = "virtual"
     wall_time: float = field(default=0.0, compare=False)
+    true_residual: float = field(default=float("nan"), compare=False)
 
     def modeled_time(self, machine: MachineModel) -> float:
         """Modeled wall-clock seconds on ``machine``."""
@@ -86,6 +102,7 @@ class ParallelSolveSummary:
             "n_parts": self.n_parts,
             "comm_backend": self.comm_backend,
             "wall_time": float(self.wall_time),
+            "true_residual": float(self.true_residual),
             "result": self.result.to_dict(include_x=include_x),
             "stats": self.stats.to_dict(),
             "options": None if self.options is None else self.options.to_dict(),
@@ -232,6 +249,7 @@ def solve_cantilever(
         raise ValueError(f"unknown method {method!r}")
 
     comm = system.comm
+    true_rel = _verify_solution(problem, options, result)
     summary = ParallelSolveSummary(
         result=result,
         stats=comm.stats,
@@ -241,9 +259,47 @@ def solve_cantilever(
         options=options,
         comm_backend=comm.backend_name,
         wall_time=wall,
+        true_residual=true_rel,
     )
     comm.close()
     return summary
+
+
+def _verify_solution(problem, options: SolverOptions, result) -> float:
+    """Recompute the unscaled residual against the clean serial operator.
+
+    The distributed solve only ever sees data that flowed through the
+    communicator; a fault injected during *system construction* (e.g. in
+    the scaling-diagonal assembly) makes the solver coherently solve a
+    corrupted operator, which no solver-internal guard can detect.  This
+    check closes that hole: ``problem.stiffness``/``problem.load`` were
+    assembled serially before any communicator existed, so
+    ``||b - A x|| / ||b||`` here is ground truth.  A claimed convergence
+    whose true residual exceeds ``tol * _VERIFY_SLACK`` (or is non-finite)
+    is demoted with a ``residual_mismatch`` diagnostic.
+    """
+    if options.dynamic:
+        alpha, beta = options.mass_shift
+        a = _combine(problem.stiffness, problem.mass, beta, alpha)
+    else:
+        a = problem.stiffness
+    b = problem.load
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return 0.0
+    rel = float(np.linalg.norm(b - a @ result.x) / norm_b)
+    if result.converged and not (rel <= options.tol * _VERIFY_SLACK):
+        result.converged = False
+        result.diagnostics.append(
+            DiagnosticEvent(
+                result.iterations,
+                "residual_mismatch",
+                "driver verification against the serially assembled operator: "
+                f"unscaled relative residual {rel:.3e} exceeds "
+                f"{options.tol:.1e} x {_VERIFY_SLACK:g}",
+            )
+        )
+    return rel
 
 
 def _combine(k, m, beta: float, alpha: float):

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.distributed import DistVector, EDDSystem
 from repro.precond.base import PolynomialPreconditioner
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
 
@@ -98,6 +99,12 @@ def edd_fgmres(
     history = [1.0]
     if norm_b0 == 0.0:
         return SolveResult(np.zeros(system.n_global), True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_b0, 0, "initial residual"):
+        return SolveResult(
+            np.zeros(system.n_global), False, 0, 0, history,
+            monitor.finalize(False, 0, 1.0),
+        )
 
     total_iters = 0
     restarts = 0
@@ -106,12 +113,13 @@ def edd_fgmres(
     # Reusable CGS coefficient workspace (rank-partials per basis vector);
     # sized once for the whole solve instead of per Arnoldi step.
     partial_buf = np.empty((restart, system.n_parts))
-    while not converged and total_iters < max_iter:
+    while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
         v_loc = [(1.0 / beta) * r_loc]
         v_hat = [(1.0 / beta) * r_hat]
         z_hat: list = []
         lsq = GivensLSQ(restart, beta)
+        broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
             z = _precondition(system, precond, v_hat[j])
@@ -178,15 +186,23 @@ def edd_fgmres(
                 w_hat = system.assemble(system.localize(w_hat))
             norm_sq = system.dot(w_loc, w_hat)
             h[j + 1] = np.sqrt(max(norm_sq, 0.0))
+            if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                break
             res = lsq.append_column(h)
             total_iters += 1
             history.append(res / norm_b0)
+            if not monitor.check_divergence(res / norm_b0, total_iters):
+                break
             if res / norm_b0 <= tol:
                 converged = True
                 j += 1
                 break
             if h[j + 1] <= breakdown_tol:
-                converged = True
+                # Possible happy breakdown — the recomputed true residual
+                # at the restart boundary decides; a corrupted breakdown
+                # restarts instead of returning converged.
+                monitor.note_breakdown(float(h[j + 1]), total_iters)
+                broke_down = True
                 j += 1
                 break
             v_loc.append((1.0 / h[j + 1]) * w_loc)
@@ -198,8 +214,20 @@ def edd_fgmres(
         r_loc = b_loc - system.matvec_local(x_hat)
         r_hat = system.assemble(r_loc)
         beta = np.sqrt(max(system.dot(r_loc, r_hat), 0.0))
-        if beta / norm_b0 <= tol:
+        if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            break
+        true_rel = beta / norm_b0
+        if true_rel <= tol:
             converged = True
+        elif converged:
+            # The Givens recurrence claimed convergence; verify against
+            # the recomputed true residual (the "recurrence residual
+            # lies" failure) and demote on gross mismatch.
+            converged = monitor.confirm_convergence(true_rel, total_iters)
+        elif broke_down:
+            monitor.confirm_breakdown(true_rel, total_iters)
+        if not converged:
+            monitor.cycle_end(true_rel, total_iters)
 
     # Unscale on the way out (Algorithm 4, step 5): u = D x.
     u_hat = DistVector(
@@ -208,4 +236,12 @@ def edd_fgmres(
         system.comm,
     )
     u = system.to_global_vector(u_hat)
-    return SolveResult(u, converged, total_iters, restarts, history)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        u,
+        converged,
+        total_iters,
+        restarts,
+        history,
+        monitor.finalize(converged, total_iters, final_rel),
+    )

@@ -28,6 +28,7 @@ from repro.partition.interface import SubdomainMap
 from repro.partition.node_partition import NodePartition
 from repro.precond.base import PolynomialPreconditioner
 from repro.precond.scaling import norm1_scaling
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
 from repro.sparse.csr import CSRMatrix
@@ -372,16 +373,23 @@ def rdd_fgmres(
     history = [1.0]
     if norm_b0 == 0.0:
         return SolveResult(np.zeros(system.n_global), True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_b0, 0, "initial residual"):
+        return SolveResult(
+            np.zeros(system.n_global), False, 0, 0, history,
+            monitor.finalize(False, 0, 1.0),
+        )
 
     total_iters = 0
     restarts = 0
     converged = False
     beta = norm_b0
-    while not converged and total_iters < max_iter:
+    while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
         v = [_scale_parts(comm, 1.0 / beta, r)]
         z_store: list = []
         lsq = GivensLSQ(restart, beta)
+        broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
             z = _precondition_rdd(system, precond, v[j])
@@ -414,11 +422,22 @@ def rdd_fgmres(
             comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
             w = new_w
             h[j + 1] = np.sqrt(max(system.dot(w, w), 0.0))
+            if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                break
             res = lsq.append_column(h)
             total_iters += 1
             history.append(res / norm_b0)
-            if res / norm_b0 <= tol or h[j + 1] <= breakdown_tol:
+            if not monitor.check_divergence(res / norm_b0, total_iters):
+                break
+            if res / norm_b0 <= tol:
                 converged = True
+                j += 1
+                break
+            if h[j + 1] <= breakdown_tol:
+                # Possible happy breakdown — confirmed by the recomputed
+                # true residual below, never trusted outright.
+                monitor.note_breakdown(float(h[j + 1]), total_iters)
+                broke_down = True
                 j += 1
                 break
             v.append(_scale_parts(comm, 1.0 / h[j + 1], w))
@@ -429,10 +448,27 @@ def rdd_fgmres(
         ax = system.matvec(x)
         r = _axpy_parts(comm, b, -1.0, ax)
         beta = np.sqrt(system.dot(r, r))
-        if beta / norm_b0 <= tol:
+        if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            break
+        true_rel = beta / norm_b0
+        if true_rel <= tol:
             converged = True
+        elif converged:
+            converged = monitor.confirm_convergence(true_rel, total_iters)
+        elif broke_down:
+            monitor.confirm_breakdown(true_rel, total_iters)
+        if not converged:
+            monitor.cycle_end(true_rel, total_iters)
 
     u = np.zeros(system.n_global)
     for o, xs, ds in zip(system.own, x, system.d):
         u[o] = ds * xs
-    return SolveResult(u, converged, total_iters, restarts, history)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        u,
+        converged,
+        total_iters,
+        restarts,
+        history,
+        monitor.finalize(converged, total_iters, final_rel),
+    )

@@ -31,6 +31,12 @@ class RunRecord:
         Recorded counters.
     modeled_times:
         Mapping of machine key -> modeled seconds.
+    true_residual:
+        The driver's independently recomputed unscaled relative residual
+        (NaN for records predating the field).
+    diagnostics:
+        Solver anomaly events as plain dicts (``iteration``/``kind``/
+        ``detail``); empty for a clean run.
     """
 
     label: str
@@ -49,6 +55,8 @@ class RunRecord:
     modeled_times: dict
     comm_backend: str = "virtual"
     wall_time: float = 0.0
+    true_residual: float = float("nan")
+    diagnostics: tuple = ()
 
 
 def record_from_summary(
@@ -81,12 +89,16 @@ def record_from_summary(
         },
         comm_backend=payload["comm_backend"],
         wall_time=payload["wall_time"],
+        true_residual=payload.get("true_residual", float("nan")),
+        diagnostics=tuple(result.get("diagnostics", ())),
     )
 
 
 def save_records(records, path) -> None:
     """Write records to a JSON file."""
     payload = [asdict(r) for r in records]
+    for item in payload:
+        item["diagnostics"] = list(item["diagnostics"])
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
 
@@ -95,4 +107,6 @@ def load_records(path) -> list:
     """Read records back from :func:`save_records` output."""
     with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
+    for item in payload:
+        item["diagnostics"] = tuple(item.get("diagnostics", ()))
     return [RunRecord(**item) for item in payload]

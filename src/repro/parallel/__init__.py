@@ -10,13 +10,16 @@ then converts those counters into modeled wall-clock time on calibrated
 SP2/Origin machine models, from which the speedup studies (Table 3,
 Figs. 15-17) are regenerated.
 
-Two interchangeable :class:`Comm` backends execute the SPMD rank loops:
-the deterministic single-thread :class:`VirtualComm` (default) and the
+Three interchangeable :class:`Comm` backends execute the SPMD rank loops:
+the deterministic single-thread :class:`VirtualComm` (default), the
 shared-memory :class:`~repro.parallel.thread_comm.ThreadComm`, which runs
-rank bodies on a persistent worker pool.  Both share the collective
-implementations of the :class:`Comm` base class, so results are
-bit-identical; select with :func:`make_comm` / :func:`set_comm_backend` /
-the ``REPRO_COMM_BACKEND`` environment variable.
+rank bodies on a persistent worker pool, and the fault-injecting
+:class:`~repro.parallel.chaos.ChaosComm` proxy, which wraps either of the
+others under a seeded :class:`~repro.parallel.chaos.FaultPlan`.  All
+share the collective implementations of the :class:`Comm` base class, so
+results are bit-identical (the chaos proxy with an empty plan included);
+select with :func:`make_comm` / :func:`set_comm_backend` / the
+``REPRO_COMM_BACKEND`` environment variable.
 """
 
 from repro.parallel.stats import CommStats, RankStats
@@ -29,7 +32,19 @@ from repro.parallel.comm import (
     set_comm_backend,
     use_comm_backend,
 )
-from repro.parallel.thread_comm import ThreadComm
+from repro.parallel.thread_comm import (
+    ThreadComm,
+    pool_thread_count,
+    shutdown_pool,
+)
+from repro.parallel.chaos import (
+    ChaosComm,
+    FaultPlan,
+    FaultRule,
+    get_fault_plan,
+    set_fault_plan,
+    use_fault_plan,
+)
 from repro.parallel.machine import (
     IBM_SP2,
     MACHINES,
@@ -46,6 +61,14 @@ __all__ = [
     "Comm",
     "VirtualComm",
     "ThreadComm",
+    "ChaosComm",
+    "FaultPlan",
+    "FaultRule",
+    "set_fault_plan",
+    "use_fault_plan",
+    "get_fault_plan",
+    "shutdown_pool",
+    "pool_thread_count",
     "make_comm",
     "available_comm_backends",
     "get_comm_backend",

@@ -14,6 +14,11 @@ listings — per-rank local arrays, nearest-neighbour interface assemblies
   real cross-thread barrier, so the P subdomain kernels genuinely run
   concurrently whenever the sparse kernel backend releases the GIL
   (scipy's C loops and numpy's ufunc inner loops both do).
+* :class:`~repro.parallel.chaos.ChaosComm` (``"chaos"``) proxies either of
+  the above and injects deterministic message-level faults from a seeded
+  :class:`~repro.parallel.chaos.FaultPlan` — the test seam proving the
+  solvers never return a silently wrong answer when an exchange
+  misbehaves.
 
 Both backends share the collective implementations in :class:`Comm` —
 including the fixed-topology binary-tree allreduce — so a solve is
@@ -91,6 +96,12 @@ class Comm:
 
     def close(self) -> None:
         """Release backend resources (worker threads); idempotent."""
+
+    def __enter__(self) -> "Comm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Flop accounting (kernels call these; data ops happen elsewhere)
@@ -224,7 +235,7 @@ class VirtualComm(Comm):
 # ----------------------------------------------------------------------
 # Backend registry (mirrors repro.sparse.kernels)
 # ----------------------------------------------------------------------
-_COMM_BACKENDS = ("virtual", "thread")
+_COMM_BACKENDS = ("virtual", "thread", "chaos")
 _current: list = [None]  # resolved lazily so the env var wins at first use
 
 
@@ -258,13 +269,25 @@ def set_comm_backend(name: str) -> str | None:
 
 @contextmanager
 def use_comm_backend(name: str):
-    """Context manager: run a block under a specific comm backend."""
+    """Context manager: run a block under a specific comm backend.
+
+    Leaving a ``"thread"`` block also drains the shared worker pool when
+    no live :class:`~repro.parallel.thread_comm.ThreadComm` still borrows
+    it, so tests (and short-lived sessions) don't leak parked threads.
+    """
     prev = _current[0]
     set_comm_backend(name)
+    resolved = _current[0]
     try:
         yield
     finally:
         _current[0] = prev
+        if resolved == "thread":
+            import sys
+
+            tc = sys.modules.get("repro.parallel.thread_comm")
+            if tc is not None:
+                tc.shutdown_pool()
 
 
 def make_comm(
@@ -273,11 +296,19 @@ def make_comm(
     """Construct a communicator for ``submap`` on the chosen backend.
 
     ``backend=None`` uses the session default (``set_comm_backend`` /
-    ``REPRO_COMM_BACKEND``, falling back to ``"virtual"``).
+    ``REPRO_COMM_BACKEND``, falling back to ``"virtual"``).  The
+    ``"chaos"`` backend wraps the inner backend and fault plan selected
+    via :func:`repro.parallel.chaos.set_fault_plan` /
+    ``REPRO_CHAOS_PLAN``.
     """
     name = _resolve(backend) if backend is not None else get_comm_backend()
     if name == "thread":
         from repro.parallel.thread_comm import ThreadComm
 
         return ThreadComm(submap, trace=trace)
+    if name == "chaos":
+        from repro.parallel.chaos import ChaosComm, get_fault_plan
+
+        plan, inner = get_fault_plan()
+        return ChaosComm(submap, trace=trace, plan=plan, inner=inner)
     return VirtualComm(submap, trace=trace)

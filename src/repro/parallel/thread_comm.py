@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 
 from repro.parallel.comm import Comm
 from repro.partition.interface import SubdomainMap
@@ -137,10 +138,14 @@ class _WorkerPool:
 # One shared pool per process, grown on demand; ThreadComm instances are
 # cheap because they only borrow it.  Guarded by a lock so concurrent
 # communicators serialize their parallel regions instead of interleaving
-# bodies from different solves on the same workers.
+# bodies from different solves on the same workers.  Live communicators
+# are tracked in a WeakSet so the pool can be drained — by
+# :func:`shutdown_pool`, called on ``use_comm_backend`` exit and by
+# ``ThreadComm.close()`` — once nobody borrows it anymore.
 _pool_lock = threading.Lock()
 _shared_pool: list = [None]
 _in_worker = threading.local()
+_live_comms: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def _acquire_pool(n_workers: int) -> _WorkerPool:
@@ -153,6 +158,37 @@ def _acquire_pool(n_workers: int) -> _WorkerPool:
             pool = _WorkerPool(n_workers)
             _shared_pool[0] = pool
         return pool
+
+
+def shutdown_pool(force: bool = False) -> bool:
+    """Drain the shared worker pool (join all threads); idempotent.
+
+    Without ``force``, the pool survives while any live (unclosed)
+    :class:`ThreadComm` still borrows it — callers that did close their
+    communicators (e.g. :func:`repro.core.driver.solve_cantilever`, or
+    the ``use_comm_backend`` context manager on exit) get a clean
+    no-leaked-threads guarantee.  Returns True when the pool was torn
+    down; a later ``run_ranks`` transparently recreates it.
+    """
+    with _pool_lock:
+        if not force and len(_live_comms):
+            return False
+        pool = _shared_pool[0]
+        if pool is None:
+            return True
+        _shared_pool[0] = None
+    pool.close()
+    return True
+
+
+def pool_thread_count() -> int:
+    """Worker threads currently alive in the shared pool (0 = drained);
+    the observability hook the lifecycle tests assert against."""
+    with _pool_lock:
+        pool = _shared_pool[0]
+        if pool is None:
+            return 0
+        return sum(t.is_alive() for t in pool._threads)
 
 
 class ThreadComm(Comm):
@@ -191,6 +227,7 @@ class ThreadComm(Comm):
                 os.environ.get("REPRO_THREAD_MIN_WORK", _DEFAULT_MIN_WORK)
             )
         self.min_parallel_work = min_parallel_work
+        _live_comms.add(self)
 
     def run_ranks(self, body, work: int | None = None) -> list:
         """Dispatch ``body(rank)`` across the persistent worker pool.
@@ -234,5 +271,9 @@ class ThreadComm(Comm):
         _acquire_pool(self.n_workers).run(wait, self.n_workers)
 
     def close(self) -> None:
-        """Release the borrowed pool reference (the shared pool itself
-        stays alive for other communicators); idempotent."""
+        """Release this communicator's borrow of the shared pool and
+        drain the pool if it was the last borrower; idempotent.  A later
+        ``run_ranks`` (from a new communicator) recreates the pool, so
+        closing costs only thread re-spawn on the next parallel solve."""
+        _live_comms.discard(self)
+        shutdown_pool()

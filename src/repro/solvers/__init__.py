@@ -6,9 +6,21 @@ allows polynomial preconditioners to be applied as an inner iteration).
 Plain left-preconditioned :func:`gmres` and preconditioned :func:`cg` are
 included as baselines, plus the Givens-rotation least-squares machinery
 shared by the distributed implementations in :mod:`repro.core`.
+
+All Krylov drivers are hardened through a shared
+:class:`~repro.solvers.diagnostics.ConvergenceMonitor`: non-finite
+guards, divergence/stagnation detection and true-residual confirmation
+of claimed convergence, surfaced as structured
+:class:`~repro.solvers.diagnostics.DiagnosticEvent` entries on
+:attr:`SolveResult.diagnostics`.
 """
 
 from repro.solvers.result import SolveResult
+from repro.solvers.diagnostics import (
+    EVENT_KINDS,
+    ConvergenceMonitor,
+    DiagnosticEvent,
+)
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.fgmres import fgmres
 from repro.solvers.gmres import gmres
@@ -17,4 +29,16 @@ from repro.solvers.bicgstab import bicgstab
 from repro.solvers.adaptive import adaptive_fgmres
 from repro.solvers.minres import minres
 
-__all__ = ["SolveResult", "GivensLSQ", "fgmres", "gmres", "cg", "bicgstab", "adaptive_fgmres", "minres"]
+__all__ = [
+    "SolveResult",
+    "DiagnosticEvent",
+    "ConvergenceMonitor",
+    "EVENT_KINDS",
+    "GivensLSQ",
+    "fgmres",
+    "gmres",
+    "cg",
+    "bicgstab",
+    "adaptive_fgmres",
+    "minres",
+]

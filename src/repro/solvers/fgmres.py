@@ -12,12 +12,21 @@ once per solve and reused across restart cycles, Gram-Schmidt runs through
 write into workspace rows whenever they accept ``out=`` (detected via
 :func:`repro.sparse.kernels.accepts_out`; allocating callables still
 work, just without the zero-allocation guarantee).
+
+A :class:`repro.solvers.diagnostics.ConvergenceMonitor` guards every
+iteration: NaN/Inf in the Hessenberg column or residual norms aborts the
+solve, claimed convergence is verified against the true residual
+recomputed at the restart boundary (and demoted on gross mismatch),
+breakdowns are confirmed the same way instead of trusted, and stagnation
+or divergence across restart cycles terminates early — all reported as
+structured events in :attr:`SolveResult.diagnostics`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
 from repro.sparse.kernels import accepts_out
@@ -96,15 +105,19 @@ def fgmres(
     history = [1.0]
     if norm_r0 == 0.0:
         return SolveResult(x, True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_r0, 0, "initial residual"):
+        return SolveResult(x, False, 0, 0, history, monitor.finalize(False, 0, 1.0))
 
     total_iters = 0
     restarts = 0
     converged = False
     beta = norm_r0
-    while not converged and total_iters < max_iter:
+    while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
         np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
+        broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
             if pc_out:
@@ -122,17 +135,25 @@ def fgmres(
             np.dot(h[: j + 1], v[: j + 1], out=tmp)
             w -= tmp
             h[j + 1] = np.linalg.norm(w)
+            if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                break
             res = lsq.append_column(h)
             total_iters += 1
             history.append(res / norm_r0)
+            if not monitor.check_divergence(res / norm_r0, total_iters):
+                break
             if res / norm_r0 <= tol:
                 converged = True
                 j += 1
                 break
             if h[j + 1] <= breakdown_tol:
-                # Happy breakdown: Krylov space is invariant; solution is
-                # exact in the current subspace.
-                converged = True
+                # Possible happy breakdown: the Krylov space looks
+                # invariant.  Do NOT trust the recurrence — update x and
+                # let the recomputed true residual below decide, so a
+                # corrupted "lucky" breakdown restarts instead of
+                # returning a wrong answer as converged.
+                monitor.note_breakdown(float(h[j + 1]), total_iters)
+                broke_down = True
                 j += 1
                 break
             np.divide(w, h[j + 1], out=v[j + 1])
@@ -143,6 +164,25 @@ def fgmres(
             x += tmp
         residual(r)
         beta = float(np.linalg.norm(r))
-        if beta / norm_r0 <= tol:
+        if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            break
+        true_rel = beta / norm_r0
+        if true_rel <= tol:
             converged = True
-    return SolveResult(x, converged, total_iters, restarts, history)
+        elif converged:
+            # The recurrence claimed convergence; verify it against the
+            # recomputed true residual and demote on gross disagreement.
+            converged = monitor.confirm_convergence(true_rel, total_iters)
+        elif broke_down:
+            monitor.confirm_breakdown(true_rel, total_iters)
+        if not converged:
+            monitor.cycle_end(true_rel, total_iters)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        x,
+        converged,
+        total_iters,
+        restarts,
+        history,
+        monitor.finalize(converged, total_iters, final_rel),
+    )

@@ -8,13 +8,19 @@ same solution.
 
 Shares FGMRES's workspace discipline: preallocated basis, in-place
 Gram-Schmidt, ``out=``-aware matvec/preconditioner (see
-:mod:`repro.solvers.fgmres`).
+:mod:`repro.solvers.fgmres`) — and FGMRES's hardening: a
+:class:`repro.solvers.diagnostics.ConvergenceMonitor` guards against
+NaN/Inf, stagnation, divergence, unconfirmed breakdowns and lying
+recurrence residuals, reporting events in ``SolveResult.diagnostics``
+(the residuals verified here are the *preconditioned* ones the method
+minimizes).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.fgmres import _identity_precond
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
@@ -73,15 +79,19 @@ def gmres(
     history = [1.0]
     if norm_r0 == 0.0:
         return SolveResult(x, True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_r0, 0, "initial residual"):
+        return SolveResult(x, False, 0, 0, history, monitor.finalize(False, 0, 1.0))
 
     total_iters = 0
     restarts = 0
     converged = False
     beta = norm_r0
-    while not converged and total_iters < max_iter:
+    while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
         np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
+        broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
             if mv_out:
@@ -97,11 +107,22 @@ def gmres(
             np.dot(h[: j + 1], v[: j + 1], out=tmp)
             w -= tmp
             h[j + 1] = np.linalg.norm(w)
+            if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                break
             res = lsq.append_column(h)
             total_iters += 1
             history.append(res / norm_r0)
-            if res / norm_r0 <= tol or h[j + 1] <= breakdown_tol:
+            if not monitor.check_divergence(res / norm_r0, total_iters):
+                break
+            if res / norm_r0 <= tol:
                 converged = True
+                j += 1
+                break
+            if h[j + 1] <= breakdown_tol:
+                # Possible happy breakdown — confirmed by the recomputed
+                # residual below, never trusted outright.
+                monitor.note_breakdown(float(h[j + 1]), total_iters)
+                broke_down = True
                 j += 1
                 break
             np.divide(w, h[j + 1], out=v[j + 1])
@@ -112,6 +133,23 @@ def gmres(
             x += tmp
         precond_residual(r)
         beta = float(np.linalg.norm(r))
-        if beta / norm_r0 <= tol:
+        if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            break
+        true_rel = beta / norm_r0
+        if true_rel <= tol:
             converged = True
-    return SolveResult(x, converged, total_iters, restarts, history)
+        elif converged:
+            converged = monitor.confirm_convergence(true_rel, total_iters)
+        elif broke_down:
+            monitor.confirm_breakdown(true_rel, total_iters)
+        if not converged:
+            monitor.cycle_end(true_rel, total_iters)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        x,
+        converged,
+        total_iters,
+        restarts,
+        history,
+        monitor.finalize(converged, total_iters, final_rel),
+    )

@@ -26,6 +26,14 @@ class SolveResult:
         Relative residual ``||r_i|| / ||r_0||`` after every inner
         iteration, starting with 1.0 at iteration 0 — the convergence
         curves of Figs. 11-14.
+    diagnostics:
+        Structured anomaly events
+        (:class:`repro.solvers.diagnostics.DiagnosticEvent`) recorded by
+        the solver's convergence monitor: NaN/Inf detection, stagnation,
+        divergence, unconfirmed breakdowns and recurrence/true residual
+        mismatches.  Empty for a clean converged run; guaranteed
+        non-empty when ``converged`` is False (at minimum a
+        ``no_convergence`` event).
     final_residual:
         Last entry of the history.
     """
@@ -35,6 +43,7 @@ class SolveResult:
     iterations: int
     restarts: int
     residual_history: list = field(default_factory=list)
+    diagnostics: list = field(default_factory=list)
 
     @property
     def final_residual(self) -> float:
@@ -56,14 +65,21 @@ class SolveResult:
             "restarts": int(self.restarts),
             "final_residual": float(self.final_residual),
             "residual_history": [float(r) for r in self.residual_history],
+            "diagnostics": [
+                e.to_dict() if hasattr(e, "to_dict") else dict(e)
+                for e in self.diagnostics
+            ],
         }
         if include_x:
             out["x"] = np.asarray(self.x).tolist()
         return out
 
     def __repr__(self) -> str:
+        extra = (
+            f", diagnostics={len(self.diagnostics)}" if self.diagnostics else ""
+        )
         return (
             f"SolveResult(converged={self.converged}, "
             f"iterations={self.iterations}, restarts={self.restarts}, "
-            f"final_residual={self.final_residual:.3e})"
+            f"final_residual={self.final_residual:.3e}{extra})"
         )

@@ -9,6 +9,23 @@ from repro.fem.cantilever import cantilever_problem
 from repro.fem.material import Material
 
 
+def pytest_addoption(parser):
+    """``--update-golden`` regenerates tests/golden/*.json in place
+    (review the diff!) instead of comparing against them."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden record files from the current code",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should refresh golden files instead of asserting."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def tiny_problem():
     """4x3-element cantilever: small enough for dense reference solves."""

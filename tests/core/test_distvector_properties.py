@@ -10,6 +10,7 @@ from repro.core.distributed import DistVector, build_edd_system
 from repro.fem.bc import clamp_edge_dofs
 from repro.fem.material import Material
 from repro.fem.mesh import structured_quad_mesh
+from repro.parallel.comm import use_comm_backend
 from repro.partition.element_partition import ElementPartition
 
 MAT = Material(E=100.0, nu=0.3)
@@ -19,7 +20,11 @@ def _system(seed_parts=2):
     mesh = structured_quad_mesh(4, 2)
     bc = clamp_edge_dofs(mesh, "left")
     part = ElementPartition.build(mesh, seed_parts)
-    return build_edd_system(mesh, MAT, bc, part, np.zeros(mesh.n_dofs))
+    # This system lives for the whole session (module constant), so pin
+    # it to the virtual backend: under REPRO_COMM_BACKEND=thread it
+    # would otherwise hold a pool borrow open and leak worker threads.
+    with use_comm_backend("virtual"):
+        return build_edd_system(mesh, MAT, bc, part, np.zeros(mesh.n_dofs))
 
 
 SYSTEM = _system()

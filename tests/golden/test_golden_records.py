@@ -1,0 +1,153 @@
+"""Golden-record regression tests.
+
+Each ``tests/golden/*.json`` file is one :class:`RunRecord` produced by
+the full driver pipeline on the paper's Mesh2 — the exact payload
+``repro solve --json`` appends.  The tests pin
+
+* the **record schema** (key set, including nested ``modeled_times`` and
+  ``diagnostics``) so the serialized format cannot drift silently, and
+* the **paper-claim numbers**: iteration counts are compared exactly
+  (the virtual backend is deterministic) and the claimed preconditioner
+  ordering GLS(7) < BJ-ILU(0) <= Neumann(20) is re-asserted from the
+  pinned values.
+
+Refresh after an intentional change with::
+
+    pytest tests/golden --update-golden
+
+then review the JSON diff like any other code change.
+
+Comparison tolerances are explicit below: integers and strings exact,
+residuals/modeled times to ``RTOL``, wall-clock time ignored.
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.io.records import record_from_summary
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+N_PARTS = 8
+
+#: Relative tolerance for floating-point record fields.  The virtual
+#: backend is deterministic, but residuals pass through enough reductions
+#: that a libm / BLAS change may legitimately wiggle the last bits.
+RTOL = 1e-9
+
+#: Fields compared exactly (determinism of the virtual backend).
+EXACT_FIELDS = (
+    "label", "method", "precond", "n_parts", "n_eqn", "iterations",
+    "converged", "comm_backend", "total_flops", "max_flops",
+    "nbr_messages", "nbr_words", "reductions", "diagnostics",
+)
+
+#: Fields compared to RTOL.
+FLOAT_FIELDS = ("final_residual", "true_residual")
+
+#: Fields excluded from comparison (machine-dependent).
+IGNORED_FIELDS = ("wall_time",)
+
+CASES = {
+    "mesh2_edd_gls7": SolverOptions(
+        method="edd-enhanced", precond="gls(7)", comm_backend="virtual"
+    ),
+    "mesh2_edd_neumann20": SolverOptions(
+        method="edd-enhanced", precond="neumann(20)", comm_backend="virtual"
+    ),
+    "mesh2_rdd_bj_ilu0": SolverOptions(
+        method="rdd", precond="bj-ilu0", comm_backend="virtual"
+    ),
+}
+
+
+def _fresh_record(mesh2_problem, name: str) -> dict:
+    options = CASES[name]
+    summary = solve_cantilever(mesh2_problem, n_parts=N_PARTS, options=options)
+    record = record_from_summary(
+        summary, label=name, n_eqn=mesh2_problem.n_eqn
+    )
+    payload = asdict(record)
+    payload["diagnostics"] = list(payload["diagnostics"])
+    return payload
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def _load_golden(name: str) -> dict:
+    path = _golden_path(name)
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path.name} missing - generate it with "
+            f"`pytest tests/golden --update-golden`"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_record_matches_golden(mesh2_problem, name, update_golden):
+    fresh = _fresh_record(mesh2_problem, name)
+    path = _golden_path(name)
+    if update_golden:
+        path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        return
+    golden = _load_golden(name)
+
+    # Schema: the exact key set, in both directions.
+    assert set(fresh) == set(golden), (
+        "RunRecord schema drifted - refresh goldens deliberately with "
+        "--update-golden if this is intentional"
+    )
+    assert set(golden["modeled_times"]) == set(fresh["modeled_times"])
+
+    for key in EXACT_FIELDS:
+        assert fresh[key] == golden[key], f"{name}.{key}"
+    for key in FLOAT_FIELDS:
+        assert fresh[key] == pytest.approx(golden[key], rel=RTOL), (
+            f"{name}.{key}"
+        )
+    for machine, seconds in golden["modeled_times"].items():
+        assert fresh["modeled_times"][machine] == pytest.approx(
+            seconds, rel=RTOL
+        ), f"{name}.modeled_times[{machine}]"
+
+
+def test_paper_claim_iteration_ordering(update_golden):
+    """Figs. 11-12 through the *parallel* driver at P=8: GLS(7) converges
+    in the fewest iterations, Neumann(20) next, block-Jacobi ILU(0) last.
+
+    Note the deliberate difference from the sequential claim pinned in
+    tests/integration/test_paper_claims.py (GLS(7) < ILU(0) <= Neum(20)):
+    there ILU(0) factors the *global* matrix, while the only ILU the
+    distributed RDD solver can apply is block-Jacobi ILU(0), whose
+    quality degrades with the block count — at 8 blocks it falls behind
+    both polynomials.  Asserted from the pinned golden values so a
+    convergence regression in any solver layer trips it."""
+    if update_golden:
+        pytest.skip("goldens being regenerated")
+    gls = _load_golden("mesh2_edd_gls7")
+    ilu = _load_golden("mesh2_rdd_bj_ilu0")
+    neum = _load_golden("mesh2_edd_neumann20")
+    for record in (gls, ilu, neum):
+        assert record["converged"] is True
+        assert record["diagnostics"] == []
+    assert gls["iterations"] < neum["iterations"] < ilu["iterations"]
+
+
+def test_goldens_are_clean_runs(update_golden):
+    """Golden runs are healthy by construction: converged, tiny verified
+    true residual, no diagnostics."""
+    if update_golden:
+        pytest.skip("goldens being regenerated")
+    for name in CASES:
+        record = _load_golden(name)
+        assert record["converged"] is True, name
+        # tol (1e-6) x the driver's verification slack (100)
+        assert record["true_residual"] <= 1e-4, name
+        assert record["final_residual"] <= 1e-6, name

@@ -1,0 +1,132 @@
+"""ThreadComm worker-pool lifecycle: no leaked threads.
+
+The shared pool is a process-wide resource; these tests pin the borrow
+contract — the pool survives while any live ThreadComm still uses it,
+drains when the last borrower closes (and on ``use_comm_backend`` exit),
+and is transparently recreated by the next parallel region.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.mesh import structured_quad_mesh
+from repro.parallel.comm import use_comm_backend
+from repro.parallel.thread_comm import (
+    ThreadComm,
+    pool_thread_count,
+    shutdown_pool,
+)
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    # Earlier tests in the session may have left an unclosed ThreadComm
+    # in an uncollected reference cycle; it still counts as a live
+    # borrower and would keep the pool alive under these assertions.
+    # Collect it and force a drain so every test starts from zero threads.
+    gc.collect()
+    shutdown_pool(force=True)
+    yield
+
+
+@pytest.fixture
+def submap4():
+    mesh = structured_quad_mesh(8, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    labels = np.repeat(np.arange(4), 2)
+    part = ElementPartition(mesh, np.concatenate([labels, labels]), 4)
+    return build_subdomain_map(mesh, part, bc)
+
+
+def _comm(submap):
+    return ThreadComm(submap, n_workers=2, min_parallel_work=0)
+
+
+def test_close_drains_last_borrower(submap4):
+    comm = _comm(submap4)
+    comm.run_ranks(lambda r: r)
+    assert pool_thread_count() > 0
+    comm.close()
+    assert pool_thread_count() == 0
+
+
+def test_close_is_idempotent(submap4):
+    comm = _comm(submap4)
+    comm.run_ranks(lambda r: r)
+    comm.close()
+    comm.close()
+    assert pool_thread_count() == 0
+
+
+def test_pool_survives_while_other_comm_lives(submap4):
+    a, b = _comm(submap4), _comm(submap4)
+    a.run_ranks(lambda r: r)
+    a.close()
+    assert pool_thread_count() > 0  # b still borrows it
+    # ... and it still works for b.
+    assert b.run_ranks(lambda r: r * 2) == [0, 2, 4, 6]
+    b.close()
+    assert pool_thread_count() == 0
+
+
+def test_pool_recreated_after_drain(submap4):
+    comm = _comm(submap4)
+    comm.run_ranks(lambda r: r)
+    comm.close()
+    assert pool_thread_count() == 0
+    comm2 = _comm(submap4)
+    assert comm2.run_ranks(lambda r: r + 1) == [1, 2, 3, 4]
+    assert pool_thread_count() > 0
+    comm2.close()
+    assert pool_thread_count() == 0
+
+
+def test_context_manager_closes(submap4):
+    with _comm(submap4) as comm:
+        comm.run_ranks(lambda r: r)
+        assert pool_thread_count() > 0
+    assert pool_thread_count() == 0
+
+
+def test_use_comm_backend_exit_drains_pool(tiny_problem):
+    """The headline guarantee: a test (or session) that ran thread-backend
+    solves inside ``use_comm_backend`` leaves zero parked worker threads
+    behind."""
+    with use_comm_backend("thread"):
+        summary = solve_cantilever(
+            tiny_problem, 2,
+            options=SolverOptions(precond="gls(7)"),
+        )
+        assert summary.result.converged
+    assert pool_thread_count() == 0
+
+
+def test_forced_shutdown_overrides_live_borrowers(submap4):
+    comm = _comm(submap4)
+    comm.run_ranks(lambda r: r)
+    assert not shutdown_pool()  # refused: comm still borrows
+    assert pool_thread_count() > 0
+    assert shutdown_pool(force=True)
+    assert pool_thread_count() == 0
+    # The comm transparently re-acquires a fresh pool afterwards.
+    assert comm.run_ranks(lambda r: r) == [0, 1, 2, 3]
+    comm.close()
+    assert pool_thread_count() == 0
+
+
+def test_solve_without_context_leaves_no_threads(tiny_problem):
+    """The driver closes its communicator, so even a bare thread-backend
+    solve (no context manager) drains the pool."""
+    summary = solve_cantilever(
+        tiny_problem, 2,
+        options=SolverOptions(precond="gls(7)", comm_backend="thread"),
+    )
+    assert summary.result.converged
+    assert pool_thread_count() == 0

@@ -232,7 +232,7 @@ def test_commstats_snapshot_during_charges():
 # Registry
 # ----------------------------------------------------------------------
 def test_registry_roundtrip():
-    assert set(available_comm_backends()) == {"virtual", "thread"}
+    assert set(available_comm_backends()) == {"virtual", "thread", "chaos"}
     prev = get_comm_backend()
     try:
         set_comm_backend("thread")
