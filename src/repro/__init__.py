@@ -31,6 +31,12 @@ Package layout:
 
 from repro.core.driver import ParallelSolveSummary, solve_cantilever
 from repro.core.options import SolverOptions
+from repro.core.session import (
+    BatchSolveSummary,
+    PreparedSystem,
+    SolveSession,
+    solve_cantilever_batch,
+)
 from repro.fem.cantilever import cantilever_problem
 from repro.precond.spec import make_preconditioner
 from repro.solvers import cg, fgmres, gmres
@@ -39,6 +45,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "solve_cantilever",
+    "solve_cantilever_batch",
+    "SolveSession",
+    "PreparedSystem",
+    "BatchSolveSummary",
     "SolverOptions",
     "make_preconditioner",
     "cantilever_problem",

@@ -74,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="sparse-kernel backend for this solve (see repro.sparse.kernels)",
     )
     solve.add_argument(
+        "--nrhs",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "solve K right-hand sides in one batched block solve (columns "
+            "are scaled copies of the cantilever load); K=1 uses the "
+            "single-RHS path"
+        ),
+    )
+    solve.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -144,6 +155,9 @@ def cmd_solve(args) -> int:
         comm_backend=comm_backend,
         kernel_backend=args.kernel_backend,
     )
+    if args.nrhs > 1:
+        with chaos_ctx:
+            return _solve_batch(args, problem, options)
     with chaos_ctx:
         summary = solve_cantilever(problem, n_parts=args.parts, options=options)
     res = summary.result
@@ -187,6 +201,49 @@ def cmd_solve(args) -> int:
         save_records(records, args.json)
         print(f"record appended to {args.json}")
     return 0 if res.converged else 1
+
+
+def _solve_batch(args, problem, options) -> int:
+    """``repro solve --nrhs K``: one batched block solve of K load cases."""
+    from repro.core.session import solve_cantilever_batch
+
+    k = args.nrhs
+    scales = 1.0 + 0.1 * np.arange(k)
+    b_block = problem.load[:, None] * scales
+    summary = solve_cantilever_batch(
+        problem, b_block, n_parts=args.parts, options=options
+    )
+    print(
+        f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
+        f"{summary.precond_name}, P={args.parts}, "
+        f"comm={summary.comm_backend}, nrhs={k}"
+    )
+    for c, (res, rel) in enumerate(
+        zip(summary.results, summary.true_residuals)
+    ):
+        status = "converged" if res.converged else "NOT converged"
+        print(
+            f"  rhs[{c}]: {status} in {res.iterations} iterations, "
+            f"true relative residual {rel:.3e}"
+        )
+        for event in res.diagnostics:
+            print(
+                f"  diagnostic: [{event.kind}] iter {event.iteration}: "
+                f"{event.detail}"
+            )
+    st = summary.stats
+    print(
+        f"flops={st.total_flops:,} messages={st.total_nbr_messages} "
+        f"words={st.total_nbr_words:,} reductions={st.max_reductions}"
+    )
+    rate = k / summary.wall_time if summary.wall_time > 0 else float("inf")
+    print(
+        f"setup {summary.setup_time:.4f} s, solve {summary.wall_time:.4f} s, "
+        f"{rate:.2f} RHS/s"
+    )
+    if args.json:
+        print("--json records are per-run; not written for --nrhs > 1")
+    return 0 if summary.all_converged else 1
 
 
 def cmd_scaling(args) -> int:

@@ -10,35 +10,57 @@
 * :mod:`repro.core.driver` — one-call API building mesh → partition →
   scale → precondition → solve, returning solution plus communication
   statistics and modeled machine times.
+* :mod:`repro.core.session` — prepared-system sessions and the batched
+  multi-RHS solve path (block Arnoldi over ``(n, k)`` right-hand-side
+  blocks with coalesced interface exchanges).
 * :mod:`repro.core.complexity` — the Table 1 analytic cost model, asserted
   against the recorded counters.
 """
 
 from repro.core.distributed import (
+    DistBlock,
     DistVector,
     EDDSystem,
     build_edd_system,
     build_edd_system_from_assembler,
 )
-from repro.core.edd import edd_fgmres
-from repro.core.rdd import RDDSystem, build_rdd_system, rdd_fgmres
+from repro.core.edd import edd_fgmres, edd_fgmres_block
+from repro.core.rdd import (
+    RDDSystem,
+    build_rdd_system,
+    rdd_fgmres,
+    rdd_fgmres_block,
+)
 from repro.core.driver import ParallelSolveSummary, solve_cantilever
 from repro.core.options import SolverOptions
+from repro.core.session import (
+    BatchSolveSummary,
+    PreparedSystem,
+    SolveSession,
+    solve_cantilever_batch,
+)
 from repro.core.complexity import ArnoldiStepCost, arnoldi_step_cost
 from repro.core.schur import SchurResult, schur_solve
 
 __all__ = [
     "SolverOptions",
+    "DistBlock",
     "DistVector",
     "EDDSystem",
     "build_edd_system",
     "build_edd_system_from_assembler",
     "edd_fgmres",
+    "edd_fgmres_block",
     "RDDSystem",
     "build_rdd_system",
     "rdd_fgmres",
+    "rdd_fgmres_block",
     "ParallelSolveSummary",
     "solve_cantilever",
+    "BatchSolveSummary",
+    "PreparedSystem",
+    "SolveSession",
+    "solve_cantilever_batch",
     "ArnoldiStepCost",
     "arnoldi_step_cost",
     "SchurResult",

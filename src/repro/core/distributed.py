@@ -125,6 +125,143 @@ class DistVector:
         return out
 
 
+class DistBlock:
+    """A distributed multi-vector: one C-ordered ``(n_local, k)`` NumPy
+    block per rank.
+
+    The batched counterpart of :class:`DistVector` for the multi-RHS solve
+    path.  Arithmetic is elementwise (``+``, ``-``, scalar ``*``, ``copy``)
+    so every column evolves exactly as the corresponding :class:`DistVector`
+    would — column ``c`` of any expression is bit-identical to the same
+    expression over single vectors.  Flop charging scales with ``size``
+    (``k`` columns cost ``k`` times one column), while communication done
+    through the block collectives costs the *same message count* as a
+    single vector.
+    """
+
+    __slots__ = ("parts", "kind", "comm")
+
+    def __init__(self, parts: list, kind: str, comm: Comm):
+        if kind not in ("local", "global"):
+            raise ValueError("kind must be 'local' or 'global'")
+        self.parts = parts
+        self.kind = kind
+        self.comm = comm
+
+    @property
+    def k(self) -> int:
+        """Number of columns (right-hand sides) carried by the block."""
+        return self.parts[0].shape[1]
+
+    def copy(self) -> "DistBlock":
+        """Deep copy (same kind, same communicator)."""
+        return DistBlock([p.copy() for p in self.parts], self.kind, self.comm)
+
+    def _total_size(self) -> int:
+        return sum(p.size for p in self.parts)
+
+    def _zip_map(self, other: "DistBlock", op) -> "DistBlock":
+        """Elementwise binary op as a per-rank SPMD body (1 flop/element)."""
+        comm = self.comm
+        a, b = self.parts, other.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = op(a[r], b[r])
+            comm.add_flops(r, out[r].size)
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistBlock(out, self.kind, comm)
+
+    def __add__(self, other: "DistBlock") -> "DistBlock":
+        self._require_same(other)
+        return self._zip_map(other, np.add)
+
+    def __sub__(self, other: "DistBlock") -> "DistBlock":
+        self._require_same(other)
+        return self._zip_map(other, np.subtract)
+
+    def __mul__(self, scalar) -> "DistBlock":
+        scalar = float(scalar)
+        comm = self.comm
+        a = self.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = scalar * a[r]
+            comm.add_flops(r, a[r].size)
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistBlock(out, self.kind, comm)
+
+    __rmul__ = __mul__
+
+    def _require_same(self, other: "DistBlock") -> None:
+        if not isinstance(other, DistBlock):
+            raise TypeError("DistBlock arithmetic needs DistBlock operands")
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot combine {self.kind!r} and {other.kind!r} distributed "
+                "blocks; assemble first (Definitions 1-2)"
+            )
+
+    def scale_cols(self, scales: np.ndarray) -> "DistBlock":
+        """Per-column scalar multiply: column ``c`` of the result is
+        ``scales[c] * column c`` (the batched form of ``scalar * v``)."""
+        scales = np.asarray(scales, dtype=np.float64)
+        comm = self.comm
+        a = self.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = a[r] * scales
+            comm.add_flops(r, a[r].size)
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistBlock(out, self.kind, comm)
+
+    def take_cols(self, idx) -> "DistBlock":
+        """New block holding columns ``idx`` (a gather; no flops charged —
+        pure data movement used by the per-column convergence masking)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        comm = self.comm
+        a = self.parts
+        out = [None] * len(a)
+
+        def body(r: int) -> None:
+            out[r] = np.ascontiguousarray(a[r][:, idx])
+
+        comm.run_ranks(body, work=self._total_size())
+        return DistBlock(out, self.kind, comm)
+
+    def drop_col(self, pos: int) -> "DistBlock":
+        """New block without column position ``pos`` (convergence-masking
+        compaction when a column exits the Arnoldi loop)."""
+        a = self.parts
+        out = [np.delete(p, pos, axis=1) for p in a]
+        return DistBlock(out, self.kind, self.comm)
+
+    def local_dots(self, other: "DistBlock") -> np.ndarray:
+        """Per-rank, per-column partial inner products: ``(n_parts, k)``.
+
+        Each ``(r, c)`` entry is the same contiguous-stride ddot the
+        single-vector :meth:`DistVector.local_dots` performs, so column
+        ``c`` is bit-identical to the single-RHS partial products."""
+        comm = self.comm
+        a, b = self.parts, other.parts
+        k = a[0].shape[1]
+        out = np.empty((len(a), k))
+
+        def body(r: int) -> None:
+            ar, br = a[r], b[r]
+            for c in range(k):
+                out[r, c] = ar[:, c] @ br[:, c]
+            comm.add_flops(r, 2 * ar.size)
+
+        comm.run_ranks(body, work=2 * self._total_size())
+        return out
+
+
 @dataclass
 class EDDSystem:
     """The diagonally-scaled element-based-decomposition system (Eq. 44).
@@ -253,6 +390,101 @@ class EDDSystem:
             raise ValueError("dot pairs a local with a global vector (Eq. 33)")
         return float(self.comm.allreduce_sum(local.local_dots(glob)))
 
+    # ------------------------------------------------------------------
+    # Batched (multi-RHS) counterparts
+    # ------------------------------------------------------------------
+    def zeros_block(self, k: int, kind: str = "global") -> DistBlock:
+        """A zero distributed ``(n_local, k)`` block in the requested
+        format."""
+        return DistBlock(
+            [np.zeros((n, k)) for n in self.submap.local_sizes],
+            kind,
+            self.comm,
+        )
+
+    def rhs_block(self, b: np.ndarray) -> DistBlock:
+        """Scaled local-distributed RHS block from an ``(n_free, k)`` array
+        of raw (unscaled, reduced) right-hand sides.
+
+        Column ``c`` is bit-identical to the ``b_local`` the system builder
+        would produce from ``b[:, c]`` — ownership split then ``D`` scaling.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim == 1:
+            b = b.reshape(-1, 1)
+        if b.shape[0] != self.n_global:
+            raise ValueError(
+                f"RHS block has {b.shape[0]} rows, expected {self.n_global}"
+            )
+        parts = _ownership_split_block(self.submap, b)
+        return DistBlock(
+            [d[:, None] * p for d, p in zip(self.d_parts, parts)],
+            "local",
+            self.comm,
+        )
+
+    def localize_block(self, v: DistBlock) -> DistBlock:
+        """Block form of :meth:`localize` (ownership masking)."""
+        if v.kind != "global":
+            raise ValueError("localize expects a global-distributed block")
+        parts = [p * m[:, None] for p, m in zip(v.parts, self.owner_mask)]
+        return DistBlock(parts, "local", self.comm)
+
+    def assemble_block(self, v: DistBlock) -> DistBlock:
+        """Batched ``⊕Σ∂Ω`` interface assembly: one message per neighbour
+        pair for all ``k`` columns (the coalesced exchange of the batched
+        solve path)."""
+        if v.kind != "local":
+            raise ValueError("assemble expects a local-distributed block")
+        return DistBlock(
+            self.comm.interface_assemble_block(v.parts), "global", self.comm
+        )
+
+    def to_global_block(self, v: DistBlock) -> np.ndarray:
+        """Collapse a distributed block to one ``(n_global, k)`` array
+        (verification/output only, never inside the solver loop)."""
+        out = np.zeros((self.n_global, v.k))
+        if v.kind == "local":
+            for g, p in zip(self.submap.l2g, v.parts):
+                np.add.at(out, g, p)
+        else:
+            for g, p in zip(self.submap.l2g, v.parts):
+                out[g] = p
+        return out
+
+    def matvec_local_block(self, v: DistBlock) -> DistBlock:
+        """Batched Eq. 37 matvec: per rank one SpMM
+        :math:`\\hat A^{(s)} \\hat X^{(s)}` over all ``k`` columns —
+        global-distributed in, local-distributed out, zero communication."""
+        if v.kind != "global":
+            raise ValueError("matvec needs a global-distributed input")
+        comm = self.comm
+        a_local = self.a_local
+        x_parts = v.parts
+        k = v.k
+        parts = [None] * len(a_local)
+
+        def body(r: int) -> None:
+            a = a_local[r]
+            parts[r] = a.matmat(x_parts[r])
+            comm.add_flops(r, 2 * a.nnz * k)
+
+        comm.run_ranks(body, work=2 * self.nnz_total * k)
+        return DistBlock(parts, "local", comm)
+
+    def matvec_assembled_block(self, v: DistBlock) -> DistBlock:
+        """Batched matvec followed by batched interface assembly — the
+        operator the block polynomial recurrences iterate."""
+        return self.assemble_block(self.matvec_local_block(v))
+
+    def dot_block(self, local: DistBlock, glob: DistBlock) -> np.ndarray:
+        """Per-column mixed-format inner products (Eq. 33): ``(k,)``
+        results from ONE allreduce carrying ``k`` words."""
+        if local.kind != "local" or glob.kind != "global":
+            raise ValueError("dot pairs a local with a global block (Eq. 33)")
+        partial = local.local_dots(glob)
+        return self.comm.allreduce_sum(list(partial), words=local.k)
+
 
 def _ownership_split(submap: SubdomainMap, x: np.ndarray) -> list:
     """Split a true global vector into local-distributed parts by assigning
@@ -265,6 +497,21 @@ def _ownership_split(submap: SubdomainMap, x: np.ndarray) -> list:
         g = submap.l2g[s]
         mask = owner[g] == s
         parts.append(np.where(mask, x[g], 0.0))
+    return parts
+
+
+def _ownership_split_block(submap: SubdomainMap, x: np.ndarray) -> list:
+    """Block form of :func:`_ownership_split`: split an ``(n_global, k)``
+    array into local-distributed ``(n_local, k)`` parts (column ``c`` is
+    bit-identical to ``_ownership_split`` of ``x[:, c]``)."""
+    owner = np.full(submap.n_global, -1, dtype=np.int64)
+    for s in range(submap.n_parts - 1, -1, -1):
+        owner[submap.l2g[s]] = s
+    parts = []
+    for s in range(submap.n_parts):
+        g = submap.l2g[s]
+        mask = owner[g] == s
+        parts.append(np.where(mask[:, None], x[g], 0.0))
     return parts
 
 

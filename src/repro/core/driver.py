@@ -15,24 +15,19 @@ warns once per session.
 
 from __future__ import annotations
 
+import time  # noqa: F401  (re-exported for timing call sites)
 import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.distributed import build_edd_system
-from repro.core.edd import edd_fgmres
 from repro.core.options import SolverOptions
-from repro.core.rdd import build_rdd_system, rdd_fgmres
-from repro.fem.cantilever import CantileverProblem, cantilever_problem
+from repro.fem.cantilever import CantileverProblem
 from repro.parallel.machine import MachineModel, modeled_time
 from repro.parallel.stats import CommStats
-from repro.partition.element_partition import ElementPartition
-from repro.partition.node_partition import NodePartition
-from repro.precond.spec import BJ_ILU0_MARKER, make_preconditioner
+from repro.precond.spec import make_preconditioner  # noqa: F401  (re-export)
 from repro.solvers.diagnostics import DiagnosticEvent
 from repro.solvers.result import SolveResult  # noqa: F401  (public re-export)
-from repro.sparse.kernels import use_backend
 
 #: Convergence-verification slack: a solve that claims convergence at
 #: ``tol`` (measured on the scaled, preconditioned system) is demoted when
@@ -66,6 +61,11 @@ class ParallelSolveSummary:
     wall_time:
         Measured wall-clock seconds of the solve phase (system build
         excluded) — complements :meth:`modeled_time`.
+    setup_time:
+        Measured wall-clock seconds of the setup phase (partition,
+        subdomain assembly, scaling, preconditioner construction).  Zero
+        when the solve reused a cached
+        :class:`repro.core.session.PreparedSystem`.
     true_residual:
         Unscaled relative residual ``||b - A x|| / ||b||`` recomputed by
         the driver against the *serially assembled* operator — built
@@ -84,6 +84,7 @@ class ParallelSolveSummary:
     comm_backend: str = "virtual"
     wall_time: float = field(default=0.0, compare=False)
     true_residual: float = field(default=float("nan"), compare=False)
+    setup_time: float = field(default=0.0, compare=False)
 
     def modeled_time(self, machine: MachineModel) -> float:
         """Modeled wall-clock seconds on ``machine``."""
@@ -102,6 +103,7 @@ class ParallelSolveSummary:
             "n_parts": self.n_parts,
             "comm_backend": self.comm_backend,
             "wall_time": float(self.wall_time),
+            "setup_time": float(self.setup_time),
             "true_residual": float(self.true_residual),
             "result": self.result.to_dict(include_x=include_x),
             "stats": self.stats.to_dict(),
@@ -179,111 +181,30 @@ def solve_cantilever(
         ``precond=``, ...) are folded into ``options`` with a one-time
         ``DeprecationWarning``.
     """
-    import time
-
     options = _resolve_options(options, kwargs)
-    if options.kernel_backend is not None:
-        with use_backend(options.kernel_backend):
-            return solve_cantilever(
-                problem, n_parts, options.replace(kernel_backend=None)
-            )
-    if isinstance(problem, int):
-        problem = cantilever_problem(problem, with_mass=options.dynamic)
-    if options.dynamic and problem.mass is None:
-        raise ValueError("dynamic solve requires a problem built with_mass=True")
-    pc = make_preconditioner(options.precond)
-    if pc == BJ_ILU0_MARKER and options.method != "rdd":
-        raise ValueError(
-            "bj-ilu0 is a local (assembled-block) preconditioner; it only "
-            "applies to the rdd method"
-        )
-    pc_name = pc.name if pc is not None and pc != BJ_ILU0_MARKER else (
-        "BJ-ILU0" if pc == BJ_ILU0_MARKER else "I"
-    )
-    method = options.method
+    from repro.core.session import PreparedSystem
 
-    if method in ("edd-basic", "edd-enhanced"):
-        epart = ElementPartition.build(
-            problem.mesh, n_parts, options.partition_method
-        )
-        shift = options.mass_shift if options.dynamic else None
-        f_full = problem.bc.expand(problem.load)
-        system = build_edd_system(
-            problem.mesh,
-            problem.material,
-            problem.bc,
-            epart,
-            f_full,
-            mass_shift=shift,
-            comm_backend=options.comm_backend,
-        )
-        t0 = time.perf_counter()
-        result = edd_fgmres(system, pc, options=options)
-        wall = time.perf_counter() - t0
-    elif method == "rdd":
-        npart = NodePartition.build(
-            problem.mesh, n_parts, options.partition_method
-        )
-        if options.dynamic:
-            alpha, beta = options.mass_shift
-            k = _combine(problem.stiffness, problem.mass, beta, alpha)
-        else:
-            k = problem.stiffness
-        system = build_rdd_system(
-            problem.mesh,
-            problem.bc,
-            npart,
-            k,
-            problem.load,
-            comm_backend=options.comm_backend,
-        )
-        if pc == BJ_ILU0_MARKER:
-            from repro.precond.block_jacobi import BlockJacobiILU
-
-            pc = BlockJacobiILU(system)
-            pc_name = pc.name
-        t0 = time.perf_counter()
-        result = rdd_fgmres(system, pc, options=options)
-        wall = time.perf_counter() - t0
-    else:  # pragma: no cover - SolverOptions validates, belt and braces
-        raise ValueError(f"unknown method {method!r}")
-
-    comm = system.comm
-    true_rel = _verify_solution(problem, options, result)
-    summary = ParallelSolveSummary(
-        result=result,
-        stats=comm.stats,
-        n_parts=n_parts,
-        method=method,
-        precond_name=pc_name,
-        options=options,
-        comm_backend=comm.backend_name,
-        wall_time=wall,
-        true_residual=true_rel,
-    )
-    comm.close()
-    return summary
+    prepared = PreparedSystem.build(problem, n_parts, options)
+    try:
+        return prepared.solve()
+    finally:
+        prepared.close()
 
 
-def _verify_solution(problem, options: SolverOptions, result) -> float:
-    """Recompute the unscaled residual against the clean serial operator.
-
-    The distributed solve only ever sees data that flowed through the
-    communicator; a fault injected during *system construction* (e.g. in
-    the scaling-diagonal assembly) makes the solver coherently solve a
-    corrupted operator, which no solver-internal guard can detect.  This
-    check closes that hole: ``problem.stiffness``/``problem.load`` were
-    assembled serially before any communicator existed, so
-    ``||b - A x|| / ||b||`` here is ground truth.  A claimed convergence
-    whose true residual exceeds ``tol * _VERIFY_SLACK`` (or is non-finite)
-    is demoted with a ``residual_mismatch`` diagnostic.
-    """
+def _verify_operator(problem, options: SolverOptions):
+    """The clean serially assembled operator ground truth is measured
+    against — ``problem.stiffness`` (or the dynamic combination) exactly as
+    it existed before any communicator was created."""
     if options.dynamic:
         alpha, beta = options.mass_shift
-        a = _combine(problem.stiffness, problem.mass, beta, alpha)
-    else:
-        a = problem.stiffness
-    b = problem.load
+        return _combine(problem.stiffness, problem.mass, beta, alpha)
+    return problem.stiffness
+
+
+def _verify_residual(a, b, options: SolverOptions, result) -> float:
+    """Unscaled relative residual of ``result`` against operator ``a`` and
+    right-hand side ``b``, demoting a claimed convergence that fails the
+    :data:`_VERIFY_SLACK` check."""
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
         return 0.0
@@ -300,6 +221,27 @@ def _verify_solution(problem, options: SolverOptions, result) -> float:
             )
         )
     return rel
+
+
+def _verify_solution(problem, options: SolverOptions, result, a=None) -> float:
+    """Recompute the unscaled residual against the clean serial operator.
+
+    The distributed solve only ever sees data that flowed through the
+    communicator; a fault injected during *system construction* (e.g. in
+    the scaling-diagonal assembly) makes the solver coherently solve a
+    corrupted operator, which no solver-internal guard can detect.  This
+    check closes that hole: ``problem.stiffness``/``problem.load`` were
+    assembled serially before any communicator existed, so
+    ``||b - A x|| / ||b||`` here is ground truth.  A claimed convergence
+    whose true residual exceeds ``tol * _VERIFY_SLACK`` (or is non-finite)
+    is demoted with a ``residual_mismatch`` diagnostic.
+
+    ``a`` lets callers that solve repeatedly (sessions) pass the cached
+    operator instead of re-assembling it per solve.
+    """
+    if a is None:
+        a = _verify_operator(problem, options)
+    return _verify_residual(a, problem.load, options, result)
 
 
 def _combine(k, m, beta: float, alpha: float):

@@ -112,6 +112,59 @@ class RDDSystem:
             self.__dict__["_nnz_total"] = cached
         return cached
 
+    def matvec_block(self, x_parts: list) -> list:
+        """Batched Eq. 48 over ``(n_own, k)`` blocks: ONE coalesced halo
+        exchange for all ``k`` columns, then per-rank SpMMs.  Column ``c``
+        is bit-identical to :meth:`matvec` of column ``c``."""
+        comm = self.comm
+        ext_vals = comm.halo_exchange_block(x_parts, self.plan)
+        a_loc, a_ext = self.a_loc, self.a_ext
+        k = x_parts[0].shape[1]
+        out = [None] * self.n_parts
+
+        def body(r: int) -> None:
+            y = a_loc[r].matmat(x_parts[r])
+            comm.add_flops(r, 2 * a_loc[r].nnz * k)
+            if a_ext[r].shape[1]:
+                y = y + a_ext[r].matmat(ext_vals[r])
+                comm.add_flops(r, 2 * a_ext[r].nnz * k + y.size)
+            out[r] = y
+
+        comm.run_ranks(body, work=2 * self.nnz_total * k)
+        return out
+
+    def rhs_block(self, b: np.ndarray) -> list:
+        """Scaled row-partitioned RHS block from an ``(n_free, k)`` array
+        of raw right-hand sides (column ``c`` bit-identical to the builder's
+        scaling of ``b[:, c]``)."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim == 1:
+            b = b.reshape(-1, 1)
+        if b.shape[0] != self.n_global:
+            raise ValueError(
+                f"RHS block has {b.shape[0]} rows, expected {self.n_global}"
+            )
+        return [
+            np.ascontiguousarray(ds[:, None] * b[o])
+            for ds, o in zip(self.d, self.own)
+        ]
+
+    def dot_block(self, x_parts: list, y_parts: list) -> np.ndarray:
+        """Per-column Eq. 47 inner products: ``(k,)`` results from local
+        per-column ddots plus ONE allreduce of ``k`` words."""
+        comm = self.comm
+        k = x_parts[0].shape[1]
+        partial = np.empty((self.n_parts, k))
+
+        def body(r: int) -> None:
+            xr, yr = x_parts[r], y_parts[r]
+            for c in range(k):
+                partial[r, c] = xr[:, c] @ yr[:, c]
+            comm.add_flops(r, 2 * xr.size)
+
+        comm.run_ranks(body, work=2 * sum(x.size for x in x_parts))
+        return comm.allreduce_sum(list(partial), words=k)
+
     def dot(self, x_parts: list, y_parts: list) -> float:
         """Eq. 47: local dots + one allreduce."""
         comm = self.comm
@@ -331,6 +384,106 @@ def _precondition_rdd(system: RDDSystem, precond, v_parts: list) -> list:
     return out.parts
 
 
+def _axpy_parts_block(comm, y_parts, alpha, x_parts):
+    out = [None] * len(y_parts)
+
+    def body(r: int) -> None:
+        out[r] = y_parts[r] + alpha * x_parts[r]
+        comm.add_flops(r, 2 * y_parts[r].size)
+
+    comm.run_ranks(body, work=2 * sum(y.size for y in y_parts))
+    return out
+
+
+def _scale_parts_block(comm, alpha, x_parts):
+    out = [None] * len(x_parts)
+
+    def body(r: int) -> None:
+        out[r] = alpha * x_parts[r]
+        comm.add_flops(r, x_parts[r].size)
+
+    comm.run_ranks(body, work=sum(x.size for x in x_parts))
+    return out
+
+
+def _scale_cols_parts(comm, scales, x_parts):
+    """Per-column scalar multiply (batched ``alpha * x``): column ``c`` of
+    the result is ``scales[c] * x[:, c]``."""
+    out = [None] * len(x_parts)
+
+    def body(r: int) -> None:
+        out[r] = x_parts[r] * scales
+        comm.add_flops(r, x_parts[r].size)
+
+    comm.run_ranks(body, work=sum(x.size for x in x_parts))
+    return out
+
+
+def _take_cols_parts(parts, idx):
+    idx = np.asarray(idx, dtype=np.int64)
+    return [np.ascontiguousarray(p[:, idx]) for p in parts]
+
+
+def _drop_col_parts(parts, pos):
+    return [np.delete(p, pos, axis=1) for p in parts]
+
+
+class _RDDBlock:
+    """Arithmetic wrapper over ``(n_own, k)`` part blocks so polynomial
+    ``apply_linear`` recurrences run unchanged on batched RDD vectors
+    (column-exact with :class:`_RDDVector` arithmetic)."""
+
+    __slots__ = ("parts", "system")
+
+    def __init__(self, parts, system):
+        self.parts = parts
+        self.system = system
+
+    def copy(self):
+        return _RDDBlock([p.copy() for p in self.parts], self.system)
+
+    def __add__(self, other):
+        return _RDDBlock(
+            _axpy_parts_block(self.system.comm, self.parts, 1.0, other.parts),
+            self.system,
+        )
+
+    def __sub__(self, other):
+        return _RDDBlock(
+            _axpy_parts_block(self.system.comm, self.parts, -1.0, other.parts),
+            self.system,
+        )
+
+    def __mul__(self, scalar):
+        return _RDDBlock(
+            _scale_parts_block(self.system.comm, float(scalar), self.parts),
+            self.system,
+        )
+
+    __rmul__ = __mul__
+
+
+def _precondition_rdd_block(system: RDDSystem, precond, v_parts: list) -> list:
+    """Batched preconditioner application on ``(n_own, k)`` part blocks:
+    polynomial recurrences run through the coalesced block matvec (one halo
+    exchange per degree for all ``k`` columns); block-Jacobi solves per
+    column locally."""
+    if precond is None:
+        return [p.copy() for p in v_parts]
+    if hasattr(precond, "apply_parts_block"):
+        return precond.apply_parts_block(v_parts)
+    if not isinstance(precond, PolynomialPreconditioner):
+        raise TypeError(
+            "rdd_fgmres applies polynomial preconditioners through the "
+            "halo-exchanging matvec; wrap other preconditioners yourself"
+        )
+    vec = _RDDBlock([p.copy() for p in v_parts], system)
+    out = precond.apply_linear(
+        lambda v: _RDDBlock(system.matvec_block(v.parts), system), vec
+    )
+    return out.parts
+
+
 def rdd_fgmres(
     system: RDDSystem,
     precond=None,
@@ -472,3 +625,268 @@ def rdd_fgmres(
         history,
         monitor.finalize(converged, total_iters, final_rel),
     )
+
+
+def rdd_fgmres_block(
+    system: RDDSystem,
+    b,
+    precond=None,
+    restart: int = 25,
+    tol: float = 1e-6,
+    max_iter: int = 10_000,
+    breakdown_tol: float = 1e-14,
+    options=None,
+) -> list:
+    """Batched multi-RHS Algorithm 8: solve for all ``k`` columns of ``b``
+    simultaneously; returns one :class:`SolveResult` per column (unscaled
+    global solutions).
+
+    ``b`` is an ``(n_free, k)`` array of raw right-hand sides or a
+    pre-scaled per-rank part-block list (``(n_own, k)`` arrays).  The same
+    guarantees as :func:`repro.core.edd.edd_fgmres_block` hold: column
+    ``c`` runs exactly the single-RHS floating-point trajectory of
+    :func:`rdd_fgmres` (bit-identical residual history), one halo exchange
+    and one allreduce per Arnoldi step serve all ``k`` columns, and
+    finished columns are masked out of the Krylov blocks.
+    """
+    if options is not None:
+        restart = options.restart
+        tol = options.tol
+        max_iter = options.max_iter
+        if precond is None:
+            from repro.precond.spec import make_preconditioner
+
+            precond = make_preconditioner(options.precond)
+            if precond == "bj-ilu0":
+                from repro.precond.block_jacobi import BlockJacobiILU
+
+                precond = BlockJacobiILU(system)
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    comm = system.comm
+    p = system.n_parts
+
+    if isinstance(b, np.ndarray):
+        b_blk = system.rhs_block(b)
+    else:
+        b_blk = list(b)
+    k = b_blk[0].shape[1]
+    if k == 0:
+        return []
+    n_rows = sum(bb.shape[0] for bb in b_blk)
+
+    x_blk = [np.zeros((len(o), k)) for o in system.own]
+    ax = system.matvec_block(x_blk)
+    r_blk = _axpy_parts_block(comm, b_blk, -1.0, ax)
+    norm_b0 = np.sqrt(system.dot_block(r_blk, r_blk))
+
+    histories = [[1.0] for _ in range(k)]
+    monitors = [ConvergenceMonitor(tol) for _ in range(k)]
+    iters = [0] * k
+    n_restarts = [0] * k
+    converged = [False] * k
+    zero_col = [False] * k
+    bad_init = [False] * k
+    active: list = []
+    for c in range(k):
+        if norm_b0[c] == 0.0:
+            zero_col[c] = True
+            converged[c] = True
+        elif not monitors[c].check_finite(
+            float(norm_b0[c]), 0, "initial residual"
+        ):
+            bad_init[c] = True
+        else:
+            active.append(c)
+
+    r_cols = list(range(k))
+    beta_arr = norm_b0
+    partial_buf = np.empty((restart, p, k))
+
+    while active:
+        participants = list(active)
+        sel = [r_cols.index(c) for c in participants]
+        if sel != list(range(len(r_cols))):
+            rl = _take_cols_parts(r_blk, sel)
+            betas = beta_arr[np.asarray(sel)]
+        else:
+            rl = r_blk
+            betas = beta_arr
+        for c in participants:
+            n_restarts[c] += 1
+        v = [_scale_cols_parts(comm, 1.0 / betas, rl)]
+        z_store: list = []
+        lsqs = {c: GivensLSQ(restart, float(betas[i]))
+                for i, c in enumerate(participants)}
+        claimed = {c: False for c in participants}
+        broke = {c: False for c in participants}
+        cols = list(participants)
+
+        def exit_column(pos: int) -> None:
+            c = cols[pos]
+            y = lsqs[c].solve()
+            if len(y):
+
+                def body(r: int) -> None:
+                    xr = x_blk[r]
+                    for i, yi in enumerate(y):
+                        xr[:, c] = xr[:, c] + float(yi) * z_store[i][r][:, pos]
+                    comm.add_flops(r, 2 * len(y) * xr.shape[0])
+
+                comm.run_ranks(body, work=2 * len(y) * n_rows)
+            for i in range(len(v)):
+                v[i] = _drop_col_parts(v[i], pos)
+            for i in range(len(z_store)):
+                z_store[i] = _drop_col_parts(z_store[i], pos)
+            cols.pop(pos)
+
+        j = 0
+        while j < restart and cols:
+            over = [q for q in range(len(cols)) if iters[cols[q]] >= max_iter]
+            for q in reversed(over):
+                exit_column(q)
+            if not cols:
+                break
+            ka = len(cols)
+            z = _precondition_rdd_block(system, precond, v[j])
+            z_store.append(z)
+            w = system.matvec_block(z)
+
+            hblk = np.empty((j + 2, ka))
+            partial = partial_buf[: j + 1, :, :ka]
+
+            def dots_body(r: int) -> None:
+                wr = w[r]
+                for i in range(j + 1):
+                    vp = v[i][r]
+                    for cc in range(ka):
+                        partial[i, r, cc] = vp[:, cc] @ wr[:, cc]
+                comm.add_flops(r, 2 * (j + 1) * wr.size)
+
+            comm.run_ranks(dots_body, work=2 * (j + 1) * n_rows * ka)
+            hblk[: j + 1] = comm.allreduce_sum(
+                list(partial.transpose(1, 0, 2)), words=(j + 1) * ka
+            )
+
+            new_w: list = [None] * p
+
+            def ortho_body(r: int) -> None:
+                wr = w[r]
+                for i in range(j + 1):
+                    wr = wr - hblk[i] * v[i][r]
+                new_w[r] = wr
+                comm.add_flops(r, 2 * (j + 1) * wr.size)
+
+            comm.run_ranks(ortho_body, work=2 * (j + 1) * n_rows * ka)
+            w = new_w
+            hblk[j + 1] = np.sqrt(np.maximum(system.dot_block(w, w), 0.0))
+
+            exits: list = []
+            for pos in range(ka):
+                c = cols[pos]
+                mon = monitors[c]
+                hcol = hblk[:, pos]
+                if not mon.check_finite(hcol, iters[c] + 1, "Hessenberg column"):
+                    exits.append(pos)
+                    continue
+                res = lsqs[c].append_column(hcol)
+                iters[c] += 1
+                histories[c].append(res / norm_b0[c])
+                if not mon.check_divergence(res / norm_b0[c], iters[c]):
+                    exits.append(pos)
+                    continue
+                if res / norm_b0[c] <= tol:
+                    claimed[c] = True
+                    exits.append(pos)
+                    continue
+                if hblk[j + 1, pos] <= breakdown_tol:
+                    mon.note_breakdown(float(hblk[j + 1, pos]), iters[c])
+                    broke[c] = True
+                    exits.append(pos)
+
+            if exits:
+                keep = [q for q in range(ka) if q not in exits]
+                for q in reversed(exits):
+                    exit_column(q)
+                if not cols:
+                    break
+                w = _take_cols_parts(w, keep)
+                h_next = hblk[j + 1, np.asarray(keep)]
+            else:
+                h_next = hblk[j + 1]
+            v.append(_scale_cols_parts(comm, 1.0 / h_next, w))
+            j += 1
+
+        if cols:
+            ys = [lsqs[c].solve() for c in cols]
+            m = len(ys[0])
+            if m:
+                y_mat = np.array(ys)
+                idx = np.asarray(cols)
+
+                def x_body(r: int) -> None:
+                    xr = x_blk[r]
+                    for i in range(m):
+                        xr[:, idx] = xr[:, idx] + z_store[i][r] * y_mat[:, i]
+                    comm.add_flops(r, 2 * m * xr.shape[0] * len(idx))
+
+                comm.run_ranks(x_body, work=2 * m * n_rows * len(idx))
+
+        idxp = np.asarray(participants)
+        b_sub = _take_cols_parts(b_blk, idxp)
+        x_sub = _take_cols_parts(x_blk, idxp)
+        ax = system.matvec_block(x_sub)
+        r_blk = _axpy_parts_block(comm, b_sub, -1.0, ax)
+        beta_arr = np.sqrt(system.dot_block(r_blk, r_blk))
+        r_cols = list(participants)
+
+        for p2, c in enumerate(participants):
+            mon = monitors[c]
+            beta_c = float(beta_arr[p2])
+            if not mon.check_finite(beta_c, iters[c], "recomputed residual"):
+                continue
+            true_rel = beta_c / norm_b0[c]
+            if true_rel <= tol:
+                converged[c] = True
+            elif claimed[c]:
+                converged[c] = mon.confirm_convergence(true_rel, iters[c])
+            elif broke[c]:
+                mon.confirm_breakdown(true_rel, iters[c])
+            if not converged[c]:
+                mon.cycle_end(true_rel, iters[c])
+
+        active = [
+            c for c in participants
+            if not (converged[c] or monitors[c].fatal or iters[c] >= max_iter)
+        ]
+
+    u_full = np.zeros((system.n_global, k))
+    for o, xs, ds in zip(system.own, x_blk, system.d):
+        u_full[o] = ds[:, None] * xs
+    results = []
+    for c in range(k):
+        if zero_col[c]:
+            results.append(
+                SolveResult(np.zeros(system.n_global), True, 0, 0, histories[c])
+            )
+            continue
+        if bad_init[c]:
+            results.append(
+                SolveResult(
+                    np.zeros(system.n_global), False, 0, 0, histories[c],
+                    monitors[c].finalize(False, 0, 1.0),
+                )
+            )
+            continue
+        final_rel = histories[c][-1] if histories[c] else float("nan")
+        results.append(
+            SolveResult(
+                np.ascontiguousarray(u_full[:, c]),
+                converged[c],
+                iters[c],
+                n_restarts[c],
+                histories[c],
+                monitors[c].finalize(converged[c], iters[c], final_rel),
+            )
+        )
+    return results

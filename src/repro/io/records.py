@@ -55,6 +55,7 @@ class RunRecord:
     modeled_times: dict
     comm_backend: str = "virtual"
     wall_time: float = 0.0
+    setup_time: float = 0.0
     true_residual: float = float("nan")
     diagnostics: tuple = ()
 
@@ -89,6 +90,7 @@ def record_from_summary(
         },
         comm_backend=payload["comm_backend"],
         wall_time=payload["wall_time"],
+        setup_time=payload.get("setup_time", 0.0),
         true_residual=payload.get("true_residual", float("nan")),
         diagnostics=tuple(result.get("diagnostics", ())),
     )

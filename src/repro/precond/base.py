@@ -117,15 +117,26 @@ class PolynomialPreconditioner(Preconditioner):
     # ------------------------------------------------------------------
     @staticmethod
     def _use_fast_path(matvec, v) -> bool:
-        """ndarray input + out=-capable matvec -> workspace recurrence."""
-        return isinstance(v, np.ndarray) and v.ndim == 1 and accepts_out(matvec)
+        """ndarray input + out=-capable matvec -> workspace recurrence.
 
-    def _workspace(self, n: int, count: int) -> np.ndarray:
-        """``count`` reusable length-``n`` buffers, cached across
-        applications (rows of one ``(count, n)`` array)."""
+        Applies to 1-D vectors and ``(n, k)`` multi-vector blocks alike;
+        for a block input the supplied ``matvec`` must itself accept
+        ``(n, k)`` arrays (an SpMM such as ``CSRMatrix.matmat``), so one
+        polynomial sweep updates all ``k`` columns.
+        """
+        return (
+            isinstance(v, np.ndarray)
+            and v.ndim in (1, 2)
+            and accepts_out(matvec)
+        )
+
+    def _workspace(self, shape, count: int) -> np.ndarray:
+        """``count`` reusable buffers of ``shape`` (``(n,)`` or ``(n, k)``),
+        cached across applications (leading-axis slices of one array)."""
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
         ws = self.__dict__.get("_ws")
-        if ws is None or ws.shape[0] < count or ws.shape[1] != n:
-            ws = np.empty((count, n))
+        if ws is None or ws.shape[0] < count or ws.shape[1:] != shape:
+            ws = np.empty((count,) + shape)
             self._ws = ws
         return ws
 
@@ -144,14 +155,15 @@ class PolynomialPreconditioner(Preconditioner):
         ping-pong buffers; every step is one ``matvec`` into a workspace
         plus in-place AXPY-style updates — zero allocations per degree.
         Safe when ``out`` aliases ``v`` (``v`` is consumed before ``out``
-        is first written).
+        is first written).  ``v`` may be 1-D or an ``(n, k)`` block (the
+        recurrence is elementwise apart from the matvec, so each column
+        evolves exactly as a separate 1-D application would).
         """
-        n = v.shape[0]
-        ws = self._workspace(n, 4)
+        ws = self._workspace(v.shape, 4)
         phi_prev, phi, w, tmp = ws[0], ws[1], ws[2], ws[3]
         np.multiply(v, 1.0 / betas[0], out=phi)
         if out is None:
-            out = np.empty(n)
+            out = np.empty(v.shape)
         np.multiply(phi, mus[0], out=out)
         phi_prev[:] = 0.0
         for i in range(degree):

@@ -70,12 +70,11 @@ class ChebyshevPolynomial(PolynomialPreconditioner):
         """
         coef = self._coef
         if self._use_fast_path(matvec, v):
-            n = v.shape[0]
-            ws = self._workspace(n, 2)
+            ws = self._workspace(v.shape, 2)
             vv, t = ws[0], ws[1]
             vv[:] = v
             if out is None:
-                out = np.empty(n)
+                out = np.empty(v.shape)
             np.multiply(vv, coef[-1], out=out)
             for c in coef[-2::-1]:
                 matvec(out, out=t)

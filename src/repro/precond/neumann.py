@@ -55,15 +55,16 @@ class NeumannPolynomial(PolynomialPreconditioner):
         recurrence ``s <- s - omega A s`` (one matvec per term).
 
         NumPy inputs with an ``out=``-capable matvec run on two cached
-        ping-pong buffers: zero allocations per degree.
+        ping-pong buffers: zero allocations per degree.  ``(n, k)`` block
+        inputs run the same recurrence with all ``k`` columns per matvec
+        (the matvec must then be an SpMM accepting blocks).
         """
         if self._use_fast_path(matvec, v):
-            n = v.shape[0]
-            ws = self._workspace(n, 2)
+            ws = self._workspace(v.shape, 2)
             s, t = ws[0], ws[1]
             s[:] = v
             if out is None:
-                out = np.empty(n)
+                out = np.empty(v.shape)
             out[:] = s  # via s: safe when out aliases v
             for _ in range(self.degree):
                 matvec(s, out=t)

@@ -23,6 +23,7 @@ from repro.solvers.diagnostics import (
 )
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.fgmres import fgmres
+from repro.solvers.block_fgmres import fgmres_block
 from repro.solvers.gmres import gmres
 from repro.solvers.cg import cg
 from repro.solvers.bicgstab import bicgstab
@@ -36,6 +37,7 @@ __all__ = [
     "EVENT_KINDS",
     "GivensLSQ",
     "fgmres",
+    "fgmres_block",
     "gmres",
     "cg",
     "bicgstab",

@@ -1,0 +1,259 @@
+"""Sequential multi-RHS flexible GMRES over ``(n, k)`` blocks.
+
+The batched counterpart of :func:`repro.solvers.fgmres.fgmres`: all ``k``
+right-hand sides advance through one shared Arnoldi recurrence, so every
+matvec and preconditioner application is a single SpMM over the whole
+block — ``k`` solves cost ``k``-column kernel sweeps instead of ``k``
+Python-level iteration loops.  Each column keeps its own Givens
+least-squares problem, convergence monitor, and residual history, so the
+per-column numerics mirror a single-RHS solve (identical up to summation
+order: the single-RHS path reduces dot products through BLAS ``dot``
+while the block path reduces per column over the block, so histories
+agree to rounding, not bitwise).
+
+Zero allocations per iteration in steady state: the basis ``V``
+(``(restart+1, n, k)``), the preconditioned block ``Z``, and all scratch
+blocks are preallocated once per solve and reused across restart cycles;
+Gram-Schmidt runs through ufunc ``out=`` reductions and the
+matvec/preconditioner write into workspace blocks whenever they accept
+``out=``.  Finished columns are masked (their basis columns are zeroed,
+so they ride along as inert zero columns) rather than compacted, keeping
+the workspaces fixed-size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.diagnostics import ConvergenceMonitor
+from repro.solvers.givens import GivensLSQ
+from repro.solvers.result import SolveResult
+from repro.sparse.kernels import accepts_out
+
+
+def _identity_precond(v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    if out is not None:
+        out[:] = v
+        return out
+    return v.copy()
+
+
+def fgmres_block(
+    matvec,
+    b: np.ndarray,
+    precond=None,
+    x0: np.ndarray | None = None,
+    restart: int = 25,
+    tol: float = 1e-6,
+    max_iter: int = 10_000,
+    breakdown_tol: float = 1e-14,
+) -> list:
+    """Solve ``A x_c = b_c`` for every column of ``b``; one
+    :class:`SolveResult` per column.
+
+    Parameters mirror :func:`repro.solvers.fgmres.fgmres` with two batched
+    requirements: ``matvec`` must accept ``(n, k)`` blocks (an SpMM such as
+    :meth:`repro.sparse.csr.CSRMatrix.matmat`), and ``precond`` — when not
+    None — must likewise map blocks to blocks (the polynomial
+    preconditioners do, column-exactly).  ``b`` may be 1-D (treated as one
+    column).  Convergence, breakdown, divergence, and ``max_iter`` are
+    tracked per column; a finished column stops updating its history and
+    monitor while the rest of the block keeps iterating.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 1:
+        b = b.reshape(-1, 1)
+    if not np.all(np.isfinite(b)):
+        raise ValueError("right-hand side contains NaN or Inf")
+    n, k = b.shape
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    if k == 0:
+        return []
+    if precond is None:
+        precond = _identity_precond
+    mv_out = accepts_out(matvec)
+    pc_out = accepts_out(precond)
+    if x0 is None:
+        x = np.zeros((n, k))
+    else:
+        x = np.array(x0, dtype=np.float64).reshape(n, k)
+
+    # Per-solve workspace, reused across all restart cycles.
+    v = np.empty((restart + 1, n, k))
+    z = np.empty((restart, n, k))
+    w = np.empty((n, k))
+    tmp = np.empty((n, k))
+    r = np.empty((n, k))
+    tmp_col = np.empty(n)
+    hbuf = np.empty((restart + 1, k))
+    colsq = np.empty(k)
+    scale = np.empty(k)
+
+    def residual() -> None:
+        """r = b - A x, through the workspace when possible."""
+        if mv_out:
+            matvec(x, out=r)
+        else:
+            r[:] = matvec(x)
+        np.subtract(b, r, out=r)
+
+    residual()
+    np.multiply(r, r, out=tmp)
+    np.sum(tmp, axis=0, out=colsq)
+    norm_r0 = np.sqrt(colsq)  # one-time (k,) allocation
+
+    histories = [[1.0] for _ in range(k)]
+    monitors = [ConvergenceMonitor(tol) for _ in range(k)]
+    iters = [0] * k
+    n_restarts = [0] * k
+    converged = [False] * k
+    zero_col = [False] * k
+    bad_init = [False] * k
+    active: list = []
+    for c in range(k):
+        if norm_r0[c] == 0.0:
+            zero_col[c] = True
+            converged[c] = True
+        elif not monitors[c].check_finite(
+            float(norm_r0[c]), 0, "initial residual"
+        ):
+            bad_init[c] = True
+        else:
+            active.append(c)
+
+    beta = norm_r0.copy()
+    while active:
+        participants = list(active)
+        for c in participants:
+            n_restarts[c] += 1
+        scale[:] = 0.0
+        for c in participants:
+            scale[c] = 1.0 / beta[c]
+        np.multiply(r, scale, out=v[0])
+        lsqs = {c: GivensLSQ(restart, float(beta[c])) for c in participants}
+        claimed = {c: False for c in participants}
+        broke = {c: False for c in participants}
+        cols = list(participants)
+        j = 0
+        while j < restart and cols:
+            cols = [c for c in cols if iters[c] < max_iter]
+            if not cols:
+                break
+            if pc_out:
+                precond(v[j], out=z[j])
+            else:
+                z[j][:] = precond(v[j])
+            if mv_out:
+                matvec(z[j], out=w)
+            else:
+                w[:] = matvec(z[j])
+            h = hbuf[: j + 2]
+            # Classical Gram-Schmidt, per column: all coefficients off the
+            # unmodified w (ufunc reductions into the h rows — no BLAS, no
+            # allocations), then the batched correction sweep.
+            for i in range(j + 1):
+                np.multiply(v[i], w, out=tmp)
+                np.sum(tmp, axis=0, out=h[i])
+            for i in range(j + 1):
+                np.multiply(v[i], h[i], out=tmp)
+                np.subtract(w, tmp, out=w)
+            np.multiply(w, w, out=tmp)
+            np.sum(tmp, axis=0, out=colsq)
+            np.sqrt(np.maximum(colsq, 0.0, out=colsq), out=h[j + 1])
+
+            for c in list(cols):
+                mon = monitors[c]
+                hcol = h[:, c]
+                if not mon.check_finite(hcol, iters[c] + 1, "Hessenberg column"):
+                    cols.remove(c)
+                    continue
+                res = lsqs[c].append_column(hcol)
+                iters[c] += 1
+                rel = res / norm_r0[c]
+                histories[c].append(rel)
+                if not mon.check_divergence(rel, iters[c]):
+                    cols.remove(c)
+                    continue
+                if rel <= tol:
+                    claimed[c] = True
+                    cols.remove(c)
+                    continue
+                if h[j + 1, c] <= breakdown_tol:
+                    # Possible happy breakdown — confirmed against the
+                    # recomputed true residual below, never trusted.
+                    mon.note_breakdown(float(h[j + 1, c]), iters[c])
+                    broke[c] = True
+                    cols.remove(c)
+
+            # Normalize the still-iterating columns; finished columns get
+            # zero basis columns and ride along inert (their z and w
+            # columns stay exactly zero from here on).
+            scale[:] = 0.0
+            for c in cols:
+                scale[c] = 1.0 / h[j + 1, c]
+            np.multiply(w, scale, out=v[j + 1])
+            j += 1
+
+        # Solution update for every cycle participant from its own Givens
+        # problem (lengths differ when columns exited mid-cycle).
+        for c in participants:
+            y = lsqs[c].solve()
+            xcol = x[:, c]
+            for i, yi in enumerate(y):
+                np.multiply(z[i, :, c], yi, out=tmp_col)
+                np.add(xcol, tmp_col, out=xcol)
+
+        residual()
+        np.multiply(r, r, out=tmp)
+        np.sum(tmp, axis=0, out=colsq)
+        np.sqrt(colsq, out=beta)
+        for c in participants:
+            mon = monitors[c]
+            beta_c = float(beta[c])
+            if not mon.check_finite(beta_c, iters[c], "recomputed residual"):
+                continue
+            true_rel = beta_c / norm_r0[c]
+            if true_rel <= tol:
+                converged[c] = True
+            elif claimed[c]:
+                converged[c] = mon.confirm_convergence(true_rel, iters[c])
+            elif broke[c]:
+                mon.confirm_breakdown(true_rel, iters[c])
+            if not converged[c]:
+                mon.cycle_end(true_rel, iters[c])
+
+        active = [
+            c for c in participants
+            if not (converged[c] or monitors[c].fatal or iters[c] >= max_iter)
+        ]
+
+    results = []
+    for c in range(k):
+        if zero_col[c]:
+            results.append(
+                SolveResult(
+                    np.ascontiguousarray(x[:, c]), True, 0, 0, histories[c]
+                )
+            )
+            continue
+        if bad_init[c]:
+            results.append(
+                SolveResult(
+                    np.ascontiguousarray(x[:, c]), False, 0, 0, histories[c],
+                    monitors[c].finalize(False, 0, 1.0),
+                )
+            )
+            continue
+        final_rel = histories[c][-1] if histories[c] else float("nan")
+        results.append(
+            SolveResult(
+                np.ascontiguousarray(x[:, c]),
+                converged[c],
+                iters[c],
+                n_restarts[c],
+                histories[c],
+                monitors[c].finalize(converged[c], iters[c], final_rel),
+            )
+        )
+    return results

@@ -218,11 +218,19 @@ class CSRMatrix:
         sweep (block orthogonalization, multi-vector polynomial
         application).  ``out`` (``(n, k)``, fully overwritten) must not
         alias ``X``.
+
+        Inputs are normalized here, once, so the backends only ever see a
+        C-contiguous float64 ``(m, k)`` block: a 1-D length-``m`` vector is
+        treated as a single column (``k = 1``, output ``(n, 1)``), and
+        Fortran-ordered / non-contiguous blocks are copied to C order.
         """
         n, m = self.shape
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(m, 1) if x.shape[0] == m else x
         if x.ndim != 2 or x.shape[0] != m:
             raise ValueError(f"X has shape {x.shape}, expected ({m}, k)")
+        x = np.ascontiguousarray(x)
         k = x.shape[1]
         if out is None:
             out = np.empty((n, k))

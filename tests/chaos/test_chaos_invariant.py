@@ -130,6 +130,60 @@ def test_no_silent_wrong_answer_smoke(
     _check_invariant(tiny_problem, plan, method, precond, inner)
 
 
+#: Batched-path sweep: every fault site, over one EDD and one RDD config.
+#: The k-RHS solvers ride the *block* collectives (single coalesced
+#: exchange per step), so this exercises the ChaosComm block proxies.
+BATCH_CONFIGS = [("edd-enhanced", "gls(7)"), ("rdd", "bj-ilu0")]
+
+
+@pytest.mark.parametrize("method,precond", BATCH_CONFIGS,
+                         ids=[f"{m}-{p}" for m, p in BATCH_CONFIGS])
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+def test_no_silent_wrong_answer_batched(tiny_problem, plan_name, method,
+                                        precond):
+    """The invariant holds per column of a k=4 batched solve under every
+    fault plan: a fault injected into one coalesced exchange corrupts all
+    columns at once, and every one of them must either verify or name an
+    anomaly."""
+    from repro.core.session import solve_cantilever_batch
+
+    plan = FaultPlan(rules=(PLANS[plan_name],), seed=20060815)
+    options = SolverOptions(
+        method=method, precond=precond, tol=TOL, comm_backend="chaos"
+    )
+    k = 4
+    b_block = np.column_stack(
+        [(1.0 + 0.25 * c) * tiny_problem.load for c in range(k)]
+    )
+    with use_fault_plan(plan, inner="virtual"):
+        summary = solve_cantilever_batch(tiny_problem, b_block, 2, options)
+    replay = (
+        f"replay with REPRO_CHAOS_PLAN='{plan.to_json()}' "
+        f"({method}, {precond}, nrhs={k})"
+    )
+    assert summary.n_rhs == k
+    for c, result in enumerate(summary.results):
+        if result.converged:
+            rel = float(
+                np.linalg.norm(
+                    b_block[:, c] - tiny_problem.stiffness @ result.x
+                )
+                / np.linalg.norm(b_block[:, c])
+            )
+            assert rel <= TOL * _VERIFY_SLACK, (
+                f"silent wrong answer in column {c}: claims convergence "
+                f"with true residual {rel:.3e}; {replay}"
+            )
+        else:
+            assert result.diagnostics, (
+                f"column {c} failed without naming an anomaly; {replay}"
+            )
+            for event in result.diagnostics:
+                assert event.kind in EVENT_KINDS, (
+                    f"unknown diagnostic kind {event.kind!r}; {replay}"
+                )
+
+
 @pytest.mark.parametrize("seed", [1, 7, 1234])
 def test_random_rank_fault_sweep(tiny_problem, seed):
     """Rules with no fixed rank pick seeded-random targets; the invariant

@@ -50,7 +50,7 @@ EXACT_FIELDS = (
 FLOAT_FIELDS = ("final_residual", "true_residual")
 
 #: Fields excluded from comparison (machine-dependent).
-IGNORED_FIELDS = ("wall_time",)
+IGNORED_FIELDS = ("wall_time", "setup_time")
 
 CASES = {
     "mesh2_edd_gls7": SolverOptions(

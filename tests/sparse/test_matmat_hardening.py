@@ -1,0 +1,119 @@
+"""SpMM input-hardening and single-column equivalence.
+
+``CSRMatrix.matmat`` normalizes its inputs once (1-D vectors become
+single columns, Fortran/strided blocks are copied to C order) so every
+registered kernel backend only ever sees a C-contiguous float64 block.
+These tests pin that contract — and the block solvers' foundational
+assumption that a ``k = 1`` SpMM is *bitwise* the matvec — across every
+available backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+from repro.sparse.kernels import available_backends, use_backend
+
+BACKENDS = available_backends()
+
+
+def _random_csr(rng, n, m, density=0.25):
+    d = rng.random((n, m))
+    d[d > density] = 0.0
+    return CSRMatrix.from_dense(d), d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(404)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("k", [1, 2, 5, 8])
+def test_matmat_matches_dense_reference(backend, k, rng):
+    a, d = _random_csr(rng, 17, 13)
+    x = rng.standard_normal((13, k))
+    with use_backend(backend):
+        got = a.matmat(x)
+    assert got.shape == (17, k)
+    np.testing.assert_allclose(got, d @ x, rtol=1e-13, atol=1e-14)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matmat_k1_is_bitwise_matvec(backend, rng):
+    """A ``(m, 1)`` SpMM must equal the matvec *exactly* on every backend —
+    this is what makes the block solvers' k=1 histories bitwise equal to
+    the single-RHS solvers'."""
+    a, _ = _random_csr(rng, 23, 19)
+    x = rng.standard_normal(19)
+    with use_backend(backend):
+        ref = a.matvec(x)
+        got = a.matmat(x.reshape(-1, 1))
+    assert got.shape == (23, 1)
+    assert np.array_equal(got[:, 0], ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matmat_accepts_1d_vector_as_one_column(backend, rng):
+    a, _ = _random_csr(rng, 11, 9)
+    x = rng.standard_normal(9)
+    with use_backend(backend):
+        got = a.matmat(x)
+        ref = a.matvec(x)
+    assert got.shape == (11, 1)
+    assert np.array_equal(got[:, 0], ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matmat_normalizes_fortran_and_strided_input(backend, rng):
+    a, d = _random_csr(rng, 14, 10)
+    x = rng.standard_normal((10, 4))
+    with use_backend(backend):
+        ref = a.matmat(x)
+        got_f = a.matmat(np.asfortranarray(x))
+        big = rng.standard_normal((10, 8))
+        big[:, ::2] = x
+        got_s = a.matmat(big[:, ::2])
+    assert np.array_equal(got_f, ref)
+    assert np.array_equal(got_s, ref)
+    np.testing.assert_allclose(ref, d @ x, rtol=1e-13, atol=1e-14)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matmat_backend_parity(backend, rng):
+    """Every backend answers the same block product (to roundoff)."""
+    a, d = _random_csr(rng, 30, 25)
+    x = rng.standard_normal((25, 6))
+    with use_backend(backend):
+        got = a.matmat(x)
+    np.testing.assert_allclose(got, d @ x, rtol=1e-12, atol=1e-13)
+
+
+def test_matmat_rejects_bad_shapes(rng):
+    a, _ = _random_csr(rng, 8, 6)
+    with pytest.raises(ValueError, match="expected"):
+        a.matmat(rng.standard_normal((7, 3)))
+    with pytest.raises(ValueError, match="expected"):
+        a.matmat(rng.standard_normal(5))
+    with pytest.raises(ValueError, match="expected"):
+        a.matmat(rng.standard_normal((6, 3, 1)))
+    with pytest.raises(ValueError, match="out has shape"):
+        a.matmat(rng.standard_normal((6, 3)), out=np.empty((8, 2)))
+
+
+def test_matmat_rejects_aliasing_out(rng):
+    a, _ = _random_csr(rng, 6, 6)
+    x = rng.standard_normal((6, 2))
+    with pytest.raises(ValueError, match="alias"):
+        a.matmat(x, out=x)
+
+
+def test_matmat_k0_and_empty_matrix(rng):
+    a, _ = _random_csr(rng, 8, 6)
+    got = a.matmat(np.empty((6, 0)))
+    assert got.shape == (8, 0)
+    zero = CSRMatrix.from_dense(np.zeros((4, 5)))
+    assert np.array_equal(zero.matmat(rng.standard_normal((5, 3))),
+                          np.zeros((4, 3)))
