@@ -38,6 +38,7 @@ from repro.core.session import (
     solve_cantilever_batch,
 )
 from repro.fem.cantilever import cantilever_problem
+from repro.obs import Tracer
 from repro.precond.spec import make_preconditioner
 from repro.solvers import cg, fgmres, gmres
 
@@ -53,6 +54,7 @@ __all__ = [
     "make_preconditioner",
     "cantilever_problem",
     "ParallelSolveSummary",
+    "Tracer",
     "fgmres",
     "gmres",
     "cg",

@@ -6,6 +6,7 @@
 * ``scaling``      — Table-3-style sweep over processor counts.
 * ``convergence``  — Figs. 11-13-style preconditioner comparison.
 * ``meshes``       — print the Table 2 family.
+* ``trace``        — summarize or convert a ``--trace`` recording.
 """
 
 from __future__ import annotations
@@ -88,7 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         default=None,
-        help="append the run record to a JSON file",
+        help=(
+            "append the run record to a JSON file (one record per "
+            "right-hand side when --nrhs > 1)"
+        ),
+    )
+    solve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a span/metrics trace of the run to PATH; a name "
+            "ending in 'chrome.json' writes Chrome trace format "
+            "(Perfetto-loadable), anything else the repro-trace/1 schema "
+            "(inspect with 'repro trace summarize PATH')"
+        ),
     )
 
     scaling = sub.add_parser("scaling", help="Table-3-style scaling sweep")
@@ -119,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("meshes", help="print the Table 2 mesh family")
 
+    trace = sub.add_parser(
+        "trace", help="summarize or convert a recorded solve trace"
+    )
+    tsub = trace.add_subparsers(dest="action", required=True)
+    tsum = tsub.add_parser(
+        "summarize", help="print phase/span/metric tables for a trace"
+    )
+    tsum.add_argument("path", help="repro-trace/1 JSON from solve --trace")
+    tchrome = tsub.add_parser(
+        "chrome", help="convert a repro-trace/1 file to Chrome trace format"
+    )
+    tchrome.add_argument("path", help="repro-trace/1 JSON from solve --trace")
+    tchrome.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <path minus .json>.chrome.json)",
+    )
+
     rep = sub.add_parser(
         "reproduce", help="regenerate the paper's core results (< 1 min)"
     )
@@ -127,10 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(tracer, path) -> None:
+    """Write a finished trace; 'chrome.json' suffix selects Chrome format."""
+    tracer.write_json(path, chrome=path.endswith("chrome.json"))
+    print(f"trace written to {path}")
+
+
 def cmd_solve(args) -> int:
     """``repro solve``: one cantilever solve with full reporting."""
     from contextlib import nullcontext
 
+    if args.nrhs < 1:
+        print(
+            f"error: --nrhs must be >= 1, got {args.nrhs}", file=sys.stderr
+        )
+        return 2
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(meta={"mesh": args.mesh})
     problem = cantilever_problem(args.mesh, with_mass=args.dynamic)
     comm_backend = args.comm_backend
     chaos_ctx = nullcontext()
@@ -157,9 +206,11 @@ def cmd_solve(args) -> int:
     )
     if args.nrhs > 1:
         with chaos_ctx:
-            return _solve_batch(args, problem, options)
+            return _solve_batch(args, problem, options, tracer)
     with chaos_ctx:
-        summary = solve_cantilever(problem, n_parts=args.parts, options=options)
+        summary = solve_cantilever(
+            problem, n_parts=args.parts, options=options, tracer=tracer
+        )
     res = summary.result
     print(
         f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
@@ -200,10 +251,12 @@ def cmd_solve(args) -> int:
         records.append(record_from_summary(summary, label, problem.n_eqn))
         save_records(records, args.json)
         print(f"record appended to {args.json}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0 if res.converged else 1
 
 
-def _solve_batch(args, problem, options) -> int:
+def _solve_batch(args, problem, options, tracer=None) -> int:
     """``repro solve --nrhs K``: one batched block solve of K load cases."""
     from repro.core.session import solve_cantilever_batch
 
@@ -211,7 +264,7 @@ def _solve_batch(args, problem, options) -> int:
     scales = 1.0 + 0.1 * np.arange(k)
     b_block = problem.load[:, None] * scales
     summary = solve_cantilever_batch(
-        problem, b_block, n_parts=args.parts, options=options
+        problem, b_block, n_parts=args.parts, options=options, tracer=tracer
     )
     print(
         f"mesh {args.mesh} ({problem.n_eqn} eqns), {args.method}, "
@@ -242,7 +295,27 @@ def _solve_batch(args, problem, options) -> int:
         f"{rate:.2f} RHS/s"
     )
     if args.json:
-        print("--json records are per-run; not written for --nrhs > 1")
+        import os
+
+        from repro.io.records import (
+            load_records,
+            records_from_batch,
+            save_records,
+        )
+
+        label = (
+            f"mesh{args.mesh}/{args.method}/{summary.precond_name}/"
+            f"p{args.parts}"
+        )
+        records = (
+            load_records(args.json) if os.path.exists(args.json) else []
+        )
+        new = records_from_batch(summary, label, problem.n_eqn)
+        records.extend(new)
+        save_records(records, args.json)
+        print(f"{len(new)} records appended to {args.json}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0 if summary.all_converged else 1
 
 
@@ -317,6 +390,43 @@ def cmd_meshes(_args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: summarize or convert a recorded solve trace."""
+    import json
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "summarize":
+        from repro.obs import summarize_trace
+
+        try:
+            print(summarize_trace(trace))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    # chrome conversion
+    from repro.obs import chrome_trace_from_dict
+
+    out = args.out
+    if out is None:
+        base = args.path[:-5] if args.path.endswith(".json") else args.path
+        out = base + ".chrome.json"
+    try:
+        doc = chrome_trace_from_dict(trace)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    print(f"chrome trace written to {out}")
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     """``repro reproduce``: quick regeneration of the paper's core results."""
     from repro.experiments import reproduce_all
@@ -337,6 +447,7 @@ def main(argv=None) -> int:
         "scaling": cmd_scaling,
         "convergence": cmd_convergence,
         "meshes": cmd_meshes,
+        "trace": cmd_trace,
         "reproduce": cmd_reproduce,
     }[args.command]
     return handler(args)

@@ -161,6 +161,7 @@ def solve_cantilever(
     problem: CantileverProblem | int,
     n_parts: int = 1,
     options: SolverOptions | None = None,
+    tracer=None,
     **kwargs,
 ) -> ParallelSolveSummary:
     """Solve a cantilever problem with the chosen decomposition.
@@ -176,6 +177,11 @@ def solve_cantilever(
         preconditioner spec, restart/tol/max_iter, partitioner, kernel and
         communicator backends, orthogonalization and the elastodynamics
         shift.  Defaults to ``SolverOptions()`` (enhanced EDD, GLS(7)).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records the setup / solve /
+        verify phases, per-step solver spans, exchange spans and a
+        per-iteration metrics stream, attached to the returned summary as
+        ``summary.result.trace``.
     **kwargs:
         Deprecated: the former per-knob keywords (``method=``,
         ``precond=``, ...) are folded into ``options`` with a one-time
@@ -184,9 +190,9 @@ def solve_cantilever(
     options = _resolve_options(options, kwargs)
     from repro.core.session import PreparedSystem
 
-    prepared = PreparedSystem.build(problem, n_parts, options)
+    prepared = PreparedSystem.build(problem, n_parts, options, tracer=tracer)
     try:
-        return prepared.solve()
+        return prepared.solve(tracer=tracer)
     finally:
         prepared.close()
 

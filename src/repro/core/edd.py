@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.distributed import DistBlock, DistVector, EDDSystem
+from repro.obs.tracer import NULL_TRACER
 from repro.precond.base import PolynomialPreconditioner
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
@@ -83,6 +84,7 @@ def edd_fgmres(
     breakdown_tol: float = 1e-14,
     orthogonalization: str = "cgs",
     options=None,
+    tracer=None,
 ) -> SolveResult:
     """Solve the scaled EDD system; returns the *unscaled* global solution.
 
@@ -99,6 +101,12 @@ def edd_fgmres(
     ``orthogonalization``, the variant (from ``options.method``) and, if
     ``precond`` is None, the preconditioner parsed from
     ``options.precond``.
+
+    ``tracer`` — a :class:`repro.obs.Tracer` — records per-cycle /
+    per-Arnoldi-step spans, a per-iteration metrics stream with
+    CommStats deltas, and (via ``system.comm``) the exchange spans the
+    claim-3 invariant counts.  ``None`` (the default) costs one hoisted
+    bool check per instrumentation site.
     """
     if options is not None:
         restart = options.restart
@@ -140,11 +148,20 @@ def edd_fgmres(
     restarts = 0
     converged = False
     beta = norm_b0
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
+    if traced:
+        stats = system.comm.stats
+        last_msgs = stats.total_nbr_messages
+        last_words = stats.total_nbr_words
+        last_reds = stats.max_reductions
     # Reusable CGS coefficient workspace (rank-partials per basis vector);
     # sized once for the whole solve instead of per Arnoldi step.
     partial_buf = np.empty((restart, system.n_parts))
     while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=restarts)
         v_loc = [(1.0 / beta) * r_loc]
         v_hat = [(1.0 / beta) * r_hat]
         z_hat: list = []
@@ -152,17 +169,28 @@ def edd_fgmres(
         broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j)
+                trc.begin("precond_apply", "solver")
             z = _precondition(system, precond, v_hat[j])
+            if traced:
+                trc.end()
             if basic:
                 # Exchange 1 of 3: Algorithm 5's statement 14 re-assembles
                 # the preconditioned vector (Algorithm 6 keeps it in global
                 # distributed format and skips this).
                 z = system.assemble(system.localize(z))
             z_hat.append(z)
+            if traced:
+                trc.begin("matvec", "solver")
             w_loc = system.matvec_local(z)
+            if traced:
+                trc.end()
             w_hat = system.assemble(w_loc)  # the enhanced variant's only exchange
 
             h = np.empty(j + 2)
+            if traced:
+                trc.begin("orthogonalize", "solver")
             if orthogonalization == "cgs":
                 # Classical Gram-Schmidt (the paper's listings): all
                 # coefficients from the unmodified w via the mixed-format
@@ -216,16 +244,39 @@ def edd_fgmres(
                 w_hat = system.assemble(system.localize(w_hat))
             norm_sq = system.dot(w_loc, w_hat)
             h[j + 1] = np.sqrt(max(norm_sq, 0.0))
+            if traced:
+                trc.end()  # orthogonalize
             if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                if traced:
+                    trc.end()  # arnoldi_step
                 break
+            if traced:
+                trc.begin("givens_update", "solver")
             res = lsq.append_column(h)
+            if traced:
+                trc.end()
             total_iters += 1
             history.append(res / norm_b0)
+            if traced:
+                m_now = stats.total_nbr_messages
+                w_now = stats.total_nbr_words
+                r_now = stats.max_reductions
+                trc.metric(
+                    iteration=total_iters, rel_res=res / norm_b0,
+                    nbr_messages=m_now - last_msgs,
+                    nbr_words=w_now - last_words,
+                    reductions=r_now - last_reds,
+                )
+                last_msgs, last_words, last_reds = m_now, w_now, r_now
             if not monitor.check_divergence(res / norm_b0, total_iters):
+                if traced:
+                    trc.end()
                 break
             if res / norm_b0 <= tol:
                 converged = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             if h[j + 1] <= breakdown_tol:
                 # Possible happy breakdown — the recomputed true residual
@@ -234,10 +285,14 @@ def edd_fgmres(
                 monitor.note_breakdown(float(h[j + 1]), total_iters)
                 broke_down = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             v_loc.append((1.0 / h[j + 1]) * w_loc)
             v_hat.append((1.0 / h[j + 1]) * w_hat)
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
         y = lsq.solve()
         for i, yi in enumerate(y):
             x_hat = x_hat + float(yi) * z_hat[i]
@@ -245,8 +300,13 @@ def edd_fgmres(
         r_hat = system.assemble(r_loc)
         beta = np.sqrt(max(system.dot(r_loc, r_hat), 0.0))
         if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            if traced:
+                trc.end()  # cycle
             break
         true_rel = beta / norm_b0
+        if traced:
+            trc.metric(iteration=total_iters, true_rel=true_rel,
+                       cycle=restarts)
         if true_rel <= tol:
             converged = True
         elif converged:
@@ -258,6 +318,8 @@ def edd_fgmres(
             monitor.confirm_breakdown(true_rel, total_iters)
         if not converged:
             monitor.cycle_end(true_rel, total_iters)
+        if traced:
+            trc.end(true_rel=true_rel)  # cycle
 
     # Unscale on the way out (Algorithm 4, step 5): u = D x.
     u_hat = DistVector(
@@ -288,6 +350,7 @@ def edd_fgmres_block(
     breakdown_tol: float = 1e-14,
     orthogonalization: str = "cgs",
     options=None,
+    tracer=None,
 ) -> list:
     """Batched multi-RHS EDD-FGMRES: solve the scaled system for all ``k``
     columns of ``b`` simultaneously; returns one :class:`SolveResult` per
@@ -378,8 +441,14 @@ def edd_fgmres_block(
     beta_arr = norm_b0
     # Reusable CGS coefficient workspace (basis vector x rank x column).
     partial_buf = np.empty((restart, n_parts, k))
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
+    cycle_no = 0
 
     while active:
+        cycle_no += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=cycle_no, k=len(active))
         participants = list(active)
         sel = [r_cols.index(c) for c in participants]
         if sel != list(range(len(r_cols))):
@@ -431,14 +500,25 @@ def edd_fgmres_block(
             if not cols:
                 break
             ka = len(cols)
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j, k=ka)
+                trc.begin("precond_apply", "solver")
             z = _precondition_block(system, precond, v_hat[j])
+            if traced:
+                trc.end()
             if basic:
                 z = system.assemble_block(system.localize_block(z))
             z_blk.append(z)
+            if traced:
+                trc.begin("matvec", "solver")
             w_loc = system.matvec_local_block(z)
+            if traced:
+                trc.end()
             w_hat = system.assemble_block(w_loc)
 
             hblk = np.empty((j + 2, ka))
+            if traced:
+                trc.begin("orthogonalize", "solver")
             if orthogonalization == "cgs":
                 partial = partial_buf[: j + 1, :, :ka]
 
@@ -482,6 +562,9 @@ def edd_fgmres_block(
                 w_hat = system.assemble_block(system.localize_block(w_hat))
             norm_sq = system.dot_block(w_loc, w_hat)
             hblk[j + 1] = np.sqrt(np.maximum(norm_sq, 0.0))
+            if traced:
+                trc.end()  # orthogonalize
+                trc.begin("givens_update", "solver")
 
             exits: list = []
             for pos in range(ka):
@@ -505,12 +588,16 @@ def edd_fgmres_block(
                     mon.note_breakdown(float(hblk[j + 1, pos]), iters[c])
                     broke[c] = True
                     exits.append(pos)
+            if traced:
+                trc.end()  # givens_update
 
             if exits:
                 keep = [p for p in range(ka) if p not in exits]
                 for p in reversed(exits):
                     exit_column(p)
                 if not cols:
+                    if traced:
+                        trc.end()  # arnoldi_step
                     break
                 w_loc = w_loc.take_cols(keep)
                 w_hat = w_hat.take_cols(keep)
@@ -520,6 +607,8 @@ def edd_fgmres_block(
             v_loc.append(w_loc.scale_cols(1.0 / h_next))
             v_hat.append(w_hat.scale_cols(1.0 / h_next))
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
 
         # Solution update for the columns that rode out the full cycle (all
         # share the same Krylov dimension, so one batched update suffices).
@@ -568,6 +657,8 @@ def edd_fgmres_block(
             c for c in participants
             if not (converged[c] or monitors[c].fatal or iters[c] >= max_iter)
         ]
+        if traced:
+            trc.end()  # cycle
 
     # Unscale on the way out (Algorithm 4, step 5): u = D x, per column.
     u_blk = DistBlock(

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.fem.bc import DirichletBC
 from repro.fem.mesh import Mesh
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.comm import Comm, make_comm
 from repro.partition.interface import SubdomainMap
 from repro.partition.node_partition import NodePartition
@@ -492,6 +493,7 @@ def rdd_fgmres(
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
     options=None,
+    tracer=None,
 ) -> SolveResult:
     """Algorithm 8: restarted FGMRES on the row-partitioned scaled system.
 
@@ -537,18 +539,38 @@ def rdd_fgmres(
     restarts = 0
     converged = False
     beta = norm_b0
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
+    if traced:
+        stats = comm.stats
+        last_msgs = stats.total_nbr_messages
+        last_words = stats.total_nbr_words
+        last_reds = stats.max_reductions
     while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=restarts)
         v = [_scale_parts(comm, 1.0 / beta, r)]
         z_store: list = []
         lsq = GivensLSQ(restart, beta)
         broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j)
+                trc.begin("precond_apply", "solver")
             z = _precondition_rdd(system, precond, v[j])
+            if traced:
+                trc.end()
             z_store.append(z)
+            if traced:
+                trc.begin("matvec", "solver")
             w = system.matvec(z)
+            if traced:
+                trc.end()
             h = np.empty(j + 2)
+            if traced:
+                trc.begin("orthogonalize", "solver")
             partial = np.zeros((j + 1, p))
             n_local = sum(len(wr) for wr in w)
 
@@ -575,16 +597,39 @@ def rdd_fgmres(
             comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
             w = new_w
             h[j + 1] = np.sqrt(max(system.dot(w, w), 0.0))
+            if traced:
+                trc.end()  # orthogonalize
             if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                if traced:
+                    trc.end()  # arnoldi_step
                 break
+            if traced:
+                trc.begin("givens_update", "solver")
             res = lsq.append_column(h)
+            if traced:
+                trc.end()
             total_iters += 1
             history.append(res / norm_b0)
+            if traced:
+                m_now = stats.total_nbr_messages
+                w_now = stats.total_nbr_words
+                r_now = stats.max_reductions
+                trc.metric(
+                    iteration=total_iters, rel_res=res / norm_b0,
+                    nbr_messages=m_now - last_msgs,
+                    nbr_words=w_now - last_words,
+                    reductions=r_now - last_reds,
+                )
+                last_msgs, last_words, last_reds = m_now, w_now, r_now
             if not monitor.check_divergence(res / norm_b0, total_iters):
+                if traced:
+                    trc.end()
                 break
             if res / norm_b0 <= tol:
                 converged = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             if h[j + 1] <= breakdown_tol:
                 # Possible happy breakdown — confirmed by the recomputed
@@ -592,9 +637,13 @@ def rdd_fgmres(
                 monitor.note_breakdown(float(h[j + 1]), total_iters)
                 broke_down = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             v.append(_scale_parts(comm, 1.0 / h[j + 1], w))
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
         y = lsq.solve()
         for i, yi in enumerate(y):
             x = _axpy_parts(comm, x, float(yi), z_store[i])
@@ -602,8 +651,13 @@ def rdd_fgmres(
         r = _axpy_parts(comm, b, -1.0, ax)
         beta = np.sqrt(system.dot(r, r))
         if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            if traced:
+                trc.end()  # cycle
             break
         true_rel = beta / norm_b0
+        if traced:
+            trc.metric(iteration=total_iters, true_rel=true_rel,
+                       cycle=restarts)
         if true_rel <= tol:
             converged = True
         elif converged:
@@ -612,6 +666,8 @@ def rdd_fgmres(
             monitor.confirm_breakdown(true_rel, total_iters)
         if not converged:
             monitor.cycle_end(true_rel, total_iters)
+        if traced:
+            trc.end(true_rel=true_rel)  # cycle
 
     u = np.zeros(system.n_global)
     for o, xs, ds in zip(system.own, x, system.d):
@@ -636,6 +692,7 @@ def rdd_fgmres_block(
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
     options=None,
+    tracer=None,
 ) -> list:
     """Batched multi-RHS Algorithm 8: solve for all ``k`` columns of ``b``
     simultaneously; returns one :class:`SolveResult` per column (unscaled
@@ -702,8 +759,14 @@ def rdd_fgmres_block(
     r_cols = list(range(k))
     beta_arr = norm_b0
     partial_buf = np.empty((restart, p, k))
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
+    cycle_no = 0
 
     while active:
+        cycle_no += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=cycle_no, k=len(active))
         participants = list(active)
         sel = [r_cols.index(c) for c in participants]
         if sel != list(range(len(r_cols))):
@@ -748,11 +811,22 @@ def rdd_fgmres_block(
             if not cols:
                 break
             ka = len(cols)
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j, k=ka)
+                trc.begin("precond_apply", "solver")
             z = _precondition_rdd_block(system, precond, v[j])
+            if traced:
+                trc.end()
             z_store.append(z)
+            if traced:
+                trc.begin("matvec", "solver")
             w = system.matvec_block(z)
+            if traced:
+                trc.end()
 
             hblk = np.empty((j + 2, ka))
+            if traced:
+                trc.begin("orthogonalize", "solver")
             partial = partial_buf[: j + 1, :, :ka]
 
             def dots_body(r: int) -> None:
@@ -780,6 +854,9 @@ def rdd_fgmres_block(
             comm.run_ranks(ortho_body, work=2 * (j + 1) * n_rows * ka)
             w = new_w
             hblk[j + 1] = np.sqrt(np.maximum(system.dot_block(w, w), 0.0))
+            if traced:
+                trc.end()  # orthogonalize
+                trc.begin("givens_update", "solver")
 
             exits: list = []
             for pos in range(ka):
@@ -803,12 +880,16 @@ def rdd_fgmres_block(
                     mon.note_breakdown(float(hblk[j + 1, pos]), iters[c])
                     broke[c] = True
                     exits.append(pos)
+            if traced:
+                trc.end()  # givens_update
 
             if exits:
                 keep = [q for q in range(ka) if q not in exits]
                 for q in reversed(exits):
                     exit_column(q)
                 if not cols:
+                    if traced:
+                        trc.end()  # arnoldi_step
                     break
                 w = _take_cols_parts(w, keep)
                 h_next = hblk[j + 1, np.asarray(keep)]
@@ -816,6 +897,8 @@ def rdd_fgmres_block(
                 h_next = hblk[j + 1]
             v.append(_scale_cols_parts(comm, 1.0 / h_next, w))
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
 
         if cols:
             ys = [lsqs[c].solve() for c in cols]
@@ -859,6 +942,8 @@ def rdd_fgmres_block(
             c for c in participants
             if not (converged[c] or monitors[c].fatal or iters[c] >= max_iter)
         ]
+        if traced:
+            trc.end()  # cycle
 
     u_full = np.zeros((system.n_global, k))
     for o, xs, ds in zip(system.own, x_blk, system.d):

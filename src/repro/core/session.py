@@ -39,6 +39,7 @@ from repro.core.edd import edd_fgmres, edd_fgmres_block
 from repro.core.options import SolverOptions
 from repro.core.rdd import build_rdd_system, rdd_fgmres, rdd_fgmres_block
 from repro.fem.cantilever import CantileverProblem, cantilever_problem
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.machine import MachineModel, modeled_time
 from repro.parallel.stats import CommStats
 from repro.partition.element_partition import ElementPartition
@@ -91,6 +92,7 @@ class BatchSolveSummary:
     wall_time: float = field(default=0.0, compare=False)
     setup_time: float = field(default=0.0, compare=False)
     true_residuals: list = field(default_factory=list, compare=False)
+    trace: dict | None = field(default=None, compare=False)
 
     @property
     def all_converged(self) -> bool:
@@ -108,7 +110,7 @@ class BatchSolveSummary:
 
     def to_dict(self, include_x: bool = False) -> dict:
         """JSON-serializable summary (consumed by the CLI and benchmarks)."""
-        return {
+        out = {
             "method": self.method,
             "precond": self.precond_name,
             "n_parts": self.n_parts,
@@ -121,6 +123,9 @@ class BatchSolveSummary:
             "stats": self.stats.to_dict(),
             "options": None if self.options is None else self.options.to_dict(),
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
 
 class PreparedSystem:
@@ -159,69 +164,108 @@ class PreparedSystem:
         problem: CantileverProblem | int,
         n_parts: int = 1,
         options: SolverOptions | None = None,
+        tracer=None,
     ) -> "PreparedSystem":
-        """Run the full setup pipeline (timed into ``setup_time``)."""
+        """Run the full setup pipeline (timed into ``setup_time``).
+
+        ``tracer`` — optional :class:`repro.obs.Tracer`; records a
+        ``setup`` phase span with ``partition`` / ``assemble`` /
+        ``precond_build`` children.
+        """
         options = options if options is not None else SolverOptions()
+        trc = tracer if tracer is not None else NULL_TRACER
+        traced = trc.enabled
         with _backend_ctx(options.kernel_backend):
             t0 = time.perf_counter()
+            if traced:
+                trc.begin("setup", "phase", n_parts=n_parts,
+                          method=options.method)
             if isinstance(problem, int):
                 problem = cantilever_problem(problem, with_mass=options.dynamic)
             if options.dynamic and problem.mass is None:
+                if traced:
+                    trc.end()
                 raise ValueError(
                     "dynamic solve requires a problem built with_mass=True"
                 )
-            pc = make_preconditioner(options.precond)
-            if pc == BJ_ILU0_MARKER and options.method != "rdd":
-                raise ValueError(
-                    "bj-ilu0 is a local (assembled-block) preconditioner; it "
-                    "only applies to the rdd method"
+            try:
+                if traced:
+                    trc.begin("precond_build", "phase")
+                pc = make_preconditioner(options.precond)
+                if traced:
+                    trc.end()
+                if pc == BJ_ILU0_MARKER and options.method != "rdd":
+                    raise ValueError(
+                        "bj-ilu0 is a local (assembled-block) preconditioner; "
+                        "it only applies to the rdd method"
+                    )
+                pc_name = pc.name if pc is not None and pc != BJ_ILU0_MARKER else (
+                    "BJ-ILU0" if pc == BJ_ILU0_MARKER else "I"
                 )
-            pc_name = pc.name if pc is not None and pc != BJ_ILU0_MARKER else (
-                "BJ-ILU0" if pc == BJ_ILU0_MARKER else "I"
-            )
-            method = options.method
+                method = options.method
 
-            if method in ("edd-basic", "edd-enhanced"):
-                epart = ElementPartition.build(
-                    problem.mesh, n_parts, options.partition_method
-                )
-                shift = options.mass_shift if options.dynamic else None
-                f_full = problem.bc.expand(problem.load)
-                system = build_edd_system(
-                    problem.mesh,
-                    problem.material,
-                    problem.bc,
-                    epart,
-                    f_full,
-                    mass_shift=shift,
-                    comm_backend=options.comm_backend,
-                )
-            elif method == "rdd":
-                npart = NodePartition.build(
-                    problem.mesh, n_parts, options.partition_method
-                )
-                if options.dynamic:
-                    from repro.core.driver import _combine
+                if method in ("edd-basic", "edd-enhanced"):
+                    if traced:
+                        trc.begin("partition", "phase")
+                    epart = ElementPartition.build(
+                        problem.mesh, n_parts, options.partition_method
+                    )
+                    if traced:
+                        trc.end()
+                        trc.begin("assemble", "phase")
+                    shift = options.mass_shift if options.dynamic else None
+                    f_full = problem.bc.expand(problem.load)
+                    system = build_edd_system(
+                        problem.mesh,
+                        problem.material,
+                        problem.bc,
+                        epart,
+                        f_full,
+                        mass_shift=shift,
+                        comm_backend=options.comm_backend,
+                    )
+                    if traced:
+                        trc.end()
+                elif method == "rdd":
+                    if traced:
+                        trc.begin("partition", "phase")
+                    npart = NodePartition.build(
+                        problem.mesh, n_parts, options.partition_method
+                    )
+                    if traced:
+                        trc.end()
+                        trc.begin("assemble", "phase")
+                    if options.dynamic:
+                        from repro.core.driver import _combine
 
-                    alpha, beta = options.mass_shift
-                    k = _combine(problem.stiffness, problem.mass, beta, alpha)
-                else:
-                    k = problem.stiffness
-                system = build_rdd_system(
-                    problem.mesh,
-                    problem.bc,
-                    npart,
-                    k,
-                    problem.load,
-                    comm_backend=options.comm_backend,
-                )
-                if pc == BJ_ILU0_MARKER:
-                    from repro.precond.block_jacobi import BlockJacobiILU
+                        alpha, beta = options.mass_shift
+                        k = _combine(problem.stiffness, problem.mass, beta, alpha)
+                    else:
+                        k = problem.stiffness
+                    system = build_rdd_system(
+                        problem.mesh,
+                        problem.bc,
+                        npart,
+                        k,
+                        problem.load,
+                        comm_backend=options.comm_backend,
+                    )
+                    if traced:
+                        trc.end()
+                    if pc == BJ_ILU0_MARKER:
+                        from repro.precond.block_jacobi import BlockJacobiILU
 
-                    pc = BlockJacobiILU(system)
-                    pc_name = pc.name
-            else:  # pragma: no cover - SolverOptions validates upstream
-                raise ValueError(f"unknown method {method!r}")
+                        if traced:
+                            trc.begin("precond_build", "phase")
+                        pc = BlockJacobiILU(system)
+                        if traced:
+                            trc.end()
+                        pc_name = pc.name
+                else:  # pragma: no cover - SolverOptions validates upstream
+                    raise ValueError(f"unknown method {method!r}")
+            finally:
+                if traced:
+                    trc.end()  # setup
             setup_time = time.perf_counter() - t0
         return cls(problem, n_parts, options, system, pc, pc_name, setup_time)
 
@@ -251,29 +295,62 @@ class PreparedSystem:
         self,
         options: SolverOptions | None = None,
         setup_time: float | None = None,
+        tracer=None,
     ):
         """One single-RHS solve (the system's baked-in load vector);
         returns a :class:`~repro.core.driver.ParallelSolveSummary`.
 
         ``setup_time`` overrides the summary's reported setup cost (a
         session cache hit reports ~0); defaults to this system's build
-        time.
+        time.  ``tracer`` — optional :class:`repro.obs.Tracer`; the
+        communicator emits exchange spans into it for the duration of
+        this solve, and the finished trace is attached as
+        ``result.trace``.
         """
         from repro.core.driver import ParallelSolveSummary, _verify_solution
 
         opts = self._merge_options(options)
         comm = self.system.comm
         comm.reset_stats()
-        with _backend_ctx(opts.kernel_backend):
-            t0 = time.perf_counter()
-            if self.options.method == "rdd":
-                result = rdd_fgmres(self.system, self.pc, options=opts)
-            else:
-                result = edd_fgmres(self.system, self.pc, options=opts)
-            wall = time.perf_counter() - t0
-        true_rel = _verify_solution(
-            self.problem, opts, result, a=self.verify_operator()
-        )
+        trc = tracer if tracer is not None else NULL_TRACER
+        traced = trc.enabled
+        if traced:
+            trc.meta.update(
+                method=opts.method,
+                precond=self.pc_name,
+                n_parts=self.n_parts,
+                n_rhs=1,
+                comm_backend=comm.backend_name,
+            )
+            comm.set_tracer(trc)
+        try:
+            with _backend_ctx(opts.kernel_backend):
+                if traced:
+                    trc.begin("solve", "phase")
+                t0 = time.perf_counter()
+                if self.options.method == "rdd":
+                    result = rdd_fgmres(
+                        self.system, self.pc, options=opts, tracer=tracer
+                    )
+                else:
+                    result = edd_fgmres(
+                        self.system, self.pc, options=opts, tracer=tracer
+                    )
+                wall = time.perf_counter() - t0
+                if traced:
+                    trc.end(iterations=result.iterations)
+            if traced:
+                trc.begin("verify", "phase")
+            true_rel = _verify_solution(
+                self.problem, opts, result, a=self.verify_operator()
+            )
+            if traced:
+                trc.end(true_residual=true_rel)
+        finally:
+            if traced:
+                comm.set_tracer(None)
+        if traced:
+            result.trace = trc.to_dict()
         return ParallelSolveSummary(
             result=result,
             stats=comm.stats.snapshot(),
@@ -292,12 +369,14 @@ class PreparedSystem:
         b_block: np.ndarray,
         options: SolverOptions | None = None,
         setup_time: float | None = None,
+        tracer=None,
     ) -> BatchSolveSummary:
         """Solve for every column of ``b_block`` (``(n_free, k)`` raw
         right-hand sides) through the batched block solvers: one SpMM-based
         Arnoldi recurrence, one coalesced exchange per step for all ``k``
         columns.  Each column is verified against the cached serial
-        operator exactly as single solves are."""
+        operator exactly as single solves are.  ``tracer`` records one
+        shared trace for the whole batch, attached as ``summary.trace``."""
         from repro.core.driver import _verify_residual
 
         opts = self._merge_options(options)
@@ -306,22 +385,47 @@ class PreparedSystem:
             b_block = b_block.reshape(-1, 1)
         comm = self.system.comm
         comm.reset_stats()
-        with _backend_ctx(opts.kernel_backend):
-            t0 = time.perf_counter()
-            if self.options.method == "rdd":
-                results = rdd_fgmres_block(
-                    self.system, b_block, self.pc, options=opts
-                )
-            else:
-                results = edd_fgmres_block(
-                    self.system, b_block, self.pc, options=opts
-                )
-            wall = time.perf_counter() - t0
-        a = self.verify_operator()
-        rels = [
-            _verify_residual(a, b_block[:, c], opts, res)
-            for c, res in enumerate(results)
-        ]
+        trc = tracer if tracer is not None else NULL_TRACER
+        traced = trc.enabled
+        if traced:
+            trc.meta.update(
+                method=opts.method,
+                precond=self.pc_name,
+                n_parts=self.n_parts,
+                n_rhs=int(b_block.shape[1]),
+                comm_backend=comm.backend_name,
+            )
+            comm.set_tracer(trc)
+        try:
+            with _backend_ctx(opts.kernel_backend):
+                if traced:
+                    trc.begin("solve", "phase")
+                t0 = time.perf_counter()
+                if self.options.method == "rdd":
+                    results = rdd_fgmres_block(
+                        self.system, b_block, self.pc, options=opts,
+                        tracer=tracer,
+                    )
+                else:
+                    results = edd_fgmres_block(
+                        self.system, b_block, self.pc, options=opts,
+                        tracer=tracer,
+                    )
+                wall = time.perf_counter() - t0
+                if traced:
+                    trc.end()
+            if traced:
+                trc.begin("verify", "phase")
+            a = self.verify_operator()
+            rels = [
+                _verify_residual(a, b_block[:, c], opts, res)
+                for c, res in enumerate(results)
+            ]
+            if traced:
+                trc.end()
+        finally:
+            if traced:
+                comm.set_tracer(None)
         return BatchSolveSummary(
             results=results,
             stats=comm.stats.snapshot(),
@@ -334,6 +438,7 @@ class PreparedSystem:
             wall_time=wall,
             setup_time=self.setup_time if setup_time is None else setup_time,
             true_residuals=rels,
+            trace=trc.to_dict() if traced else None,
         )
 
     def close(self) -> None:
@@ -373,6 +478,7 @@ class SolveSession:
         problem: CantileverProblem | int,
         n_parts: int,
         options: SolverOptions | None,
+        tracer=None,
     ) -> tuple:
         options = options if options is not None else SolverOptions()
         pkey = (
@@ -386,7 +492,7 @@ class SolveSession:
             self.hits += 1
             return ps, True, options
         self.misses += 1
-        ps = PreparedSystem.build(problem, n_parts, options)
+        ps = PreparedSystem.build(problem, n_parts, options, tracer=tracer)
         self._cache[key] = ps
         return ps, False, options
 
@@ -406,11 +512,15 @@ class SolveSession:
         problem: CantileverProblem | int,
         n_parts: int = 1,
         options: SolverOptions | None = None,
+        tracer=None,
     ):
         """Single-RHS solve through the cache; ``setup_time`` on the
-        summary is 0 on a hit."""
-        ps, hit, options = self._lookup(problem, n_parts, options)
-        return ps.solve(options, setup_time=0.0 if hit else ps.setup_time)
+        summary is 0 on a hit.  A cache hit's trace has no ``setup``
+        phase span (there was no setup)."""
+        ps, hit, options = self._lookup(problem, n_parts, options, tracer)
+        return ps.solve(
+            options, setup_time=0.0 if hit else ps.setup_time, tracer=tracer
+        )
 
     def solve_batch(
         self,
@@ -418,11 +528,15 @@ class SolveSession:
         b_block: np.ndarray,
         n_parts: int = 1,
         options: SolverOptions | None = None,
+        tracer=None,
     ) -> BatchSolveSummary:
         """Multi-RHS solve through the cache; ``setup_time`` on the
         summary is 0 on a hit."""
-        ps, hit, options = self._lookup(problem, n_parts, options)
-        return ps.solve_batch(b_block, options, setup_time=0.0 if hit else ps.setup_time)
+        ps, hit, options = self._lookup(problem, n_parts, options, tracer)
+        return ps.solve_batch(
+            b_block, options, setup_time=0.0 if hit else ps.setup_time,
+            tracer=tracer,
+        )
 
     def close(self) -> None:
         """Close every cached prepared system and empty the cache
@@ -444,6 +558,7 @@ def solve_cantilever_batch(
     n_parts: int = 1,
     options: SolverOptions | None = None,
     session: SolveSession | None = None,
+    tracer=None,
 ) -> BatchSolveSummary:
     """Solve a cantilever problem for ``k`` right-hand sides at once.
 
@@ -452,12 +567,14 @@ def solve_cantilever_batch(
     DOFs.  Setup (partition, assembly, scaling, preconditioner) runs once
     for the whole batch; the block solvers then carry all ``k`` columns
     through a shared Arnoldi recurrence with coalesced exchanges.  Pass a
-    :class:`SolveSession` to also reuse setup *across* calls.
+    :class:`SolveSession` to also reuse setup *across* calls, and a
+    :class:`repro.obs.Tracer` to record the setup/solve/verify timeline
+    (attached as ``summary.trace``).
     """
     if session is not None:
-        return session.solve_batch(problem, b_block, n_parts, options)
-    ps = PreparedSystem.build(problem, n_parts, options)
+        return session.solve_batch(problem, b_block, n_parts, options, tracer)
+    ps = PreparedSystem.build(problem, n_parts, options, tracer=tracer)
     try:
-        return ps.solve_batch(b_block)
+        return ps.solve_batch(b_block, tracer=tracer)
     finally:
         ps.close()

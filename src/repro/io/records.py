@@ -37,6 +37,11 @@ class RunRecord:
     diagnostics:
         Solver anomaly events as plain dicts (``iteration``/``kind``/
         ``detail``); empty for a clean run.
+    trace:
+        The run's ``repro-trace/1`` observability export
+        (:meth:`repro.obs.Tracer.to_dict`) when it was traced; None
+        otherwise.  Stripped from the saved JSON when None, so untraced
+        record files are unchanged.
     """
 
     label: str
@@ -58,6 +63,7 @@ class RunRecord:
     setup_time: float = 0.0
     true_residual: float = float("nan")
     diagnostics: tuple = ()
+    trace: dict | None = None
 
 
 def record_from_summary(
@@ -93,14 +99,66 @@ def record_from_summary(
         setup_time=payload.get("setup_time", 0.0),
         true_residual=payload.get("true_residual", float("nan")),
         diagnostics=tuple(result.get("diagnostics", ())),
+        trace=result.get("trace"),
     )
 
 
+def records_from_batch(summary, label: str, n_eqn: int) -> list:
+    """Flatten a :class:`repro.core.session.BatchSolveSummary` into one
+    :class:`RunRecord` per right-hand-side column.
+
+    Column ``c`` gets label ``"{label}/rhs{c}"`` and its own convergence
+    outcome and true residual; the communication counters and wall/setup
+    times are the *shared* batch totals, repeated on every record (the
+    point of the batched path is that they do not scale with ``k``).  The
+    batch's shared trace, when present, rides on column 0 only.
+    """
+    payload = summary.to_dict()
+    stats = payload["stats"]
+    trace = payload.get("trace")
+    records = []
+    for c, result in enumerate(payload["results"]):
+        true_rels = payload["true_residuals"]
+        records.append(
+            RunRecord(
+                label=f"{label}/rhs{c}",
+                method=payload["method"],
+                precond=payload["precond"],
+                n_parts=payload["n_parts"],
+                n_eqn=int(n_eqn),
+                iterations=result["iterations"],
+                converged=result["converged"],
+                final_residual=result["final_residual"],
+                total_flops=stats["total_flops"],
+                max_flops=stats["max_flops"],
+                nbr_messages=stats["total_nbr_messages"],
+                nbr_words=stats["total_nbr_words"],
+                reductions=stats["max_reductions"],
+                modeled_times={
+                    key: modeled_time(summary.stats, machine)
+                    for key, machine in MACHINES.items()
+                },
+                comm_backend=payload["comm_backend"],
+                wall_time=payload["wall_time"],
+                setup_time=payload.get("setup_time", 0.0),
+                true_residual=(
+                    true_rels[c] if c < len(true_rels) else float("nan")
+                ),
+                diagnostics=tuple(result.get("diagnostics", ())),
+                trace=trace if c == 0 else None,
+            )
+        )
+    return records
+
+
 def save_records(records, path) -> None:
-    """Write records to a JSON file."""
+    """Write records to a JSON file (``trace: None`` is stripped so
+    untraced record files keep their historical schema)."""
     payload = [asdict(r) for r in records]
     for item in payload:
         item["diagnostics"] = list(item["diagnostics"])
+        if item.get("trace") is None:
+            item.pop("trace", None)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
 

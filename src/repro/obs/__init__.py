@@ -1,0 +1,31 @@
+"""Observability: span tracing, per-iteration metrics, comm timelines.
+
+See docs/OBSERVABILITY.md for the span vocabulary, the
+``repro-trace/1`` schema, and the Perfetto how-to.
+"""
+
+from repro.obs.invariants import (
+    EXPECTED_EXCHANGES,
+    exchanges_per_step,
+    verify_exchange_invariant,
+)
+from repro.obs.summary import summarize_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_from_dict,
+    timed_rank_body,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "chrome_trace_from_dict",
+    "timed_rank_body",
+    "exchanges_per_step",
+    "verify_exchange_invariant",
+    "EXPECTED_EXCHANGES",
+    "summarize_trace",
+]

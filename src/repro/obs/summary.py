@@ -1,0 +1,120 @@
+"""Human-readable summaries of recorded traces (``repro trace summarize``)."""
+
+from __future__ import annotations
+
+from repro.obs.invariants import exchanges_per_step
+from repro.obs.tracer import TRACE_SCHEMA
+from repro.reporting.tables import format_table
+
+__all__ = ["summarize_trace", "phase_durations", "span_rollup"]
+
+
+def _fmt_s(seconds):
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def phase_durations(trace):
+    """Top-level phase name -> total duration (depth-0/1 ``phase`` spans)."""
+    phases = {}
+    for span in trace["spans"]:
+        if span["cat"] == "phase":
+            parent = span["parent"]
+            # Only outermost phases (setup/solve/verify) and setup's
+            # direct children; nested re-entries roll into their parent.
+            if parent == -1 or trace["spans"][parent]["cat"] == "phase":
+                phases.setdefault(span["name"], 0.0)
+                phases[span["name"]] += span["dur"]
+    return phases
+
+
+def span_rollup(trace):
+    """(cat, name) -> dict(count, total_s, words, messages) over all spans."""
+    rollup = {}
+    for span in trace["spans"]:
+        key = (span["cat"], span["name"])
+        entry = rollup.setdefault(
+            key, {"count": 0, "total_s": 0.0, "words": 0, "messages": 0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span["dur"]
+        args = span["args"]
+        entry["words"] += int(args.get("words", 0))
+        entry["messages"] += int(args.get("messages", 0))
+    return rollup
+
+
+def summarize_trace(trace):
+    """Render a multi-section plain-text report for one trace document."""
+    if trace.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"not a {TRACE_SCHEMA} document: {trace.get('schema')!r}"
+        )
+    sections = []
+
+    meta = trace.get("meta", {})
+    if meta:
+        sections.append(format_table(
+            ["key", "value"], sorted(meta.items()), title="Run metadata"
+        ))
+
+    phases = phase_durations(trace)
+    if phases:
+        order = ["setup", "partition", "assemble", "precond_build",
+                 "solve", "verify"]
+        rows = [(name, _fmt_s(phases[name]))
+                for name in order if name in phases]
+        rows += [(name, _fmt_s(dur)) for name, dur in sorted(phases.items())
+                 if name not in order]
+        sections.append(format_table(
+            ["phase", "total"], rows, title="Phase breakdown"
+        ))
+
+    rollup = span_rollup(trace)
+    rows = []
+    for (cat, name), entry in sorted(
+        rollup.items(), key=lambda kv: -kv[1]["total_s"]
+    ):
+        rows.append((
+            cat, name, entry["count"], _fmt_s(entry["total_s"]),
+            entry["messages"] or "-", entry["words"] or "-",
+        ))
+    if rows:
+        sections.append(format_table(
+            ["cat", "span", "count", "total", "messages", "words"],
+            rows, title="Span rollup (by total time)",
+        ))
+
+    steps = exchanges_per_step(trace)
+    if steps:
+        counts = sorted(set(steps.values()))
+        sections.append(
+            "Interface exchanges per Arnoldi step (outside the "
+            f"preconditioner): {counts[0]}" + (
+                "" if len(counts) == 1
+                else f"..{counts[-1]} (non-uniform!)"
+            ) + f" over {len(steps)} steps"
+        )
+
+    metrics = trace.get("metrics", [])
+    rel = [m["rel_res"] for m in metrics if "rel_res" in m]
+    if rel:
+        sections.append(
+            f"Iterations sampled: {len(rel)}; relative residual "
+            f"{rel[0]:.3e} -> {rel[-1]:.3e}"
+        )
+
+    ranks = trace.get("rank_seconds", [])
+    if ranks:
+        busiest = max(ranks)
+        rows = [(r, _fmt_s(s),
+                 f"{s / busiest:.0%}" if busiest > 0 else "-")
+                for r, s in enumerate(ranks)]
+        sections.append(format_table(
+            ["rank", "busy", "of max"], rows, title="Per-rank wall time"
+        ))
+
+    return "\n\n".join(sections) if sections else "empty trace"

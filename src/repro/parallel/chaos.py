@@ -293,6 +293,16 @@ class ChaosComm(Comm):
     # ------------------------------------------------------------------
     # Delegated primitives
     # ------------------------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Attach the tracer here *and* on the inner backend.
+
+        Collective spans are emitted by the base-class implementations
+        running on this proxy; the inner comm only contributes per-rank
+        body timing from its ``run_ranks``, so nothing is double-counted.
+        """
+        super().set_tracer(tracer)
+        self.inner.set_tracer(tracer)
+
     def run_ranks(self, body, work: int | None = None) -> list:
         """Dispatch rank bodies through the wrapped inner backend."""
         return self.inner.run_ranks(body, work=work)

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, timed_rank_body
 from repro.parallel.stats import CommStats
 from repro.partition.interface import SubdomainMap
 
@@ -70,6 +71,38 @@ class Comm:
         self.stats = CommStats(self.size)
         self.trace = trace
         self.message_log: list = []
+        #: Span tracer (``repro.obs``).  Defaults to the shared
+        #: :data:`~repro.obs.tracer.NULL_TRACER`, whose class-level
+        #: ``enabled = False`` makes every per-collective guard a plain
+        #: attribute load — the zero-cost-when-off contract.
+        self.tracer = NULL_TRACER
+        self._iface_counts_cache = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) a span tracer.
+
+        An enabled tracer receives one ``exchange``/``reduction`` span
+        per collective (with message/word counts in its args) and
+        per-rank busy time accumulated around every rank body.
+        """
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        if self.tracer.enabled:
+            self.tracer.ensure_ranks(self.size)
+
+    def _iface_counts(self) -> tuple:
+        """Cached ``(messages, words)`` totals of one interface assembly.
+
+        The subdomain map is immutable for the comm's lifetime, so the
+        per-pair loop runs once, not per traced collective.
+        """
+        if self._iface_counts_cache is None:
+            messages = words = 0
+            for s in range(self.size):
+                for local_idx in self.submap.shared[s].values():
+                    messages += 1
+                    words += len(local_idx)
+            self._iface_counts_cache = (messages, words)
+        return self._iface_counts_cache
 
     # ------------------------------------------------------------------
     # Backend primitives
@@ -132,6 +165,11 @@ class Comm:
         submap = self.submap
         if len(parts) != self.size:
             raise ValueError("one part per rank required")
+        trc = self.tracer
+        if trc.enabled:
+            messages, words = self._iface_counts()
+            trc.begin("interface_assemble", "exchange",
+                      messages=messages, words=words)
         glob = np.zeros(submap.n_global)
         for g, p in zip(submap.l2g, parts):
             np.add.at(glob, g, p)
@@ -149,6 +187,8 @@ class Comm:
                 rs.flops += len(local_idx)  # one add per received word
                 if self.trace:
                     self.message_log.append((s, t, len(local_idx)))
+        if trc.enabled:
+            trc.end()
         return out
 
     def interface_assemble_block(self, parts: list) -> list:
@@ -168,6 +208,11 @@ class Comm:
         if len(parts) != self.size:
             raise ValueError("one part per rank required")
         k = parts[0].shape[1]
+        trc = self.tracer
+        if trc.enabled:
+            messages, words = self._iface_counts()
+            trc.begin("interface_assemble", "exchange",
+                      messages=messages, words=words * k, k=k)
         glob = np.zeros((submap.n_global, k))
         for g, p in zip(submap.l2g, parts):
             np.add.at(glob, g, p)
@@ -185,6 +230,8 @@ class Comm:
                 rs.flops += len(local_idx) * k
                 if self.trace:
                     self.message_log.append((s, t, len(local_idx) * k))
+        if trc.enabled:
+            trc.end()
         return out
 
     def allreduce_sum(self, values, words: int = 1):
@@ -200,6 +247,9 @@ class Comm:
         """
         if len(values) != self.size:
             raise ValueError("one value per rank required")
+        trc = self.tracer
+        if trc.enabled:
+            trc.begin("allreduce_sum", "reduction", words=int(words))
         vals = list(values)
         while len(vals) > 1:
             nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
@@ -207,6 +257,8 @@ class Comm:
                 nxt.append(vals[-1])
             vals = nxt
         self.stats.charge_all_ranks(reductions=1, reduction_words=int(words))
+        if trc.enabled:
+            trc.end()
         return vals[0]
 
     def halo_exchange(self, x_parts: list, plan: dict) -> list:
@@ -230,6 +282,13 @@ class Comm:
                     ext_sizes[s], (int(recv_slots.max()) + 1) if len(recv_slots) else 0
                 )
                 total_words += len(recv_slots)
+        trc = self.tracer
+        if trc.enabled:
+            # Receiver-side word total == sender-side charged total (the
+            # exchange is a permutation of the same payloads).
+            trc.begin("halo_exchange", "exchange",
+                      messages=sum(len(plan[s]) for s in range(self.size)),
+                      words=total_words)
         ext = [np.zeros(n) for n in ext_sizes]
 
         def receive(s: int) -> None:
@@ -246,6 +305,8 @@ class Comm:
                 rs.nbr_words += len(send_idx)
                 if self.trace:
                     self.message_log.append((s, t, len(send_idx)))
+        if trc.enabled:
+            trc.end()
         return ext
 
     def halo_exchange_block(self, x_parts: list, plan: dict) -> list:
@@ -268,6 +329,11 @@ class Comm:
                     ext_sizes[s], (int(recv_slots.max()) + 1) if len(recv_slots) else 0
                 )
                 total_words += len(recv_slots) * k
+        trc = self.tracer
+        if trc.enabled:
+            trc.begin("halo_exchange", "exchange",
+                      messages=sum(len(plan[s]) for s in range(self.size)),
+                      words=total_words, k=k)
         ext = [np.zeros((n, k)) for n in ext_sizes]
 
         def receive(s: int) -> None:
@@ -284,6 +350,8 @@ class Comm:
                 rs.nbr_words += len(send_idx) * k
                 if self.trace:
                     self.message_log.append((s, t, len(send_idx) * k))
+        if trc.enabled:
+            trc.end()
         return ext
 
     def reset_stats(self) -> None:
@@ -303,6 +371,8 @@ class VirtualComm(Comm):
 
     def run_ranks(self, body, work: int | None = None) -> list:
         """Run ``body(rank)`` serially, in rank order."""
+        if self.tracer.enabled:
+            body = timed_rank_body(self.tracer, body)
         return [body(r) for r in range(self.size)]
 
 

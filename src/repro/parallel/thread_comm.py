@@ -34,6 +34,7 @@ import os
 import threading
 import weakref
 
+from repro.obs.tracer import timed_rank_body
 from repro.parallel.comm import Comm
 from repro.partition.interface import SubdomainMap
 
@@ -238,6 +239,10 @@ class ThreadComm(Comm):
         the caller is itself a pool worker (nested regions would
         deadlock); results are identical on every path.
         """
+        if self.tracer.enabled:
+            # Per-rank slots are disjoint, so the timing wrapper is safe
+            # on both the inline and the pooled path without locking.
+            body = timed_rank_body(self.tracer, body)
         if (
             self.size == 1
             or self.n_workers == 1

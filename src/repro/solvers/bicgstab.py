@@ -5,13 +5,24 @@ a transpose-free short-recurrence method avoids GMRES's growing
 orthogonalization cost and its restart-induced stagnation, at the price of
 a rougher convergence curve.  Preconditioning is right-sided so the
 residual being monitored is the true residual.
+
+Hardened with a :class:`repro.solvers.diagnostics.ConvergenceMonitor`:
+every breakdown exit (``rho``, ``r_shadow.v``, ``t.t`` or ``omega``
+collapsing) is reported as a structured ``breakdown`` event, NaN/Inf in
+any recurrence scalar aborts immediately, and divergence/stagnation
+terminate early — the solver still never raises on numerical failure,
+it reports through ``SolveResult.diagnostics``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.result import SolveResult
+
+#: Iterations per stagnation-bookkeeping window (no restarts here either).
+_CYCLE = 25
 
 
 def bicgstab(
@@ -27,7 +38,7 @@ def bicgstab(
 
     Each iteration costs 2 matvecs and 2 preconditioner applications.
     Breakdown (rho or omega collapsing) is reported as non-convergence
-    rather than raising.
+    with a ``breakdown`` diagnostic rather than raising.
     """
     b = np.asarray(b, dtype=np.float64)
     if not np.all(np.isfinite(b)):
@@ -44,6 +55,11 @@ def bicgstab(
     # shadow-residual inner products would spuriously "break down").
     if norm_r0 == 0.0 or (norm_b > 0 and norm_r0 <= tol * norm_b):
         return SolveResult(x, True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_r0, 0, "initial residual"):
+        return SolveResult(
+            x, False, 0, 0, history, monitor.finalize(False, 0, 1.0)
+        )
     r_shadow = r.copy()
     rho_prev = 1.0
     alpha = 1.0
@@ -54,7 +70,13 @@ def bicgstab(
     converged = False
     while iters < max_iter:
         rho = float(r_shadow @ r)
+        if not monitor.check_finite(rho, iters + 1, "rho inner product"):
+            break
         if abs(rho) < breakdown_tol:
+            monitor.record(
+                "breakdown", iters + 1,
+                f"rho = {rho:.3e} below breakdown tolerance",
+            )
             break
         if iters == 0:
             p = r.copy()
@@ -64,11 +86,19 @@ def bicgstab(
         p_hat = precond(p)
         v = matvec(p_hat)
         denom = float(r_shadow @ v)
+        if not monitor.check_finite(denom, iters + 1, "r_shadow.v inner product"):
+            break
         if abs(denom) < breakdown_tol:
+            monitor.record(
+                "breakdown", iters + 1,
+                f"r_shadow.v = {denom:.3e} below breakdown tolerance",
+            )
             break
         alpha = rho / denom
         s = r - alpha * v
         rel_s = float(np.linalg.norm(s)) / norm_r0
+        if not monitor.check_finite(rel_s, iters + 1, "half-step residual norm"):
+            break
         if rel_s <= tol:
             x = x + alpha * p_hat
             iters += 1
@@ -78,18 +108,40 @@ def bicgstab(
         s_hat = precond(s)
         t = matvec(s_hat)
         tt = float(t @ t)
+        if not monitor.check_finite(tt, iters + 1, "t.t inner product"):
+            break
         if tt < breakdown_tol:
+            monitor.record(
+                "breakdown", iters + 1,
+                f"t.t = {tt:.3e} below breakdown tolerance",
+            )
             break
         omega = float(t @ s) / tt
         if abs(omega) < breakdown_tol:
+            monitor.record(
+                "breakdown", iters + 1,
+                f"omega = {omega:.3e} below breakdown tolerance",
+            )
             break
         x = x + alpha * p_hat + omega * s_hat
         r = s - omega * t
         iters += 1
         rel = float(np.linalg.norm(r)) / norm_r0
         history.append(rel)
+        if not monitor.check_finite(rel, iters, "residual norm"):
+            break
         if rel <= tol:
             converged = True
             break
+        if not monitor.check_divergence(rel, iters):
+            break
+        if iters % _CYCLE == 0:
+            monitor.cycle_end(rel, iters)
+            if monitor.fatal:
+                break
         rho_prev = rho
-    return SolveResult(x, converged, iters, 0, history)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        x, converged, iters, 0, history,
+        monitor.finalize(converged, iters, final_rel),
+    )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
@@ -47,6 +48,7 @@ def fgmres_block(
     tol: float = 1e-6,
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
+    tracer=None,
 ) -> list:
     """Solve ``A x_c = b_c`` for every column of ``b``; one
     :class:`SolveResult` per column.
@@ -123,7 +125,13 @@ def fgmres_block(
             active.append(c)
 
     beta = norm_r0.copy()
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
+    cycle_no = 0
     while active:
+        cycle_no += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=cycle_no, k=len(active))
         participants = list(active)
         for c in participants:
             n_restarts[c] += 1
@@ -140,14 +148,23 @@ def fgmres_block(
             cols = [c for c in cols if iters[c] < max_iter]
             if not cols:
                 break
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j, k=len(cols))
+                trc.begin("precond_apply", "solver")
             if pc_out:
                 precond(v[j], out=z[j])
             else:
                 z[j][:] = precond(v[j])
+            if traced:
+                trc.end()
+                trc.begin("matvec", "solver")
             if mv_out:
                 matvec(z[j], out=w)
             else:
                 w[:] = matvec(z[j])
+            if traced:
+                trc.end()
+                trc.begin("orthogonalize", "solver")
             h = hbuf[: j + 2]
             # Classical Gram-Schmidt, per column: all coefficients off the
             # unmodified w (ufunc reductions into the h rows — no BLAS, no
@@ -161,6 +178,9 @@ def fgmres_block(
             np.multiply(w, w, out=tmp)
             np.sum(tmp, axis=0, out=colsq)
             np.sqrt(np.maximum(colsq, 0.0, out=colsq), out=h[j + 1])
+            if traced:
+                trc.end()  # orthogonalize
+                trc.begin("givens_update", "solver")
 
             for c in list(cols):
                 mon = monitors[c]
@@ -186,6 +206,8 @@ def fgmres_block(
                     broke[c] = True
                     cols.remove(c)
 
+            if traced:
+                trc.end()  # givens_update
             # Normalize the still-iterating columns; finished columns get
             # zero basis columns and ride along inert (their z and w
             # columns stay exactly zero from here on).
@@ -194,6 +216,8 @@ def fgmres_block(
                 scale[c] = 1.0 / h[j + 1, c]
             np.multiply(w, scale, out=v[j + 1])
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
 
         # Solution update for every cycle participant from its own Givens
         # problem (lengths differ when columns exited mid-cycle).
@@ -227,6 +251,8 @@ def fgmres_block(
             c for c in participants
             if not (converged[c] or monitors[c].fatal or iters[c] >= max_iter)
         ]
+        if traced:
+            trc.end()  # cycle
 
     results = []
     for c in range(k):

@@ -4,13 +4,26 @@ Not used by the paper's experiments (GMRES is chosen for generality to
 unsymmetric systems) but included as the natural SPD baseline for the
 ablation benches: every system in the evaluation *is* SPD, so CG bounds
 what a symmetric-aware solver could do with the same preconditioners.
+
+Hardened with the same :class:`repro.solvers.diagnostics.ConvergenceMonitor`
+as the GMRES family: NaN/Inf in any recurrence scalar aborts immediately
+(never a silent ``max_iter`` loop on poisoned iterates), ``p.Ap <= 0`` and
+an exactly-zero ``r.z`` are reported as ``breakdown`` events instead of
+dividing by zero, divergence is fatal, and stagnation is tracked over
+25-iteration pseudo-cycles.  Healthy runs are bit-identical with and
+without the monitor.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.result import SolveResult
+
+#: Iterations per stagnation-bookkeeping window (CG has no restarts, so
+#: the monitor's cycle logic runs on fixed-size pseudo-cycles).
+_CYCLE = 25
 
 
 def cg(
@@ -26,7 +39,9 @@ def cg(
     ``precond`` must be symmetric positive definite (polynomial
     preconditioners on a positive spectrum window qualify).  Convergence is
     on the true residual ``||r_i||/||r_0||`` for comparability with the
-    GMRES histories.
+    GMRES histories.  Anomalies (non-finite values, non-SPD breakdown,
+    divergence, stagnation) terminate the solve early with structured
+    events in ``SolveResult.diagnostics``.
     """
     b = np.asarray(b, dtype=np.float64)
     if not np.all(np.isfinite(b)):
@@ -40,16 +55,34 @@ def cg(
     history = [1.0]
     if norm_r0 == 0.0:
         return SolveResult(x, True, 0, 0, history)
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(norm_r0, 0, "initial residual"):
+        return SolveResult(
+            x, False, 0, 0, history, monitor.finalize(False, 0, 1.0)
+        )
     z = precond(r)
-    p = z.copy()
     rz = float(r @ z)
+    if not monitor.check_finite(rz, 0, "initial r.z inner product"):
+        return SolveResult(
+            x, False, 0, 0, history, monitor.finalize(False, 0, 1.0)
+        )
+    p = z.copy()
     converged = False
     iters = 0
     while iters < max_iter:
         ap = matvec(p)
         pap = float(p @ ap)
+        # Finiteness first: NaN slips through the <= comparison below.
+        if not monitor.check_finite(pap, iters + 1, "p.Ap inner product"):
+            break
         if pap <= 0.0:
-            # Not SPD (or breakdown): report divergence honestly.
+            # Not SPD (or breakdown): report honestly and stop.
+            monitor.record(
+                "breakdown",
+                iters + 1,
+                f"p.Ap = {pap:.3e} is not positive (operator or "
+                "preconditioner not SPD)",
+            )
             break
         alpha = rz / pap
         x = x + alpha * p
@@ -57,11 +90,32 @@ def cg(
         iters += 1
         rel = float(np.linalg.norm(r)) / norm_r0
         history.append(rel)
+        if not monitor.check_finite(rel, iters, "residual norm"):
+            break
         if rel <= tol:
             converged = True
             break
+        if not monitor.check_divergence(rel, iters):
+            break
+        if iters % _CYCLE == 0:
+            monitor.cycle_end(rel, iters)
+            if monitor.fatal:
+                break
         z = precond(r)
         rz_new = float(r @ z)
+        if not monitor.check_finite(rz_new, iters, "r.z inner product"):
+            break
+        if rz == 0.0:
+            # beta = rz_new / rz would be a silent NaN.
+            monitor.record(
+                "breakdown", iters,
+                "r.z collapsed to exactly zero; direction update undefined",
+            )
+            break
         p = z + (rz_new / rz) * p
         rz = rz_new
-    return SolveResult(x, converged, iters, 0, history)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        x, converged, iters, 0, history,
+        monitor.finalize(converged, iters, final_rel),
+    )

@@ -19,6 +19,10 @@ Event vocabulary (the ``kind`` field of every :class:`DiagnosticEvent`):
   without relative improvement beyond ``stagnation_rtol``; fatal.
 * ``happy_breakdown`` — ``h_{j+1,j}`` fell below the breakdown tolerance
   (informational: the Krylov space looks invariant).
+* ``breakdown`` — a short-recurrence scalar collapsed (CG's ``p.Ap`` not
+  positive or ``r.z`` exactly zero, BiCGSTAB's ``rho``/``omega``/``t.t``
+  vanishing, MINRES's Lanczos ``beta`` dying early); the solver stops
+  instead of dividing by (near-)zero and looping on garbage.
 * ``breakdown_restart`` — a breakdown was *not* confirmed by the
   recomputed true residual; the solver restarted instead of declaring
   victory (the recovery path for corrupted "lucky" breakdowns).
@@ -52,6 +56,7 @@ EVENT_KINDS = (
     "divergence",
     "stagnation",
     "happy_breakdown",
+    "breakdown",
     "breakdown_restart",
     "residual_mismatch",
     "no_convergence",

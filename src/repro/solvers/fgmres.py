@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
@@ -48,6 +49,7 @@ def fgmres(
     tol: float = 1e-6,
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
+    tracer=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted flexible GMRES.
 
@@ -71,6 +73,11 @@ def fgmres(
         Cap on total inner iterations.
     breakdown_tol:
         Happy-breakdown threshold on ``h_{j+1,j}``.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording per-cycle /
+        per-step spans and a per-iteration ``rel_res`` metrics stream;
+        None costs one hoisted bool check per site (the hot loop stays
+        allocation-free).
     """
     b = np.asarray(b, dtype=np.float64)
     if not np.all(np.isfinite(b)):
@@ -113,21 +120,34 @@ def fgmres(
     restarts = 0
     converged = False
     beta = norm_r0
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
     while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=restarts)
         np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
         broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j)
+                trc.begin("precond_apply", "solver")
             if pc_out:
                 precond(v[j], out=z[j])
             else:
                 z[j] = precond(v[j])
+            if traced:
+                trc.end()
+                trc.begin("matvec", "solver")
             if mv_out:
                 matvec(z[j], out=w)
             else:
                 w[:] = matvec(z[j])
+            if traced:
+                trc.end()
+                trc.begin("orthogonalize", "solver")
             h = hcol[: j + 2]
             # Classical Gram-Schmidt: all projections off the unmodified w,
             # matching the paper's listings (and its communication count).
@@ -135,16 +155,30 @@ def fgmres(
             np.dot(h[: j + 1], v[: j + 1], out=tmp)
             w -= tmp
             h[j + 1] = np.linalg.norm(w)
+            if traced:
+                trc.end()  # orthogonalize
             if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                if traced:
+                    trc.end()  # arnoldi_step
                 break
+            if traced:
+                trc.begin("givens_update", "solver")
             res = lsq.append_column(h)
+            if traced:
+                trc.end()
             total_iters += 1
             history.append(res / norm_r0)
+            if traced:
+                trc.metric(iteration=total_iters, rel_res=res / norm_r0)
             if not monitor.check_divergence(res / norm_r0, total_iters):
+                if traced:
+                    trc.end()
                 break
             if res / norm_r0 <= tol:
                 converged = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             if h[j + 1] <= breakdown_tol:
                 # Possible happy breakdown: the Krylov space looks
@@ -155,9 +189,13 @@ def fgmres(
                 monitor.note_breakdown(float(h[j + 1]), total_iters)
                 broke_down = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             np.divide(w, h[j + 1], out=v[j + 1])
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
         y = lsq.solve()
         if len(y):
             np.dot(y, z[: len(y)], out=tmp)
@@ -165,8 +203,13 @@ def fgmres(
         residual(r)
         beta = float(np.linalg.norm(r))
         if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            if traced:
+                trc.end()  # cycle
             break
         true_rel = beta / norm_r0
+        if traced:
+            trc.metric(iteration=total_iters, true_rel=true_rel,
+                       cycle=restarts)
         if true_rel <= tol:
             converged = True
         elif converged:
@@ -177,6 +220,8 @@ def fgmres(
             monitor.confirm_breakdown(true_rel, total_iters)
         if not converged:
             monitor.cycle_end(true_rel, total_iters)
+        if traced:
+            trc.end(true_rel=true_rel)  # cycle
     final_rel = history[-1] if history else float("nan")
     return SolveResult(
         x,

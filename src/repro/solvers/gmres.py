@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.fgmres import _identity_precond
 from repro.solvers.givens import GivensLSQ
@@ -36,6 +37,7 @@ def gmres(
     tol: float = 1e-6,
     max_iter: int = 10_000,
     breakdown_tol: float = 1e-14,
+    tracer=None,
 ) -> SolveResult:
     """Left-preconditioned restarted GMRES; same signature as ``fgmres``.
 
@@ -87,36 +89,63 @@ def gmres(
     restarts = 0
     converged = False
     beta = norm_r0
+    trc = tracer if tracer is not None else NULL_TRACER
+    traced = trc.enabled
     while not converged and total_iters < max_iter and not monitor.fatal:
         restarts += 1
+        if traced:
+            trc.begin("cycle", "solver", cycle=restarts)
         np.divide(r, beta, out=v[0])
         lsq = GivensLSQ(restart, beta)
         broke_down = False
         j = 0
         while j < restart and total_iters < max_iter:
+            if traced:
+                trc.begin("arnoldi_step", "solver", j=j)
+                trc.begin("matvec", "solver")
             if mv_out:
                 matvec(v[j], out=tmp)
             else:
                 tmp[:] = matvec(v[j])
+            if traced:
+                trc.end()
+                trc.begin("precond_apply", "solver")
             if pc_out:
                 precond(tmp, out=w)
             else:
                 w[:] = precond(tmp)
+            if traced:
+                trc.end()
+                trc.begin("orthogonalize", "solver")
             h = hcol[: j + 2]
             np.dot(v[: j + 1], w, out=h[: j + 1])
             np.dot(h[: j + 1], v[: j + 1], out=tmp)
             w -= tmp
             h[j + 1] = np.linalg.norm(w)
+            if traced:
+                trc.end()  # orthogonalize
             if not monitor.check_finite(h, total_iters + 1, "Hessenberg column"):
+                if traced:
+                    trc.end()  # arnoldi_step
                 break
+            if traced:
+                trc.begin("givens_update", "solver")
             res = lsq.append_column(h)
+            if traced:
+                trc.end()
             total_iters += 1
             history.append(res / norm_r0)
+            if traced:
+                trc.metric(iteration=total_iters, rel_res=res / norm_r0)
             if not monitor.check_divergence(res / norm_r0, total_iters):
+                if traced:
+                    trc.end()
                 break
             if res / norm_r0 <= tol:
                 converged = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             if h[j + 1] <= breakdown_tol:
                 # Possible happy breakdown — confirmed by the recomputed
@@ -124,9 +153,13 @@ def gmres(
                 monitor.note_breakdown(float(h[j + 1]), total_iters)
                 broke_down = True
                 j += 1
+                if traced:
+                    trc.end()
                 break
             np.divide(w, h[j + 1], out=v[j + 1])
             j += 1
+            if traced:
+                trc.end()  # arnoldi_step
         y = lsq.solve()
         if len(y):
             np.dot(y, v[: len(y)], out=tmp)
@@ -134,8 +167,13 @@ def gmres(
         precond_residual(r)
         beta = float(np.linalg.norm(r))
         if not monitor.check_finite(beta, total_iters, "recomputed residual"):
+            if traced:
+                trc.end()  # cycle
             break
         true_rel = beta / norm_r0
+        if traced:
+            trc.metric(iteration=total_iters, true_rel=true_rel,
+                       cycle=restarts)
         if true_rel <= tol:
             converged = True
         elif converged:
@@ -144,6 +182,8 @@ def gmres(
             monitor.confirm_breakdown(true_rel, total_iters)
         if not converged:
             monitor.cycle_end(true_rel, total_iters)
+        if traced:
+            trc.end(true_rel=true_rel)  # cycle
     final_rel = history[-1] if history else float("nan")
     return SolveResult(
         x,

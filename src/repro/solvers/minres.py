@@ -9,13 +9,24 @@ qualifies even when :math:`A` itself is indefinite).
 
 Implementation: standard Lanczos + two Givens rotations per step on the
 tridiagonal least-squares problem (Paige & Saunders).
+
+Hardened with a :class:`repro.solvers.diagnostics.ConvergenceMonitor`:
+NaN/Inf in the Lanczos scalars or the residual estimate aborts the solve
+with a ``non_finite`` event (never a silent ``max_iter`` loop), a dead
+rotation (``rho == 0``) or an early Lanczos ``beta`` collapse that does
+*not* coincide with convergence is a ``breakdown`` event, and
+divergence/stagnation terminate early.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.result import SolveResult
+
+#: Iterations per stagnation-bookkeeping window.
+_CYCLE = 25
 
 
 def minres(
@@ -42,6 +53,11 @@ def minres(
     if beta == 0.0 or (norm_b > 0 and beta <= tol * norm_b):
         return SolveResult(x, True, 0, 0, history)
     norm_r0 = beta
+    monitor = ConvergenceMonitor(tol)
+    if not monitor.check_finite(beta, 0, "initial residual"):
+        return SolveResult(
+            x, False, 0, 0, history, monitor.finalize(False, 0, 1.0)
+        )
 
     v_prev = np.zeros(n)
     v = r / beta
@@ -61,6 +77,10 @@ def minres(
         alpha = float(v @ w)
         w = w - alpha * v - beta_prev * v_prev
         beta_next = float(np.linalg.norm(w))
+        if not monitor.check_finite(
+            (alpha, beta_next), iters + 1, "Lanczos scalars"
+        ):
+            break
 
         # Apply the two previous rotations to the new tridiagonal column.
         delta = c_prev * alpha - c_prev2 * s_prev * beta_prev
@@ -70,6 +90,10 @@ def minres(
         # New rotation annihilating beta_next.
         rho = np.hypot(delta, beta_next)
         if rho == 0.0:
+            monitor.record(
+                "breakdown", iters + 1,
+                "Givens rotation collapsed (rho = 0)",
+            )
             break
         c, s = delta / rho, beta_next / rho
 
@@ -79,16 +103,35 @@ def minres(
         eta = -s * eta
         rel = abs(eta) / norm_r0
         history.append(rel)
+        if not monitor.check_finite(rel, iters, "residual estimate"):
+            break
         if rel <= tol:
             converged = True
             break
-        if beta_next < 1e-15:
-            # Lanczos breakdown: exact solution in the current space.
-            converged = rel <= tol
+        if not monitor.check_divergence(rel, iters):
             break
+        if beta_next < 1e-15:
+            # Lanczos collapse without convergence: in exact arithmetic
+            # the residual estimate would be ~0 here, so a large ``rel``
+            # means the recurrence lost its way — report it instead of
+            # silently returning an unconverged x.
+            monitor.record(
+                "breakdown", iters,
+                f"Lanczos beta collapsed ({beta_next:.3e}) at residual "
+                f"estimate {rel:.3e} > tol",
+            )
+            break
+        if iters % _CYCLE == 0:
+            monitor.cycle_end(rel, iters)
+            if monitor.fatal:
+                break
         v_prev, v = v, w / beta_next
         beta_prev = beta_next
         d_prev2, d_prev = d_prev, d
         c_prev2, s_prev2 = c_prev, s_prev
         c_prev, s_prev = c, s
-    return SolveResult(x, converged, iters, 0, history)
+    final_rel = history[-1] if history else float("nan")
+    return SolveResult(
+        x, converged, iters, 0, history,
+        monitor.finalize(converged, iters, final_rel),
+    )

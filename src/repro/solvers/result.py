@@ -34,6 +34,12 @@ class SolveResult:
         mismatches.  Empty for a clean converged run; guaranteed
         non-empty when ``converged`` is False (at minimum a
         ``no_convergence`` event).
+    trace:
+        Observability export (the ``repro-trace/1`` dict of
+        :meth:`repro.obs.Tracer.to_dict`) when the solve ran with a
+        tracer attached; None otherwise.  Excluded from equality
+        comparisons and from :meth:`to_dict` when absent, so untraced
+        runs serialize exactly as before.
     final_residual:
         Last entry of the history.
     """
@@ -44,6 +50,7 @@ class SolveResult:
     restarts: int
     residual_history: list = field(default_factory=list)
     diagnostics: list = field(default_factory=list)
+    trace: dict | None = field(default=None, compare=False)
 
     @property
     def final_residual(self) -> float:
@@ -72,6 +79,8 @@ class SolveResult:
         }
         if include_x:
             out["x"] = np.asarray(self.x).tolist()
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     def __repr__(self) -> str:

@@ -1,0 +1,154 @@
+"""Unit behavior of the repro.obs tracer primitives."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_from_dict,
+    summarize_trace,
+)
+from repro.obs.tracer import TRACE_SCHEMA, timed_rank_body
+
+
+def test_span_nesting_parent_links():
+    trc = Tracer()
+    a = trc.begin("outer", "phase")
+    b = trc.begin("middle", "solver")
+    c = trc.begin("inner", "exchange")
+    trc.end()
+    trc.end()
+    d = trc.begin("sibling", "solver")
+    trc.end()
+    trc.end()
+    spans = trc.spans
+    assert [s["parent"] for s in spans] == [-1, a, b, a]
+    assert [s["depth"] for s in spans] == [0, 1, 2, 1]
+    assert trc._stack == []
+    assert {a, b, c, d} == {0, 1, 2, 3}
+
+
+def test_span_timestamps_and_durations():
+    trc = Tracer()
+    trc.begin("outer")
+    trc.begin("inner")
+    trc.end()
+    trc.end()
+    outer, inner = trc.spans
+    assert inner["ts"] >= outer["ts"]
+    assert outer["dur"] >= inner["dur"] >= 0.0
+    # child ends inside the parent window
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-9
+
+
+def test_end_without_begin_raises():
+    trc = Tracer()
+    with pytest.raises(RuntimeError):
+        trc.end()
+
+
+def test_end_merges_args():
+    trc = Tracer()
+    trc.begin("cycle", "solver", cycle=1)
+    trc.end(true_rel=0.5)
+    assert trc.spans[0]["args"] == {"cycle": 1, "true_rel": 0.5}
+
+
+def test_span_context_manager():
+    trc = Tracer()
+    with trc.span("setup", "phase"):
+        with trc.span("partition", "phase"):
+            pass
+    assert [s["name"] for s in trc.spans] == ["setup", "partition"]
+    assert trc._stack == []
+
+
+def test_metrics_stream_and_meta():
+    trc = Tracer(meta={"mesh": 2})
+    trc.metric(iteration=1, rel_res=0.5)
+    trc.metric(iteration=2, rel_res=0.25, nbr_words=100)
+    doc = trc.to_dict()
+    assert doc["schema"] == TRACE_SCHEMA
+    assert doc["meta"] == {"mesh": 2}
+    assert doc["metrics"][1]["nbr_words"] == 100
+
+
+def test_rank_time_accumulation():
+    trc = Tracer()
+    trc.ensure_ranks(3)
+    trc.add_rank_time(1, 0.25)
+    trc.add_rank_time(1, 0.25)
+    trc.add_rank_time(4, 0.1)  # grows on demand
+    assert trc.rank_seconds == [0.0, 0.5, 0.0, 0.0, 0.1]
+
+
+def test_timed_rank_body_wraps_and_times():
+    trc = Tracer()
+    wrapped = timed_rank_body(trc, lambda rank: rank * 10)
+    assert wrapped(2) == 20
+    assert len(trc.rank_seconds) == 3
+    assert trc.rank_seconds[2] > 0.0
+
+
+def test_to_dict_is_json_serializable_deep_copy():
+    trc = Tracer()
+    trc.begin("a", "phase", k=1)
+    trc.end()
+    doc = trc.to_dict()
+    json.dumps(doc)
+    doc["spans"][0]["args"]["k"] = 99
+    assert trc.spans[0]["args"]["k"] == 1  # export never aliases internals
+
+
+def test_chrome_export_events():
+    trc = Tracer()
+    trc.begin("solve", "phase")
+    trc.begin("matvec", "solver")
+    trc.end()
+    trc.end()
+    trc.metric(iteration=1, rel_res=0.5)
+    trc.add_rank_time(0, 0.1)
+    doc = trc.to_chrome_trace()
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "X", "C"} <= phases
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"solve", "matvec", "rel_res", "rank0 busy"} <= names
+    json.dumps(doc)
+
+
+def test_chrome_export_rejects_wrong_schema():
+    with pytest.raises(ValueError):
+        chrome_trace_from_dict({"schema": "nope"})
+    with pytest.raises(ValueError):
+        summarize_trace({"schema": "nope"})
+
+
+def test_write_json_both_formats(tmp_path):
+    trc = Tracer()
+    trc.begin("solve", "phase")
+    trc.end()
+    p1 = trc.write_json(str(tmp_path / "t.json"))
+    p2 = trc.write_json(str(tmp_path / "t.chrome.json"), chrome=True)
+    assert json.loads(open(p1).read())["schema"] == TRACE_SCHEMA
+    assert "traceEvents" in json.loads(open(p2).read())
+
+
+def test_null_tracer_is_inert():
+    assert NullTracer.enabled is False
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.begin("x", "y", k=1) == -1
+    NULL_TRACER.end(any_arg=2)
+    NULL_TRACER.metric(iteration=1)
+    NULL_TRACER.ensure_ranks(8)
+    NULL_TRACER.add_rank_time(3, 1.0)
+    # class attribute: per-instance guard reads never allocate a bool
+    assert "enabled" not in vars(NULL_TRACER)
+
+
+def test_summarize_empty_trace():
+    assert "empty trace" in summarize_trace(Tracer().to_dict())

@@ -86,3 +86,86 @@ def test_solve_json_export(tmp_path, capsys):
     assert len(records) == 2
     assert records[0].n_parts == 2
     assert records[1].n_parts == 4
+
+
+def test_solve_nrhs_batch(capsys):
+    rc = main(["solve", "--mesh", "1", "-p", "2", "--nrhs", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "nrhs=3" in out
+    assert "rhs[2]" in out
+
+
+def test_solve_nrhs_rejects_nonpositive(capsys):
+    for bad in ("0", "-2"):
+        rc = main(["solve", "--mesh", "1", "--nrhs", bad])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--nrhs must be >= 1" in err
+
+
+def test_solve_nrhs_json_per_column_records(tmp_path, capsys):
+    path = tmp_path / "batch.json"
+    rc = main(
+        ["solve", "--mesh", "1", "-p", "2", "--nrhs", "3",
+         "--json", str(path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "not written" not in out
+    from repro.io.records import load_records
+
+    records = load_records(path)
+    assert len(records) == 3
+    assert [r.label.rsplit("/", 1)[1] for r in records] == [
+        "rhs0", "rhs1", "rhs2"
+    ]
+    assert all(r.converged for r in records)
+    # shared batch counters repeat on every column record
+    assert len({r.nbr_messages for r in records}) == 1
+
+
+def test_solve_trace_roundtrip(tmp_path, capsys):
+    path = tmp_path / "run.trace.json"
+    rc = main(
+        ["solve", "--mesh", "1", "-p", "2", "--trace", str(path)]
+    )
+    assert rc == 0
+    assert "trace written" in capsys.readouterr().out
+    import json
+
+    trace = json.loads(path.read_text())
+    assert trace["schema"] == "repro-trace/1"
+    assert any(s["name"] == "arnoldi_step" for s in trace["spans"])
+
+    rc = main(["trace", "summarize", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Phase breakdown" in out
+
+    rc = main(["trace", "chrome", str(path)])
+    assert rc == 0
+    out_path = tmp_path / "run.trace.chrome.json"
+    assert out_path.exists()
+    chrome = json.loads(out_path.read_text())
+    assert "traceEvents" in chrome
+
+
+def test_solve_trace_chrome_suffix(tmp_path, capsys):
+    path = tmp_path / "run.chrome.json"
+    rc = main(["solve", "--mesh", "1", "-p", "2", "--trace", str(path)])
+    assert rc == 0
+    import json
+
+    doc = json.loads(path.read_text())
+    assert "traceEvents" in doc  # chrome format picked from the suffix
+
+
+def test_trace_summarize_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "something-else"}')
+    rc = main(["trace", "summarize", str(bad)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+    rc = main(["trace", "summarize", str(tmp_path / "missing.json")])
+    assert rc == 2
