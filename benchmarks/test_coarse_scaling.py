@@ -1,0 +1,191 @@
+"""Two-level coarse-correction scaling benchmark -> BENCH_coarse.json.
+
+Sweeps P in {1, 2, 4, 8} x Mesh {2, 3, 4} x {one-level, two-level} for
+the three fine-level families the repo measures elsewhere — GLS(7) and
+Neumann(20) on EDD, block-Jacobi ILU(0) on RDD — and records the
+iteration count of each run.  The two-level rows use the *deflated and
+translation-enriched* form of the coarse correction
+(``2l(inner,deflate,tr)``).  The probe sweeps behind this PR settled
+both choices: the purely additive form can slightly *increase* the
+count for the polynomial preconditioners (their counts are already
+P-independent, and adding an un-orthogonalized coarse term perturbs the
+Krylov space), and the un-enriched one-aggregate-per-subdomain basis
+mixes the x/y displacement components badly enough on wide meshes
+(Mesh 4, 50x50) that plain deflation roughly *doubles* the count there.
+The enriched deflation is never worse in the whole sweep and is
+dramatically better exactly where one-level convergence degrades with P
+(BJ-ILU(0) on Mesh 2: 64 -> 30 iterations at P=8; Mesh 4: 338 -> 114).
+
+The headline acceptance assertions (armed when mesh 2 and P in {1, 8}
+are both in the sweep):
+
+* two-level GLS(7) at P=8 takes <= 1.5x its own P=1 count — the
+  coarse space keeps convergence P-scalable; and
+* two-level GLS(7) at P=8 is strictly below the one-level count at
+  P=8 — the correction pays for its extra allreduce.
+
+CI runs a reduced sweep by setting ``REPRO_COARSE_BENCH_MESHES=2`` (and
+optionally ``REPRO_COARSE_BENCH_PARTS=1,8``); the assertions stay armed
+as long as mesh 2 with P=1 and P=8 survive the filter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.fem.cantilever import PAPER_MESHES
+from repro.reporting.tables import format_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MESH_IDS = tuple(
+    int(m)
+    for m in os.environ.get("REPRO_COARSE_BENCH_MESHES", "2,3,4").split(",")
+)
+P_VALUES = tuple(
+    int(p)
+    for p in os.environ.get("REPRO_COARSE_BENCH_PARTS", "1,2,4,8").split(",")
+)
+
+#: (family label, method, one-level spec) — the two-level spec is
+#: derived as ``2l(<one-level spec>,deflate,tr)``.
+FAMILIES = (
+    ("gls7", "edd-enhanced", "gls(7)"),
+    ("neumann20", "edd-enhanced", "neumann(20)"),
+    ("bj_ilu0", "rdd", "bj-ilu0"),
+)
+LEVELS = ("one", "two")
+
+
+def _spec(one_level: str, levels: str) -> str:
+    return one_level if levels == "one" else f"2l({one_level},deflate,tr)"
+
+
+def validate_schema(report: dict) -> None:
+    """Assert the BENCH_coarse.json shape the CI smoke checks."""
+    for key in ("suite", "mesh_ids", "p_values", "runs"):
+        assert key in report, f"missing key {key!r}"
+    assert report["suite"] == "coarse-scaling"
+    assert len(report["runs"]) > 0
+    families = {f[0] for f in FAMILIES}
+    for run in report["runs"]:
+        for key in (
+            "family",
+            "method",
+            "precond",
+            "levels",
+            "mesh",
+            "n_eqn",
+            "p",
+            "iterations",
+            "converged",
+        ):
+            assert key in run, f"run missing key {key!r}"
+        assert run["family"] in families
+        assert run["levels"] in LEVELS
+        assert run["p"] >= 1
+        assert run["iterations"] >= 1
+        assert run["converged"] is True
+
+
+def test_bench_coarse_scaling_json(problems):
+    """Iteration counts over P x mesh x {one,two}-level x family, written
+    to ``BENCH_coarse.json``; asserts the P-scalability acceptance
+    criteria for two-level GLS(7) on Mesh 2."""
+    report: dict = {
+        "suite": "coarse-scaling",
+        "mesh_ids": list(MESH_IDS),
+        "p_values": list(P_VALUES),
+        "two_level_mode": "deflate,tr",
+        "runs": [],
+    }
+    for mesh_id in MESH_IDS:
+        problem = problems(mesh_id)
+        n_eqn = PAPER_MESHES[mesh_id][3]
+        for family, method, one_level in FAMILIES:
+            for levels in LEVELS:
+                for p in P_VALUES:
+                    spec = _spec(one_level, levels)
+                    s = solve_cantilever(
+                        problem,
+                        n_parts=p,
+                        options=SolverOptions(method=method, precond=spec),
+                    )
+                    assert s.result.converged, (
+                        f"{spec} diverged at P={p} on mesh {mesh_id}"
+                    )
+                    report["runs"].append(
+                        {
+                            "family": family,
+                            "method": method,
+                            "precond": spec,
+                            "levels": levels,
+                            "mesh": mesh_id,
+                            "n_eqn": n_eqn,
+                            "p": p,
+                            "iterations": s.result.iterations,
+                            "converged": bool(s.result.converged),
+                        }
+                    )
+
+    def _iters(family, levels, mesh, p):
+        (run,) = [
+            r
+            for r in report["runs"]
+            if (r["family"], r["levels"], r["mesh"], r["p"])
+            == (family, levels, mesh, p)
+        ]
+        return run["iterations"]
+
+    validate_schema(report)
+    out_path = REPO_ROOT / "BENCH_coarse.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print()
+    for mesh_id in MESH_IDS:
+        rows = []
+        for family, _, one_level in FAMILIES:
+            for levels in LEVELS:
+                rows.append(
+                    [_spec(one_level, levels)]
+                    + [_iters(family, levels, mesh_id, p) for p in P_VALUES]
+                )
+        print(
+            format_table(
+                ["preconditioner"] + [f"P={p}" for p in P_VALUES],
+                rows,
+                title=f"Mesh{mesh_id} iterations, one- vs two-level (deflate,tr)",
+            )
+        )
+
+    if 2 in MESH_IDS and 1 in P_VALUES and 8 in P_VALUES:
+        two_p1 = _iters("gls7", "two", 2, 1)
+        two_p8 = _iters("gls7", "two", 2, 8)
+        one_p8 = _iters("gls7", "one", 2, 8)
+        report["gls7_mesh2_growth_p8_over_p1"] = two_p8 / two_p1
+        out_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        assert two_p8 <= 1.5 * two_p1, (
+            f"two-level GLS(7) grew from {two_p1} (P=1) to {two_p8} (P=8) "
+            "iterations on Mesh 2 — coarse correction is not P-scalable"
+        )
+        assert two_p8 < one_p8, (
+            f"two-level GLS(7) at P=8 on Mesh 2 took {two_p8} iterations, "
+            f"not below the one-level count {one_p8}"
+        )
+
+
+def test_bench_coarse_schema_of_existing_file():
+    """CI smoke: if BENCH_coarse.json is checked in / regenerated, it
+    must satisfy the schema above."""
+    path = REPO_ROOT / "BENCH_coarse.json"
+    if not path.exists():
+        import pytest
+
+        pytest.skip("BENCH_coarse.json not generated yet")
+    validate_schema(json.loads(path.read_text()))

@@ -44,7 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="edd-enhanced",
     )
     solve.add_argument(
-        "--precond", default="gls(7)", help='e.g. "gls(7)", "neumann(20)", "none"'
+        "--precond",
+        default="gls(7)",
+        help=(
+            'e.g. "gls(7)", "neumann(20)", "none", or a two-level '
+            'composite "2l(gls(7),deflate)" / "2l(neumann(20),deflate,tr)"'
+        ),
     )
     solve.add_argument("--tol", type=float, default=1e-6)
     solve.add_argument("--restart", type=int, default=25)
@@ -174,6 +179,13 @@ def cmd_solve(args) -> int:
         print(
             f"error: --nrhs must be >= 1, got {args.nrhs}", file=sys.stderr
         )
+        return 2
+    from repro.precond.spec import make_preconditioner
+
+    try:
+        make_preconditioner(args.precond)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     tracer = None
     if args.trace:

@@ -24,22 +24,37 @@ import numpy as np
 from repro.core.distributed import DistBlock, DistVector, EDDSystem
 from repro.obs.tracer import NULL_TRACER
 from repro.precond.base import PolynomialPreconditioner
+from repro.precond.coarse import TwoLevelPreconditioner, TwoLevelSpec
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
 from repro.solvers.result import SolveResult
 
 
+def _resolve_precond(system, options):
+    """Parse ``options.precond`` and bind system-dependent markers (the
+    two-level composite) to the built system."""
+    from repro.precond.spec import make_preconditioner
+
+    precond = make_preconditioner(options.precond)
+    if isinstance(precond, TwoLevelSpec):
+        precond = TwoLevelPreconditioner.build(system, precond)
+    return precond
+
+
 def _precondition(system: EDDSystem, precond, v_hat: DistVector) -> DistVector:
     """Apply the polynomial preconditioner through the communicating
     operator: ``m`` matvecs, each followed by one interface assembly
-    (the distributed Algorithm 7)."""
+    (the distributed Algorithm 7); a two-level preconditioner adds its
+    coarse correction around the same recurrence."""
     if precond is None:
         return v_hat.copy()
+    if isinstance(precond, TwoLevelPreconditioner):
+        return precond.apply_edd(system, v_hat)
     if not isinstance(precond, PolynomialPreconditioner):
         raise TypeError(
-            "EDD-FGMRES requires a polynomial preconditioner (or None): "
-            "factorization preconditioners cannot be applied to unassembled "
-            "local-distributed matrices"
+            "EDD-FGMRES requires a polynomial or two-level preconditioner "
+            "(or None): factorization preconditioners cannot be applied to "
+            "unassembled local-distributed matrices"
         )
     return precond.apply_linear(system.matvec_assembled, v_hat)
 
@@ -50,11 +65,13 @@ def _precondition_block(system: EDDSystem, precond, v_hat: DistBlock) -> DistBlo
     assembly for all ``k`` columns."""
     if precond is None:
         return v_hat.copy()
+    if isinstance(precond, TwoLevelPreconditioner):
+        return precond.apply_edd_block(system, v_hat)
     if not isinstance(precond, PolynomialPreconditioner):
         raise TypeError(
-            "EDD-FGMRES requires a polynomial preconditioner (or None): "
-            "factorization preconditioners cannot be applied to unassembled "
-            "local-distributed matrices"
+            "EDD-FGMRES requires a polynomial or two-level preconditioner "
+            "(or None): factorization preconditioners cannot be applied to "
+            "unassembled local-distributed matrices"
         )
     return precond.apply_linear(system.matvec_assembled_block, v_hat)
 
@@ -116,9 +133,7 @@ def edd_fgmres(
         if options.method in ("edd-basic", "edd-enhanced"):
             variant = options.method[len("edd-"):]
         if precond is None:
-            from repro.precond.spec import make_preconditioner
-
-            precond = make_preconditioner(options.precond)
+            precond = _resolve_precond(system, options)
     if variant not in ("basic", "enhanced"):
         raise ValueError("variant must be 'basic' or 'enhanced'")
     if orthogonalization not in ("cgs", "mgs"):
@@ -387,9 +402,7 @@ def edd_fgmres_block(
         if options.method in ("edd-basic", "edd-enhanced"):
             variant = options.method[len("edd-"):]
         if precond is None:
-            from repro.precond.spec import make_preconditioner
-
-            precond = make_preconditioner(options.precond)
+            precond = _resolve_precond(system, options)
     if variant not in ("basic", "enhanced"):
         raise ValueError("variant must be 'basic' or 'enhanced'")
     if orthogonalization not in ("cgs", "mgs"):

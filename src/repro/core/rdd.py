@@ -28,6 +28,7 @@ from repro.parallel.comm import Comm, make_comm
 from repro.partition.interface import SubdomainMap
 from repro.partition.node_partition import NodePartition
 from repro.precond.base import PolynomialPreconditioner
+from repro.precond.coarse import TwoLevelPreconditioner, TwoLevelSpec
 from repro.precond.scaling import norm1_scaling
 from repro.solvers.diagnostics import ConvergenceMonitor
 from repro.solvers.givens import GivensLSQ
@@ -366,9 +367,26 @@ class _RDDVector:
     __rmul__ = __mul__
 
 
+def _resolve_precond_rdd(system: RDDSystem, options):
+    """Parse ``options.precond`` and bind system-dependent markers
+    (``"bj-ilu0"``, two-level composites) to the built system."""
+    from repro.precond.spec import BJ_ILU0_MARKER, make_preconditioner
+
+    precond = make_preconditioner(options.precond)
+    if precond == BJ_ILU0_MARKER:
+        from repro.precond.block_jacobi import BlockJacobiILU
+
+        precond = BlockJacobiILU(system)
+    elif isinstance(precond, TwoLevelSpec):
+        precond = TwoLevelPreconditioner.build(system, precond)
+    return precond
+
+
 def _precondition_rdd(system: RDDSystem, precond, v_parts: list) -> list:
     if precond is None:
         return [p.copy() for p in v_parts]
+    if isinstance(precond, TwoLevelPreconditioner):
+        return precond.apply_rdd(system, v_parts)
     if hasattr(precond, "apply_parts"):
         # Block-Jacobi-style local preconditioner (Section 4.1.2): solve
         # per-rank with the diagonal block, no communication.
@@ -471,6 +489,8 @@ def _precondition_rdd_block(system: RDDSystem, precond, v_parts: list) -> list:
     column locally."""
     if precond is None:
         return [p.copy() for p in v_parts]
+    if isinstance(precond, TwoLevelPreconditioner):
+        return precond.apply_rdd_block(system, v_parts)
     if hasattr(precond, "apply_parts_block"):
         return precond.apply_parts_block(v_parts)
     if not isinstance(precond, PolynomialPreconditioner):
@@ -508,13 +528,7 @@ def rdd_fgmres(
         tol = options.tol
         max_iter = options.max_iter
         if precond is None:
-            from repro.precond.spec import make_preconditioner
-
-            precond = make_preconditioner(options.precond)
-            if precond == "bj-ilu0":
-                from repro.precond.block_jacobi import BlockJacobiILU
-
-                precond = BlockJacobiILU(system)
+            precond = _resolve_precond_rdd(system, options)
     if restart < 1:
         raise ValueError("restart must be >= 1")
     comm = system.comm
@@ -711,13 +725,7 @@ def rdd_fgmres_block(
         tol = options.tol
         max_iter = options.max_iter
         if precond is None:
-            from repro.precond.spec import make_preconditioner
-
-            precond = make_preconditioner(options.precond)
-            if precond == "bj-ilu0":
-                from repro.precond.block_jacobi import BlockJacobiILU
-
-                precond = BlockJacobiILU(system)
+            precond = _resolve_precond_rdd(system, options)
     if restart < 1:
         raise ValueError("restart must be >= 1")
     comm = system.comm

@@ -44,6 +44,7 @@ from repro.parallel.machine import MachineModel, modeled_time
 from repro.parallel.stats import CommStats
 from repro.partition.element_partition import ElementPartition
 from repro.partition.node_partition import NodePartition
+from repro.precond.coarse import TwoLevelPreconditioner, TwoLevelSpec
 from repro.precond.spec import BJ_ILU0_MARKER, make_preconditioner
 from repro.sparse.kernels import use_backend
 
@@ -194,14 +195,22 @@ class PreparedSystem:
                 pc = make_preconditioner(options.precond)
                 if traced:
                     trc.end()
-                if pc == BJ_ILU0_MARKER and options.method != "rdd":
+                inner_marker = (
+                    pc.inner_spec if isinstance(pc, TwoLevelSpec) else pc
+                )
+                if inner_marker == BJ_ILU0_MARKER and options.method != "rdd":
                     raise ValueError(
                         "bj-ilu0 is a local (assembled-block) preconditioner; "
                         "it only applies to the rdd method"
                     )
-                pc_name = pc.name if pc is not None and pc != BJ_ILU0_MARKER else (
-                    "BJ-ILU0" if pc == BJ_ILU0_MARKER else "I"
-                )
+                if pc is None:
+                    pc_name = "I"
+                elif pc == BJ_ILU0_MARKER:
+                    pc_name = "BJ-ILU0"
+                elif isinstance(pc, TwoLevelSpec):
+                    pc_name = pc.spec  # refined once bound to the system
+                else:
+                    pc_name = pc.name
                 method = options.method
 
                 if method in ("edd-basic", "edd-enhanced"):
@@ -263,6 +272,23 @@ class PreparedSystem:
                         pc_name = pc.name
                 else:  # pragma: no cover - SolverOptions validates upstream
                     raise ValueError(f"unknown method {method!r}")
+                if isinstance(pc, TwoLevelSpec):
+                    # Coarse-space construction needs the built system:
+                    # assemble and factor E = W^T A W here (setup, cached
+                    # with the prepared system for every later solve).
+                    if traced:
+                        trc.begin("precond_build", "phase", coarse=True)
+                    components = (
+                        problem.bc.free % problem.mesh.dofs_per_node
+                        if pc.enrich
+                        else None
+                    )
+                    pc = TwoLevelPreconditioner.build(
+                        system, pc, components=components
+                    )
+                    if traced:
+                        trc.end()
+                    pc_name = pc.name
             finally:
                 if traced:
                     trc.end()  # setup

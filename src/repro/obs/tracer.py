@@ -38,6 +38,9 @@ solver     cycle              one restart cycle
 solver     arnoldi_step       one Arnoldi step (inner iteration j)
 solver     matvec             local mat-vec inside a step
 solver     precond_apply      preconditioner application (z = M^-1 v)
+solver     coarse_solve       two-level coarse correction (restrict +
+                              redundant dense solve + prolong); nests the
+                              coarse allreduce
 solver     orthogonalize      CGS/MGS orthogonalization (+ its exchanges)
 solver     givens_update      least-squares/Givens column update
 exchange   interface_assemble nearest-neighbour interface assembly

@@ -10,6 +10,11 @@ Polynomial preconditioners expose two application paths: ``apply(v)`` bound
 to a CSR matrix for sequential solves, and ``apply_linear(matvec, v)``
 parameterized over an abstract matvec so the distributed EDD/RDD solvers
 can run the identical recurrence with communicating operators.
+
+:mod:`repro.precond.coarse` adds a two-level composite — any of the above
+as the fine-level preconditioner plus an algebraic partition-of-unity
+coarse correction — selected with the ``"2l(inner[,mode][,tr])"`` spec
+(see :data:`repro.precond.spec.SPEC_GRAMMAR`).
 """
 
 from repro.precond.base import (
@@ -35,11 +40,15 @@ from repro.precond.stability import (
     coefficient_error_bound,
     stability_curve,
 )
-from repro.precond.spec import make_preconditioner, spec_of
+from repro.precond.spec import SPEC_GRAMMAR, make_preconditioner, spec_of
+from repro.precond.coarse import TwoLevelPreconditioner, TwoLevelSpec
 
 __all__ = [
     "make_preconditioner",
     "spec_of",
+    "SPEC_GRAMMAR",
+    "TwoLevelPreconditioner",
+    "TwoLevelSpec",
     "Preconditioner",
     "IdentityPreconditioner",
     "SingularPreconditionerError",

@@ -8,7 +8,7 @@ preconditioner carries a ``spec`` property such that
 ``make_preconditioner(p.spec)`` rebuilds an equivalent preconditioner
 (with the default spectrum window).
 
-Accepted grammar (case-insensitive):
+Accepted grammar (case-insensitive; see :data:`SPEC_GRAMMAR`):
 
 * ``None`` / ``"none"`` — no preconditioning.
 * ``"gls(m)"`` — generalized least-squares polynomial of degree ``m``.
@@ -17,6 +17,14 @@ Accepted grammar (case-insensitive):
 * ``"ls(m)"`` — classical Jacobi-weight least-squares of degree ``m``.
 * ``"bj-ilu0"`` — block-Jacobi ILU(0) (RDD only); returned as the marker
   string because it needs a built system to construct.
+* ``"2l(inner[,additive|deflate][,tr])"`` — two-level composite: any of
+  the above as the fine-level preconditioner plus an algebraic coarse
+  correction (:mod:`repro.precond.coarse`); returned as a
+  :class:`~repro.precond.coarse.TwoLevelSpec` marker because the coarse
+  space needs a built system.
+
+Malformed specs raise :class:`ValueError` whose message names the
+accepted grammar — the CLI relies on this for its rc-2 diagnostics.
 """
 
 from __future__ import annotations
@@ -27,48 +35,134 @@ from repro.spectrum.intervals import SpectrumIntervals
 #: resolution into a real preconditioner needs the built RDD system.
 BJ_ILU0_MARKER = "bj-ilu0"
 
+#: One-line statement of the accepted spec grammar, appended to every
+#: parse error (and printed by ``repro solve`` on a bad ``--precond``).
+SPEC_GRAMMAR = (
+    "accepted preconditioner specs: 'none', 'gls(m)', 'neumann(m)', "
+    "'cheb(m)', 'ls(m)', 'bj-ilu0', or the two-level composite "
+    "'2l(inner[,additive|deflate][,tr])' with any of the former as inner "
+    "— m a non-negative integer, e.g. 'gls(7)', '2l(neumann(20),deflate)'"
+)
+
+#: Degree-family prefixes -> (module, class) for lazy construction.
+_DEGREE_FAMILIES = {
+    "gls": ("repro.precond.gls", "GLSPolynomial", True),
+    "neumann": ("repro.precond.neumann", "NeumannPolynomial", False),
+    "cheb": ("repro.precond.chebyshev", "ChebyshevPolynomial", True),
+    "ls": ("repro.precond.least_squares", "LeastSquaresPolynomial", True),
+}
+
+
+def _parse_degree(text: str, spec: str) -> int:
+    try:
+        m = int(text)
+    except ValueError:
+        raise ValueError(
+            f"malformed degree {text.strip()!r} in preconditioner spec "
+            f"{spec!r}; {SPEC_GRAMMAR}"
+        ) from None
+    if m < 0:
+        raise ValueError(
+            f"negative degree {m} in preconditioner spec {spec!r}; "
+            f"{SPEC_GRAMMAR}"
+        )
+    return m
+
+
+def _split_args(body: str) -> list:
+    """Split a composite-spec body on top-level commas (commas inside
+    nested parentheses belong to the inner spec)."""
+    args, depth, start = [], 0, 0
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(body[start:i].strip())
+            start = i + 1
+    args.append(body[start:].strip())
+    return args
+
+
+def _parse_two_level(spec: str, theta):
+    from repro.precond.coarse import TWO_LEVEL_MODES, TwoLevelSpec
+
+    body = spec[3:-1].strip()
+    args = _split_args(body) if body else []
+    if not args or not args[0]:
+        raise ValueError(
+            f"two-level spec {spec!r} needs an inner preconditioner, e.g. "
+            f"'2l(gls(7))'; {SPEC_GRAMMAR}"
+        )
+    inner_raw = args[0]
+    if inner_raw.startswith("2l("):
+        raise ValueError(
+            f"two-level specs cannot be nested (got {spec!r}); "
+            f"{SPEC_GRAMMAR}"
+        )
+    mode, enrich = "additive", False
+    mode_set = False
+    for tok in args[1:]:
+        if tok in TWO_LEVEL_MODES and not mode_set:
+            mode, mode_set = tok, True
+        elif tok == "tr" and not enrich:
+            enrich = True
+        else:
+            raise ValueError(
+                f"unknown or repeated two-level option {tok!r} in spec "
+                f"{spec!r} (expected 'additive', 'deflate' or 'tr'); "
+                f"{SPEC_GRAMMAR}"
+            )
+    inner = make_preconditioner(inner_raw, theta)  # validates inner_raw
+    return TwoLevelSpec(inner_spec=spec_of(inner), mode=mode, enrich=enrich)
+
 
 def make_preconditioner(spec: str | None, theta: SpectrumIntervals | None = None):
-    """Parse a preconditioner spec string.
+    """Parse a preconditioner spec string (grammar: :data:`SPEC_GRAMMAR`).
 
-    ``"gls(7)"``, ``"neumann(20)"``, ``"cheb(5)"``, ``"ls(7)"`` and
-    ``None``/``"none"`` are accepted — the preconditioners applicable to
-    distributed unassembled systems.  ``"bj-ilu0"`` (block-Jacobi ILU,
-    RDD only) is resolved later by :func:`repro.core.driver.solve_cantilever`
-    since it needs the built system; here it returns the spec marker.
+    Polynomial specs return ready preconditioners.  ``"bj-ilu0"``
+    (block-Jacobi ILU, RDD only) returns the spec marker and
+    ``"2l(...)"`` composites a :class:`~repro.precond.coarse.TwoLevelSpec`
+    marker — both are resolved later against the built system by
+    :class:`repro.core.session.PreparedSystem` / the EDD/RDD solvers.
     ``theta`` defaults to the post-scaling window :math:`(10^{-6}, 1)`.
+
+    Raises :class:`ValueError` naming the accepted grammar on any
+    unknown or malformed spec.
     """
-    if spec is None or spec == "none":
+    if spec is None:
         return None
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"preconditioner spec must be a string or None, got "
+            f"{type(spec).__name__}; {SPEC_GRAMMAR}"
+        )
     if theta is None:
         theta = SpectrumIntervals.single(1e-6, 1.0)
     spec = spec.strip().lower()
-    if spec.startswith("gls(") and spec.endswith(")"):
-        from repro.precond.gls import GLSPolynomial
-
-        return GLSPolynomial(theta, int(spec[4:-1]))
-    if spec.startswith("neumann(") and spec.endswith(")"):
-        from repro.precond.neumann import NeumannPolynomial
-
-        return NeumannPolynomial(int(spec[8:-1]))
-    if spec.startswith("cheb(") and spec.endswith(")"):
-        from repro.precond.chebyshev import ChebyshevPolynomial
-
-        return ChebyshevPolynomial(theta, int(spec[5:-1]))
-    if spec.startswith("ls(") and spec.endswith(")"):
-        from repro.precond.least_squares import LeastSquaresPolynomial
-
-        return LeastSquaresPolynomial(theta, int(spec[3:-1]))
+    if spec == "none":
+        return None
     if spec == BJ_ILU0_MARKER:
         return BJ_ILU0_MARKER
-    raise ValueError(f"unknown preconditioner spec {spec!r}")
+    if spec.startswith("2l(") and spec.endswith(")"):
+        return _parse_two_level(spec, theta)
+    for prefix, (mod_name, cls_name, takes_theta) in _DEGREE_FAMILIES.items():
+        if spec.startswith(prefix + "(") and spec.endswith(")"):
+            degree = _parse_degree(spec[len(prefix) + 1:-1], spec)
+            import importlib
+
+            cls = getattr(importlib.import_module(mod_name), cls_name)
+            return cls(theta, degree) if takes_theta else cls(degree)
+    raise ValueError(f"unknown preconditioner spec {spec!r}; {SPEC_GRAMMAR}")
 
 
 def spec_of(precond) -> str:
     """The round-trippable spec string of a preconditioner (or ``"none"``).
 
-    Accepts None, the ``"bj-ilu0"`` marker, or any object with a ``spec``
-    property.
+    Accepts None, the ``"bj-ilu0"`` marker, a
+    :class:`~repro.precond.coarse.TwoLevelSpec` marker, or any object
+    with a ``spec`` property.
     """
     if precond is None:
         return "none"

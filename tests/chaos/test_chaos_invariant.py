@@ -130,6 +130,39 @@ def test_no_silent_wrong_answer_smoke(
     _check_invariant(tiny_problem, plan, method, precond, inner)
 
 
+#: Two-level sweep: faults aimed at the *coarse* allreduce.  On the tiny
+#: problem the coarse correction's allreduce is every third
+#: ``allreduce_sum`` call starting at call 2 (verified from traced runs,
+#: same layout for both configs below), so call indices 5 and 8 land on
+#: coarse reductions deterministically.
+TWO_LEVEL_CONFIGS = [
+    ("edd-enhanced", "2l(gls(7),deflate)"),
+    ("rdd", "2l(bj-ilu0,deflate)"),
+]
+
+TWO_LEVEL_PLANS = {
+    "coarse-nan": FaultRule("allreduce_sum", "nan", call_index=5),
+    "coarse-flip": FaultRule("allreduce_sum", "sign_flip", call_index=8),
+    "coarse-zero": FaultRule("allreduce_sum", "zero_word", call_index=5),
+}
+
+
+@pytest.mark.parametrize("inner", ["virtual", "thread"])
+@pytest.mark.parametrize("method,precond", TWO_LEVEL_CONFIGS,
+                         ids=[f"{m}-{p}" for m, p in TWO_LEVEL_CONFIGS])
+@pytest.mark.parametrize("plan_name", sorted(TWO_LEVEL_PLANS))
+def test_no_silent_wrong_answer_two_level(
+    tiny_problem, plan_name, method, precond, inner
+):
+    """A corrupted coarse correction must never produce a silently wrong
+    answer: the redundant dense solve amplifies whatever the faulted
+    allreduce delivered to every rank, so the downstream hardening
+    (finite-residual checks, verification slack) has to catch it — under
+    both inner execution backends."""
+    plan = FaultPlan(rules=(TWO_LEVEL_PLANS[plan_name],), seed=20060815)
+    _check_invariant(tiny_problem, plan, method, precond, inner)
+
+
 #: Batched-path sweep: every fault site, over one EDD and one RDD config.
 #: The k-RHS solvers ride the *block* collectives (single coalesced
 #: exchange per step), so this exercises the ChaosComm block proxies.

@@ -62,6 +62,11 @@ CASES = {
     "mesh2_rdd_bj_ilu0": SolverOptions(
         method="rdd", precond="bj-ilu0", comm_backend="virtual"
     ),
+    "mesh2_edd_2l_gls7": SolverOptions(
+        method="edd-enhanced",
+        precond="2l(gls(7),deflate,tr)",
+        comm_backend="virtual",
+    ),
 }
 
 
@@ -138,6 +143,20 @@ def test_paper_claim_iteration_ordering(update_golden):
         assert record["converged"] is True
         assert record["diagnostics"] == []
     assert gls["iterations"] < neum["iterations"] < ilu["iterations"]
+
+
+def test_two_level_beats_one_level(update_golden):
+    """The pinned two-level GLS(7) record converges in strictly fewer
+    iterations than the one-level GLS(7) record at the same P=8 — the
+    coarse correction (deflated, translation-enriched) must pay for its
+    extra per-iteration allreduce."""
+    if update_golden:
+        pytest.skip("goldens being regenerated")
+    one = _load_golden("mesh2_edd_gls7")
+    two = _load_golden("mesh2_edd_2l_gls7")
+    assert two["converged"] is True
+    assert two["iterations"] < one["iterations"]
+    assert two["precond"].startswith("2L(")
 
 
 def test_goldens_are_clean_runs(update_golden):

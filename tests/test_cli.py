@@ -104,6 +104,27 @@ def test_solve_nrhs_rejects_nonpositive(capsys):
         assert "--nrhs must be >= 1" in err
 
 
+def test_solve_two_level_precond(capsys):
+    rc = main(
+        ["solve", "--mesh", "1", "-p", "2",
+         "--precond", "2l(gls(3),deflate)"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2L(GLS(3),deflate,C=2)" in out
+    assert "converged=True" in out
+
+
+def test_solve_rejects_malformed_precond(capsys):
+    for bad in ("gls(seven)", "2l()", "2l(gls(7),bogus)", "frob(3)"):
+        rc = main(["solve", "--mesh", "1", "--precond", bad])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "accepted preconditioner specs" in err
+        assert "Traceback" not in err
+
+
 def test_solve_nrhs_json_per_column_records(tmp_path, capsys):
     path = tmp_path / "batch.json"
     rc = main(
