@@ -11,6 +11,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.parallel.machine import SGI_ORIGIN, time_breakdown
 from repro.reporting.tables import format_table
 
@@ -24,7 +25,7 @@ def test_ablation_cost_breakdown(benchmark, problems):
     def experiment():
         out = {}
         for m in DEGREES:
-            s = solve_cantilever(p, n_parts=P, precond=f"gls({m})")
+            s = solve_cantilever(p, n_parts=P, options=SolverOptions(precond=f"gls({m})"))
             assert s.result.converged
             out[m] = (s.result.iterations, time_breakdown(s.stats, SGI_ORIGIN))
         return out

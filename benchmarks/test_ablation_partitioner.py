@@ -9,6 +9,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.bc import clamp_edge_dofs
 from repro.partition.element_partition import ElementPartition
 from repro.partition.interface import build_subdomain_map
@@ -27,9 +28,7 @@ def test_ablation_rcb_vs_greedy(benchmark, problems):
             part = ElementPartition.build(p.mesh, P, method)
             submap = build_subdomain_map(p.mesh, part, p.bc)
             metrics = partition_metrics(submap)
-            run = solve_cantilever(
-                p, n_parts=P, precond="gls(7)", partition_method=method
-            )
+            run = solve_cantilever(p, n_parts=P, options=SolverOptions(precond="gls(7)", partition_method=method))
             out[method] = (metrics, run)
         return out
 

@@ -12,6 +12,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.core.schur import schur_solve
 from repro.partition.element_partition import ElementPartition
 from repro.reporting.tables import format_table
@@ -27,8 +28,8 @@ def test_ablation_schur_vs_edd(benchmark, problems):
         schur = schur_solve(
             p.mesh, p.material, p.bc, part, p.bc.expand(p.load), tol=1e-6
         )
-        edd = solve_cantilever(p, n_parts=P, precond="gls(7)", tol=1e-6)
-        plain = solve_cantilever(p, n_parts=P, precond="none", tol=1e-6)
+        edd = solve_cantilever(p, n_parts=P, options=SolverOptions(precond="gls(7)", tol=1e-6))
+        plain = solve_cantilever(p, n_parts=P, options=SolverOptions(precond="none", tol=1e-6))
         return schur, edd, plain
 
     schur, edd, plain = run_once(benchmark, experiment)

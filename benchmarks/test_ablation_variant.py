@@ -10,6 +10,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.parallel.machine import IBM_SP2, SGI_ORIGIN, modeled_time
 from repro.reporting.tables import format_table
 
@@ -23,7 +24,7 @@ def test_ablation_basic_vs_enhanced(benchmark, problems):
         out = {}
         for variant in ("edd-basic", "edd-enhanced"):
             out[variant] = {
-                q: solve_cantilever(p, n_parts=q, method=variant, precond="gls(7)")
+                q: solve_cantilever(p, n_parts=q, options=SolverOptions(method=variant, precond="gls(7)"))
                 for q in RANKS
             }
         return out

@@ -11,6 +11,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.parallel.machine import IBM_SP2, SGI_ORIGIN, speedup
 from repro.reporting.tables import format_table
 
@@ -19,7 +20,7 @@ RANKS = (1, 2, 4, 8)
 
 def _curve(problem, method, spec, machine):
     runs = {
-        p: solve_cantilever(problem, n_parts=p, method=method, precond=spec)
+        p: solve_cantilever(problem, n_parts=p, options=SolverOptions(method=method, precond=spec))
         for p in RANKS
     }
     assert all(r.result.converged for r in runs.values())
@@ -95,7 +96,7 @@ def test_fig17e_sp2_vs_origin(benchmark, problems):
 
     def experiment():
         runs = {
-            q: solve_cantilever(p, n_parts=q, precond="gls(7)") for q in RANKS
+            q: solve_cantilever(p, n_parts=q, options=SolverOptions(precond="gls(7)")) for q in RANKS
         }
         return {
             "origin": [

@@ -1,0 +1,259 @@
+"""Service throughput benchmark -> BENCH_service.json.
+
+Two workloads against a live :class:`SolverService`:
+
+* **closed loop, hot key** — ``CONCURRENCY`` workers each keep exactly
+  one request in flight against the same key (Mesh 2, EDD, GLS(7), P=4),
+  run twice: coalescing on vs off.  With coalescing the service stacks
+  the concurrent arrivals into one block solve per window (the PR-4
+  batched path: k RHS for the message count of one), without it the same
+  key serializes solo solves — so sustained RHS/s must be markedly
+  higher with coalescing.  The acceptance criterion asserted here:
+  **>= 1.5x RHS/s at concurrency 8** (PR 4 measured ~3x at k=8 for the
+  underlying block kernels; 1.5x leaves room for service overhead).
+* **open loop, mixed tenants** — a deterministic arrival schedule spread
+  over three preconditioner keys (GLS(7), Neumann(20) and the two-level
+  ``2l(gls(7),deflate)``) and three tenants, reported for latency
+  percentiles and per-tenant accounting; asserts every response is ok.
+
+Request latency is measured caller-side (submit to response) and
+reported as p50/p95/p99 per arm.  The prepared-system cache is warmed
+before each timed arm so the numbers isolate steady-state serving, not
+one-time setup.
+
+CI runs a reduced sweep via ``REPRO_SERVICE_BENCH_REQUESTS`` (total
+closed-loop requests per arm; default 48) and
+``REPRO_SERVICE_BENCH_CONCURRENCY`` (default 8; the speedup assertion is
+only armed at 8).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.options import SolverOptions
+from repro.fem.cantilever import PAPER_MESHES
+from repro.service import ServiceConfig, SolveRequest, SolverService
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MESH_ID = 2  # 656 equations
+N_PARTS = 4
+HOT_OPTIONS = SolverOptions(method="edd-enhanced", precond="gls(7)")
+CONCURRENCY = int(os.environ.get("REPRO_SERVICE_BENCH_CONCURRENCY", "8"))
+TOTAL_REQUESTS = int(os.environ.get("REPRO_SERVICE_BENCH_REQUESTS", "48"))
+
+MIXED_KEYS = (
+    ("gls7", SolverOptions(method="edd-enhanced", precond="gls(7)")),
+    ("neumann20", SolverOptions(method="edd-enhanced", precond="neumann(20)")),
+    ("2l-gls7", SolverOptions(method="edd-enhanced",
+                              precond="2l(gls(7),deflate)")),
+)
+
+
+def _percentiles(latencies: list) -> dict:
+    arr = np.asarray(latencies)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+
+
+async def _closed_loop_arm(coalesce: bool) -> dict:
+    """CONCURRENCY workers, one request in flight each, hot key only."""
+    config = ServiceConfig(
+        coalesce=coalesce,
+        batch_window=0.01,
+        max_batch=CONCURRENCY,
+        max_inflight=2,
+        queue_limit=4 * CONCURRENCY,
+        default_timeout=None,
+    )
+    per_worker = max(1, TOTAL_REQUESTS // CONCURRENCY)
+    latencies: list = []
+    statuses: list = []
+    async with SolverService(config) as svc:
+        warm = await svc.submit(SolveRequest(
+            mesh=MESH_ID, n_parts=N_PARTS, options=HOT_OPTIONS,
+        ))
+        assert warm.status == "ok"
+
+        async def worker(w: int) -> None:
+            for i in range(per_worker):
+                req = SolveRequest(
+                    mesh=MESH_ID, n_parts=N_PARTS, options=HOT_OPTIONS,
+                    rhs_scale=1.0 + 0.01 * (w * per_worker + i),
+                    tenant=f"w{w}",
+                )
+                t0 = time.perf_counter()
+                resp = await svc.submit(req)
+                latencies.append(time.perf_counter() - t0)
+                statuses.append(resp.status)
+
+        t_start = time.perf_counter()
+        await asyncio.gather(*(worker(w) for w in range(CONCURRENCY)))
+        wall = time.perf_counter() - t_start
+        stats = svc.stats()
+    n = len(statuses)
+    assert statuses == ["ok"] * n
+    return {
+        "coalesce": coalesce,
+        "concurrency": CONCURRENCY,
+        "requests": n,
+        "wall_time": wall,
+        "rhs_per_s": n / wall,
+        "latency": _percentiles(latencies),
+        "mean_batch": stats["mean_batch"],
+        "max_batch_seen": stats["max_batch_seen"],
+        "batches": stats["counters"]["batches"],
+    }
+
+
+async def _open_loop_arm() -> dict:
+    """Deterministic arrival schedule over mixed keys and tenants."""
+    config = ServiceConfig(
+        batch_window=0.01,
+        max_batch=CONCURRENCY,
+        max_inflight=2,
+        queue_limit=128,
+        default_timeout=None,
+    )
+    n_requests = max(len(MIXED_KEYS), TOTAL_REQUESTS // 2)
+    inter_arrival = 0.004
+    latencies: list = []
+    async with SolverService(config) as svc:
+        for _, options in MIXED_KEYS:  # warm all three prepared systems
+            warm = await svc.submit(SolveRequest(
+                mesh=MESH_ID, n_parts=N_PARTS, options=options,
+            ))
+            assert warm.status == "ok"
+
+        async def fire(i: int) -> str:
+            name, options = MIXED_KEYS[i % len(MIXED_KEYS)]
+            req = SolveRequest(
+                mesh=MESH_ID, n_parts=N_PARTS, options=options,
+                rhs_scale=1.0 + 0.01 * i, tenant=f"tenant-{i % 3}",
+            )
+            t0 = time.perf_counter()
+            resp = await svc.submit(req)
+            latencies.append(time.perf_counter() - t0)
+            return resp.status
+
+        async def schedule():
+            tasks = []
+            for i in range(n_requests):
+                tasks.append(asyncio.ensure_future(fire(i)))
+                await asyncio.sleep(inter_arrival)
+            return await asyncio.gather(*tasks)
+
+        t_start = time.perf_counter()
+        statuses = await schedule()
+        wall = time.perf_counter() - t_start
+        stats = svc.stats()
+    assert list(statuses) == ["ok"] * n_requests
+    return {
+        "requests": n_requests,
+        "keys": [name for name, _ in MIXED_KEYS],
+        "inter_arrival": inter_arrival,
+        "wall_time": wall,
+        "rhs_per_s": n_requests / wall,
+        "latency": _percentiles(latencies),
+        "mean_batch": stats["mean_batch"],
+        "tenants": {
+            name: {"rhs_solved": ts["rhs_solved"],
+                   "comm_words": ts["comm_words"]}
+            for name, ts in stats["tenants"].items()
+        },
+    }
+
+
+def validate_schema(report: dict) -> None:
+    """Assert the BENCH_service.json shape the CI smoke checks."""
+    for key in ("suite", "cpu_count", "mesh", "n_eqn", "concurrency",
+                "closed_loop", "open_loop"):
+        assert key in report, f"missing key {key!r}"
+    assert report["suite"] == "service-throughput"
+    assert report["cpu_count"] >= 1
+    assert len(report["closed_loop"]) == 2
+    for arm in report["closed_loop"]:
+        for key in ("coalesce", "requests", "wall_time", "rhs_per_s",
+                    "latency", "mean_batch", "batches"):
+            assert key in arm, f"closed-loop arm missing {key!r}"
+        assert arm["rhs_per_s"] > 0.0
+        for p in ("p50", "p95", "p99"):
+            assert arm["latency"][p] > 0.0
+    open_loop = report["open_loop"]
+    for key in ("requests", "rhs_per_s", "latency", "tenants"):
+        assert key in open_loop, f"open-loop missing {key!r}"
+    if "coalescing_speedup" in report:
+        assert report["coalescing_speedup"] > 0.0
+
+
+def test_bench_service_throughput_json():
+    """Run both workloads, write BENCH_service.json, and assert the
+    >= 1.5x coalescing acceptance criterion at concurrency 8."""
+    on = asyncio.run(_closed_loop_arm(coalesce=True))
+    off = asyncio.run(_closed_loop_arm(coalesce=False))
+    open_loop = asyncio.run(_open_loop_arm())
+
+    report = {
+        "suite": "service-throughput",
+        "cpu_count": os.cpu_count() or 1,
+        "mesh": MESH_ID,
+        "n_eqn": PAPER_MESHES[MESH_ID][3],
+        "n_parts": N_PARTS,
+        "concurrency": CONCURRENCY,
+        "total_requests": TOTAL_REQUESTS,
+        "closed_loop": [on, off],
+        "open_loop": open_loop,
+        "coalescing_speedup": on["rhs_per_s"] / off["rhs_per_s"],
+    }
+    validate_schema(report)
+    out_path = REPO_ROOT / "BENCH_service.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print("\nservice throughput (closed loop, hot key):")
+    for arm in (on, off):
+        lat = arm["latency"]
+        print(
+            f"  coalesce={str(arm['coalesce']):>5}: "
+            f"{arm['rhs_per_s']:7.1f} RHS/s, mean batch "
+            f"{arm['mean_batch']:.2f}, latency p50/p95/p99 = "
+            f"{lat['p50'] * 1e3:.1f}/{lat['p95'] * 1e3:.1f}/"
+            f"{lat['p99'] * 1e3:.1f} ms"
+        )
+    print(
+        f"  open loop (mixed keys): {open_loop['rhs_per_s']:.1f} RHS/s, "
+        f"p95 {open_loop['latency']['p95'] * 1e3:.1f} ms"
+    )
+    print(f"coalescing speedup: {report['coalescing_speedup']:.2f}x")
+
+    assert on["mean_batch"] > 1.0, (
+        "coalescing arm never batched - the window/concurrency interplay "
+        "is broken"
+    )
+    if CONCURRENCY == 8:
+        assert report["coalescing_speedup"] >= 1.5, (
+            f"coalescing is only {report['coalescing_speedup']:.2f}x the "
+            "no-coalescing throughput at concurrency 8 (need >= 1.5x)"
+        )
+
+
+def test_bench_service_schema_of_existing_file():
+    """CI smoke: a checked-in / regenerated BENCH_service.json must
+    satisfy the schema above."""
+    path = REPO_ROOT / "BENCH_service.json"
+    if not path.exists():
+        import pytest
+
+        pytest.skip("BENCH_service.json not generated yet")
+    validate_schema(json.loads(path.read_text()))

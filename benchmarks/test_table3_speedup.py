@@ -12,6 +12,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.parallel.machine import SGI_ORIGIN, modeled_time, speedup
 from repro.reporting.tables import format_table
 
@@ -32,9 +33,7 @@ def test_table3_speedup_origin(benchmark, problems):
                         # Mesh1 has only 7 elements; like the paper's table
                         # we leave infeasible cells blank.
                         continue
-                    s = solve_cantilever(
-                        p, n_parts=n_parts, precond=f"gls({m})", tol=1e-6
-                    )
+                    s = solve_cantilever(p, n_parts=n_parts, options=SolverOptions(precond=f"gls({m})", tol=1e-6))
                     assert s.result.converged
                     runs[n_parts] = s
                 data[(mesh_id, m)] = runs

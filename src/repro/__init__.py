@@ -27,31 +27,55 @@ Package layout:
 - :mod:`repro.core` — the distributed EDD (Algorithms 5-6) and RDD
   (Algorithm 8) FGMRES solvers and the high-level driver.
 - :mod:`repro.dynamics` — Newmark elastodynamics.
+- :mod:`repro.service` — the asyncio multi-tenant solver service.
+- :mod:`repro.api` — the frozen, versioned public facade; the names
+  below are its re-exports and follow its compatibility contract.
 """
 
-from repro.core.driver import ParallelSolveSummary, solve_cantilever
-from repro.core.options import SolverOptions
-from repro.core.session import (
+from repro.api import (
+    API_VERSION,
+    SCHEMA_VERSION,
     BatchSolveSummary,
+    ParallelSolveSummary,
     PreparedSystem,
+    ServiceConfig,
+    SolveOutcome,
+    SolveRequest,
+    SolveResponse,
+    SolverOptions,
+    SolverService,
+    SolveResult,
     SolveSession,
+    Tracer,
+    cantilever_problem,
+    make_preconditioner,
+    serve_jsonl,
+    solve_cantilever,
     solve_cantilever_batch,
+    spec_of,
 )
-from repro.fem.cantilever import cantilever_problem
-from repro.obs import Tracer
-from repro.precond.spec import make_preconditioner
 from repro.solvers import cg, fgmres, gmres
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
+    "SCHEMA_VERSION",
     "solve_cantilever",
     "solve_cantilever_batch",
     "SolveSession",
     "PreparedSystem",
     "BatchSolveSummary",
     "SolverOptions",
+    "SolveOutcome",
+    "SolveResult",
+    "SolverService",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveResponse",
+    "serve_jsonl",
     "make_preconditioner",
+    "spec_of",
     "cantilever_problem",
     "ParallelSolveSummary",
     "Tracer",

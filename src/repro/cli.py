@@ -7,6 +7,7 @@
 * ``convergence``  — Figs. 11-13-style preconditioner comparison.
 * ``meshes``       — print the Table 2 family.
 * ``trace``        — summarize or convert a ``--trace`` recording.
+* ``serve``        — JSON-lines solver service on stdin/stdout.
 """
 
 from __future__ import annotations
@@ -162,6 +163,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--out", default="results", help="output directory")
     rep.add_argument("--mesh", type=int, default=3, help="scaling-study mesh")
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the solver service as a JSON-lines loop on stdin/stdout "
+            "(one SolveRequest per input line, one SolveResponse per "
+            "output line; {\"op\": \"stats\"} and {\"op\": \"shutdown\"} "
+            "are control lines — see docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="batches solving concurrently in the worker pool",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admitted requests beyond which submissions are rejected",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.005,
+        help="coalescing batch window in seconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="max requests coalesced into one block solve",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="solve every request alone (debugging / benchmarking control)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=8,
+        help="session-cache bound on prepared systems (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="session-cache bound on estimated resident bytes",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-request deadline in seconds",
+    )
     return parser
 
 
@@ -439,6 +482,26 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the JSON-lines solver-service loop."""
+    import asyncio
+
+    from repro.service import ServiceConfig, serve_jsonl
+
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        batch_window=args.window,
+        max_batch=args.max_batch,
+        coalesce=not args.no_coalesce,
+        default_timeout=args.timeout,
+        session_max_entries=args.cache_entries,
+        session_max_bytes=args.cache_bytes,
+    )
+    asyncio.run(serve_jsonl(sys.stdin, sys.stdout, config))
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     """``repro reproduce``: quick regeneration of the paper's core results."""
     from repro.experiments import reproduce_all
@@ -461,6 +524,7 @@ def main(argv=None) -> int:
         "meshes": cmd_meshes,
         "trace": cmd_trace,
         "reproduce": cmd_reproduce,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

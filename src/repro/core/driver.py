@@ -8,20 +8,20 @@ every benchmark consumes.
 
 Configuration travels in one :class:`repro.core.options.SolverOptions`
 value passed as ``options=``.  The former keyword-per-knob signature
-(``method=``, ``precond=``, ``restart=`` ...) still works through a
-deprecation shim that folds the keywords into a ``SolverOptions`` and
-warns once per session.
+(``method=``, ``precond=``, ``restart=`` ...) was deprecated in PR 2 and
+has been removed: stray keywords now raise ``TypeError`` pointing at
+``SolverOptions``.
 """
 
 from __future__ import annotations
 
 import time  # noqa: F401  (re-exported for timing call sites)
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.options import SolverOptions
+from repro.core.outcome import SCHEMA_VERSION
 from repro.fem.cantilever import CantileverProblem
 from repro.parallel.machine import MachineModel, modeled_time
 from repro.parallel.stats import CommStats
@@ -90,14 +90,24 @@ class ParallelSolveSummary:
         """Modeled wall-clock seconds on ``machine``."""
         return modeled_time(self.stats, machine)
 
+    @property
+    def trace(self) -> dict | None:
+        """The solve's observability export when it was traced
+        (:class:`~repro.core.outcome.SolveOutcome` surface); None
+        otherwise.  Lives on the result for single solves."""
+        return self.result.trace
+
     def to_dict(self, include_x: bool = False) -> dict:
         """JSON-serializable summary: result, counters and configuration.
 
         Consumed by ``repro solve --json`` (via
         :func:`repro.io.records.record_from_summary`) and the parallel
-        benchmark emitter.
+        benchmark emitter.  Carries ``schema_version``
+        (:data:`repro.core.outcome.SCHEMA_VERSION`) like every serialized
+        solve artifact.
         """
         return {
+            "schema_version": SCHEMA_VERSION,
             "method": self.method,
             "precond": self.precond_name,
             "n_parts": self.n_parts,
@@ -109,52 +119,6 @@ class ParallelSolveSummary:
             "stats": self.stats.to_dict(),
             "options": None if self.options is None else self.options.to_dict(),
         }
-
-
-#: Former keyword parameters of :func:`solve_cantilever`, now fields of
-#: :class:`SolverOptions`; passing them still works through the shim below.
-_LEGACY_KWARGS = (
-    "method",
-    "precond",
-    "restart",
-    "tol",
-    "partition_method",
-    "dynamic",
-    "mass_shift",
-    "max_iter",
-    "kernel_backend",
-    "comm_backend",
-    "orthogonalization",
-)
-
-_legacy_warned = False
-
-
-def _resolve_options(options, kwargs) -> SolverOptions:
-    """Fold legacy keyword arguments into a :class:`SolverOptions`.
-
-    Warns once per session when legacy keywords are used; unknown keywords
-    raise ``TypeError`` like a normal bad signature would.
-    """
-    global _legacy_warned
-    unknown = set(kwargs) - set(_LEGACY_KWARGS)
-    if unknown:
-        raise TypeError(
-            "solve_cantilever() got unexpected keyword argument(s) "
-            f"{sorted(unknown)}"
-        )
-    if not kwargs:
-        return options if options is not None else SolverOptions()
-    if not _legacy_warned:
-        _legacy_warned = True
-        warnings.warn(
-            "passing solver knobs as keyword arguments to solve_cantilever "
-            "is deprecated; pass options=SolverOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    base = options if options is not None else SolverOptions()
-    return base.replace(**kwargs)
 
 
 def solve_cantilever(
@@ -183,11 +147,17 @@ def solve_cantilever(
         per-iteration metrics stream, attached to the returned summary as
         ``summary.result.trace``.
     **kwargs:
-        Deprecated: the former per-knob keywords (``method=``,
-        ``precond=``, ...) are folded into ``options`` with a one-time
-        ``DeprecationWarning``.
+        Rejected.  The PR 2 per-knob keywords (``method=``, ``precond=``,
+        ...) completed their deprecation cycle; any keyword here raises
+        ``TypeError`` naming :class:`SolverOptions`.
     """
-    options = _resolve_options(options, kwargs)
+    if kwargs:
+        raise TypeError(
+            "solve_cantilever() got unexpected keyword argument(s) "
+            f"{sorted(kwargs)}; solver knobs are fields of SolverOptions — "
+            "pass options=SolverOptions(...)"
+        )
+    options = options if options is not None else SolverOptions()
     from repro.core.session import PreparedSystem
 
     prepared = PreparedSystem.build(problem, n_parts, options, tracer=tracer)

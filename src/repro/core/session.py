@@ -11,9 +11,12 @@ amortizes over many solves.  This module makes that split explicit:
   communicator alive between solves (unlike the one-shot driver) and
   caches the serially-assembled verification operator, so repeated solves
   re-assemble nothing.
-* :class:`SolveSession` — a keyed cache of prepared systems with hit/miss
-  counters; a cache hit reports ``setup_time ~ 0`` on the resulting
-  summary, which is the measurable contract of reuse.
+* :class:`SolveSession` — a keyed, *bounded* cache of prepared systems
+  with hit/miss/eviction counters; a cache hit reports ``setup_time ~ 0``
+  on the resulting summary, which is the measurable contract of reuse.
+  Optional ``max_entries`` / ``max_bytes`` bounds evict least-recently-
+  used systems (closing their communicators), so a long-lived service can
+  cache aggressively without growing without bound.
 * :func:`solve_cantilever_batch` — the multi-RHS entry point: one
   prepared system, one call to the block solvers
   (:func:`repro.core.edd.edd_fgmres_block` /
@@ -28,7 +31,9 @@ may vary per solve against the same prepared system.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -37,6 +42,7 @@ import numpy as np
 from repro.core.distributed import build_edd_system
 from repro.core.edd import edd_fgmres, edd_fgmres_block
 from repro.core.options import SolverOptions
+from repro.core.outcome import SCHEMA_VERSION
 from repro.core.rdd import build_rdd_system, rdd_fgmres, rdd_fgmres_block
 from repro.fem.cantilever import CantileverProblem, cantilever_problem
 from repro.obs.tracer import NULL_TRACER
@@ -69,6 +75,46 @@ def _backend_ctx(kernel_backend):
         use_backend(kernel_backend) if kernel_backend is not None
         else nullcontext()
     )
+
+
+def _resident_nbytes(*roots) -> int:
+    """Estimated bytes of numpy storage reachable from ``roots``.
+
+    Walks ``__dict__``/containers breadth-first with id-dedup (shared
+    arrays count once), summing ``ndarray.nbytes``.  Deliberately skips
+    modules/types/callables so the walk stays on data.  An estimate — the
+    cache's byte bound is a resource guard, not an allocator ledger.
+    """
+    import types
+
+    seen: set = set()
+    total = 0
+    stack = list(roots)
+    while stack:
+        obj = stack.pop()
+        if obj is None or id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            total += obj.nbytes
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.values())
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+            continue
+        if isinstance(
+            obj,
+            (str, bytes, int, float, complex, bool,
+             type, types.ModuleType, types.FunctionType,
+             types.MethodType, types.BuiltinFunctionType),
+        ):
+            continue
+        d = getattr(obj, "__dict__", None)
+        if d is not None:
+            stack.append(d)
+    return total
 
 
 @dataclass
@@ -105,13 +151,22 @@ class BatchSolveSummary:
         """Per-column iteration counts."""
         return [r.iterations for r in self.results]
 
+    @property
+    def result(self) -> list:
+        """The per-column result list — the batch's payload under the
+        :class:`~repro.core.outcome.SolveOutcome` protocol (alias of
+        ``results``)."""
+        return self.results
+
     def modeled_time(self, machine: MachineModel) -> float:
         """Modeled wall-clock seconds on ``machine`` for the whole batch."""
         return modeled_time(self.stats, machine)
 
     def to_dict(self, include_x: bool = False) -> dict:
-        """JSON-serializable summary (consumed by the CLI and benchmarks)."""
+        """JSON-serializable summary (consumed by the CLI and benchmarks);
+        carries ``schema_version`` like every serialized solve artifact."""
         out = {
+            "schema_version": SCHEMA_VERSION,
             "method": self.method,
             "precond": self.precond_name,
             "n_parts": self.n_parts,
@@ -467,6 +522,16 @@ class PreparedSystem:
             trace=trc.to_dict() if traced else None,
         )
 
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident numpy bytes of this prepared system (the
+        distributed system, preconditioner, problem arrays and the cached
+        verification operator; shared arrays counted once).  Feeds the
+        :class:`SolveSession` byte bound."""
+        return _resident_nbytes(
+            self.system, self.pc, self.problem, self._verify_a
+        )
+
     def close(self) -> None:
         """Release the communicator's backend resources; idempotent."""
         if not self._closed:
@@ -481,23 +546,98 @@ class PreparedSystem:
 
 
 class SolveSession:
-    """A keyed cache of :class:`PreparedSystem` instances.
+    """A keyed, bounded LRU cache of :class:`PreparedSystem` instances.
 
     Key: (problem identity, ``n_parts``, the :data:`SETUP_FIELDS` of the
     options).  Problem identity is the mesh id for Table 2 integer inputs
     and object identity for prebuilt :class:`CantileverProblem` instances
     (the session holds a reference, so identity stays stable while
-    cached).  ``hits`` / ``misses`` count cache outcomes; a hit's summary
-    reports ``setup_time = 0.0``, a miss's the fresh build time.
+    cached).  ``hits`` / ``misses`` / ``evictions`` count cache outcomes;
+    a hit's summary reports ``setup_time = 0.0``, a miss's the fresh
+    build time.
+
+    Bounds (both optional, enforced after every insert, LRU-first):
+
+    ``max_entries``
+        Maximum number of cached prepared systems.
+    ``max_bytes``
+        Maximum estimated resident numpy bytes
+        (:attr:`PreparedSystem.nbytes`, recorded at insert) summed over
+        entries.  The most recently inserted entry is never evicted, so a
+        single system larger than the bound still solves — the cache just
+        holds nothing else.
+
+    Evicted systems are :meth:`closed <PreparedSystem.close>`; a later
+    request for the same key rebuilds from scratch (a miss) and is
+    bitwise identical to the evicted build — setup is deterministic.
+
+    Thread safety: all cache operations hold one reentrant lock, so a
+    multi-threaded caller (the service's worker executor) sees consistent
+    counters and never double-builds a key.  Solves on a *returned*
+    prepared system are not serialized here — callers must not run two
+    solves on the same system concurrently (the service serializes per
+    key).
     """
 
-    def __init__(self):
-        self._cache: dict = {}
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._cache: OrderedDict = OrderedDict()
+        self._entry_bytes: dict = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Estimated resident bytes of all cached systems (as recorded
+        at insert time)."""
+        with self._lock:
+            return sum(self._entry_bytes.values())
+
+    def cache_stats(self) -> dict:
+        """Snapshot of the cache's occupancy, bounds and counters
+        (JSON-serializable; surfaced by the service's ``stats()``)."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "bytes": sum(self._entry_bytes.values()),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def _evict_over_bounds(self) -> None:
+        """Pop LRU entries until within bounds (lock held by caller).
+        The newest entry (last in the OrderedDict) is never evicted."""
+        def over() -> bool:
+            if self.max_entries is not None and len(self._cache) > self.max_entries:
+                return True
+            return (
+                self.max_bytes is not None
+                and sum(self._entry_bytes.values()) > self.max_bytes
+            )
+
+        while len(self._cache) > 1 and over():
+            key, ps = self._cache.popitem(last=False)
+            self._entry_bytes.pop(key, None)
+            self.evictions += 1
+            ps.close()
 
     def _lookup(
         self,
@@ -513,13 +653,17 @@ class SolveSession:
             else ("obj", id(problem))
         )
         key = (pkey, n_parts, _setup_key(options))
-        ps = self._cache.get(key)
-        if ps is not None:
-            self.hits += 1
-            return ps, True, options
-        self.misses += 1
-        ps = PreparedSystem.build(problem, n_parts, options, tracer=tracer)
-        self._cache[key] = ps
+        with self._lock:
+            ps = self._cache.get(key)
+            if ps is not None:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return ps, True, options
+            self.misses += 1
+            ps = PreparedSystem.build(problem, n_parts, options, tracer=tracer)
+            self._cache[key] = ps
+            self._entry_bytes[key] = ps.nbytes
+            self._evict_over_bounds()
         return ps, False, options
 
     def prepared(
@@ -566,10 +710,12 @@ class SolveSession:
 
     def close(self) -> None:
         """Close every cached prepared system and empty the cache
-        (hit/miss counters are kept)."""
-        for ps in self._cache.values():
-            ps.close()
-        self._cache.clear()
+        (hit/miss/eviction counters are kept)."""
+        with self._lock:
+            for ps in self._cache.values():
+                ps.close()
+            self._cache.clear()
+            self._entry_bytes.clear()
 
     def __enter__(self) -> "SolveSession":
         return self

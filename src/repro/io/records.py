@@ -10,6 +10,7 @@ import json
 from dataclasses import asdict, dataclass
 
 from repro.core.driver import ParallelSolveSummary
+from repro.core.outcome import SCHEMA_VERSION
 from repro.parallel.machine import MACHINES, modeled_time
 
 
@@ -42,6 +43,11 @@ class RunRecord:
         (:meth:`repro.obs.Tracer.to_dict`) when it was traced; None
         otherwise.  Stripped from the saved JSON when None, so untraced
         record files are unchanged.
+    schema_version:
+        :data:`repro.core.outcome.SCHEMA_VERSION` of the producing code —
+        the single version stamp shared with summary ``to_dict()``
+        payloads and the service's request/response messages.  Records
+        predating the field load with the current version.
     """
 
     label: str
@@ -64,6 +70,7 @@ class RunRecord:
     true_residual: float = float("nan")
     diagnostics: tuple = ()
     trace: dict | None = None
+    schema_version: int = SCHEMA_VERSION
 
 
 def record_from_summary(

@@ -1,0 +1,32 @@
+"""Solver-as-a-service: the asyncio multi-tenant front-end.
+
+The ``repro.service`` package turns the prepared-system machinery of
+:mod:`repro.core.session` into a long-lived service:
+
+* :mod:`repro.service.messages` — the serialized
+  :class:`SolveRequest` / :class:`SolveResponse` contract;
+* :mod:`repro.service.service` — :class:`SolverService` with request
+  coalescing, admission control, per-tenant accounting and graceful
+  drain;
+* :mod:`repro.service.server` — the ``repro serve`` JSON-lines loop.
+
+See docs/SERVICE.md for schemas and semantics.
+"""
+
+from repro.service.messages import (
+    RESPONSE_STATUSES,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.service.server import serve_jsonl
+from repro.service.service import ServiceConfig, SolverService, TenantStats
+
+__all__ = [
+    "SolveRequest",
+    "SolveResponse",
+    "RESPONSE_STATUSES",
+    "SolverService",
+    "ServiceConfig",
+    "TenantStats",
+    "serve_jsonl",
+]

@@ -1,0 +1,259 @@
+"""The service's serialized request/response contract.
+
+:class:`SolveRequest` / :class:`SolveResponse` are the canonical wire
+format of the solver service: plain dataclasses with exact JSON
+round-trips (``to_dict``/``from_dict``/``to_json``/``from_json``), both
+stamped with :data:`repro.core.outcome.SCHEMA_VERSION` — the same version
+field carried by summary ``to_dict()`` payloads, ``repro solve --json``
+run records and the golden files.
+
+A request names its problem by Table 2 **mesh id** (problems must be
+constructible on the service side; arbitrary objects don't serialize),
+the subdomain count, a full :class:`repro.core.options.SolverOptions`
+payload, and *one* right-hand side — either an explicit vector (``rhs``)
+or a scale applied to the mesh's cantilever load (``rhs_scale``).
+Single-RHS requests are the unit of coalescing: the service stacks
+compatible requests into one block solve, and each request gets its own
+column's result back.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+
+from repro.core.options import SolverOptions
+from repro.core.outcome import SCHEMA_VERSION
+
+#: Response terminal states.  ``ok`` — converged and driver-verified;
+#: ``failed`` — solver finished without (verified) convergence, and the
+#: result payload carries structured diagnostics; ``rejected`` —
+#: admission control refused the request (see ``retry_after``);
+#: ``timeout`` — the per-request deadline elapsed while queued or
+#: solving; ``cancelled`` — the caller abandoned the request before it
+#: was solved; ``error`` — the request itself was invalid or the solve
+#: raised.
+RESPONSE_STATUSES = (
+    "ok", "failed", "rejected", "timeout", "cancelled", "error",
+)
+
+
+def _new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One tenant's single-RHS solve request.
+
+    Attributes
+    ----------
+    mesh:
+        Table 2 mesh id of the cantilever problem to solve.
+    n_parts:
+        Subdomain / rank count.
+    options:
+        The :class:`SolverOptions` for the solve (full payload in JSON).
+        Requests only coalesce with requests carrying *equal* options.
+    rhs:
+        Explicit right-hand side on the free DOFs (list of floats), or
+        None to use ``rhs_scale`` times the mesh's cantilever load.
+    rhs_scale:
+        Load multiplier used when ``rhs`` is None.
+    tenant:
+        Accounting principal; per-tenant usage shows up in the service's
+        ``stats()`` snapshot.
+    request_id:
+        Correlation id echoed on the response (auto-generated when
+        omitted).
+    timeout:
+        Per-request deadline in seconds (queue wait + solve); None uses
+        the service default.
+    trace:
+        When True, the response carries the batch's ``repro-trace/1``
+        export (opt-in — traces are large).
+    include_x:
+        When True, the response's result payload includes the solution
+        vector.
+    """
+
+    mesh: int
+    n_parts: int = 4
+    options: SolverOptions = field(default_factory=SolverOptions)
+    rhs: list | None = None
+    rhs_scale: float = 1.0
+    tenant: str = "default"
+    request_id: str = field(default_factory=_new_request_id)
+    timeout: float | None = None
+    trace: bool = False
+    include_x: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate eagerly — a malformed request must fail before it is
+        admitted, not inside the batch it would have joined."""
+        if not isinstance(self.mesh, int) or isinstance(self.mesh, bool):
+            raise ValueError(f"mesh must be a Table 2 mesh id, got {self.mesh!r}")
+        if self.n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        if not isinstance(self.options, SolverOptions):
+            raise ValueError("options must be a SolverOptions")
+        if self.timeout is not None and not (self.timeout > 0):
+            raise ValueError("timeout must be positive when given")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (with ``schema_version``)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "mesh": self.mesh,
+            "n_parts": self.n_parts,
+            "options": self.options.to_dict(),
+            "rhs": None if self.rhs is None else [float(v) for v in self.rhs],
+            "rhs_scale": float(self.rhs_scale),
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "timeout": self.timeout,
+            "trace": self.trace,
+            "include_x": self.include_x,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveRequest":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so typos
+        fail loudly at the service boundary."""
+        payload = dict(payload)
+        payload.pop("schema_version", None)
+        options = payload.get("options")
+        if isinstance(options, dict):
+            payload["options"] = SolverOptions.from_dict(options)
+        elif options is None:
+            payload.pop("options", None)
+        known = {
+            "mesh", "n_parts", "options", "rhs", "rhs_scale", "tenant",
+            "request_id", "timeout", "trace", "include_x",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SolveRequest field(s) {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """One-line JSON encoding (the ``repro serve`` wire format)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveRequest":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """The service's answer to one :class:`SolveRequest`.
+
+    Satisfies the :class:`repro.core.outcome.SolveOutcome` protocol:
+    ``result`` is the request's own column of the (possibly coalesced)
+    batch as a :meth:`SolveResult.to_dict` payload, ``stats`` the
+    *shared* batch communication counters (``CommStats.to_dict`` — the
+    whole point of coalescing is that they do not scale with the batch
+    width), and ``trace`` the batch's observability export when the
+    request opted in.
+
+    Attributes
+    ----------
+    status:
+        One of :data:`RESPONSE_STATUSES`.
+    converged, iterations, true_residual:
+        The column's convergence outcome (defaults when no solve ran).
+    coalesced:
+        Number of requests that shared the batch this response rode in
+        (1 = solo; 0 = never solved).
+    queue_seconds, solve_seconds, setup_time:
+        Time spent queued/batching, the batch's solve wall time, and the
+        setup cost this request paid (0 on a session-cache hit).
+    retry_after:
+        Back-off hint in seconds, set on ``rejected`` responses.
+    error:
+        Human-readable reason on ``rejected``/``timeout``/``cancelled``/
+        ``error`` responses.
+    """
+
+    request_id: str
+    tenant: str = "default"
+    status: str = "ok"
+    result: dict | None = None
+    stats: dict | None = None
+    trace: dict | None = None
+    converged: bool = False
+    iterations: int = 0
+    true_residual: float = float("nan")
+    coalesced: int = 0
+    queue_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    setup_time: float = 0.0
+    retry_after: float | None = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        """Reject statuses outside the documented vocabulary."""
+        if self.status not in RESPONSE_STATUSES:
+            raise ValueError(
+                f"status must be one of {RESPONSE_STATUSES}, "
+                f"got {self.status!r}"
+            )
+
+    @property
+    def diagnostics(self) -> list:
+        """The column's structured anomaly events (plain dicts); empty
+        for clean runs and for responses that never solved."""
+        if not self.result:
+            return []
+        return list(self.result.get("diagnostics", []))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (with ``schema_version``)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "result": self.result,
+            "stats": self.stats,
+            "trace": self.trace,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "true_residual": self.true_residual,
+            "coalesced": self.coalesced,
+            "queue_seconds": self.queue_seconds,
+            "solve_seconds": self.solve_seconds,
+            "setup_time": self.setup_time,
+            "retry_after": self.retry_after,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolveResponse":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(payload)
+        payload.pop("schema_version", None)
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """One-line JSON encoding (NaN-safe: non-finite floats become
+        None per strict JSON)."""
+        payload = self.to_dict()
+        tr = payload["true_residual"]
+        if tr != tr or tr in (float("inf"), float("-inf")):
+            payload["true_residual"] = None
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveResponse":
+        """Inverse of :meth:`to_json` (a null ``true_residual`` loads as
+        NaN)."""
+        payload = json.loads(text)
+        if payload.get("true_residual") is None:
+            payload["true_residual"] = float("nan")
+        return cls.from_dict(payload)

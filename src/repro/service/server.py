@@ -1,0 +1,112 @@
+"""`repro serve`: a JSON-lines front door for the solver service.
+
+No network dependency — the loop reads one JSON document per line from a
+text stream (stdin for the CLI) and writes one JSON document per line to
+another (stdout), which makes the service drivable end-to-end from tests,
+CI and shell pipelines::
+
+    printf '%s\\n' '{"mesh": 2, "n_parts": 4}' | python -m repro serve
+
+Wire protocol (one JSON object per line):
+
+* a :class:`~repro.service.messages.SolveRequest` payload (anything with
+  a ``"mesh"`` key) — answered, *in completion order*, by the matching
+  :class:`~repro.service.messages.SolveResponse` payload; correlate by
+  ``request_id`` (echoed, auto-generated when omitted);
+* ``{"op": "stats"}`` — answered by ``{"op": "stats", "stats": {...}}``
+  (the :meth:`~repro.service.service.SolverService.stats` snapshot);
+* ``{"op": "shutdown"}`` — drains in-flight work, answers
+  ``{"op": "shutdown", "ok": true}`` and ends the loop;
+* end-of-input — same graceful drain as ``shutdown``.
+
+Malformed lines are answered with ``{"op": "error", "error": ...}`` and
+do not kill the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.messages import SolveRequest
+from repro.service.service import ServiceConfig, SolverService
+
+
+async def serve_jsonl(
+    in_stream,
+    out_stream,
+    config: ServiceConfig | None = None,
+    service: SolverService | None = None,
+) -> int:
+    """Run the JSON-lines loop until shutdown/EOF; returns requests served.
+
+    ``in_stream``/``out_stream`` are ordinary text streams (``sys.stdin``
+    / ``sys.stdout`` in the CLI, ``io.StringIO`` in tests).  Blocking
+    reads happen in the default executor so the event loop — and with it
+    the batching clock — keeps running between lines.
+    """
+    svc = service if service is not None else SolverService(config)
+    owns = service is None
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    inflight: set = set()
+    served = 0
+
+    async def emit(payload: dict) -> None:
+        async with write_lock:
+            out_stream.write(json.dumps(payload, sort_keys=True) + "\n")
+            out_stream.flush()
+
+    async def emit_response(request: SolveRequest) -> None:
+        response = await svc.submit(request)
+        async with write_lock:
+            out_stream.write(response.to_json() + "\n")
+            out_stream.flush()
+
+    if owns:
+        await svc.start()
+    try:
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    raise ValueError("expected a JSON object per line")
+            except (json.JSONDecodeError, ValueError) as exc:
+                await emit({"op": "error", "error": f"bad request line: {exc}"})
+                continue
+            op = payload.get("op")
+            if op == "shutdown":
+                break
+            if op == "stats":
+                await emit({"op": "stats", "stats": svc.stats()})
+                continue
+            if op is not None and op != "solve":
+                await emit({"op": "error", "error": f"unknown op {op!r}"})
+                continue
+            payload.pop("op", None)
+            try:
+                request = SolveRequest.from_dict(payload)
+            except (TypeError, ValueError) as exc:
+                await emit({
+                    "op": "error",
+                    "error": f"bad request: {exc}",
+                    "request_id": payload.get("request_id"),
+                })
+                continue
+            served += 1
+            task = asyncio.ensure_future(emit_response(request))
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+    finally:
+        if inflight:
+            await asyncio.gather(*list(inflight), return_exceptions=True)
+        if owns:
+            await svc.stop()
+            await emit({"op": "shutdown", "ok": True, "served": served})
+    return served

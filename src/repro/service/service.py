@@ -1,0 +1,552 @@
+"""The asyncio multi-tenant solver service.
+
+:class:`SolverService` is the production front-end over
+:class:`repro.core.session.SolveSession`: it admits concurrent
+:class:`~repro.service.messages.SolveRequest`\\ s, routes them to a
+bounded prepared-system cache, and **coalesces** requests that target the
+same prepared system (same mesh, ``n_parts`` and options) within a short
+batching window into a single
+:meth:`~repro.core.session.PreparedSystem.solve_batch` call — riding the
+block path PR 4 built, so ``k`` coalesced requests cost the *message
+count* of one solve (words scale with ``k``, messages do not; asserted
+from ``CommStats`` in the test suite).
+
+Robustness properties:
+
+* **Admission control** — at most ``queue_limit`` requests are admitted
+  at a time; the surplus is rejected immediately with a ``retry_after``
+  back-off hint (backpressure, never unbounded queueing).
+* **Timeouts & cancellation** — each request carries a deadline (queue
+  wait + solve); expiry or caller cancellation abandons the request
+  without disturbing batch partners.  A request cancelled while still in
+  the batching window is removed from its batch entirely.
+* **Graceful drain** — :meth:`stop` stops admitting, flushes pending
+  batches, and waits for in-flight solves to finish, so every admitted
+  request gets a response.
+* **Non-blocking event loop** — solves run in a worker thread pool; the
+  loop only ever waits on futures.
+
+Observability: every batch runs under a :class:`repro.obs.Tracer`, whose
+per-rank busy seconds and comm counters feed **per-tenant accounting**
+(requests, RHS solved, iterations, comm words, busy seconds), snapshotted
+by :meth:`SolverService.stats`.  Responses carry the batch trace when the
+request opts in.  Faults are covered for free: run the service with
+``comm_backend="chaos"`` under a fault plan and every response still
+either verifies or carries structured diagnostics (the driver-level
+ground-truth check runs inside ``solve_batch``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.outcome import SCHEMA_VERSION
+from repro.core.session import SolveSession
+from repro.obs import Tracer
+from repro.service.messages import SolveRequest, SolveResponse
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolverService`.
+
+    Attributes
+    ----------
+    max_inflight:
+        Maximum batches solving concurrently in the worker executor.
+    queue_limit:
+        Maximum requests admitted (queued + solving) at a time; the
+        surplus is rejected with ``retry_after``.
+    batch_window:
+        Seconds a new batch waits for coalescing partners before it
+        solves.  The latency cost of throughput — keep it at or below
+        the typical solve time.
+    max_batch:
+        Maximum requests coalesced into one block solve; an arrival that
+        would exceed it flushes the batch immediately and starts a new
+        one.
+    coalesce:
+        When False every request solves alone (the bench's control arm).
+    default_timeout:
+        Deadline in seconds for requests that don't carry their own;
+        None disables.
+    retry_after:
+        Back-off hint (seconds) stamped on rejected responses.
+    session_max_entries / session_max_bytes:
+        Bounds of the service-owned :class:`SolveSession` cache (unused
+        when a session is injected).
+    executor_workers:
+        Worker threads solving batches (distinct prepared systems can
+        solve concurrently; same-key batches are serialized).
+    """
+
+    max_inflight: int = 4
+    queue_limit: int = 64
+    batch_window: float = 0.005
+    max_batch: int = 16
+    coalesce: bool = True
+    default_timeout: float | None = 30.0
+    retry_after: float = 0.05
+    session_max_entries: int | None = 8
+    session_max_bytes: int | None = None
+    executor_workers: int = 2
+
+    def __post_init__(self) -> None:
+        """Validate eagerly, like every options surface in the repo."""
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+
+
+@dataclass
+class TenantStats:
+    """Usage accounting for one tenant (all fields cumulative).
+
+    ``comm_words`` and ``busy_seconds`` are the tenant's *share* of each
+    batch: coalesced words divide per column exactly (a k-wide block
+    solve moves k times the words of one solve in the same messages),
+    and per-rank busy seconds from the batch trace divide evenly across
+    the k requests that shared them.
+    """
+
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    rhs_solved: int = 0
+    iterations: int = 0
+    comm_words: float = 0.0
+    busy_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return {
+            "requests": self.requests,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "rhs_solved": self.rhs_solved,
+            "iterations": self.iterations,
+            "comm_words": self.comm_words,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+class _Entry:
+    """One admitted request waiting for (a share of) a batch solve."""
+
+    __slots__ = ("request", "future", "t_admit", "abandoned")
+
+    def __init__(self, request: SolveRequest, future: asyncio.Future):
+        self.request = request
+        self.future = future
+        self.t_admit = time.perf_counter()
+        self.abandoned = False  # timed out or cancelled; skip on flush
+
+
+class _Batch:
+    """Requests accumulating toward one coalesced block solve."""
+
+    __slots__ = ("key", "entries", "flusher", "flushed")
+
+    def __init__(self, key):
+        self.key = key
+        self.entries: list = []
+        self.flusher: asyncio.Task | None = None
+        self.flushed = False
+
+
+class SolverService:
+    """Asyncio front-end coalescing concurrent solve requests.
+
+    Lifecycle::
+
+        service = SolverService(ServiceConfig(max_inflight=4))
+        await service.start()
+        response = await service.submit(SolveRequest(mesh=2))
+        await service.stop()          # drains in-flight work
+
+    or as an async context manager (``async with SolverService() as s:``).
+    All coordination state is touched from the event loop only; solves
+    run in a thread pool and the session cache has its own lock.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        session: SolveSession | None = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.session = session if session is not None else SolveSession(
+            max_entries=self.config.session_max_entries,
+            max_bytes=self.config.session_max_bytes,
+        )
+        self._owns_session = session is None
+        self._executor: ThreadPoolExecutor | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._accepting = False
+        self._pending = 0
+        self._batches: dict = {}
+        self._key_locks: dict = {}
+        self._tasks: set = set()
+        self._tenants: dict = {}
+        self.counters = {
+            "submitted": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "errors": 0,
+            "batches": 0,
+            "coalesced_requests": 0,
+        }
+        self._batch_sizes: list = []
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "SolverService":
+        """Create the worker executor and begin admitting requests."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.executor_workers,
+                thread_name_prefix="repro-service",
+            )
+        self._sem = asyncio.Semaphore(self.config.max_inflight)
+        self._accepting = True
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: stop admitting, flush pending batches, wait
+        for every in-flight solve, release the executor and (when owned)
+        the session cache."""
+        self._accepting = False
+        for batch in list(self._batches.values()):
+            if batch.flusher is not None:
+                batch.flusher.cancel()
+            self._spawn(self._flush(batch))
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._owns_session:
+            self.session.close()
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- submission ----------------------------------------------------
+    async def submit(self, request: SolveRequest) -> SolveResponse:
+        """Admit one request and await its response.
+
+        Never raises for solver- or service-level failures — every
+        admitted request resolves to a :class:`SolveResponse` whose
+        ``status`` tells the story.  ``asyncio.CancelledError`` from the
+        *caller* propagates (after the request is withdrawn from its
+        batch).
+        """
+        self.counters["submitted"] += 1
+        tenant = self._tenant(request.tenant)
+        tenant.requests += 1
+        if not self._accepting:
+            self.counters["rejected"] += 1
+            tenant.rejected += 1
+            return self._reject(request, "service is not accepting requests")
+        if self._pending >= self.config.queue_limit:
+            self.counters["rejected"] += 1
+            tenant.rejected += 1
+            return self._reject(
+                request,
+                f"queue full ({self.config.queue_limit} requests admitted)",
+            )
+        self.counters["accepted"] += 1
+        tenant.accepted += 1
+        self._pending += 1
+        try:
+            entry = _Entry(request, asyncio.get_running_loop().create_future())
+            self._enqueue(entry)
+            timeout = (
+                request.timeout
+                if request.timeout is not None
+                else self.config.default_timeout
+            )
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(entry.future), timeout
+                )
+            except asyncio.TimeoutError:
+                entry.abandoned = True
+                self.counters["timeouts"] += 1
+                tenant.timeouts += 1
+                return SolveResponse(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    status="timeout",
+                    queue_seconds=time.perf_counter() - entry.t_admit,
+                    error=f"deadline of {timeout}s elapsed",
+                )
+            except asyncio.CancelledError:
+                entry.abandoned = True
+                self.counters["cancelled"] += 1
+                tenant.cancelled += 1
+                raise
+        finally:
+            self._pending -= 1
+
+    def _reject(self, request: SolveRequest, reason: str) -> SolveResponse:
+        return SolveResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="rejected",
+            retry_after=self.config.retry_after,
+            error=reason,
+        )
+
+    # -- batching ------------------------------------------------------
+    def _group_key(self, request: SolveRequest):
+        """Requests coalesce iff they share this key: same problem, same
+        rank count, same *complete* options (setup fields select the
+        prepared system; solve-time fields like tol/restart must match
+        too, since the batch runs one solver configuration)."""
+        return (request.mesh, request.n_parts, request.options)
+
+    def _enqueue(self, entry: _Entry) -> None:
+        if not self.config.coalesce:
+            batch = _Batch(self._group_key(entry.request))
+            batch.entries.append(entry)
+            self._spawn(self._flush(batch))
+            return
+        key = self._group_key(entry.request)
+        batch = self._batches.get(key)
+        if batch is None:
+            batch = _Batch(key)
+            self._batches[key] = batch
+            batch.flusher = self._spawn(self._window_then_flush(batch))
+        batch.entries.append(entry)
+        entry.future.add_done_callback(
+            lambda fut, b=batch, e=entry: self._on_entry_done(b, e)
+        )
+        if len(batch.entries) >= self.config.max_batch:
+            if batch.flusher is not None:
+                batch.flusher.cancel()
+            # Detach synchronously: arrivals later in this same loop step
+            # must open a fresh batch, not ride past max_batch.
+            self._batches.pop(batch.key, None)
+            self._spawn(self._flush(batch))
+
+    def _on_entry_done(self, batch: _Batch, entry: _Entry) -> None:
+        """Withdraw a cancelled entry from a still-pending batch so the
+        eventual block solve doesn't carry dead columns."""
+        if entry.future.cancelled() and not batch.flushed:
+            entry.abandoned = True
+            if entry in batch.entries:
+                batch.entries.remove(entry)
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _window_then_flush(self, batch: _Batch) -> None:
+        try:
+            await asyncio.sleep(self.config.batch_window)
+        except asyncio.CancelledError:
+            return
+        await self._flush(batch)
+
+    async def _flush(self, batch: _Batch) -> None:
+        """Run one batch through the executor and distribute responses."""
+        if batch.flushed:
+            return
+        batch.flushed = True
+        self._batches.pop(batch.key, None)
+        entries = [e for e in batch.entries if not e.abandoned]
+        if not entries:
+            return
+        key_lock = self._key_locks.setdefault(batch.key, asyncio.Lock())
+        async with key_lock:
+            async with self._sem:
+                entries = [e for e in entries if not e.abandoned]
+                if not entries:
+                    return
+                t_start = time.perf_counter()
+                loop = asyncio.get_running_loop()
+                try:
+                    summary, setup_time, good, bad = await loop.run_in_executor(
+                        self._executor, self._solve_batch_blocking, entries
+                    )
+                except Exception as exc:  # solver/setup raised: report, don't die
+                    self._resolve_errors(entries, exc)
+                    return
+        for entry, message in bad:
+            self._resolve_error(entry, message)
+        if summary is not None:
+            self._resolve_responses(good, summary, setup_time, t_start)
+
+    # -- blocking solve (worker thread) --------------------------------
+    def _solve_batch_blocking(self, entries: list):
+        """Build/fetch the prepared system and run the coalesced block
+        solve.  Runs in the worker executor — must not touch loop state.
+
+        A request whose explicit ``rhs`` doesn't fit the problem is
+        dropped from the batch and reported individually (``bad``) — it
+        must never poison a coalescing partner's solve (tenant
+        isolation).  Returns ``(summary, setup_time, good, bad)`` with
+        ``summary`` None when no valid column remained.
+        """
+        req0 = entries[0].request
+        misses_before = self.session.misses
+        ps = self.session.prepared(req0.mesh, req0.n_parts, req0.options)
+        hit = self.session.misses == misses_before
+        setup_time = 0.0 if hit else ps.setup_time
+        load = ps.problem.load
+        good, bad, columns = [], [], []
+        for e in entries:
+            r = e.request
+            if r.rhs is not None:
+                col = np.asarray(r.rhs, dtype=np.float64).reshape(-1)
+                if col.shape != load.shape:
+                    bad.append((e, (
+                        f"rhs has {col.size} entries, problem has "
+                        f"{load.shape[0]} free DOFs"
+                    )))
+                    continue
+            else:
+                col = r.rhs_scale * load
+            good.append(e)
+            columns.append(col)
+        if not good:
+            return None, setup_time, good, bad
+        b_block = np.column_stack(columns)
+        tracer = Tracer(meta={"service_batch": len(good)})
+        summary = ps.solve_batch(
+            b_block, req0.options, setup_time=setup_time, tracer=tracer
+        )
+        return summary, setup_time, good, bad
+
+    # -- response fan-out (event loop) ---------------------------------
+    def _resolve_responses(self, entries, summary, setup_time, t_start):
+        k = len(entries)
+        self.counters["batches"] += 1
+        self.counters["coalesced_requests"] += k
+        self._batch_sizes.append(k)
+        stats_dict = summary.stats.to_dict()
+        trace = summary.trace
+        words_share = (
+            stats_dict["total_nbr_words"]
+            + sum(r["reduction_words"] for r in stats_dict["per_rank"])
+        ) / k
+        busy_share = sum(trace.get("rank_seconds", [])) / k if trace else 0.0
+        for c, entry in enumerate(entries):
+            req = entry.request
+            result = summary.results[c]
+            tenant = self._tenant(req.tenant)
+            tenant.rhs_solved += 1
+            tenant.iterations += result.iterations
+            tenant.comm_words += words_share
+            tenant.busy_seconds += busy_share
+            if result.converged:
+                tenant.completed += 1
+                self.counters["completed"] += 1
+                status = "ok"
+            else:
+                tenant.failed += 1
+                self.counters["failed"] += 1
+                status = "failed"
+            response = SolveResponse(
+                request_id=req.request_id,
+                tenant=req.tenant,
+                status=status,
+                result=result.to_dict(include_x=req.include_x),
+                stats=stats_dict,
+                trace=trace if req.trace else None,
+                converged=bool(result.converged),
+                iterations=int(result.iterations),
+                true_residual=float(summary.true_residuals[c]),
+                coalesced=k,
+                queue_seconds=t_start - entry.t_admit,
+                solve_seconds=float(summary.wall_time),
+                setup_time=float(setup_time),
+            )
+            if not entry.future.done():
+                entry.future.set_result(response)
+
+    def _resolve_error(self, entry, message: str, coalesced: int = 0) -> None:
+        tenant = self._tenant(entry.request.tenant)
+        tenant.errors += 1
+        self.counters["errors"] += 1
+        if not entry.future.done():
+            entry.future.set_result(
+                SolveResponse(
+                    request_id=entry.request.request_id,
+                    tenant=entry.request.tenant,
+                    status="error",
+                    coalesced=coalesced,
+                    error=message,
+                )
+            )
+
+    def _resolve_errors(self, entries, exc: Exception) -> None:
+        for entry in entries:
+            self._resolve_error(
+                entry, f"{type(exc).__name__}: {exc}", len(entries)
+            )
+
+    # -- accounting ----------------------------------------------------
+    def _tenant(self, name: str) -> TenantStats:
+        ts = self._tenants.get(name)
+        if ts is None:
+            ts = self._tenants[name] = TenantStats()
+        return ts
+
+    def stats(self) -> dict:
+        """JSON-serializable snapshot of the whole service: request
+        counters, batch-width distribution, session-cache occupancy and
+        the per-tenant accounting table."""
+        sizes = self._batch_sizes
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "accepting": self._accepting,
+            "pending": self._pending,
+            "counters": dict(self.counters),
+            "mean_batch": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "max_batch_seen": max(sizes, default=0),
+            "session": self.session.cache_stats(),
+            "tenants": {
+                name: ts.to_dict() for name, ts in sorted(self._tenants.items())
+            },
+            "config": {
+                "max_inflight": self.config.max_inflight,
+                "queue_limit": self.config.queue_limit,
+                "batch_window": self.config.batch_window,
+                "max_batch": self.config.max_batch,
+                "coalesce": self.config.coalesce,
+                "default_timeout": self.config.default_timeout,
+            },
+        }
+

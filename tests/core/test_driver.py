@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import make_preconditioner, solve_cantilever
+from repro.core.options import SolverOptions
 from repro.parallel.machine import SGI_ORIGIN
 from repro.spectrum.intervals import SpectrumIntervals
 
@@ -26,14 +27,14 @@ def test_make_preconditioner_custom_theta():
 
 
 def test_solve_by_mesh_id():
-    s = solve_cantilever(1, n_parts=2, precond="gls(3)")
+    s = solve_cantilever(1, n_parts=2, options=SolverOptions(precond="gls(3)"))
     assert s.result.converged
     assert s.n_parts == 2
     assert s.precond_name == "GLS(3)"
 
 
 def test_solve_prebuilt_problem(tiny_problem):
-    s = solve_cantilever(tiny_problem, n_parts=3, precond="gls(7)")
+    s = solve_cantilever(tiny_problem, n_parts=3, options=SolverOptions(precond="gls(7)"))
     assert s.result.converged
     u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
     assert np.allclose(s.result.x, u_ref, rtol=1e-4, atol=1e-10)
@@ -41,7 +42,7 @@ def test_solve_prebuilt_problem(tiny_problem):
 
 @pytest.mark.parametrize("method", ["edd-basic", "edd-enhanced", "rdd"])
 def test_all_methods_agree(tiny_problem, method):
-    s = solve_cantilever(tiny_problem, n_parts=2, method=method, tol=1e-8)
+    s = solve_cantilever(tiny_problem, n_parts=2, options=SolverOptions(method=method, tol=1e-8))
     u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
     assert s.result.converged
     assert np.allclose(s.result.x, u_ref, rtol=1e-5, atol=1e-10)
@@ -50,13 +51,11 @@ def test_all_methods_agree(tiny_problem, method):
 
 def test_unknown_method(tiny_problem):
     with pytest.raises(ValueError):
-        solve_cantilever(tiny_problem, method="feti")
+        solve_cantilever(tiny_problem, options=SolverOptions(method="feti"))
 
 
 def test_dynamic_solve(tiny_dynamic_problem):
-    s = solve_cantilever(
-        tiny_dynamic_problem, n_parts=2, dynamic=True, mass_shift=(2.0, 1.0)
-    )
+    s = solve_cantilever(tiny_dynamic_problem, n_parts=2, options=SolverOptions(dynamic=True, mass_shift=(2.0, 1.0)))
     assert s.result.converged
     k_eff = (
         tiny_dynamic_problem.stiffness.toarray()
@@ -68,16 +67,16 @@ def test_dynamic_solve(tiny_dynamic_problem):
 
 def test_dynamic_needs_mass(tiny_problem):
     with pytest.raises(ValueError, match="with_mass"):
-        solve_cantilever(tiny_problem, dynamic=True)
+        solve_cantilever(tiny_problem, options=SolverOptions(dynamic=True))
 
 
 def test_dynamic_rdd(tiny_dynamic_problem):
     s = solve_cantilever(
         tiny_dynamic_problem,
         n_parts=2,
-        method="rdd",
-        dynamic=True,
-        mass_shift=(2.0, 1.0),
+        options=SolverOptions(
+            method="rdd", dynamic=True, mass_shift=(2.0, 1.0)
+        ),
     )
     assert s.result.converged
 
@@ -95,9 +94,7 @@ def test_stats_recorded(tiny_problem):
 
 
 def test_bj_ilu0_spec_rdd(tiny_problem):
-    s = solve_cantilever(
-        tiny_problem, n_parts=3, method="rdd", precond="bj-ilu0", tol=1e-8
-    )
+    s = solve_cantilever(tiny_problem, n_parts=3, options=SolverOptions(method="rdd", precond="bj-ilu0", tol=1e-8))
     assert s.result.converged
     assert s.precond_name == "BJ-ILU0(P=3)"
     u_ref = np.linalg.solve(tiny_problem.stiffness.toarray(), tiny_problem.load)
@@ -106,4 +103,4 @@ def test_bj_ilu0_spec_rdd(tiny_problem):
 
 def test_bj_ilu0_rejected_for_edd(tiny_problem):
     with pytest.raises(ValueError, match="rdd"):
-        solve_cantilever(tiny_problem, method="edd-enhanced", precond="bj-ilu0")
+        solve_cantilever(tiny_problem, options=SolverOptions(method="edd-enhanced", precond="bj-ilu0"))

@@ -1,7 +1,5 @@
-"""SolverOptions: validation, serialization, driver integration, the
-legacy-keyword deprecation shim, and preconditioner spec round-trips."""
-
-import warnings
+"""SolverOptions: validation, serialization, driver integration,
+keyword-argument rejection, and preconditioner spec round-trips."""
 
 import numpy as np
 import pytest
@@ -120,51 +118,29 @@ def test_summary_to_dict(tiny_problem):
 
 
 # ----------------------------------------------------------------------
-# Legacy keyword shim
+# Keyword-argument rejection (the PR-2 legacy shim is gone)
 # ----------------------------------------------------------------------
-def test_legacy_kwargs_still_work_with_one_warning(tiny_problem):
-    driver_mod._legacy_warned = False
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        s = solve_cantilever(tiny_problem, n_parts=2, precond="gls(3)", tol=1e-8)
-        s2 = solve_cantilever(tiny_problem, n_parts=2, restart=30)
-    deprecations = [
-        w for w in caught if issubclass(w.category, DeprecationWarning)
-    ]
-    assert len(deprecations) == 1  # warned once, not per call
-    assert "SolverOptions" in str(deprecations[0].message)
-    assert s.result.converged and s2.result.converged
-    assert s.options.precond == "gls(3)"
-    assert s.options.tol == 1e-8
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"precond": "gls(3)"},  # was a shimmed legacy knob
+        {"restart": 30, "tol": 1e-8},  # several at once: all named
+        {"preconditioner": "gls(7)"},  # never was a knob
+    ],
+)
+def test_unknown_kwargs_raise_typeerror_naming_options(tiny_problem, kwargs):
+    with pytest.raises(TypeError) as err:
+        solve_cantilever(tiny_problem, n_parts=2, **kwargs)
+    message = str(err.value)
+    assert "SolverOptions" in message  # points callers at the fix
+    for name in kwargs:
+        assert name in message
 
 
-def test_legacy_kwargs_equal_options_path(tiny_problem):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = solve_cantilever(tiny_problem, n_parts=3, precond="gls(3)")
-    modern = solve_cantilever(
-        tiny_problem, n_parts=3, options=SolverOptions(precond="gls(3)")
-    )
-    assert legacy.result.residual_history == modern.result.residual_history
-    assert np.array_equal(legacy.result.x, modern.result.x)
-
-
-def test_unknown_kwarg_rejected(tiny_problem):
-    with pytest.raises(TypeError, match="unexpected keyword"):
-        solve_cantilever(tiny_problem, n_parts=2, preconditioner="gls(7)")
-
-
-def test_kwargs_override_options_base(tiny_problem):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        s = solve_cantilever(
-            tiny_problem,
-            n_parts=2,
-            options=SolverOptions(precond="gls(3)", tol=1e-8),
-            restart=30,
-        )
-    assert s.options.precond == "gls(3)"  # kept from the base options
-    assert s.options.restart == 30  # overridden by the keyword
+def test_no_deprecation_shim_left_in_driver():
+    """The one-shot DeprecationWarning machinery was removed outright."""
+    assert not hasattr(driver_mod, "_legacy_warned")
+    assert not hasattr(driver_mod, "_LEGACY_KWARGS")
 
 
 # ----------------------------------------------------------------------

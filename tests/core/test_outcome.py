@@ -1,0 +1,86 @@
+"""SolveOutcome: every solve entry point returns one conforming shape.
+
+``ParallelSolveSummary`` (one-shot driver), ``BatchSolveSummary``
+(multi-RHS session path) and ``SolveResponse`` (service wire format) all
+satisfy the protocol — ``result`` / ``stats`` / ``trace`` / ``to_dict()``
+— and every ``to_dict()`` payload carries the single shared
+``schema_version`` stamp.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.core.outcome import SCHEMA_VERSION, SolveOutcome
+from repro.core.session import solve_cantilever_batch
+from repro.obs import Tracer
+from repro.service import ServiceConfig, SolveRequest, SolverService
+
+
+@pytest.fixture(scope="module")
+def outcomes(request):
+    """One instance of each outcome-bearing type, solved once."""
+    tiny = request.getfixturevalue("tiny_problem")
+    summary = solve_cantilever(
+        tiny, n_parts=2, options=SolverOptions(), tracer=Tracer()
+    )
+    batch = solve_cantilever_batch(tiny, tiny.load.reshape(-1, 1), 2)
+
+    async def serve_one():
+        async with SolverService(ServiceConfig()) as svc:
+            return await svc.submit(
+                SolveRequest(mesh=1, n_parts=2, trace=True)
+            )
+
+    response = asyncio.run(serve_one())
+    return {"driver": summary, "batch": batch, "service": response}
+
+
+@pytest.mark.parametrize("kind", ["driver", "batch", "service"])
+def test_outcome_protocol_conformance(outcomes, kind):
+    outcome = outcomes[kind]
+    assert isinstance(outcome, SolveOutcome)
+    assert outcome.result is not None
+    assert outcome.stats is not None
+    payload = outcome.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+
+@pytest.mark.parametrize("kind", ["driver", "service"])
+def test_traced_outcomes_expose_trace(outcomes, kind):
+    trace = outcomes[kind].trace
+    assert trace is not None
+    assert trace["schema"] == "repro-trace/1"
+
+
+def test_callers_never_branch_on_concrete_type(outcomes):
+    """The facade promise: uniform handling across all outcome shapes."""
+    def digest(outcome: SolveOutcome) -> dict:
+        payload = outcome.to_dict()
+        return {
+            "schema_version": payload["schema_version"],
+            "has_stats": outcome.stats is not None,
+        }
+
+    digests = [digest(o) for o in outcomes.values()]
+    assert all(d == digests[0] for d in digests)
+
+
+def test_run_record_carries_schema_version(tiny_problem, tmp_path):
+    from dataclasses import asdict
+
+    from repro.io.records import (
+        load_records,
+        record_from_summary,
+        save_records,
+    )
+
+    summary = solve_cantilever(tiny_problem, n_parts=2)
+    record = record_from_summary(summary, label="tiny/p2", n_eqn=40)
+    assert record.schema_version == SCHEMA_VERSION
+    assert asdict(record)["schema_version"] == SCHEMA_VERSION
+    path = tmp_path / "records.json"
+    save_records([record], path)
+    assert load_records(path)[0].schema_version == SCHEMA_VERSION

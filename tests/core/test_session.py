@@ -159,10 +159,11 @@ def test_batch_summary_to_dict(mesh2_problem):
     payload = summary.to_dict()
     assert payload["n_rhs"] == 1
     assert set(payload) == {
-        "method", "precond", "n_parts", "n_rhs", "comm_backend",
-        "wall_time", "setup_time", "true_residuals", "results", "stats",
-        "options",
+        "schema_version", "method", "precond", "n_parts", "n_rhs",
+        "comm_backend", "wall_time", "setup_time", "true_residuals",
+        "results", "stats", "options",
     }
+    assert payload["schema_version"] == 1
     assert payload["results"][0]["converged"] is True
     assert payload["true_residuals"][0] <= 1e-4
 
@@ -182,3 +183,93 @@ def test_prepared_system_close_idempotent(mesh2_problem):
     ps.solve()
     ps.close()
     ps.close()
+
+
+# ----------------------------------------------------------------------
+# Bounded cache: LRU eviction by entry count and by resident bytes
+# ----------------------------------------------------------------------
+OPTS_A = SolverOptions()
+OPTS_B = SolverOptions(precond="neumann(20)")
+OPTS_C = SolverOptions(precond="gls(3)")
+
+
+def test_cache_bounds_validated():
+    with pytest.raises(ValueError):
+        SolveSession(max_entries=0)
+    with pytest.raises(ValueError):
+        SolveSession(max_bytes=0)
+    with pytest.raises(ValueError):
+        SolveSession(max_entries=-1)
+
+
+def test_lru_evicts_least_recently_used(tiny_problem):
+    with SolveSession(max_entries=2) as session:
+        a = session.prepared(tiny_problem, 2, OPTS_A)
+        b = session.prepared(tiny_problem, 2, OPTS_B)
+        # Touch A so B becomes the least recently used entry.
+        assert session.prepared(tiny_problem, 2, OPTS_A) is a
+        c = session.prepared(tiny_problem, 2, OPTS_C)
+        assert len(session) == 2
+        assert session.evictions == 1
+        # A survived (recently used), C is resident, B was evicted ...
+        assert session.prepared(tiny_problem, 2, OPTS_A) is a
+        assert session.prepared(tiny_problem, 2, OPTS_C) is c
+        assert session.misses == 3
+        # ... so asking for B again is a rebuild, evicting A (now LRU).
+        b2 = session.prepared(tiny_problem, 2, OPTS_B)
+        assert b2 is not b
+        assert session.misses == 4
+        assert session.evictions == 2
+
+
+def test_evicted_entry_rebuilds_bitwise_identical(tiny_problem):
+    with SolveSession(max_entries=1) as session:
+        first = session.solve(tiny_problem, 2, OPTS_A)
+        session.solve(tiny_problem, 2, OPTS_B)  # evicts the OPTS_A entry
+        assert session.evictions == 1
+        again = session.solve(tiny_problem, 2, OPTS_A)  # rebuilt, not hit
+        assert session.misses == 3
+    assert again.setup_time > 0.0
+    assert np.array_equal(first.result.x, again.result.x)
+    assert first.result.residual_history == again.result.residual_history
+
+
+def test_byte_bound_evicts_and_tracks_resident_bytes(tiny_problem):
+    with SolveSession() as probe:
+        nbytes = probe.prepared(tiny_problem, 2, OPTS_A).nbytes
+    assert nbytes > 0
+    # Room for one entry but not two: each insert evicts the previous.
+    with SolveSession(max_bytes=int(nbytes * 1.5)) as session:
+        session.prepared(tiny_problem, 2, OPTS_A)
+        assert session.cache_bytes > 0
+        session.prepared(tiny_problem, 2, OPTS_B)
+        assert session.evictions == 1
+        assert len(session) == 1
+        assert session.cache_bytes <= int(nbytes * 1.5)
+
+
+def test_sole_entry_never_evicted(tiny_problem):
+    """An over-budget lone entry stays resident: the bound sheds history,
+    it never denies the solve in progress."""
+    with SolveSession(max_bytes=1) as session:
+        summary = session.solve(tiny_problem, 2, OPTS_A)
+        assert summary.result.converged
+        assert len(session) == 1
+        assert session.evictions == 0
+        session.solve(tiny_problem, 2, OPTS_B)
+        assert len(session) == 1
+        assert session.evictions == 1
+
+
+def test_cache_stats_snapshot(tiny_problem):
+    with SolveSession(max_entries=4, max_bytes=10**9) as session:
+        session.solve(tiny_problem, 2, OPTS_A)
+        session.solve(tiny_problem, 2, OPTS_A)
+        stats = session.cache_stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["max_entries"] == 4
+    assert stats["max_bytes"] == 10**9
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 0

@@ -44,6 +44,7 @@ EXACT_FIELDS = (
     "label", "method", "precond", "n_parts", "n_eqn", "iterations",
     "converged", "comm_backend", "total_flops", "max_flops",
     "nbr_messages", "nbr_words", "reductions", "diagnostics",
+    "schema_version",
 )
 
 #: Fields compared to RTOL.

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import cantilever_problem
 
 
@@ -27,14 +28,7 @@ def u_ref(problem):
 @pytest.mark.parametrize("precond", [None, "gls(3)", "gls(7)", "neumann(10)"])
 @pytest.mark.parametrize("n_parts", [1, 3, 4])
 def test_combination_solves_correctly(problem, u_ref, method, precond, n_parts):
-    s = solve_cantilever(
-        problem,
-        n_parts=n_parts,
-        method=method,
-        precond=precond,
-        tol=1e-8,
-        restart=40,
-    )
+    s = solve_cantilever(problem, n_parts=n_parts, options=SolverOptions(method=method, precond=precond, tol=1e-8, restart=40))
     assert s.result.converged, (method, precond, n_parts)
     err = np.linalg.norm(s.result.x - u_ref) / np.linalg.norm(u_ref)
     assert err < 1e-6, (method, precond, n_parts)
@@ -43,14 +37,7 @@ def test_combination_solves_correctly(problem, u_ref, method, precond, n_parts):
 @pytest.mark.parametrize("method", ["edd-enhanced", "rdd"])
 @pytest.mark.parametrize("partition_method", ["rcb", "greedy"])
 def test_partitioner_combinations(problem, u_ref, method, partition_method):
-    s = solve_cantilever(
-        problem,
-        n_parts=4,
-        method=method,
-        precond="gls(5)",
-        partition_method=partition_method,
-        tol=1e-8,
-    )
+    s = solve_cantilever(problem, n_parts=4, options=SolverOptions(method=method, precond="gls(5)", partition_method=partition_method, tol=1e-8))
     assert s.result.converged
     err = np.linalg.norm(s.result.x - u_ref) / np.linalg.norm(u_ref)
     assert err < 1e-6
@@ -59,15 +46,7 @@ def test_partitioner_combinations(problem, u_ref, method, partition_method):
 @pytest.mark.parametrize("method", ["edd-enhanced", "edd-basic", "rdd"])
 def test_dynamic_combinations(method):
     p = cantilever_problem(nx=5, ny=2, with_mass=True)
-    s = solve_cantilever(
-        p,
-        n_parts=3,
-        method=method,
-        precond="gls(5)",
-        dynamic=True,
-        mass_shift=(3.0, 1.0),
-        tol=1e-8,
-    )
+    s = solve_cantilever(p, n_parts=3, options=SolverOptions(method=method, precond="gls(5)", dynamic=True, mass_shift=(3.0, 1.0), tol=1e-8))
     assert s.result.converged
     k_eff = 1.0 * p.stiffness.toarray() + 3.0 * p.mass.toarray()
     u_ref = np.linalg.solve(k_eff, p.load)

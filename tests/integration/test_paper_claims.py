@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import cantilever_problem
 from repro.parallel.machine import IBM_SP2, SGI_ORIGIN, speedup
 from repro.precond.gls import GLSPolynomial
@@ -55,8 +56,8 @@ def test_speedup_grows_with_problem_size():
     speeds = []
     for mesh_id in (2, 4):
         p = cantilever_problem(mesh_id)
-        seq = solve_cantilever(p, n_parts=1, precond="gls(7)")
-        par = solve_cantilever(p, n_parts=8, precond="gls(7)")
+        seq = solve_cantilever(p, n_parts=1, options=SolverOptions(precond="gls(7)"))
+        par = solve_cantilever(p, n_parts=8, options=SolverOptions(precond="gls(7)"))
         speeds.append(speedup(seq.stats, par.stats, SGI_ORIGIN))
     assert speeds[1] > speeds[0]
 
@@ -66,8 +67,8 @@ def test_speedup_grows_with_polynomial_degree():
     p = cantilever_problem(3)
     speeds = []
     for spec in ("gls(3)", "gls(10)"):
-        seq = solve_cantilever(p, n_parts=1, precond=spec)
-        par = solve_cantilever(p, n_parts=8, precond=spec)
+        seq = solve_cantilever(p, n_parts=1, options=SolverOptions(precond=spec))
+        par = solve_cantilever(p, n_parts=8, options=SolverOptions(precond=spec))
         speeds.append(speedup(seq.stats, par.stats, SGI_ORIGIN))
     assert speeds[1] > speeds[0]
 
@@ -75,8 +76,8 @@ def test_speedup_grows_with_polynomial_degree():
 def test_origin_beats_sp2():
     """Fig. 17(e): the shared-memory Origin outscales the SP2."""
     p = cantilever_problem(3)
-    seq = solve_cantilever(p, n_parts=1, precond="gls(7)")
-    par = solve_cantilever(p, n_parts=8, precond="gls(7)")
+    seq = solve_cantilever(p, n_parts=1, options=SolverOptions(precond="gls(7)"))
+    par = solve_cantilever(p, n_parts=8, options=SolverOptions(precond="gls(7)"))
     assert speedup(seq.stats, par.stats, SGI_ORIGIN) > speedup(
         seq.stats, par.stats, IBM_SP2
     )
@@ -86,8 +87,8 @@ def test_enhanced_edd_cheaper_than_basic():
     """Algorithm 6 strictly reduces neighbour traffic vs Algorithm 5 at
     identical convergence."""
     p = cantilever_problem(2)
-    basic = solve_cantilever(p, n_parts=4, method="edd-basic", precond="gls(7)")
-    enh = solve_cantilever(p, n_parts=4, method="edd-enhanced", precond="gls(7)")
+    basic = solve_cantilever(p, n_parts=4, options=SolverOptions(method="edd-basic", precond="gls(7)"))
+    enh = solve_cantilever(p, n_parts=4, options=SolverOptions(method="edd-enhanced", precond="gls(7)"))
     assert basic.result.iterations == enh.result.iterations
     assert (
         enh.stats.total_nbr_messages < basic.stats.total_nbr_messages
@@ -101,10 +102,10 @@ def test_edd_scales_on_par_with_rdd():
     duplicated interface elements — which both our timed regions exclude;
     see EXPERIMENTS.md.  Steady-state speedups must agree within ~10%.)"""
     p = cantilever_problem(3)
-    seq_e = solve_cantilever(p, n_parts=1, method="edd-enhanced", precond="gls(7)")
-    par_e = solve_cantilever(p, n_parts=8, method="edd-enhanced", precond="gls(7)")
-    seq_r = solve_cantilever(p, n_parts=1, method="rdd", precond="gls(7)")
-    par_r = solve_cantilever(p, n_parts=8, method="rdd", precond="gls(7)")
+    seq_e = solve_cantilever(p, n_parts=1, options=SolverOptions(method="edd-enhanced", precond="gls(7)"))
+    par_e = solve_cantilever(p, n_parts=8, options=SolverOptions(method="edd-enhanced", precond="gls(7)"))
+    seq_r = solve_cantilever(p, n_parts=1, options=SolverOptions(method="rdd", precond="gls(7)"))
+    par_r = solve_cantilever(p, n_parts=8, options=SolverOptions(method="rdd", precond="gls(7)"))
     s_edd = speedup(seq_e.stats, par_e.stats, SGI_ORIGIN)
     s_rdd = speedup(seq_r.stats, par_r.stats, SGI_ORIGIN)
     assert s_edd >= 0.9 * s_rdd
@@ -113,6 +114,9 @@ def test_edd_scales_on_par_with_rdd():
 def test_static_and_dynamic_both_converge():
     p = cantilever_problem(1)
     p_dyn = cantilever_problem(1, with_mass=True)
-    s = solve_cantilever(p, n_parts=2, precond="gls(7)")
-    d = solve_cantilever(p_dyn, n_parts=2, precond="gls(7)", dynamic=True)
+    s = solve_cantilever(p, n_parts=2, options=SolverOptions(precond="gls(7)"))
+    d = solve_cantilever(
+        p_dyn, n_parts=2,
+        options=SolverOptions(precond="gls(7)", dynamic=True),
+    )
     assert s.result.converged and d.result.converged

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.fem.cantilever import cantilever_problem
 from repro.precond.gls import GLSPolynomial
 from repro.precond.scaling import scale_system
@@ -31,7 +32,7 @@ def test_unknown_element_type():
 
 def test_t3_edd_solve_matches_direct():
     p = cantilever_problem(nx=8, ny=4, element_type="t3")
-    s = solve_cantilever(p, n_parts=4, precond="gls(7)", tol=1e-8)
+    s = solve_cantilever(p, n_parts=4, options=SolverOptions(precond="gls(7)", tol=1e-8))
     assert s.result.converged
     u_ref = np.linalg.solve(p.stiffness.toarray(), p.load)
     err = np.linalg.norm(s.result.x - u_ref) / np.linalg.norm(u_ref)

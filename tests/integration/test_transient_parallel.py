@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.dynamics.newmark import NewmarkIntegrator
 from repro.dynamics.transient import run_transient
 from repro.fem.cantilever import cantilever_problem
@@ -38,14 +39,7 @@ def test_one_newmark_step_matches_edd_solve(problem):
     import dataclasses
 
     p2 = dataclasses.replace(problem, load=f_hat)
-    par = solve_cantilever(
-        p2,
-        n_parts=3,
-        dynamic=True,
-        mass_shift=(nm.a0, 1.0),
-        precond="gls(7)",
-        tol=1e-10,
-    )
+    par = solve_cantilever(p2, n_parts=3, options=SolverOptions(dynamic=True, mass_shift=(nm.a0, 1.0), precond="gls(7)", tol=1e-10))
     assert par.result.converged
     assert np.allclose(
         par.result.x, seq.displacements[0], rtol=1e-5, atol=1e-10

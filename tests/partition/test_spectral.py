@@ -65,12 +65,11 @@ def test_validation():
 
 def test_full_pipeline_with_spectral_partition():
     from repro.core.driver import solve_cantilever
+    from repro.core.options import SolverOptions
     from repro.fem.cantilever import cantilever_problem
 
     p = cantilever_problem(nx=6, ny=3)
-    s = solve_cantilever(
-        p, n_parts=4, precond="gls(5)", partition_method="spectral", tol=1e-8
-    )
+    s = solve_cantilever(p, n_parts=4, options=SolverOptions(precond="gls(5)", partition_method="spectral", tol=1e-8))
     assert s.result.converged
     u_ref = np.linalg.solve(p.stiffness.toarray(), p.load)
     err = np.linalg.norm(s.result.x - u_ref) / np.linalg.norm(u_ref)

@@ -1,0 +1,154 @@
+"""Service failure paths: rejection, timeout, cancellation, drain, errors.
+
+Every admitted request must resolve to a terminal response — the service
+never wedges, never drops a request on the floor, and never lets one
+tenant's bad request poison a coalescing partner's solve.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import ServiceConfig, SolveRequest, SolverService
+
+N_PARTS = 2
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_queue_full_rejects_with_retry_after():
+    async def scenario():
+        config = ServiceConfig(
+            queue_limit=1, batch_window=0.2, retry_after=0.123
+        )
+        async with SolverService(config) as svc:
+            first = asyncio.ensure_future(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            )
+            await asyncio.sleep(0.02)  # first now occupies the queue
+            second = await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            return await first, second, svc.stats()
+
+    first, second, stats = run(scenario())
+    assert first.status == "ok"
+    assert second.status == "rejected"
+    assert second.retry_after == 0.123
+    assert "queue full" in second.error
+    assert second.result is None
+    assert stats["counters"]["rejected"] == 1
+
+
+def test_timeout_in_queue_leaves_batch_partners_unharmed():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.3)
+        async with SolverService(config) as svc:
+            doomed = asyncio.ensure_future(svc.submit(SolveRequest(
+                mesh=1, n_parts=N_PARTS, timeout=0.02,
+            )))
+            partner = asyncio.ensure_future(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            )
+            return await doomed, await partner, svc.stats()
+
+    doomed, partner, stats = run(scenario())
+    assert doomed.status == "timeout"
+    assert "deadline" in doomed.error
+    assert doomed.queue_seconds > 0.0
+    assert partner.status == "ok"
+    assert partner.coalesced == 1  # the timed-out entry left the batch
+    assert stats["counters"]["timeouts"] == 1
+    assert stats["counters"]["completed"] == 1
+
+
+def test_cancel_mid_queue_withdraws_from_batch():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.3)
+        async with SolverService(config) as svc:
+            cancelled = asyncio.ensure_future(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            )
+            partner = asyncio.ensure_future(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            )
+            await asyncio.sleep(0.02)
+            cancelled.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await cancelled
+            return await partner, svc.stats()
+
+    partner, stats = run(scenario())
+    assert partner.status == "ok"
+    assert partner.coalesced == 1  # cancelled entry never reached the solve
+    assert stats["counters"]["cancelled"] == 1
+    assert stats["counters"]["coalesced_requests"] == 1
+
+
+def test_drain_on_shutdown_answers_every_admitted_request():
+    async def scenario():
+        config = ServiceConfig(batch_window=10.0)  # would wait "forever"
+        svc = SolverService(config)
+        await svc.start()
+        pending = [
+            asyncio.ensure_future(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            )
+            for _ in range(3)
+        ]
+        await asyncio.sleep(0.05)
+        assert not any(t.done() for t in pending)  # stuck in the window
+        await svc.stop()  # drain must flush the open batch immediately
+        resps = await asyncio.gather(*pending)
+        late = await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+        return resps, late, svc.stats()
+
+    resps, late, stats = run(scenario())
+    assert [r.status for r in resps] == ["ok"] * 3
+    assert all(r.coalesced == 3 for r in resps)
+    assert late.status == "rejected"
+    assert "not accepting" in late.error
+    assert stats["accepting"] is False
+
+
+def test_bad_rhs_errors_alone_partner_still_solves():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.1)
+        async with SolverService(config) as svc:
+            bad, good = await asyncio.gather(
+                svc.submit(SolveRequest(
+                    mesh=1, n_parts=N_PARTS, rhs=[1.0, 2.0, 3.0],
+                )),
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS)),
+            )
+            return bad, good, svc.stats()
+
+    bad, good, stats = run(scenario())
+    assert bad.status == "error"
+    assert "free DOFs" in bad.error
+    assert good.status == "ok"  # tenant isolation: partner unharmed
+    assert good.coalesced == 1
+    assert stats["counters"]["errors"] == 1
+    assert stats["counters"]["completed"] == 1
+
+
+def test_unknown_mesh_resolves_to_error_response():
+    async def scenario():
+        async with SolverService() as svc:
+            resp = await svc.submit(SolveRequest(mesh=999, n_parts=N_PARTS))
+            return resp, svc.stats()
+
+    resp, stats = run(scenario())
+    assert resp.status == "error"
+    assert resp.error  # names the exception
+    assert stats["counters"]["errors"] == 1
+
+
+def test_default_timeout_applies_when_request_has_none():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.5, default_timeout=0.02)
+        async with SolverService(config) as svc:
+            return await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+
+    resp = run(scenario())
+    assert resp.status == "timeout"

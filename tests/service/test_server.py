@@ -1,0 +1,135 @@
+"""The ``repro serve`` JSON-lines loop: in-process and as a subprocess.
+
+The wire protocol is line-oriented JSON over ordinary text streams, so
+the full loop is testable with ``io.StringIO`` — plus one true
+end-to-end check through ``python -m repro serve`` pipes.
+"""
+
+import asyncio
+import io
+import json
+import os
+import subprocess
+import sys
+
+from repro.service import ServiceConfig, SolveRequest, SolveResponse, serve_jsonl
+
+
+def _run_lines(*lines, config=None):
+    """Drive serve_jsonl over StringIO streams; returns parsed output."""
+    inp = io.StringIO("".join(line + "\n" for line in lines))
+    out = io.StringIO()
+    served = asyncio.run(serve_jsonl(inp, out, config=config))
+    return served, [json.loads(ln) for ln in out.getvalue().splitlines()]
+
+
+def test_solve_stats_shutdown_roundtrip():
+    served, msgs = _run_lines(
+        json.dumps({"mesh": 1, "n_parts": 2, "request_id": "r1"}),
+        json.dumps({"op": "stats"}),
+        json.dumps({"op": "shutdown"}),
+    )
+    assert served == 1
+    by_kind = {}
+    for m in msgs:
+        by_kind.setdefault(m.get("op", "response"), []).append(m)
+    resp = SolveResponse.from_json(json.dumps(by_kind["response"][0]))
+    assert resp.request_id == "r1"
+    assert resp.status == "ok"
+    assert resp.converged
+    assert by_kind["stats"][0]["stats"]["counters"]["submitted"] == 1
+    assert by_kind["shutdown"][0] == {"op": "shutdown", "ok": True, "served": 1}
+
+
+def test_eof_drains_like_shutdown():
+    served, msgs = _run_lines(
+        json.dumps({"mesh": 1, "n_parts": 2, "request_id": "r1"}),
+    )
+    assert served == 1
+    assert msgs[0]["status"] == "ok"
+    assert msgs[-1] == {"op": "shutdown", "ok": True, "served": 1}
+
+
+def test_malformed_lines_answered_not_fatal():
+    served, msgs = _run_lines(
+        "this is not json",
+        json.dumps([1, 2, 3]),  # JSON, but not an object
+        json.dumps({"op": "frobnicate"}),
+        json.dumps({"mesh": 1, "preconditioner": "gls(7)"}),  # bad field
+        json.dumps({"mesh": 1, "n_parts": 2, "request_id": "ok1"}),
+        json.dumps({"op": "shutdown"}),
+    )
+    assert served == 1  # only the valid request counted
+    errors = [m for m in msgs if m.get("op") == "error"]
+    assert len(errors) == 4
+    assert any("unknown op" in e["error"] for e in errors)
+    assert any("preconditioner" in e["error"] for e in errors)
+    ok = [m for m in msgs if m.get("request_id") == "ok1"]
+    assert ok and ok[0]["status"] == "ok"
+
+
+def test_explicit_solve_op_accepted():
+    served, msgs = _run_lines(
+        json.dumps({"op": "solve", "mesh": 1, "n_parts": 2, "request_id": "s"}),
+        json.dumps({"op": "shutdown"}),
+    )
+    assert served == 1
+    assert msgs[0]["request_id"] == "s"
+
+
+def test_request_roundtrips_through_wire_format():
+    req = SolveRequest(mesh=1, n_parts=2, tenant="acme", request_id="w1")
+    served, msgs = _run_lines(req.to_json(), json.dumps({"op": "shutdown"}))
+    assert served == 1
+    assert msgs[0]["tenant"] == "acme"
+    assert msgs[0]["schema_version"] == 1
+
+
+def test_injected_service_is_not_stopped():
+    """A caller-owned service keeps running across serve loops."""
+    from repro.service import SolverService
+
+    async def scenario():
+        svc = SolverService(ServiceConfig(batch_window=0.01))
+        await svc.start()
+        inp = io.StringIO(json.dumps({"mesh": 1, "n_parts": 2}) + "\n")
+        out = io.StringIO()
+        served = await serve_jsonl(inp, out, service=svc)
+        still_accepting = svc.stats()["accepting"]
+        await svc.stop()
+        return served, still_accepting, out.getvalue()
+
+    served, still_accepting, output = asyncio.run(scenario())
+    assert served == 1
+    assert still_accepting is True  # loop exit didn't stop the service
+    assert '"op": "shutdown"' not in output  # no lifecycle line: not owner
+
+
+def test_repro_serve_subprocess_end_to_end():
+    """The real thing: requests piped through ``python -m repro serve``."""
+    lines = "\n".join([
+        json.dumps({"mesh": 1, "n_parts": 2, "request_id": "e2e-1"}),
+        json.dumps({"mesh": 1, "n_parts": 2, "request_id": "e2e-2",
+                    "rhs_scale": 2.0}),
+        json.dumps({"op": "stats"}),
+        json.dumps({"op": "shutdown"}),
+    ]) + "\n"
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--window", "0.01"],
+        input=lines, capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    msgs = [json.loads(ln) for ln in proc.stdout.splitlines()]
+    responses = {m["request_id"]: m for m in msgs if "request_id" in m
+                 and m.get("request_id")}
+    assert responses["e2e-1"]["status"] == "ok"
+    assert responses["e2e-2"]["status"] == "ok"
+    # The stats op answers immediately (a point-in-time snapshot — the
+    # solves may still be batching), so assert shape, not counts.
+    stats = [m for m in msgs if m.get("op") == "stats"][0]["stats"]
+    assert stats["schema_version"] == 1
+    assert "counters" in stats and "session" in stats
+    assert msgs[-1]["op"] == "shutdown" and msgs[-1]["ok"] is True

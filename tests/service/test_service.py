@@ -1,0 +1,251 @@
+"""SolverService: coalescing, accounting, cache integration, stats.
+
+The headline contract is asserted from ``CommStats``: *k* concurrent
+same-key requests coalesce into one block solve and cost the **message
+count of one** solve — words scale with *k*, messages do not (the PR-4
+block-Krylov payoff, now behind a service).
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.options import SolverOptions
+from repro.core.outcome import SCHEMA_VERSION
+from repro.core.session import SolveSession
+from repro.service import ServiceConfig, SolveRequest, SolverService
+
+N_PARTS = 2
+
+
+def run(coro):
+    """The suite has no asyncio plugin; drive every scenario explicitly."""
+    return asyncio.run(coro)
+
+
+async def _solo_stats(mesh=1):
+    """Reference counters for one uncoalesced solve of the hot key."""
+    async with SolverService(ServiceConfig(coalesce=False)) as svc:
+        resp = await svc.submit(SolveRequest(mesh=mesh, n_parts=N_PARTS))
+    assert resp.status == "ok"
+    return resp
+
+
+def test_coalesced_batch_costs_the_messages_of_one_solve():
+    async def scenario():
+        solo = await _solo_stats()
+        k = 4
+        config = ServiceConfig(batch_window=0.05, max_batch=8)
+        async with SolverService(config) as svc:
+            reqs = [
+                SolveRequest(mesh=1, n_parts=N_PARTS, rhs_scale=1.0 + 0.5 * i)
+                for i in range(k)
+            ]
+            resps = await asyncio.gather(*(svc.submit(r) for r in reqs))
+            stats = svc.stats()
+        return solo, resps, stats
+
+    solo, resps, stats = run(scenario())
+    assert all(r.status == "ok" for r in resps)
+    assert all(r.coalesced == len(resps) for r in resps)
+    assert stats["counters"]["batches"] == 1
+    shared = resps[0].stats
+    # THE invariant: k coalesced requests, the message count of ONE.
+    assert shared["total_nbr_messages"] == solo.stats["total_nbr_messages"]
+    # Words do scale with k — coalescing saves latency, not bandwidth.
+    assert shared["total_nbr_words"] == len(resps) * solo.stats["total_nbr_words"]
+    # All partners rode the same batch: identical shared counters.
+    assert all(r.stats == shared for r in resps)
+    # Pure RHS scaling leaves the Krylov iteration count unchanged.
+    assert all(r.iterations == solo.iterations for r in resps)
+
+
+def test_coalesce_off_solves_every_request_alone():
+    async def scenario():
+        async with SolverService(ServiceConfig(coalesce=False)) as svc:
+            resps = await asyncio.gather(*(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+                for _ in range(3)
+            ))
+            return resps, svc.stats()
+
+    resps, stats = run(scenario())
+    assert all(r.coalesced == 1 for r in resps)
+    assert stats["counters"]["batches"] == 3
+    assert stats["mean_batch"] == 1.0
+
+
+def test_max_batch_splits_oversized_windows():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.05, max_batch=2)
+        async with SolverService(config) as svc:
+            resps = await asyncio.gather(*(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+                for _ in range(4)
+            ))
+            return resps, svc.stats()
+
+    resps, stats = run(scenario())
+    assert all(r.status == "ok" for r in resps)
+    assert all(r.coalesced <= 2 for r in resps)
+    assert stats["counters"]["batches"] >= 2
+    assert stats["max_batch_seen"] == 2
+
+
+def test_different_keys_never_coalesce():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.05)
+        async with SolverService(config) as svc:
+            a = svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            b = svc.submit(SolveRequest(mesh=1, n_parts=4))  # different key
+            c = svc.submit(SolveRequest(
+                mesh=1, n_parts=N_PARTS,
+                options=SolverOptions(precond="gls(3)"),  # different key
+            ))
+            return await asyncio.gather(a, b, c)
+
+    resps = run(scenario())
+    assert [r.coalesced for r in resps] == [1, 1, 1]
+    assert all(r.status == "ok" for r in resps)
+
+
+def test_session_cache_hit_across_batches():
+    async def scenario():
+        async with SolverService(ServiceConfig(batch_window=0.01)) as svc:
+            first = await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            second = await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            return first, second, svc.stats()
+
+    first, second, stats = run(scenario())
+    assert first.setup_time > 0.0
+    assert second.setup_time == 0.0  # prepared system reused
+    assert stats["session"]["misses"] == 1
+    assert stats["session"]["hits"] == 1
+
+
+def test_injected_session_survives_service_stop():
+    session = SolveSession(max_entries=4)
+
+    async def scenario():
+        async with SolverService(session=session) as svc:
+            await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+
+    run(scenario())
+    assert len(session) == 1  # not closed: caller owns it
+    session.close()
+    assert len(session) == 0
+
+
+def test_per_tenant_accounting():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.05)
+        async with SolverService(config) as svc:
+            reqs = [
+                SolveRequest(mesh=1, n_parts=N_PARTS, tenant="alice"),
+                SolveRequest(mesh=1, n_parts=N_PARTS, tenant="alice"),
+                SolveRequest(mesh=1, n_parts=N_PARTS, tenant="bob"),
+            ]
+            resps = await asyncio.gather(*(svc.submit(r) for r in reqs))
+            return resps, svc.stats()
+
+    resps, stats = run(scenario())
+    assert all(r.coalesced == 3 for r in resps)
+    alice, bob = stats["tenants"]["alice"], stats["tenants"]["bob"]
+    assert (alice["requests"], alice["rhs_solved"]) == (2, 2)
+    assert (bob["requests"], bob["rhs_solved"]) == (1, 1)
+    assert alice["completed"] == 2 and bob["completed"] == 1
+    # The batch's words divide per column: each request's share equals
+    # what a solo solve of the same system moves (words scale with k).
+    solo_words = (
+        resps[0].stats["total_nbr_words"] / 3
+        + sum(r["reduction_words"] for r in resps[0].stats["per_rank"]) / 3
+    )
+    assert alice["comm_words"] == pytest.approx(2 * solo_words)
+    assert bob["comm_words"] == pytest.approx(solo_words)
+    assert alice["iterations"] == 2 * resps[0].iterations
+    assert alice["busy_seconds"] > 0.0
+    assert bob["busy_seconds"] == pytest.approx(alice["busy_seconds"] / 2)
+
+
+def test_explicit_rhs_column_matches_direct_solve(mesh1_problem):
+    rhs = (1.5 * mesh1_problem.load).tolist()
+
+    async def scenario():
+        async with SolverService() as svc:
+            return await svc.submit(SolveRequest(
+                mesh=1, n_parts=N_PARTS, rhs=rhs, include_x=True,
+            ))
+
+    resp = run(scenario())
+    assert resp.status == "ok"
+    x = np.asarray(resp.result["x"])
+    u_ref = np.linalg.solve(
+        mesh1_problem.stiffness.toarray(), np.asarray(rhs)
+    )
+    assert np.allclose(x, u_ref, rtol=1e-4, atol=1e-10)
+
+
+def test_trace_opt_in():
+    async def scenario():
+        config = ServiceConfig(batch_window=0.05)
+        async with SolverService(config) as svc:
+            quiet, traced = await asyncio.gather(
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS)),
+                svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS, trace=True)),
+            )
+            return quiet, traced
+
+    quiet, traced = run(scenario())
+    assert quiet.coalesced == traced.coalesced == 2  # same batch...
+    assert quiet.trace is None  # ...but only the opt-in carries the trace
+    assert traced.trace is not None
+    assert traced.trace["schema"] == "repro-trace/1"
+    assert traced.trace["meta"]["service_batch"] == 2
+
+
+def test_stats_snapshot_shape_and_json():
+    async def scenario():
+        async with SolverService() as svc:
+            await svc.submit(SolveRequest(mesh=1, n_parts=N_PARTS))
+            return svc.stats()
+
+    stats = run(scenario())
+    assert stats["schema_version"] == SCHEMA_VERSION
+    assert stats["accepting"] is True
+    assert stats["pending"] == 0
+    assert stats["counters"]["submitted"] == 1
+    assert stats["mean_batch"] == 1.0
+    assert set(stats["session"]) == {
+        "entries", "bytes", "max_entries", "max_bytes",
+        "hits", "misses", "evictions",
+    }
+    assert stats["config"]["coalesce"] is True
+    json.dumps(stats)  # must be JSON-serializable as-is
+
+
+def test_responses_match_unbatched_answers(mesh1_problem):
+    """Coalescing must not change anyone's answer: each column matches
+    the request's standalone solve to machine precision (the block
+    kernels fuse reductions, so bitwise identity to the *solo* path is
+    not the contract — FP-equivalence is)."""
+    from repro.core.driver import solve_cantilever
+
+    async def scenario():
+        config = ServiceConfig(batch_window=0.05)
+        async with SolverService(config) as svc:
+            return await asyncio.gather(*(
+                svc.submit(SolveRequest(
+                    mesh=1, n_parts=N_PARTS, rhs_scale=s, include_x=True,
+                ))
+                for s in (1.0, 2.0, 3.0)
+            ))
+
+    resps = run(scenario())
+    assert all(r.coalesced == 3 for r in resps)
+    reference = solve_cantilever(mesh1_problem, N_PARTS, SolverOptions())
+    for scale, resp in zip((1.0, 2.0, 3.0), resps):
+        x = np.asarray(resp.result["x"])
+        assert np.allclose(x, scale * reference.result.x,
+                           rtol=1e-12, atol=1e-15)

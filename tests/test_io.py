@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
 from repro.io.records import (
     RunRecord,
     load_records,
@@ -14,7 +15,7 @@ from repro.io.records import (
 
 @pytest.fixture(scope="module")
 def record():
-    summary = solve_cantilever(1, n_parts=2, precond="gls(3)")
+    summary = solve_cantilever(1, n_parts=2, options=SolverOptions(precond="gls(3)"))
     return record_from_summary(summary, "mesh1/gls3/p2", n_eqn=28)
 
 
