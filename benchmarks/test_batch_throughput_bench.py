@@ -46,7 +46,7 @@ K_VALUES = tuple(
 )
 METHODS = ("edd-enhanced", "rdd")
 PRECONDS = ("gls(7)", "neumann(20)")
-COMM_BACKENDS = ("virtual", "thread")
+COMM_BACKENDS = ("virtual", "thread", "process")
 
 
 def _kernel_backend() -> str | None:

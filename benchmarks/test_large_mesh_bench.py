@@ -1,0 +1,217 @@
+"""Large-mesh streamed-assembly benchmark -> BENCH_large_mesh.json.
+
+The memory acceptance test of the large-mesh tier: solve a Mesh7-class
+cantilever two ways in two *separate child processes* and compare peak
+RSS (``resource.getrusage``'s ``ru_maxrss``):
+
+* ``streamed`` — :func:`repro.fem.cantilever.cantilever_inputs` (no
+  verification assembly) + :func:`build_edd_system_streamed` (chunked
+  per-rank assembly, no global CSR ever materialized) solved under the
+  ``process`` comm backend with the dispatch threshold forced to zero,
+  so the collective data plane really fans out over the shared-memory
+  worker pool.
+* ``serial`` — :func:`cantilever_problem` (global COO + CSR assembly)
+  + monolithic :func:`build_edd_system` under the virtual backend: the
+  serial-assembly baseline.
+
+Each variant runs in its own child so ``ru_maxrss`` — a high-water mark
+that never decreases — measures that variant alone.  Both children run
+the same interpreter, imports and solver; the only difference is the
+assembly strategy, so the RSS delta is attributable to it.  The paired
+bit-identity contract is asserted too: both variants must converge in
+exactly the same number of iterations.
+
+``REPRO_LARGE_MESH`` selects the Table 2 mesh id (default 7; CI runs a
+reduced mesh).  The peak-RSS assertion is armed for Mesh6 and larger —
+below that the saved arrays drown in interpreter-baseline noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MESH_ID = int(os.environ.get("REPRO_LARGE_MESH", "7"))
+N_PARTS = 4
+#: Below Mesh6 the assembly arrays are small against the interpreter
+#: baseline and the RSS comparison stops being meaningful.
+RSS_ASSERT_MIN_MESH = 6
+
+_CHILD_SOURCE = '''\
+"""Child of benchmarks/test_large_mesh_bench.py (written at test time).
+
+A real file with a guarded main because the process comm backend uses
+the ``spawn`` start method: workers re-import __main__, which must be
+importable and side-effect free.
+"""
+
+import json
+import resource
+import sys
+
+
+def run(mode, mesh_id, n_parts):
+    from repro.core.edd import edd_fgmres
+    from repro.core.options import SolverOptions
+    from repro.partition.element_partition import ElementPartition
+
+    options = SolverOptions(precond="gls(7)")
+    pool_processes = 0
+    if mode == "streamed":
+        from repro.core.distributed import build_edd_system_streamed
+        from repro.fem.cantilever import cantilever_inputs
+        from repro.parallel.process_comm import (
+            pool_process_count,
+            shutdown_pool,
+        )
+
+        mesh, bc, f_full, material = cantilever_inputs(mesh_id)
+        part = ElementPartition.build(mesh, n_parts)
+        system = build_edd_system_streamed(
+            mesh, material, bc, part, f_full, comm_backend="process"
+        )
+        try:
+            result = edd_fgmres(system, options=options)
+            pool_processes = pool_process_count()
+        finally:
+            system.comm.close()
+            shutdown_pool(force=True)
+        n_eqn = bc.n_free
+    elif mode == "serial":
+        from repro.core.distributed import build_edd_system
+        from repro.fem.cantilever import cantilever_problem
+
+        prob = cantilever_problem(mesh_id)
+        part = ElementPartition.build(prob.mesh, n_parts)
+        f_full = prob.bc.expand(prob.load)
+        system = build_edd_system(
+            prob.mesh, prob.material, prob.bc, part, f_full,
+            comm_backend="virtual",
+        )
+        result = edd_fgmres(system, options=options)
+        n_eqn = prob.bc.n_free
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return {
+        "mode": mode,
+        "n_eqn": int(n_eqn),
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+        "pool_processes": int(pool_processes),
+        "peak_rss_kb": int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        ),
+    }
+
+
+def main():
+    mode, mesh_id, n_parts = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    print(json.dumps(run(mode, mesh_id, n_parts)))
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+def _run_child(script: Path, mode: str) -> dict:
+    """Run one variant in a fresh interpreter; return its JSON report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Force the collective fan-out onto the worker pool regardless of
+    # problem size — the point is to exercise the real process path.
+    env["REPRO_PROCESS_MIN_WORK"] = "0"
+    env["REPRO_PROCESS_WORKERS"] = "2"
+    proc = subprocess.run(
+        [sys.executable, str(script), mode, str(MESH_ID), str(N_PARTS)],
+        capture_output=True, text=True, timeout=540, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{mode} child failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def validate_schema(report: dict) -> None:
+    """Assert the BENCH_large_mesh.json shape the CI smoke checks."""
+    for key in ("suite", "mesh", "n_parts", "cpu_count", "runs", "rss_ratio"):
+        assert key in report, f"missing key {key!r}"
+    assert report["suite"] == "large-mesh"
+    assert len(report["runs"]) == 2
+    for run in report["runs"]:
+        for key in (
+            "mode",
+            "n_eqn",
+            "iterations",
+            "converged",
+            "pool_processes",
+            "peak_rss_kb",
+        ):
+            assert key in run, f"run missing key {key!r}"
+        assert run["mode"] in ("streamed", "serial")
+        assert run["converged"] is True
+        assert run["peak_rss_kb"] > 0
+    streamed, serial = (
+        next(r for r in report["runs"] if r["mode"] == m)
+        for m in ("streamed", "serial")
+    )
+    # Bit-identity contract: assembly strategy and comm backend must not
+    # change a single iterate.
+    assert streamed["iterations"] == serial["iterations"]
+    # The streamed child really dispatched through the worker pool.
+    assert streamed["pool_processes"] >= 1
+    assert report["rss_ratio"] > 0.0
+
+
+def test_bench_large_mesh_json(tmp_path):
+    """Solve Mesh``REPRO_LARGE_MESH`` streamed-vs-serial in isolated
+    children, write BENCH_large_mesh.json and assert the streamed peak
+    RSS stays below the serial-assembly baseline (Mesh6+)."""
+    script = tmp_path / "large_mesh_child.py"
+    script.write_text(_CHILD_SOURCE)
+    streamed = _run_child(script, "streamed")
+    serial = _run_child(script, "serial")
+
+    report = {
+        "suite": "large-mesh",
+        "mesh": MESH_ID,
+        "n_parts": N_PARTS,
+        "cpu_count": os.cpu_count() or 1,
+        "runs": [streamed, serial],
+        "rss_ratio": streamed["peak_rss_kb"] / serial["peak_rss_kb"],
+    }
+    validate_schema(report)
+    out_path = REPO_ROOT / "BENCH_large_mesh.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\nlarge-mesh bench (mesh {MESH_ID}, {streamed['n_eqn']} eqn, "
+        f"P={N_PARTS}):"
+    )
+    for run in (streamed, serial):
+        print(
+            f"  {run['mode']:>8}: peak RSS {run['peak_rss_kb'] / 1024:.1f} "
+            f"MiB ({run['iterations']} it, "
+            f"{run['pool_processes']} pool procs)"
+        )
+    if MESH_ID >= RSS_ASSERT_MIN_MESH:
+        assert streamed["peak_rss_kb"] < serial["peak_rss_kb"], (
+            f"streamed assembly peaked at {streamed['peak_rss_kb']} KiB, "
+            f"not below the serial baseline {serial['peak_rss_kb']} KiB"
+        )
+
+
+def test_bench_large_mesh_schema_of_existing_file():
+    """CI smoke: if BENCH_large_mesh.json is checked in / regenerated, it
+    must satisfy the schema above."""
+    path = REPO_ROOT / "BENCH_large_mesh.json"
+    if not path.exists():
+        import pytest
+
+        pytest.skip("BENCH_large_mesh.json not generated yet")
+    validate_schema(json.loads(path.read_text()))

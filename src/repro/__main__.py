@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__main__`` guard is load-bearing: the ``process`` comm backend
+spawns workers with the ``spawn`` start method, whose children re-import
+the parent's main module — without the guard every worker would re-run
+the CLI instead of parking on its command pipe.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,12 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--dynamic", action="store_true")
     solve.add_argument(
         "--comm-backend",
-        choices=["virtual", "thread", "chaos"],
+        choices=["virtual", "thread", "process", "chaos"],
         default=None,
         help=(
             "communicator backend executing the rank loops (default: "
-            "REPRO_COMM_BACKEND or 'virtual'); 'chaos' wraps an inner "
-            "backend with deterministic fault injection"
+            "REPRO_COMM_BACKEND or 'virtual'); 'process' fans collectives "
+            "out to spawned worker processes over shared memory; 'chaos' "
+            "wraps an inner backend with deterministic fault injection"
         ),
     )
     solve.add_argument(

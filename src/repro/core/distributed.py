@@ -600,6 +600,94 @@ def build_edd_system_from_assembler(
         )
         a_local.append(local.tocsr())
 
+    return _finish_edd_system(submap, comm, a_local, bc, f_full)
+
+
+def build_edd_system_streamed(
+    mesh: Mesh,
+    material: Material,
+    bc: DirichletBC,
+    partition: ElementPartition,
+    f_full: np.ndarray,
+    mass_shift: tuple | None = None,
+    comm_backend: str | None = None,
+    chunk: int | None = None,
+) -> EDDSystem:
+    """Memory-bounded variant of :func:`build_edd_system`.
+
+    Streams each subdomain's element contributions through
+    :func:`repro.fem.assembly.iter_element_coo` in chunks of ``chunk``
+    elements (default :data:`repro.fem.assembly.DEFAULT_CHUNK`), localizing
+    and Dirichlet-filtering every chunk as it arrives — so peak memory per
+    process is one chunk of COO entries plus the (sparse) per-subdomain
+    CSRs, and **no process ever materializes the global stiffness CSR** or
+    the full element-matrix array.  Pair with
+    :func:`repro.fem.cantilever.cantilever_inputs` (which skips the serial
+    verification assembly) for large-mesh runs.
+
+    Bit-identity with :func:`build_edd_system` holds by construction: the
+    streamed chunks concatenate to the exact entry arrays the monolithic
+    assembler produces (``mass_shift`` streams all scaled stiffness chunks,
+    then all scaled mass chunks, matching the monolithic concatenation
+    order), so ``tocsr`` and everything downstream agree bitwise.
+    """
+    from repro.fem.assembly import DEFAULT_CHUNK, iter_element_coo
+
+    if chunk is None:
+        chunk = DEFAULT_CHUNK
+    submap = build_subdomain_map(mesh, partition, bc)
+    comm = make_comm(submap, backend=comm_backend)
+    full_to_free = bc.full_to_free()
+
+    a_local = []
+    for s in range(partition.n_parts):
+        elems = partition.subdomain_elements(s)
+        g = submap.l2g[s]
+        g2l = np.full(bc.n_free, -1, dtype=np.int64)
+        g2l[g] = np.arange(len(g))
+        lrows: list = []
+        lcols: list = []
+        ldata: list = []
+
+        def consume(kind: str, scale: float | None) -> None:
+            for rows, cols, data in iter_element_coo(
+                mesh, material, kind, element_subset=elems, chunk=chunk
+            ):
+                r = full_to_free[rows]
+                c = full_to_free[cols]
+                keep = (r >= 0) & (c >= 0)
+                lrows.append(g2l[r[keep]])
+                lcols.append(g2l[c[keep]])
+                kept = data[keep]
+                ldata.append(kept if scale is None else scale * kept)
+
+        if mass_shift is None:
+            consume("stiffness", None)
+        else:
+            alpha, beta = mass_shift
+            consume("stiffness", beta)
+            consume("mass", alpha)
+        local = COOMatrix(
+            (len(g), len(g)),
+            np.concatenate(lrows) if lrows else np.empty(0, dtype=np.int64),
+            np.concatenate(lcols) if lcols else np.empty(0, dtype=np.int64),
+            np.concatenate(ldata) if ldata else np.empty(0),
+        )
+        a_local.append(local.tocsr())
+
+    return _finish_edd_system(submap, comm, a_local, bc, f_full)
+
+
+def _finish_edd_system(
+    submap: SubdomainMap,
+    comm: Comm,
+    a_local: list,
+    bc: DirichletBC,
+    f_full: np.ndarray,
+) -> EDDSystem:
+    """Shared PDE-independent tail of the EDD builders: distributed norm-1
+    scaling (Algorithm 3), rhs ownership split, owner masks, and the
+    stats reset that keeps setup communication out of the solve counters."""
     # Distributed norm-1 scaling (Algorithm 3): d_i = sum_s ||k_i^(s)||_1.
     d_tilde = [a.row_norms1() for a in a_local]
     d_hat = comm.interface_assemble(d_tilde)

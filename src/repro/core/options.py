@@ -41,8 +41,9 @@ class SolverOptions:
         Sparse-kernel backend (:mod:`repro.sparse.kernels`); None keeps
         the session default.
     comm_backend:
-        Communicator backend (:mod:`repro.parallel.comm`: ``"virtual"`` or
-        ``"thread"``); None keeps the session default.
+        Communicator backend (:mod:`repro.parallel.comm`: ``"virtual"``,
+        ``"thread"``, ``"process"`` or ``"chaos"``); None keeps the
+        session default.
     orthogonalization:
         Gram-Schmidt flavour for EDD (``"cgs"`` or ``"mgs"``).
     dynamic:

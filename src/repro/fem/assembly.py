@@ -93,6 +93,76 @@ def element_matrices(
     return mats
 
 
+#: Default element count per streamed chunk: a Q4 chunk of 2048 elements
+#: costs ~1 MB of COO entries — large enough to amortize the per-chunk
+#: Python overhead, small enough that peak memory stays flat with mesh size.
+DEFAULT_CHUNK = 2048
+
+
+def iter_element_coo(
+    mesh: Mesh,
+    material: Material,
+    kind: str = "stiffness",
+    element_subset: np.ndarray | None = None,
+    chunk: int = DEFAULT_CHUNK,
+    truss_area: float = 1.0,
+):
+    """Yield ``(rows, cols, data)`` COO chunks of the element assembly.
+
+    Generator form of :func:`assemble_matrix`: the chunks, concatenated in
+    yield order, are **bit-identical** to the monolithic entry arrays —
+    elements are visited in subset order, each contributing its
+    ``ndof x ndof`` block row-major, and the congruence cache is shared
+    across chunks so repeated geometries integrate once.  Only one chunk of
+    element matrices and COO entries is live at a time, which is what lets
+    the large-mesh streamed builders assemble per-subdomain operators
+    without ever materializing the full element-matrix array or the global
+    COO triplet set.
+    """
+    if kind not in ("stiffness", "mass"):
+        raise ValueError("kind must be 'stiffness' or 'mass'")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    dof_map = element_dof_map(mesh)
+    if element_subset is None:
+        subset = np.arange(mesh.n_elements, dtype=np.int64)
+    else:
+        subset = np.asarray(element_subset, dtype=np.int64)
+    dof_map = dof_map[subset]
+    ndof = dof_map.shape[1]
+
+    truss = mesh.element_type == "truss"
+    if truss:
+        if kind == "mass":
+            raise NotImplementedError("truss mass matrix not needed by the paper")
+        func = None
+    else:
+        fkey = (mesh.element_type, kind)
+        func = _KIND_FUNCS.get(fkey) or _h8_funcs()[fkey]
+    cache: dict = {}
+    for start in range(0, len(subset), chunk):
+        idx = subset[start : start + chunk]
+        dm = dof_map[start : start + chunk]
+        ne = len(idx)
+        mats = np.empty((ne, ndof, ndof))
+        for j, e in enumerate(idx):
+            coords = mesh.element_coords(int(e))
+            if truss:
+                length = float(np.linalg.norm(coords[1] - coords[0]))
+                mats[j] = truss_stiffness(length, truss_area, material.E)
+                continue
+            ckey = _congruence_key(coords)
+            m = cache.get(ckey)
+            if m is None:
+                m = func(coords, material)
+                cache[ckey] = m
+            mats[j] = m
+        rows = np.repeat(dm, ndof, axis=1).ravel()
+        cols = np.tile(dm, (1, ndof)).ravel()
+        data = mats.reshape(ne, -1).ravel()
+        yield rows, cols, data
+
+
 def assemble_matrix(
     mesh: Mesh,
     material: Material,
@@ -107,18 +177,26 @@ def assemble_matrix(
     is formed (Definition 1): only local element contributions, no interface
     assembly.
     The result keeps global DOF numbering and shape ``(N, N)``.
+
+    This is the one-shot form of :func:`iter_element_coo` (one chunk
+    spanning every requested element), so the entry order — and therefore
+    the CSR conversion — is bit-identical between the monolithic and
+    streamed paths by construction.
     """
-    mats = element_matrices(mesh, material, kind, truss_area=truss_area)
-    dof_map = element_dof_map(mesh)
-    if element_subset is not None:
-        element_subset = np.asarray(element_subset, dtype=np.int64)
-        mats = mats[element_subset]
-        dof_map = dof_map[element_subset]
-    ne, ndof = dof_map.shape
-    if ne == 0:
-        return COOMatrix.empty((mesh.n_dofs, mesh.n_dofs))
-    rows = np.repeat(dof_map, ndof, axis=1).ravel()
-    cols = np.tile(dof_map, (1, ndof)).ravel()
-    data = mats.reshape(ne, -1).ravel()
     n = mesh.n_dofs
+    n_el = (
+        mesh.n_elements if element_subset is None else len(element_subset)
+    )
+    if n_el == 0:
+        return COOMatrix.empty((n, n))
+    rows, cols, data = next(
+        iter_element_coo(
+            mesh,
+            material,
+            kind,
+            element_subset=element_subset,
+            chunk=n_el,
+            truss_area=truss_area,
+        )
+    )
     return COOMatrix((n, n), rows, cols, data)

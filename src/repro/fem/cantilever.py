@@ -84,6 +84,39 @@ def paper_mesh(k: int):
     return mesh, edge
 
 
+def cantilever_inputs(
+    k: int | None = None,
+    nx: int | None = None,
+    ny: int | None = None,
+    material: Material | None = None,
+    load_edge: str = "right",
+    traction=(1.0, 0.0),
+):
+    """Cantilever mesh, BC, full-DOF load and material — **no assembly**.
+
+    The large-mesh companion to :func:`cantilever_problem`: returns
+    ``(mesh, bc, f_full, material)`` without ever forming the global
+    stiffness CSR, so a streamed distributed build
+    (:func:`repro.core.distributed.build_edd_system_streamed`) can run with
+    peak memory bounded by one subdomain plus one element chunk.
+    ``f_full[bc.free]`` equals the reduced load of the assembled problem
+    bitwise (homogeneous Dirichlet reduction is a pure restriction), so
+    solves against either construction agree exactly.
+    """
+    if material is None:
+        material = Material(E=100.0, nu=0.3, rho=1.0, thickness=1.0)
+    if k is not None:
+        mesh, edge = paper_mesh(k)
+    else:
+        if nx is None or ny is None:
+            raise ValueError("give either a paper mesh id k or nx and ny")
+        mesh = structured_quad_mesh(nx, ny, lx=float(nx), ly=float(ny))
+        edge = "left"
+    bc = clamp_edge_dofs(mesh, edge)
+    f_full = edge_traction_load(mesh, load_edge, traction)
+    return mesh, bc, f_full, material
+
+
 def cantilever_problem(
     k: int | None = None,
     nx: int | None = None,

@@ -10,11 +10,14 @@ then converts those counters into modeled wall-clock time on calibrated
 SP2/Origin machine models, from which the speedup studies (Table 3,
 Figs. 15-17) are regenerated.
 
-Three interchangeable :class:`Comm` backends execute the SPMD rank loops:
+Four interchangeable :class:`Comm` backends execute the SPMD rank loops:
 the deterministic single-thread :class:`VirtualComm` (default), the
 shared-memory :class:`~repro.parallel.thread_comm.ThreadComm`, which runs
-rank bodies on a persistent worker pool, and the fault-injecting
-:class:`~repro.parallel.chaos.ChaosComm` proxy, which wraps either of the
+rank bodies on a persistent worker pool, the GIL-escaping
+:class:`~repro.parallel.process_comm.ProcessComm`, which fans the
+collective data plane out to spawned worker processes over
+``multiprocessing.shared_memory``, and the fault-injecting
+:class:`~repro.parallel.chaos.ChaosComm` proxy, which wraps any of the
 others under a seeded :class:`~repro.parallel.chaos.FaultPlan`.  All
 share the collective implementations of the :class:`Comm` base class, so
 results are bit-identical (the chaos proxy with an empty plan included);
@@ -25,8 +28,10 @@ select with :func:`make_comm` / :func:`set_comm_backend` / the
 from repro.parallel.stats import CommStats, RankStats
 from repro.parallel.comm import (
     Comm,
+    NestedCommError,
     VirtualComm,
     available_comm_backends,
+    current_worker_backend,
     get_comm_backend,
     make_comm,
     set_comm_backend,
@@ -37,6 +42,15 @@ from repro.parallel.thread_comm import (
     pool_thread_count,
     shutdown_pool,
 )
+from repro.parallel.process_comm import (
+    ProcessComm,
+    ProcessPoolError,
+    ProcessWorkerError,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+    pool_process_count,
+)
+from repro.parallel.process_comm import shutdown_pool as shutdown_process_pool
 from repro.parallel.chaos import (
     ChaosComm,
     FaultPlan,
@@ -61,14 +75,23 @@ __all__ = [
     "Comm",
     "VirtualComm",
     "ThreadComm",
+    "ProcessComm",
     "ChaosComm",
+    "NestedCommError",
+    "ProcessPoolError",
+    "ProcessWorkerError",
+    "WorkerCrashedError",
+    "WorkerTimeoutError",
     "FaultPlan",
     "FaultRule",
     "set_fault_plan",
     "use_fault_plan",
     "get_fault_plan",
     "shutdown_pool",
+    "shutdown_process_pool",
     "pool_thread_count",
+    "pool_process_count",
+    "current_worker_backend",
     "make_comm",
     "available_comm_backends",
     "get_comm_backend",

@@ -1,0 +1,239 @@
+"""Spawn entry point for :class:`~repro.parallel.process_comm.ProcessComm`
+worker processes.
+
+This module is deliberately light — numpy plus stdlib only — so a spawned
+child never imports the solver stack.  The orchestrator sends small
+pickled command tuples over a per-worker pipe; bulk payloads travel
+through a per-communicator ``multiprocessing.shared_memory`` arena.
+
+Protocol
+--------
+Commands are ``(op, seq, ...)`` tuples; every reply echoes the sequence
+number: ``(seq, "ok", payload)`` or ``(seq, "err", traceback_text)``.
+Data-plane commands additionally validate the arena's **header sequence
+word** (the orchestrator stamps it immediately before dispatching): a
+mismatch means the worker is looking at a stale or swapped segment and is
+reported as an error instead of silently permuting the wrong bytes.
+
+Rank striding matches :class:`~repro.parallel.thread_comm._WorkerPool`:
+worker ``w`` of ``n`` owns ranks ``w, w + n, w + 2n, ...``.
+
+Coverage note: everything below executes in spawned children, outside the
+coverage tracer — hence the module-wide ``pragma: no cover``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+#: Bytes reserved at the start of every arena: ``uint64 seq`` plus one
+#: padding word (keeps the float64 payload 16-byte aligned).
+HEADER_BYTES = 16
+
+
+def _attach(name: str):  # pragma: no cover - runs in spawned children
+    """Attach to an orchestrator-owned segment.
+
+    Python 3.11 registers *attaches* with the resource tracker too
+    (bpo-39959).  Workers share the orchestrator's tracker process (the
+    fd travels in the spawn preparation data), whose name cache is a set
+    — so the duplicate registration is an idempotent no-op and must NOT
+    be unregistered here: that would erase the orchestrator's own entry
+    and break its unlink-time bookkeeping.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _arena_view(state, name, total_words, seq):  # pragma: no cover
+    """Float64 view of the comm's arena, after the header-seq check."""
+    if state.get("arena_name") != name:
+        old = state.get("shm")
+        if old is not None:
+            old.close()
+        state["shm"] = _attach(name)
+        state["arena_name"] = name
+    shm = state["shm"]
+    header = np.ndarray((2,), dtype=np.uint64, buffer=shm.buf)
+    if int(header[0]) != seq:
+        raise RuntimeError(
+            f"stale arena {name!r}: header seq {int(header[0])} != "
+            f"command seq {seq}"
+        )
+    return np.ndarray(
+        (total_words,), dtype=np.float64, buffer=shm.buf, offset=HEADER_BYTES
+    )
+
+
+def _owned(w, n_workers, size):  # pragma: no cover
+    return range(w, size, n_workers)
+
+
+def _do_gather(state, cmd, w, n_workers):  # pragma: no cover
+    """``out[s] = glob[l2g[s]]`` for this worker's ranks (⊕Σ∂Ω gather)."""
+    _op, seq, _cid, arena, k, n_global, total_words = cmd
+    view = _arena_view(state, arena, total_words, seq)
+    l2g = state["l2g"]
+    sizes = state["sizes"]
+    in_words = n_global * k
+    glob = view[:in_words]
+    if k > 1:
+        glob = glob.reshape(n_global, k)
+    offsets = state["gather_offsets"]
+    times = []
+    for s in _owned(w, n_workers, len(sizes)):
+        t0 = time.perf_counter()
+        off = in_words + offsets[s] * k
+        dst = view[off:off + sizes[s] * k]
+        if k > 1:
+            dst = dst.reshape(sizes[s], k)
+        dst[...] = glob[l2g[s]]
+        times.append((s, time.perf_counter() - t0))
+    return times
+
+
+def _do_halo(state, cmd, w, n_workers):  # pragma: no cover
+    """Receiver-centric halo fill for this worker's ranks."""
+    _op, seq, _cid, arena, plan_id, k, total_words = cmd
+    view = _arena_view(state, arena, total_words, seq)
+    plan = state["plans"][plan_id]
+    xsizes, ext_sizes = plan["xsizes"], plan["ext_sizes"]
+    x_offsets, ext_offsets = plan["x_offsets"], plan["ext_offsets"]
+    in_words = sum(xsizes) * k
+
+    def x_part(t):
+        off = x_offsets[t] * k
+        part = view[off:off + xsizes[t] * k]
+        return part.reshape(xsizes[t], k) if k > 1 else part
+
+    times = []
+    for s in _owned(w, n_workers, len(xsizes)):
+        t0 = time.perf_counter()
+        off = in_words + ext_offsets[s] * k
+        buf = view[off:off + ext_sizes[s] * k]
+        if k > 1:
+            buf = buf.reshape(ext_sizes[s], k)
+        buf[...] = 0.0
+        for t, send_idx, recv_slots in plan["ranks"][s]:
+            buf[recv_slots] = x_part(t)[send_idx]
+        times.append((s, time.perf_counter() - t0))
+    return times
+
+
+def _do_reduce(state, cmd, w, n_workers):  # pragma: no cover
+    """Fixed binary-tree reduction over the (P, m) rows in the arena.
+
+    Worker 0 performs the whole tree (the reduction is a dependency
+    chain, not a fan-out); other workers acknowledge immediately.  The
+    pairing ``(v0+v1)+(v2+v3)...`` matches ``Comm._tree_reduce`` exactly,
+    so the float64 result is bit-identical to the inline path.
+    """
+    _op, seq, _cid, arena, p_rows, m, total_words = cmd
+    if w != 0:
+        return []
+    view = _arena_view(state, arena, total_words, seq)
+    t0 = time.perf_counter()
+    rows = view[:p_rows * m].reshape(p_rows, m)
+    vals = [rows[i] for i in range(p_rows)]
+    while len(vals) > 1:
+        nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    view[p_rows * m:(p_rows + 1) * m] = vals[0]
+    return [(0, time.perf_counter() - t0)]
+
+
+def _do_register(state, cmd):  # pragma: no cover
+    payload = pickle.loads(cmd[3])
+    state["l2g"] = payload["l2g"]
+    state["sizes"] = payload["sizes"]
+    offsets = [0]
+    for n in payload["sizes"]:
+        offsets.append(offsets[-1] + n)
+    state["gather_offsets"] = offsets
+    return []
+
+
+def _do_plan(state, cmd):  # pragma: no cover
+    plan_id = cmd[3]
+    plan = pickle.loads(cmd[4])
+    for key in ("x_offsets", "ext_offsets"):
+        sizes = plan["xsizes" if key == "x_offsets" else "ext_sizes"]
+        offsets = [0]
+        for n in sizes:
+            offsets.append(offsets[-1] + n)
+        plan[key] = offsets
+    state.setdefault("plans", {})[plan_id] = plan
+    return []
+
+
+def _release(state):  # pragma: no cover
+    shm = state.get("shm")
+    if shm is not None:
+        shm.close()
+
+
+def worker_main(w: int, n_workers: int, conn) -> None:  # pragma: no cover
+    """Worker process body: park on the pipe, execute commands forever.
+
+    ``REPRO_COMM_WORKER`` advertises the worker context to the
+    nested-comm guard (:func:`repro.parallel.comm.guard_nested_comm`) in
+    case user code ever runs here.
+    """
+    os.environ["REPRO_COMM_WORKER"] = "process"
+    comms: dict = {}
+    try:
+        while True:
+            try:
+                cmd = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = cmd[0]
+            if op == "shutdown":
+                break
+            seq = cmd[1]
+            try:
+                if op == "ping":
+                    result = []
+                elif op == "sleep":
+                    # Test-only fault: simulate a stalled worker so the
+                    # orchestrator's per-call timeout can be exercised.
+                    time.sleep(float(cmd[2]))
+                    result = []
+                else:
+                    state = comms.setdefault(cmd[2], {})
+                    if op == "register":
+                        result = _do_register(state, cmd)
+                    elif op == "plan":
+                        result = _do_plan(state, cmd)
+                    elif op == "gather":
+                        result = _do_gather(state, cmd, w, n_workers)
+                    elif op == "halo":
+                        result = _do_halo(state, cmd, w, n_workers)
+                    elif op == "reduce":
+                        result = _do_reduce(state, cmd, w, n_workers)
+                    elif op == "release":
+                        _release(state)
+                        comms.pop(cmd[2], None)
+                        result = []
+                    else:
+                        raise ValueError(f"unknown worker op {op!r}")
+                conn.send((seq, "ok", result))
+            except BaseException:
+                try:
+                    conn.send((seq, "err", traceback.format_exc()))
+                except (OSError, BrokenPipeError):
+                    break
+    finally:
+        for state in comms.values():
+            _release(state)
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,7 +1,7 @@
 """Deterministic chaos-injection communicator backend.
 
 :class:`ChaosComm` is a proxy :class:`~repro.parallel.comm.Comm` that
-wraps any inner backend (``virtual`` or ``thread``) and injects
+wraps any inner backend (``virtual``, ``thread`` or ``process``) and injects
 message-level faults into the three collectives — the interface assembly
 ``⊕Σ∂Ω``, the halo exchange, and the tree allreduce — under the control of
 a seeded, declarative :class:`FaultPlan`.  It exists to prove the
@@ -314,6 +314,19 @@ class ChaosComm(Comm):
     def close(self) -> None:
         """Release the inner backend's resources; idempotent."""
         self.inner.close()
+
+    # The data-movement hooks delegate too, so an inner ``process``
+    # backend genuinely moves the (pre-injection) payloads through its
+    # worker processes: faults land on top of the real exchange path
+    # rather than a shortcut through the orchestrator.
+    def _gather_back(self, glob, k):
+        return self.inner._gather_back(glob, k)
+
+    def _halo_fill(self, x_parts, plan, ext, total_words):
+        return self.inner._halo_fill(x_parts, plan, ext, total_words)
+
+    def _tree_reduce(self, vals, words):
+        return self.inner._tree_reduce(vals, words)
 
     # ------------------------------------------------------------------
     # Injection machinery

@@ -14,24 +14,35 @@ listings — per-rank local arrays, nearest-neighbour interface assemblies
   real cross-thread barrier, so the P subdomain kernels genuinely run
   concurrently whenever the sparse kernel backend releases the GIL
   (scipy's C loops and numpy's ufunc inner loops both do).
-* :class:`~repro.parallel.chaos.ChaosComm` (``"chaos"``) proxies either of
+* :class:`~repro.parallel.process_comm.ProcessComm` (``"process"``) escapes
+  the GIL entirely: a persistent pool of spawned worker *processes* moves
+  the collective payloads through ``multiprocessing.shared_memory``
+  segments, while the per-rank closures (which cannot cross a process
+  boundary) keep running in the orchestrator.
+* :class:`~repro.parallel.chaos.ChaosComm` (``"chaos"``) proxies any of
   the above and injects deterministic message-level faults from a seeded
   :class:`~repro.parallel.chaos.FaultPlan` — the test seam proving the
   solvers never return a silently wrong answer when an exchange
   misbehaves.
 
-Both backends share the collective implementations in :class:`Comm` —
+All backends share the collective implementations in :class:`Comm` —
 including the fixed-topology binary-tree allreduce — so a solve is
 **bit-identical** across backends: same iteration counts, same residual
-histories, same recorded counters.  Selection: ``make_comm(submap)``
-consults ``set_comm_backend(name)`` / the ``REPRO_COMM_BACKEND``
-environment variable (read at first use), mirroring the kernel-backend
-registry in :mod:`repro.sparse.kernels`.
+histories, same recorded counters.  The backend-specific part is isolated
+in three overridable *data-movement hooks* (:meth:`Comm._gather_back`,
+:meth:`Comm._halo_fill`, :meth:`Comm._tree_reduce`); the defaults express
+the movement as :meth:`Comm.run_ranks` closures, and ``ProcessComm``
+replaces them with shared-memory fan-out of exactly the same permutation
+and reduction, so identity holds by construction.  Selection:
+``make_comm(submap)`` consults ``set_comm_backend(name)`` / the
+``REPRO_COMM_BACKEND`` environment variable (read at first use),
+mirroring the kernel-backend registry in :mod:`repro.sparse.kernels`.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -39,6 +50,46 @@ import numpy as np
 from repro.obs.tracer import NULL_TRACER, timed_rank_body
 from repro.parallel.stats import CommStats
 from repro.partition.interface import SubdomainMap
+
+
+class NestedCommError(RuntimeError):
+    """Constructing a communicator inside a worker of another communicator.
+
+    A rank body that builds its own :class:`ThreadComm`/``ProcessComm``
+    would recursively enter the shared worker pool — a region that is
+    already executing — which used to surface as an opaque hang.  The
+    registry (:func:`make_comm`) and the pooled-backend constructors now
+    detect the nesting and raise this named error instead.
+    """
+
+
+#: Thread-local marker set while a comm worker executes a rank body; the
+#: ``backend`` attribute names the owning backend.  Worker *processes*
+#: advertise themselves through the ``REPRO_COMM_WORKER`` environment
+#: variable instead (set in the spawned child before any user code runs).
+_WORKER_CTX = threading.local()
+
+
+def current_worker_backend() -> str | None:
+    """Backend name of the comm worker the caller runs inside, or None."""
+    backend = getattr(_WORKER_CTX, "backend", None)
+    if backend is not None:
+        return backend
+    return os.environ.get("REPRO_COMM_WORKER") or None
+
+
+def guard_nested_comm(backend_name: str) -> None:
+    """Raise :class:`NestedCommError` when called from inside a comm
+    worker (the nested-pool footgun); no-op in the orchestrator."""
+    inside = current_worker_backend()
+    if inside is not None:
+        raise NestedCommError(
+            f"cannot construct a {backend_name!r} communicator inside a "
+            f"{inside!r} comm worker: nested pools would re-enter a "
+            "parallel region that is already executing.  Build the "
+            "communicator in the orchestrator (outside run_ranks bodies) "
+            "and close over it instead."
+        )
 
 
 class Comm:
@@ -149,6 +200,62 @@ class Comm:
             self.stats.ranks[r].flops += int(n)
 
     # ------------------------------------------------------------------
+    # Data-movement hooks (the only backend-overridable numerics-free part)
+    # ------------------------------------------------------------------
+    def _gather_back(self, glob: np.ndarray, k: int | None) -> list:
+        """Gather the scatter-added global vector back per rank.
+
+        The second half of ``⊕Σ∂Ω``: ``out[s] = glob[l2g[s]]`` — a pure
+        permutation copy, so a backend may execute it anywhere (worker
+        thread, worker process via shared memory) without perturbing a
+        single bit.  ``k`` is the block width (None for vectors).
+        """
+        submap = self.submap
+        out = [None] * self.size
+
+        def gather(s: int) -> None:
+            out[s] = glob[submap.l2g[s]].copy()
+
+        work = submap.n_global * (1 if k is None else k)
+        self.run_ranks(gather, work=work)
+        return out
+
+    def _halo_fill(
+        self, x_parts: list, plan: dict, ext: list, total_words: int
+    ) -> None:
+        """Fill the preallocated external buffers of a halo exchange.
+
+        Receiver-centric permutation copy: rank ``s`` writes
+        ``ext[s][recv_slots] = x_parts[t][send_idx]`` for each neighbour.
+        Handles vectors and ``(n, k)`` blocks alike (fancy indexing is
+        row-wise either way).  Backends may relocate the copies freely —
+        no arithmetic happens here.
+        """
+
+        def receive(s: int) -> None:
+            buf = ext[s]
+            for t, (_, recv_slots) in plan[s].items():
+                send_idx, _ = plan[t][s]
+                buf[recv_slots] = x_parts[t][send_idx]
+
+        self.run_ranks(receive, work=total_words)
+
+    def _tree_reduce(self, vals: list, words: int):
+        """Combine per-rank values in fixed binary-tree order.
+
+        The pairing ``(v0+v1)+(v2+v3)...`` a recursive-doubling MPI
+        allreduce performs; every backend must reproduce this exact
+        association (float addition is not associative) for results to
+        stay bit-reproducible.
+        """
+        while len(vals) > 1:
+            nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
+            if len(vals) % 2:
+                nxt.append(vals[-1])
+            vals = nxt
+        return vals[0]
+
+    # ------------------------------------------------------------------
     # Collectives (shared by all backends — deterministic by construction)
     # ------------------------------------------------------------------
     def interface_assemble(self, parts: list) -> list:
@@ -173,12 +280,7 @@ class Comm:
         glob = np.zeros(submap.n_global)
         for g, p in zip(submap.l2g, parts):
             np.add.at(glob, g, p)
-        out = [None] * self.size
-
-        def gather(s: int) -> None:
-            out[s] = glob[submap.l2g[s]].copy()
-
-        self.run_ranks(gather, work=submap.n_global)
+        out = self._gather_back(glob, k=None)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, local_idx in submap.shared[s].items():
@@ -216,12 +318,7 @@ class Comm:
         glob = np.zeros((submap.n_global, k))
         for g, p in zip(submap.l2g, parts):
             np.add.at(glob, g, p)
-        out = [None] * self.size
-
-        def gather(s: int) -> None:
-            out[s] = glob[submap.l2g[s]].copy()
-
-        self.run_ranks(gather, work=submap.n_global * k)
+        out = self._gather_back(glob, k=k)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, local_idx in submap.shared[s].items():
@@ -250,16 +347,11 @@ class Comm:
         trc = self.tracer
         if trc.enabled:
             trc.begin("allreduce_sum", "reduction", words=int(words))
-        vals = list(values)
-        while len(vals) > 1:
-            nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
-            if len(vals) % 2:
-                nxt.append(vals[-1])
-            vals = nxt
+        result = self._tree_reduce(list(values), words=int(words))
         self.stats.charge_all_ranks(reductions=1, reduction_words=int(words))
         if trc.enabled:
             trc.end()
-        return vals[0]
+        return result
 
     def halo_exchange(self, x_parts: list, plan: dict) -> list:
         """Row-partition halo scatter/gather (Eq. 48's first two steps).
@@ -290,14 +382,7 @@ class Comm:
                       messages=sum(len(plan[s]) for s in range(self.size)),
                       words=total_words)
         ext = [np.zeros(n) for n in ext_sizes]
-
-        def receive(s: int) -> None:
-            buf = ext[s]
-            for t, (_, recv_slots) in plan[s].items():
-                send_idx, _ = plan[t][s]
-                buf[recv_slots] = x_parts[t][send_idx]
-
-        self.run_ranks(receive, work=total_words)
+        self._halo_fill(x_parts, plan, ext, total_words)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, (send_idx, _) in plan[s].items():
@@ -335,14 +420,7 @@ class Comm:
                       messages=sum(len(plan[s]) for s in range(self.size)),
                       words=total_words, k=k)
         ext = [np.zeros((n, k)) for n in ext_sizes]
-
-        def receive(s: int) -> None:
-            buf = ext[s]
-            for t, (_, recv_slots) in plan[s].items():
-                send_idx, _ = plan[t][s]
-                buf[recv_slots] = x_parts[t][send_idx]
-
-        self.run_ranks(receive, work=total_words)
+        self._halo_fill(x_parts, plan, ext, total_words)
         for s in range(self.size):
             rs = self.stats.ranks[s]
             for t, (send_idx, _) in plan[s].items():
@@ -379,7 +457,7 @@ class VirtualComm(Comm):
 # ----------------------------------------------------------------------
 # Backend registry (mirrors repro.sparse.kernels)
 # ----------------------------------------------------------------------
-_COMM_BACKENDS = ("virtual", "thread", "chaos")
+_COMM_BACKENDS = ("virtual", "thread", "process", "chaos")
 _current: list = [None]  # resolved lazily so the env var wins at first use
 
 
@@ -415,9 +493,10 @@ def set_comm_backend(name: str) -> str | None:
 def use_comm_backend(name: str):
     """Context manager: run a block under a specific comm backend.
 
-    Leaving a ``"thread"`` block also drains the shared worker pool when
-    no live :class:`~repro.parallel.thread_comm.ThreadComm` still borrows
-    it, so tests (and short-lived sessions) don't leak parked threads.
+    Leaving a ``"thread"`` (or ``"process"``) block also drains the
+    backend's shared worker pool when no live communicator still borrows
+    it, so tests (and short-lived sessions) don't leak parked threads or
+    worker processes.
     """
     prev = _current[0]
     set_comm_backend(name)
@@ -426,12 +505,12 @@ def use_comm_backend(name: str):
         yield
     finally:
         _current[0] = prev
-        if resolved == "thread":
+        if resolved in ("thread", "process"):
             import sys
 
-            tc = sys.modules.get("repro.parallel.thread_comm")
-            if tc is not None:
-                tc.shutdown_pool()
+            mod = sys.modules.get(f"repro.parallel.{resolved}_comm")
+            if mod is not None:
+                mod.shutdown_pool()
 
 
 def make_comm(
@@ -444,12 +523,20 @@ def make_comm(
     ``"chaos"`` backend wraps the inner backend and fault plan selected
     via :func:`repro.parallel.chaos.set_fault_plan` /
     ``REPRO_CHAOS_PLAN``.
+
+    Raises :class:`NestedCommError` when called from inside a comm
+    worker — a communicator must be built in the orchestrator.
     """
     name = _resolve(backend) if backend is not None else get_comm_backend()
+    guard_nested_comm(name)
     if name == "thread":
         from repro.parallel.thread_comm import ThreadComm
 
         return ThreadComm(submap, trace=trace)
+    if name == "process":
+        from repro.parallel.process_comm import ProcessComm
+
+        return ProcessComm(submap, trace=trace)
     if name == "chaos":
         from repro.parallel.chaos import ChaosComm, get_fault_plan
 

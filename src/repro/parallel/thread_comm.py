@@ -35,7 +35,7 @@ import threading
 import weakref
 
 from repro.obs.tracer import timed_rank_body
-from repro.parallel.comm import Comm
+from repro.parallel.comm import _WORKER_CTX, Comm, guard_nested_comm
 from repro.partition.interface import SubdomainMap
 
 _DEFAULT_MIN_WORK = 8192
@@ -145,7 +145,10 @@ class _WorkerPool:
 # ``ThreadComm.close()`` — once nobody borrows it anymore.
 _pool_lock = threading.Lock()
 _shared_pool: list = [None]
-_in_worker = threading.local()
+#: The worker marker is shared registry state (repro.parallel.comm), so
+#: every pooled backend recognizes workers of every other backend — the
+#: nested-comm guard and the inline fallback both key off it.
+_in_worker = _WORKER_CTX
 _live_comms: "weakref.WeakSet" = weakref.WeakSet()
 
 
@@ -219,6 +222,7 @@ class ThreadComm(Comm):
         n_workers: int | None = None,
         min_parallel_work: int | None = None,
     ):
+        guard_nested_comm("thread")
         super().__init__(submap, trace=trace)
         if n_workers is None:
             n_workers = _default_workers()
@@ -246,18 +250,18 @@ class ThreadComm(Comm):
         if (
             self.size == 1
             or self.n_workers == 1
-            or getattr(_in_worker, "active", False)
+            or getattr(_in_worker, "backend", None) is not None
             or (work is not None and work < self.min_parallel_work)
         ):
             return [body(r) for r in range(self.size)]
         results = [None] * self.size
 
         def wrapped(r: int) -> None:
-            _in_worker.active = True
+            _in_worker.backend = "thread"
             try:
                 results[r] = body(r)
             finally:
-                _in_worker.active = False
+                _in_worker.backend = None
 
         _acquire_pool(self.n_workers).run(wrapped, self.size)
         return results
@@ -266,7 +270,7 @@ class ThreadComm(Comm):
         """A real cross-thread barrier: every worker must arrive before
         any leaves.  (Each ``run_ranks`` join is already a barrier; this
         exposes the primitive directly for SPMD-style callers.)"""
-        if self.n_workers == 1 or getattr(_in_worker, "active", False):
+        if self.n_workers == 1 or getattr(_in_worker, "backend", None) is not None:
             return
         gate = threading.Barrier(self.n_workers)
 

@@ -118,13 +118,13 @@ def test_no_silent_wrong_answer(tiny_problem, plan_name, method, precond):
     _check_invariant(tiny_problem, plan, method, precond, "virtual")
 
 
-@pytest.mark.parametrize("inner", ["virtual", "thread"])
+@pytest.mark.parametrize("inner", ["virtual", "thread", "process"])
 @pytest.mark.parametrize("plan_name,method,precond", SMOKE,
                          ids=[f"{n}-{m}-{p}" for n, m, p in SMOKE])
 def test_no_silent_wrong_answer_smoke(
     tiny_problem, plan_name, method, precond, inner
 ):
-    """The reduced sweep, under both inner execution backends — this is
+    """The reduced sweep, under every inner execution backend — this is
     what the CI chaos job runs (``-k smoke``)."""
     plan = FaultPlan(rules=(PLANS[plan_name],), seed=20060815)
     _check_invariant(tiny_problem, plan, method, precond, inner)
@@ -147,7 +147,7 @@ TWO_LEVEL_PLANS = {
 }
 
 
-@pytest.mark.parametrize("inner", ["virtual", "thread"])
+@pytest.mark.parametrize("inner", ["virtual", "thread", "process"])
 @pytest.mark.parametrize("method,precond", TWO_LEVEL_CONFIGS,
                          ids=[f"{m}-{p}" for m, p in TWO_LEVEL_CONFIGS])
 @pytest.mark.parametrize("plan_name", sorted(TWO_LEVEL_PLANS))
@@ -266,16 +266,18 @@ def test_transient_fault_then_recovery(tiny_problem):
     assert d["result"]["converged"] or d["result"]["diagnostics"]
 
 
-def test_stall_only_plan_converges_identically(tiny_problem):
+@pytest.mark.parametrize("inner", ["virtual", "process"])
+def test_stall_only_plan_converges_identically(tiny_problem, inner):
     """Stalls perturb latency, never numerics: the solve must match the
-    healthy run bit for bit."""
+    healthy run bit for bit — including when the chaos proxy wraps the
+    process backend (``REPRO_CHAOS_INNER=process`` composition)."""
     healthy = solve_cantilever(
         tiny_problem, 2,
         options=SolverOptions(precond="gls(7)", tol=TOL,
                               comm_backend="virtual"),
     )
     plan = FaultPlan(rules=(PLANS["any-stall"],), seed=0)
-    with use_fault_plan(plan, inner="virtual"):
+    with use_fault_plan(plan, inner=inner):
         stalled = solve_cantilever(
             tiny_problem, 2,
             options=SolverOptions(precond="gls(7)", tol=TOL,
@@ -284,3 +286,34 @@ def test_stall_only_plan_converges_identically(tiny_problem):
     assert stalled.result.converged
     assert stalled.result.iterations == healthy.result.iterations
     assert np.array_equal(stalled.result.x, healthy.result.x)
+
+
+def test_stalled_process_worker_times_out_not_deadlocks(tiny_problem):
+    """A *worker-side* stall (a hung process, not a chaos latency fault)
+    must surface as :class:`WorkerTimeoutError` within the per-call
+    timeout instead of deadlocking the pool — the structured-failure
+    contract chaos plans rely on when composed over ``inner=process``."""
+    import time
+
+    from repro.core.session import PreparedSystem
+    from repro.parallel.process_comm import (
+        ProcessComm,
+        WorkerTimeoutError,
+        shutdown_pool,
+    )
+
+    options = SolverOptions(precond="gls(7)", tol=TOL, comm_backend="process")
+    prepared = PreparedSystem.build(tiny_problem, 2, options)
+    try:
+        comm = prepared.system.comm
+        assert isinstance(comm, ProcessComm)
+        comm.min_dispatch_work = 0
+        comm.allreduce_sum([1.0, 1.0])  # warm the pool
+        comm.call_timeout = 0.4
+        t0 = time.monotonic()
+        with pytest.raises(WorkerTimeoutError, match="did not reply"):
+            comm._debug_stall(3.0)
+        assert time.monotonic() - t0 < 2.5
+    finally:
+        prepared.close()
+        shutdown_pool(force=True)

@@ -61,13 +61,18 @@ def rng():
     return np.random.default_rng(12345)
 
 
-@pytest.fixture(params=["virtual", "thread"], ids=["comm-virtual", "comm-thread"])
+@pytest.fixture(
+    params=["virtual", "thread", "process"],
+    ids=["comm-virtual", "comm-thread", "comm-process"],
+)
 def comm_backend(request):
-    """Parameterize a test over both communicator backends.
+    """Parameterize a test over the executable communicator backends.
 
-    Results must be bit-identical across the two (the Comm contract);
-    solver tests taking this fixture therefore run twice and assert the
-    same numbers both times.
+    Results must be bit-identical across all of them (the Comm contract);
+    solver tests taking this fixture therefore run once per backend and
+    assert the same numbers each time.  (The ``process`` runs stay inline
+    for these tiny systems — the dispatch threshold keeps the pool cold —
+    which is itself the contract: thresholds change costs, never bits.)
     """
     from repro.parallel.comm import use_comm_backend
 

@@ -1,4 +1,4 @@
-"""Backend parity: virtual and thread communicators must be bit-identical.
+"""Backend parity: virtual, thread and process comms must be bit-identical.
 
 The Comm contract (shared collectives, disjoint rank bodies, fixed
 binary-tree allreduce) guarantees a solve produces the same floats on
@@ -12,12 +12,24 @@ import pytest
 from repro.core.driver import solve_cantilever
 from repro.core.options import SolverOptions
 
+OTHER_BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pool_at_end():
+    """Leave no parked worker processes behind for later test modules."""
+    yield
+    from repro.parallel.process_comm import shutdown_pool
+
+    shutdown_pool(force=True)
+
 
 def _solve(problem, backend, **changes):
     opts = SolverOptions(**changes).replace(comm_backend=backend)
     return solve_cantilever(problem, n_parts=4, options=opts)
 
 
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
 @pytest.mark.parametrize(
     "method,precond",
     [
@@ -29,10 +41,12 @@ def _solve(problem, backend, **changes):
         ("rdd", "bj-ilu0"),
     ],
 )
-def test_solve_bit_identical_across_backends(tiny_problem, method, precond):
+def test_solve_bit_identical_across_backends(
+    tiny_problem, method, precond, other
+):
     sv = _solve(tiny_problem, "virtual", method=method, precond=precond)
-    st = _solve(tiny_problem, "thread", method=method, precond=precond)
-    assert sv.comm_backend == "virtual" and st.comm_backend == "thread"
+    st = _solve(tiny_problem, other, method=method, precond=precond)
+    assert sv.comm_backend == "virtual" and st.comm_backend == other
     assert sv.result.iterations == st.result.iterations
     assert sv.result.restarts == st.result.restarts
     # Bit-identical, not merely close:
@@ -40,9 +54,10 @@ def test_solve_bit_identical_across_backends(tiny_problem, method, precond):
     assert np.array_equal(sv.result.x, st.result.x)
 
 
-def test_counters_identical_across_backends(tiny_problem):
+@pytest.mark.parametrize("other", OTHER_BACKENDS)
+def test_counters_identical_across_backends(tiny_problem, other):
     sv = _solve(tiny_problem, "virtual")
-    st = _solve(tiny_problem, "thread")
+    st = _solve(tiny_problem, other)
     for rv, rt in zip(sv.stats.ranks, st.stats.ranks):
         assert rv == rt
 
@@ -67,3 +82,17 @@ def test_forced_pool_path_parity(tiny_problem, monkeypatch):
     st = _solve(tiny_problem, "thread")
     assert sv.result.residual_history == st.result.residual_history
     assert np.array_equal(sv.result.x, st.result.x)
+
+
+def test_forced_process_pool_path_parity(tiny_problem, monkeypatch):
+    """Zero dispatch threshold: every collective rides the shared-memory
+    arena through real worker processes — and still matches virtual
+    bitwise, solution and counters alike."""
+    monkeypatch.setenv("REPRO_PROCESS_MIN_WORK", "0")
+    monkeypatch.setenv("REPRO_PROCESS_WORKERS", "2")
+    sv = _solve(tiny_problem, "virtual")
+    sp = _solve(tiny_problem, "process")
+    assert sv.result.residual_history == sp.result.residual_history
+    assert np.array_equal(sv.result.x, sp.result.x)
+    for rv, rp in zip(sv.stats.ranks, sp.stats.ranks):
+        assert rv == rp

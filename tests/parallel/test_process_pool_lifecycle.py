@@ -1,0 +1,181 @@
+"""ProcessComm pool lifecycle: no leaked processes, no leaked shared
+memory, structured (never hanging) failure on crashed or stalled workers.
+
+Mirrors ``test_pool_lifecycle.py`` for the thread backend, with the two
+deliberate differences of the process pool pinned down explicitly:
+``close()`` *parks* the workers instead of draining them (spawn costs
+~1 s, paid once per session instead of once per solve), and a killed or
+silent worker raises a named error within the per-call timeout instead of
+deadlocking the orchestrator.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.driver import solve_cantilever
+from repro.core.options import SolverOptions
+from repro.fem.bc import clamp_edge_dofs
+from repro.fem.mesh import structured_quad_mesh
+from repro.parallel.comm import use_comm_backend
+from repro.parallel.process_comm import (
+    ProcessComm,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+    pool_process_count,
+    shutdown_pool,
+)
+from repro.partition.element_partition import ElementPartition
+from repro.partition.interface import build_subdomain_map
+
+
+@pytest.fixture(autouse=True)
+def _drain_pool():
+    shutdown_pool(force=True)
+    yield
+    shutdown_pool(force=True)
+    assert pool_process_count() == 0
+
+
+@pytest.fixture
+def submap4():
+    mesh = structured_quad_mesh(8, 2)
+    bc = clamp_edge_dofs(mesh, "left")
+    labels = np.repeat(np.arange(4), 2)
+    part = ElementPartition(mesh, np.concatenate([labels, labels]), 4)
+    return build_subdomain_map(mesh, part, bc)
+
+
+def _comm(submap, **kw):
+    kw.setdefault("min_dispatch_work", 0)
+    kw.setdefault("n_workers", 2)
+    return ProcessComm(submap, **kw)
+
+
+def _shm_segments(base=frozenset()):
+    """Segments created since ``base`` — delta-based so a leak from an
+    unrelated earlier failure cannot cascade into these assertions."""
+    return set(glob.glob("/dev/shm/repro-pc-*")) - set(base)
+
+
+def _exercise(comm):
+    rng = np.random.default_rng(7)
+    parts = [rng.standard_normal(n) for n in comm.submap.local_sizes]
+    return comm.interface_assemble(parts)
+
+
+# ----------------------------------------------------------------------
+# Parked-pool contract and shared-memory hygiene
+# ----------------------------------------------------------------------
+def test_close_parks_processes_and_unlinks_segments(submap4):
+    base = _shm_segments()
+    comm = _comm(submap4)
+    _exercise(comm)
+    assert pool_process_count() == 2
+    assert len(_shm_segments(base)) == 1  # the comm's arena
+    comm.close()
+    assert _shm_segments(base) == set()  # arena unlinked eagerly
+    assert pool_process_count() == 2  # workers parked, not drained
+    assert shutdown_pool()  # no live borrowers left -> drains
+    assert pool_process_count() == 0
+
+
+def test_close_is_idempotent(submap4):
+    base = _shm_segments()
+    comm = _comm(submap4)
+    _exercise(comm)
+    comm.close()
+    comm.close()
+    assert _shm_segments(base) == set()
+
+
+def test_shutdown_refused_while_comm_live(submap4):
+    comm = _comm(submap4)
+    _exercise(comm)
+    assert not shutdown_pool()  # refused: comm still borrows
+    assert pool_process_count() == 2
+    assert shutdown_pool(force=True)
+    assert pool_process_count() == 0
+    # The comm transparently re-acquires a fresh pool afterwards.
+    _exercise(comm)
+    assert pool_process_count() == 2
+    comm.close()
+
+
+def test_parked_pool_reused_across_comms(submap4):
+    with _comm(submap4) as a:
+        _exercise(a)
+        pids = set(a._pool.process_ids())
+    with _comm(submap4) as b:
+        _exercise(b)
+        assert set(b._pool.process_ids()) == pids  # same parked workers
+
+
+def test_arena_regrowth_unlinks_old_generation(submap4):
+    base = _shm_segments()
+    with _comm(submap4) as comm:
+        comm.allreduce_sum([1.0, 2.0, 3.0, 4.0])
+        first = _shm_segments(base)
+        assert len(first) == 1
+        # A k-wide block forces a larger arena: new generation, old gone.
+        k = 600
+        parts = [np.ones((n, k)) for n in comm.submap.local_sizes]
+        comm.interface_assemble_block(parts)
+        second = _shm_segments(base)
+        assert len(second) == 1 and second != first
+    assert _shm_segments(base) == set()
+
+
+def test_use_comm_backend_exit_drains_processes(tiny_problem):
+    with use_comm_backend("process"):
+        summary = solve_cantilever(
+            tiny_problem, 2, options=SolverOptions(precond="gls(7)")
+        )
+        assert summary.result.converged
+    assert pool_process_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Structured failure instead of hangs
+# ----------------------------------------------------------------------
+def test_killed_worker_raises_named_error(submap4):
+    comm = _comm(submap4)
+    _exercise(comm)
+    victim = comm._pool.process_ids()[1]
+    os.kill(victim, signal.SIGKILL)
+    deadline = time.monotonic() + 5.0
+    with pytest.raises(WorkerCrashedError, match="worker 1 died"):
+        while time.monotonic() < deadline:
+            _exercise(comm)
+    assert comm._pool.broken
+    # The next dispatch transparently respawns a fresh pool and works.
+    ref = _exercise(_comm(submap4))
+    assert ref is not None
+    comm.close()
+
+
+def test_stalled_worker_raises_timeout_not_deadlock(submap4):
+    comm = _comm(submap4)
+    _exercise(comm)  # spawn + warm up under the default timeout
+    comm.call_timeout = 0.4
+    t0 = time.monotonic()
+    with pytest.raises(WorkerTimeoutError, match="did not reply"):
+        comm._debug_stall(3.0)
+    assert time.monotonic() - t0 < 2.5  # bounded by the timeout, not 3 s
+    assert comm._pool.broken
+    comm.close()
+    shutdown_pool(force=True)  # don't wait for the sleeper to wake
+
+def test_crashed_pool_close_still_unlinks_segments(submap4):
+    base = _shm_segments()
+    comm = _comm(submap4)
+    _exercise(comm)
+    assert len(_shm_segments(base)) == 1
+    for pid in comm._pool.process_ids():
+        os.kill(pid, signal.SIGKILL)
+    comm.close()
+    assert _shm_segments(base) == set()

@@ -232,7 +232,12 @@ def test_commstats_snapshot_during_charges():
 # Registry
 # ----------------------------------------------------------------------
 def test_registry_roundtrip():
-    assert set(available_comm_backends()) == {"virtual", "thread", "chaos"}
+    assert set(available_comm_backends()) == {
+        "virtual",
+        "thread",
+        "process",
+        "chaos",
+    }
     prev = get_comm_backend()
     try:
         set_comm_backend("thread")
