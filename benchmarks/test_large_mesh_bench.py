@@ -1,29 +1,35 @@
 """Large-mesh streamed-assembly benchmark -> BENCH_large_mesh.json.
 
-The memory acceptance test of the large-mesh tier: solve a Mesh7-class
-cantilever two ways in two *separate child processes* and compare peak
-RSS (``resource.getrusage``'s ``ru_maxrss``):
+The memory/throughput acceptance test of the large-mesh tier: solve a
+large cantilever three ways in three *separate child processes* and
+compare peak RSS (``resource.getrusage``'s ``ru_maxrss``) and solve
+wall time:
 
 * ``streamed`` — :func:`repro.fem.cantilever.cantilever_inputs` (no
   verification assembly) + :func:`build_edd_system_streamed` (chunked
   per-rank assembly, no global CSR ever materialized) solved under the
-  ``process`` comm backend with the dispatch threshold forced to zero,
-  so the collective data plane really fans out over the shared-memory
-  worker pool.
+  ``process`` comm backend with ``REPRO_PROCESS_RESIDENT=0``: the
+  collective data plane fans out over the shared-memory pool but the
+  rank bodies stay inline.
+* ``resident`` — same construction with ``REPRO_PROCESS_RESIDENT=1``:
+  per-rank CSR blocks ship to the worker pool once and the solver's
+  matvec/dot/ortho/axpy regions execute worker-resident.
 * ``serial`` — :func:`cantilever_problem` (global COO + CSR assembly)
   + monolithic :func:`build_edd_system` under the virtual backend: the
   serial-assembly baseline.
 
 Each variant runs in its own child so ``ru_maxrss`` — a high-water mark
-that never decreases — measures that variant alone.  Both children run
-the same interpreter, imports and solver; the only difference is the
-assembly strategy, so the RSS delta is attributable to it.  The paired
-bit-identity contract is asserted too: both variants must converge in
-exactly the same number of iterations.
+that never decreases — measures that variant alone.  Every child also
+recomputes the ground-truth residual through the **streamed
+verification operator** (:func:`repro.core.driver.streamed_verify_residual`),
+so correctness is checked without any child materializing the global
+matrix.  The paired bit-identity contract is asserted too: all variants
+must converge in exactly the same number of iterations.
 
-``REPRO_LARGE_MESH`` selects the Table 2 mesh id (default 7; CI runs a
-reduced mesh).  The peak-RSS assertion is armed for Mesh6 and larger —
-below that the saved arrays drown in interpreter-baseline noise.
+``REPRO_LARGE_MESH`` selects the mesh id — Table 2's 1..10 or the
+large tiers 11..13 (default 7; CI runs a reduced mesh).  The peak-RSS
+assertion is armed for Mesh6 and larger — below that the saved arrays
+drown in interpreter-baseline noise.
 """
 
 from __future__ import annotations
@@ -41,6 +47,11 @@ N_PARTS = 4
 #: Below Mesh6 the assembly arrays are small against the interpreter
 #: baseline and the RSS comparison stops being meaningful.
 RSS_ASSERT_MIN_MESH = 6
+#: Residual acceptance: solver tol (1e-6) times the driver's
+#: verification slack (100).
+TRUE_RESIDUAL_MAX = 1e-4
+
+MODES = ("streamed", "resident", "serial")
 
 _CHILD_SOURCE = '''\
 """Child of benchmarks/test_large_mesh_bench.py (written at test time).
@@ -51,18 +62,24 @@ importable and side-effect free.
 """
 
 import json
+import os
 import resource
 import sys
+import time
 
 
 def run(mode, mesh_id, n_parts):
+    from repro.core.driver import streamed_verify_residual
     from repro.core.edd import edd_fgmres
     from repro.core.options import SolverOptions
     from repro.partition.element_partition import ElementPartition
 
     options = SolverOptions(precond="gls(7)")
     pool_processes = 0
-    if mode == "streamed":
+    if mode in ("streamed", "resident"):
+        os.environ["REPRO_PROCESS_RESIDENT"] = (
+            "1" if mode == "resident" else "0"
+        )
         from repro.core.distributed import build_edd_system_streamed
         from repro.fem.cantilever import cantilever_inputs
         from repro.parallel.process_comm import (
@@ -76,12 +93,15 @@ def run(mode, mesh_id, n_parts):
             mesh, material, bc, part, f_full, comm_backend="process"
         )
         try:
+            t0 = time.perf_counter()
             result = edd_fgmres(system, options=options)
+            wall = time.perf_counter() - t0
             pool_processes = pool_process_count()
         finally:
             system.comm.close()
             shutdown_pool(force=True)
         n_eqn = bc.n_free
+        b_free = f_full[bc.free]
     elif mode == "serial":
         from repro.core.distributed import build_edd_system
         from repro.fem.cantilever import cantilever_problem
@@ -93,16 +113,27 @@ def run(mode, mesh_id, n_parts):
             prob.mesh, prob.material, prob.bc, part, f_full,
             comm_backend="virtual",
         )
+        t0 = time.perf_counter()
         result = edd_fgmres(system, options=options)
+        wall = time.perf_counter() - t0
+        mesh, bc, material = prob.mesh, prob.bc, prob.material
         n_eqn = prob.bc.n_free
+        b_free = prob.load
     else:
         raise ValueError(f"unknown mode {mode!r}")
+    # Ground truth through the streamed operator: no global matrix in
+    # any child, ever.
+    true_residual = streamed_verify_residual(
+        mesh, material, bc, b_free, options, result
+    )
     return {
         "mode": mode,
         "n_eqn": int(n_eqn),
         "iterations": int(result.iterations),
         "converged": bool(result.converged),
         "pool_processes": int(pool_processes),
+        "wall_time": float(wall),
+        "true_residual": float(true_residual),
         "peak_rss_kb": int(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         ),
@@ -127,6 +158,9 @@ def _run_child(script: Path, mode: str) -> dict:
     # problem size — the point is to exercise the real process path.
     env["REPRO_PROCESS_MIN_WORK"] = "0"
     env["REPRO_PROCESS_WORKERS"] = "2"
+    # Large tiers need the fastest kernels available; backends are
+    # bit-identical so this changes wall time only.
+    env.setdefault("REPRO_KERNEL_BACKEND", "scipy")
     proc = subprocess.run(
         [sys.executable, str(script), mode, str(MESH_ID), str(N_PARTS)],
         capture_output=True, text=True, timeout=540, env=env,
@@ -142,7 +176,7 @@ def validate_schema(report: dict) -> None:
     for key in ("suite", "mesh", "n_parts", "cpu_count", "runs", "rss_ratio"):
         assert key in report, f"missing key {key!r}"
     assert report["suite"] == "large-mesh"
-    assert len(report["runs"]) == 2
+    assert len(report["runs"]) == len(MODES)
     for run in report["runs"]:
         for key in (
             "mode",
@@ -150,39 +184,44 @@ def validate_schema(report: dict) -> None:
             "iterations",
             "converged",
             "pool_processes",
+            "wall_time",
+            "true_residual",
             "peak_rss_kb",
         ):
             assert key in run, f"run missing key {key!r}"
-        assert run["mode"] in ("streamed", "serial")
+        assert run["mode"] in MODES
         assert run["converged"] is True
         assert run["peak_rss_kb"] > 0
-    streamed, serial = (
-        next(r for r in report["runs"] if r["mode"] == m)
-        for m in ("streamed", "serial")
-    )
-    # Bit-identity contract: assembly strategy and comm backend must not
-    # change a single iterate.
-    assert streamed["iterations"] == serial["iterations"]
-    # The streamed child really dispatched through the worker pool.
-    assert streamed["pool_processes"] >= 1
+        assert run["wall_time"] > 0.0
+        assert run["true_residual"] <= TRUE_RESIDUAL_MAX
+    by_mode = {r["mode"]: r for r in report["runs"]}
+    assert set(by_mode) == set(MODES)
+    # Bit-identity contract: assembly strategy, comm backend and rank-op
+    # engine must not change a single iterate.
+    iters = {r["iterations"] for r in report["runs"]}
+    assert len(iters) == 1, f"iteration counts diverge: {by_mode}"
+    # The pool-backed children really dispatched through worker processes.
+    assert by_mode["streamed"]["pool_processes"] >= 1
+    assert by_mode["resident"]["pool_processes"] >= 1
     assert report["rss_ratio"] > 0.0
 
 
 def test_bench_large_mesh_json(tmp_path):
-    """Solve Mesh``REPRO_LARGE_MESH`` streamed-vs-serial in isolated
-    children, write BENCH_large_mesh.json and assert the streamed peak
-    RSS stays below the serial-assembly baseline (Mesh6+)."""
+    """Solve Mesh``REPRO_LARGE_MESH`` streamed / resident / serial in
+    isolated children, write BENCH_large_mesh.json and assert the
+    streamed peak RSS stays below the serial-assembly baseline (Mesh6+)."""
     script = tmp_path / "large_mesh_child.py"
     script.write_text(_CHILD_SOURCE)
-    streamed = _run_child(script, "streamed")
-    serial = _run_child(script, "serial")
+    runs = [_run_child(script, mode) for mode in MODES]
+    by_mode = {r["mode"]: r for r in runs}
+    streamed, serial = by_mode["streamed"], by_mode["serial"]
 
     report = {
         "suite": "large-mesh",
         "mesh": MESH_ID,
         "n_parts": N_PARTS,
         "cpu_count": os.cpu_count() or 1,
-        "runs": [streamed, serial],
+        "runs": runs,
         "rss_ratio": streamed["peak_rss_kb"] / serial["peak_rss_kb"],
     }
     validate_schema(report)
@@ -193,11 +232,12 @@ def test_bench_large_mesh_json(tmp_path):
         f"\nlarge-mesh bench (mesh {MESH_ID}, {streamed['n_eqn']} eqn, "
         f"P={N_PARTS}):"
     )
-    for run in (streamed, serial):
+    for run in runs:
         print(
             f"  {run['mode']:>8}: peak RSS {run['peak_rss_kb'] / 1024:.1f} "
-            f"MiB ({run['iterations']} it, "
-            f"{run['pool_processes']} pool procs)"
+            f"MiB, {run['wall_time']:.2f} s ({run['iterations']} it, "
+            f"{run['pool_processes']} pool procs, "
+            f"true res {run['true_residual']:.2e})"
         )
     if MESH_ID >= RSS_ASSERT_MIN_MESH:
         assert streamed["peak_rss_kb"] < serial["peak_rss_kb"], (

@@ -356,26 +356,39 @@ class EDDSystem:
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def matvec_local(self, v: DistVector) -> DistVector:
+    def rank_engine(self):
+        """The rank-operation engine executing this system's per-rank
+        compute: inline (virtual/thread/chaos, and small process systems)
+        or resident in the worker-process pool.  The mode gate is
+        re-evaluated on every call — a cheap env read — so tests can flip
+        ``REPRO_PROCESS_RESIDENT`` between solves; the engine instance is
+        cached per mode so resident state ships once per system."""
+        from repro.parallel import resident
+
+        mode = resident.engine_mode(self.comm, 2 * self.nnz_total)
+        cached = self.__dict__.get("_engine")
+        if cached is not None and cached[0] == mode:
+            return cached[1]
+        engine = (
+            resident.ResidentEDDEngine(self)
+            if mode == "resident"
+            else resident.InlineEDDEngine(self)
+        )
+        self.__dict__["_engine"] = (mode, engine)
+        return engine
+
+    def matvec_local(self, v: DistVector, cache=None) -> DistVector:
         """:math:`\\tilde y^{(s)} = \\hat A^{(s)} \\hat x^{(s)}` (Eq. 37):
         global-distributed in, local-distributed out, zero communication.
-        The P subdomain matvecs are independent rank bodies — this is the
-        solve's dominant work and the region the thread backend overlaps
-        across cores."""
+        The P subdomain matvecs are independent rank bodies — the solve's
+        dominant work, overlapped across cores by the thread backend and
+        executed worker-resident under the process backend.  ``cache``
+        labels an Arnoldi-step matvec so a resident engine retains the
+        input (slot ``z[cache]``) and output for later basis operations;
+        inline engines ignore it."""
         if v.kind != "global":
             raise ValueError("matvec needs a global-distributed input")
-        comm = self.comm
-        a_local = self.a_local
-        x_parts = v.parts
-        parts = [None] * len(a_local)
-
-        def body(r: int) -> None:
-            a = a_local[r]
-            parts[r] = a.matvec(x_parts[r])
-            comm.add_flops(r, 2 * a.nnz)
-
-        comm.run_ranks(body, work=2 * self.nnz_total)
-        return DistVector(parts, "local", comm)
+        return self.rank_engine().matvec_local(v, cache)
 
     def matvec_assembled(self, v: DistVector) -> DistVector:
         """Matvec followed by interface assembly: global in, global out.
@@ -458,19 +471,7 @@ class EDDSystem:
         global-distributed in, local-distributed out, zero communication."""
         if v.kind != "global":
             raise ValueError("matvec needs a global-distributed input")
-        comm = self.comm
-        a_local = self.a_local
-        x_parts = v.parts
-        k = v.k
-        parts = [None] * len(a_local)
-
-        def body(r: int) -> None:
-            a = a_local[r]
-            parts[r] = a.matmat(x_parts[r])
-            comm.add_flops(r, 2 * a.nnz * k)
-
-        comm.run_ranks(body, work=2 * self.nnz_total * k)
-        return DistBlock(parts, "local", comm)
+        return self.rank_engine().matvec_local_block(v)
 
     def matvec_assembled_block(self, v: DistBlock) -> DistBlock:
         """Batched matvec followed by batched interface assembly — the

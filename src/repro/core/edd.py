@@ -144,6 +144,8 @@ def edd_fgmres(
 
     b_loc = DistVector([p.copy() for p in system.b_local], "local", system.comm)
     x_hat = system.zeros("global")
+    engine = system.rank_engine()
+    cgs = orthogonalization == "cgs"
 
     # Initial residual; x0 = 0 so r = b (kept general for restarts below).
     r_loc = b_loc - system.matvec_local(x_hat)
@@ -179,6 +181,8 @@ def edd_fgmres(
             trc.begin("cycle", "solver", cycle=restarts)
         v_loc = [(1.0 / beta) * r_loc]
         v_hat = [(1.0 / beta) * r_hat]
+        if cgs:
+            engine.seed_basis(v_loc[0], v_hat[0])
         z_hat: list = []
         lsq = GivensLSQ(restart, beta)
         broke_down = False
@@ -198,7 +202,7 @@ def edd_fgmres(
             z_hat.append(z)
             if traced:
                 trc.begin("matvec", "solver")
-            w_loc = system.matvec_local(z)
+            w_loc = system.matvec_local(z, cache=j)
             if traced:
                 trc.end()
             w_hat = system.assemble(w_loc)  # the enhanced variant's only exchange
@@ -206,44 +210,19 @@ def edd_fgmres(
             h = np.empty(j + 2)
             if traced:
                 trc.begin("orthogonalize", "solver")
-            if orthogonalization == "cgs":
+            if cgs:
                 # Classical Gram-Schmidt (the paper's listings): all
                 # coefficients from the unmodified w via the mixed-format
                 # inner product, batched into ONE allreduce of j+1 words
-                # (Eq. 33).  Both rank loops — the j+1 partial dots and
-                # the j+1 AXPY pairs — are fused into single per-rank
-                # bodies so the backend dispatches each region once per
-                # step instead of once per basis vector.
+                # (Eq. 33).  Both rank regions — the j+1 partial dots and
+                # the j+1 AXPY pairs — are fused named rank ops the
+                # engine runs inline or against worker-resident basis
+                # copies, one dispatch per region per step.
                 comm = system.comm
                 partial = partial_buf[: j + 1]
-                n_local = sum(len(p) for p in w_hat.parts)
-
-                def dots_body(r: int) -> None:
-                    wr = w_hat.parts[r]
-                    for i in range(j + 1):
-                        partial[i, r] = v_loc[i].parts[r] @ wr
-                    comm.add_flops(r, 2 * (j + 1) * len(wr))
-
-                comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
+                engine.dot_fused(j, v_loc, w_hat, partial)
                 h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
-
-                new_loc: list = [None] * system.n_parts
-                new_hat: list = [None] * system.n_parts
-
-                def ortho_body(r: int) -> None:
-                    wl = w_loc.parts[r]
-                    wh = w_hat.parts[r]
-                    for i in range(j + 1):
-                        hi = h[i]
-                        wl = wl - hi * v_loc[i].parts[r]
-                        wh = wh - hi * v_hat[i].parts[r]
-                    new_loc[r] = wl
-                    new_hat[r] = wh
-                    comm.add_flops(r, 4 * (j + 1) * len(wl))
-
-                comm.run_ranks(ortho_body, work=4 * (j + 1) * n_local)
-                w_loc = DistVector(new_loc, "local", comm)
-                w_hat = DistVector(new_hat, "global", comm)
+                w_loc, w_hat = engine.ortho(j, h, v_loc, v_hat, w_loc, w_hat)
             else:
                 # Modified Gram-Schmidt: numerically sturdier, but each
                 # projection needs the *updated* w — j+1 sequential
@@ -305,12 +284,18 @@ def edd_fgmres(
                 break
             v_loc.append((1.0 / h[j + 1]) * w_loc)
             v_hat.append((1.0 / h[j + 1]) * w_hat)
+            if cgs:
+                # Workers mirror the append from their post-ortho slots;
+                # the basic variant overrides the hat part with the
+                # re-assembled vector computed above.
+                engine.commit_basis(
+                    1.0 / h[j + 1], hat_parts=w_hat.parts if basic else None
+                )
             j += 1
             if traced:
                 trc.end()  # arnoldi_step
         y = lsq.solve()
-        for i, yi in enumerate(y):
-            x_hat = x_hat + float(yi) * z_hat[i]
+        x_hat = engine.axpy_update(x_hat, y, z_hat)
         r_loc = b_loc - system.matvec_local(x_hat)
         r_hat = system.assemble(r_loc)
         beta = np.sqrt(max(system.dot(r_loc, r_hat), 0.0))

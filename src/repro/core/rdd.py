@@ -80,27 +80,34 @@ class RDDSystem:
     def n_parts(self) -> int:
         return len(self.own)
 
-    def matvec(self, x_parts: list) -> list:
+    def rank_engine(self):
+        """The rank-operation engine executing this system's per-rank
+        compute (inline everywhere except process-resident mode); the
+        mode gate re-evaluates per call, the instance caches per mode."""
+        from repro.parallel import resident
+
+        mode = resident.engine_mode(self.comm, 2 * self.nnz_total)
+        cached = self.__dict__.get("_engine")
+        if cached is not None and cached[0] == mode:
+            return cached[1]
+        engine = (
+            resident.ResidentRDDEngine(self)
+            if mode == "resident"
+            else resident.InlineRDDEngine(self)
+        )
+        self.__dict__["_engine"] = (mode, engine)
+        return engine
+
+    def matvec(self, x_parts: list, cache=None) -> list:
         """Eq. 48: halo exchange then
-        ``y = K_loc x_loc + K_ext x_ext`` per rank.  The per-rank block
-        products are independent bodies dispatched through
-        :meth:`Comm.run_ranks` — the region the thread backend overlaps
-        across cores."""
-        comm = self.comm
-        ext_vals = comm.halo_exchange(x_parts, self.plan)
-        a_loc, a_ext = self.a_loc, self.a_ext
-        out = [None] * self.n_parts
-
-        def body(r: int) -> None:
-            y = a_loc[r].matvec(x_parts[r])
-            comm.add_flops(r, 2 * a_loc[r].nnz)
-            if a_ext[r].shape[1]:
-                y = y + a_ext[r].matvec(ext_vals[r])
-                comm.add_flops(r, 2 * a_ext[r].nnz + len(y))
-            out[r] = y
-
-        comm.run_ranks(body, work=2 * self.nnz_total)
-        return out
+        ``y = K_loc x_loc + K_ext x_ext`` per rank.  The halo exchange is
+        a collective and always runs through the comm; the per-rank block
+        products are independent bodies the engine runs inline (thread
+        backend overlaps them across cores) or worker-resident.
+        ``cache`` labels an Arnoldi-step matvec for resident slot reuse;
+        inline engines ignore it."""
+        ext_vals = self.comm.halo_exchange(x_parts, self.plan)
+        return self.rank_engine().matvec(x_parts, ext_vals, cache)
 
     @property
     def nnz_total(self) -> int:
@@ -118,22 +125,8 @@ class RDDSystem:
         """Batched Eq. 48 over ``(n_own, k)`` blocks: ONE coalesced halo
         exchange for all ``k`` columns, then per-rank SpMMs.  Column ``c``
         is bit-identical to :meth:`matvec` of column ``c``."""
-        comm = self.comm
-        ext_vals = comm.halo_exchange_block(x_parts, self.plan)
-        a_loc, a_ext = self.a_loc, self.a_ext
-        k = x_parts[0].shape[1]
-        out = [None] * self.n_parts
-
-        def body(r: int) -> None:
-            y = a_loc[r].matmat(x_parts[r])
-            comm.add_flops(r, 2 * a_loc[r].nnz * k)
-            if a_ext[r].shape[1]:
-                y = y + a_ext[r].matmat(ext_vals[r])
-                comm.add_flops(r, 2 * a_ext[r].nnz * k + y.size)
-            out[r] = y
-
-        comm.run_ranks(body, work=2 * self.nnz_total * k)
-        return out
+        ext_vals = self.comm.halo_exchange_block(x_parts, self.plan)
+        return self.rank_engine().matvec_block(x_parts, ext_vals)
 
     def rhs_block(self, b: np.ndarray) -> list:
         """Scaled row-partitioned RHS block from an ``(n_free, k)`` array
@@ -532,6 +525,7 @@ def rdd_fgmres(
     if restart < 1:
         raise ValueError("restart must be >= 1")
     comm = system.comm
+    engine = system.rank_engine()
     p = system.n_parts
     x = [np.zeros(len(o)) for o in system.own]
     b = [bb.copy() for bb in system.b]
@@ -565,6 +559,7 @@ def rdd_fgmres(
         if traced:
             trc.begin("cycle", "solver", cycle=restarts)
         v = [_scale_parts(comm, 1.0 / beta, r)]
+        engine.seed_basis(v[0])
         z_store: list = []
         lsq = GivensLSQ(restart, beta)
         broke_down = False
@@ -579,37 +574,21 @@ def rdd_fgmres(
             z_store.append(z)
             if traced:
                 trc.begin("matvec", "solver")
-            w = system.matvec(z)
+            w = system.matvec(z, cache=j)
             if traced:
                 trc.end()
             h = np.empty(j + 2)
             if traced:
                 trc.begin("orthogonalize", "solver")
             partial = np.zeros((j + 1, p))
-            n_local = sum(len(wr) for wr in w)
 
-            # Fused per-rank CGS bodies (one dispatch per region instead
-            # of one per basis vector), mirroring edd_fgmres.
-            def dots_body(r: int) -> None:
-                wr = w[r]
-                for i in range(j + 1):
-                    partial[i, r] = v[i][r] @ wr
-                comm.add_flops(r, 2 * (j + 1) * len(wr))
-
-            comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
+            # Fused CGS rank ops (one dispatch per region instead of one
+            # per basis vector), mirroring edd_fgmres; the engine runs
+            # them inline or against worker-resident basis copies.
+            engine.dot_fused(j, v, w, partial)
             h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
 
-            new_w: list = [None] * p
-
-            def ortho_body(r: int) -> None:
-                wr = w[r]
-                for i in range(j + 1):
-                    wr = wr - h[i] * v[i][r]
-                new_w[r] = wr
-                comm.add_flops(r, 2 * (j + 1) * len(wr))
-
-            comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
-            w = new_w
+            w = engine.ortho(j, h, v, w)
             h[j + 1] = np.sqrt(max(system.dot(w, w), 0.0))
             if traced:
                 trc.end()  # orthogonalize
@@ -655,12 +634,12 @@ def rdd_fgmres(
                     trc.end()
                 break
             v.append(_scale_parts(comm, 1.0 / h[j + 1], w))
+            engine.commit_basis(1.0 / h[j + 1])
             j += 1
             if traced:
                 trc.end()  # arnoldi_step
         y = lsq.solve()
-        for i, yi in enumerate(y):
-            x = _axpy_parts(comm, x, float(yi), z_store[i])
+        x = engine.axpy_update(x, y, z_store)
         ax = system.matvec(x)
         r = _axpy_parts(comm, b, -1.0, ax)
         beta = np.sqrt(system.dot(r, r))

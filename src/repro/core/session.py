@@ -344,6 +344,16 @@ class PreparedSystem:
                     if traced:
                         trc.end()
                     pc_name = pc.name
+                engine = system.rank_engine()
+                if engine.resident:
+                    # Ship the per-rank CSR blocks to the worker pool now
+                    # so the first solve pays no one-time transfer inside
+                    # its timed region.
+                    if traced:
+                        trc.begin("resident_ship", "phase")
+                    engine.ensure_shipped()
+                    if traced:
+                        trc.end()
             finally:
                 if traced:
                     trc.end()  # setup

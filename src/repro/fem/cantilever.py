@@ -36,6 +36,18 @@ PAPER_MESHES = {
     10: (200, 100, 20301, 40400, "left"),
 }
 
+#: Beyond-Table-2 tiers for large-mesh scaling runs: same ``(nXele,
+#: nYele, nNode, nEqn, clamped edge)`` tuple shape, ids continuing the
+#: paper's numbering.  Mesh11/12 land in the 10^5-equation decade and
+#: Mesh13 crosses 10^6; pair them with ``cantilever_inputs`` + the
+#: streamed builders — the assembled constructors would materialize the
+#: global CSR these tiers exist to avoid.
+LARGE_MESHES = {
+    11: (320, 160, 51681, 103040, "left"),
+    12: (500, 250, 125751, 251000, "left"),
+    13: (1000, 500, 501501, 1002000, "left"),
+}
+
 
 @dataclass
 class CantileverProblem:
@@ -72,14 +84,21 @@ class CantileverProblem:
 
 
 def paper_mesh(k: int):
-    """Mesh and clamp edge for paper mesh ``k`` in 1..10.
+    """Mesh and clamp edge for mesh id ``k`` — the paper's 1..10 or the
+    large-mesh tiers 11..13.
 
     Returns ``(mesh, edge)``; the geometry keeps unit-square elements so
     every element is congruent and assembly caches a single Q4 matrix.
     """
-    if k not in PAPER_MESHES:
-        raise ValueError(f"paper defines Mesh1..Mesh10, got {k}")
-    nx, ny, _, _, edge = PAPER_MESHES[k]
+    if k in PAPER_MESHES:
+        nx, ny, _, _, edge = PAPER_MESHES[k]
+    elif k in LARGE_MESHES:
+        nx, ny, _, _, edge = LARGE_MESHES[k]
+    else:
+        raise ValueError(
+            f"paper defines Mesh1..Mesh10 (large tiers: Mesh11..Mesh13), "
+            f"got {k}"
+        )
     mesh = structured_quad_mesh(nx, ny, lx=float(nx), ly=float(ny))
     return mesh, edge
 

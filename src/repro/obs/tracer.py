@@ -46,6 +46,8 @@ solver     givens_update      least-squares/Givens column update
 exchange   interface_assemble nearest-neighbour interface assembly
 exchange   halo_exchange      RDD halo exchange
 reduction  allreduce_sum      tree allreduce (never counts for claim 3)
+comm       rank_op            one resident rank-op dispatch to the
+                              process pool (args carry the op name)
 ========== ================== ==========================================
 
 Spans are stored in *begin* order as plain dicts with a ``parent``
@@ -94,6 +96,9 @@ class NullTracer:
     def add_rank_time(self, rank, seconds):
         """No-op."""
 
+    def add_worker_time(self, worker, seconds):
+        """No-op."""
+
 
 #: Shared singleton — comm objects and solvers default to this.
 NULL_TRACER = NullTracer()
@@ -115,6 +120,7 @@ class Tracer:
         self.spans = []
         self.metrics = []
         self.rank_seconds = []
+        self.worker_seconds = []
         self.meta = dict(meta or {})
 
     # -- spans ---------------------------------------------------------
@@ -167,6 +173,15 @@ class Tracer:
         self.ensure_ranks(rank + 1)
         self.rank_seconds[rank] += seconds
 
+    def add_worker_time(self, worker, seconds):
+        """Accumulate busy seconds of a pool worker *process* (resident
+        rank ops only; inline rank bodies never touch this)."""
+        if len(self.worker_seconds) < worker + 1:
+            self.worker_seconds.extend(
+                0.0 for _ in range(worker + 1 - len(self.worker_seconds))
+            )
+        self.worker_seconds[worker] += seconds
+
     # -- export --------------------------------------------------------
     def to_dict(self):
         """The canonical ``repro-trace/1`` document."""
@@ -176,6 +191,7 @@ class Tracer:
             "spans": [dict(s, args=dict(s["args"])) for s in self.spans],
             "metrics": [dict(m) for m in self.metrics],
             "rank_seconds": list(self.rank_seconds),
+            "worker_seconds": list(self.worker_seconds),
         }
 
     def to_chrome_trace(self):
@@ -257,6 +273,17 @@ def chrome_trace_from_dict(trace):
             "pid": 2,
             "tid": rank,
             "args": {"rank": rank, "seconds": seconds},
+        })
+    for worker, seconds in enumerate(trace.get("worker_seconds", [])):
+        events.append({
+            "name": f"worker{worker} busy",
+            "cat": "worker",
+            "ph": "X",
+            "ts": 0.0,
+            "dur": seconds * 1e6,
+            "pid": 3,
+            "tid": worker,
+            "args": {"worker": worker, "seconds": seconds},
         })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 

@@ -1,10 +1,12 @@
 """Spawn entry point for :class:`~repro.parallel.process_comm.ProcessComm`
 worker processes.
 
-This module is deliberately light — numpy plus stdlib only — so a spawned
-child never imports the solver stack.  The orchestrator sends small
-pickled command tuples over a per-worker pipe; bulk payloads travel
-through a per-communicator ``multiprocessing.shared_memory`` arena.
+This module is deliberately light — numpy plus stdlib at import time, so
+a spawned child never pays for the solver stack up front; the sparse CSR
+layer is imported lazily on the first ``resident`` command.  The
+orchestrator sends small pickled command tuples over a per-worker pipe;
+bulk payloads travel through a per-communicator
+``multiprocessing.shared_memory`` arena.
 
 Protocol
 --------
@@ -173,6 +175,183 @@ def _do_plan(state, cmd):  # pragma: no cover
     return []
 
 
+def _do_resident(state, cmd, w, n_workers):  # pragma: no cover
+    """Install one rank's resident solver state from the arena.
+
+    The command's ``meta`` describes typed fields laid out in the arena;
+    8-byte integer arrays crossed the float64 arena as raw bytes and are
+    re-viewed here.  Only the owning worker (rank striding) keeps the
+    state; a new generation id drops every older generation first.
+    Imports of the sparse layer are lazy so spawned children stay light
+    until a resident system actually arrives.
+    """
+    _op, seq, _cid, arena, total_words, meta = cmd
+    res = state.get("resident")
+    if res is None or res.get("gen") != meta["gen"]:
+        res = {"gen": meta["gen"], "ranks": {}}
+        state["resident"] = res
+    r = meta["rank"]
+    if r % n_workers != w:
+        return []
+    view = _arena_view(state, arena, total_words, seq)
+    arrays = {}
+    for name, dtype, shape, off in meta["fields"]:
+        n_words = 1
+        for s in shape:
+            n_words *= s
+        raw = np.array(view[off:off + n_words])
+        arr = raw.view(np.int64) if dtype == "int64" else raw
+        arrays[name] = arr.reshape(shape)
+    from repro.sparse.csr import CSRMatrix
+
+    entry = {"z": {}, "wl": None, "wh": None, "bl": [], "bh": []}
+    if meta["kind"] == "edd":
+        entry["a"] = CSRMatrix(
+            meta["shape"], arrays["indptr"], arrays["indices"], arrays["data"]
+        )
+    else:
+        entry["a_loc"] = CSRMatrix(
+            meta["loc_shape"],
+            arrays["loc_indptr"],
+            arrays["loc_indices"],
+            arrays["loc_data"],
+        )
+        entry["a_ext"] = CSRMatrix(
+            meta["ext_shape"],
+            arrays["ext_indptr"],
+            arrays["ext_indices"],
+            arrays["ext_data"],
+        )
+    res["ranks"][r] = entry
+    return []
+
+
+def _do_rank_op(state, cmd, w, n_workers):  # pragma: no cover
+    """Execute one named rank operation against resident state.
+
+    Every arithmetic expression below mirrors the orchestrator's inline
+    engine token for token (same numpy calls, same association order), so
+    the floats written back are bit-identical to inline execution.
+    """
+    _op, seq, _cid, arena, total_words, p = cmd
+    name = p["name"]
+    if name == "stall":
+        # Test-only fault: a worker that hangs mid-rank-op.
+        time.sleep(float(p["seconds"]))
+        return []
+    res = state.get("resident")
+    if res is None or res.get("gen") != p["gen"]:
+        raise RuntimeError(
+            f"resident generation {p.get('gen')!r} is not shipped to "
+            f"worker {w} (respawned pool?); the orchestrator must re-ship"
+        )
+    from repro.sparse import kernels
+
+    kernels.set_backend(p["backend"])
+    view = _arena_view(state, arena, total_words, seq)
+    offsets = p["offsets"]
+    sizes = p["sizes"]
+    times = []
+    for r in _owned(w, n_workers, len(sizes)):
+        t0 = time.perf_counter()
+        e = res["ranks"][r]
+        off = offsets[r]
+        n = sizes[r]
+        if name == "mv":
+            x = np.array(view[off:off + n])
+            y = e["a"].matvec(x)
+            if p["cache"] is not None:
+                e["z"][p["cache"]] = x
+                e["wl"] = y
+            view[p["out"] + off:p["out"] + off + n] = y
+        elif name == "mvb":
+            k = p["k"]
+            x = np.array(view[off * k:(off + n) * k]).reshape(n, k)
+            y = e["a"].matmat(x)
+            view[p["out"] + off * k:p["out"] + (off + n) * k] = y.ravel()
+        elif name == "mv_rdd":
+            eoff = p["ext_offsets"][r]
+            en = p["ext_sizes"][r]
+            x = np.array(view[off:off + n])
+            y = e["a_loc"].matvec(x)
+            if e["a_ext"].shape[1]:
+                ext = np.array(view[p["ext"] + eoff:p["ext"] + eoff + en])
+                y = y + e["a_ext"].matvec(ext)
+            if p["cache"] is not None:
+                e["z"][p["cache"]] = x
+            view[p["out"] + off:p["out"] + off + n] = y
+        elif name == "mvb_rdd":
+            k = p["k"]
+            eoff = p["ext_offsets"][r]
+            en = p["ext_sizes"][r]
+            x = np.array(view[off * k:(off + n) * k]).reshape(n, k)
+            y = e["a_loc"].matmat(x)
+            if e["a_ext"].shape[1]:
+                ext = np.array(
+                    view[p["ext"] + eoff * k:p["ext"] + (eoff + en) * k]
+                ).reshape(en, k)
+                y = y + e["a_ext"].matmat(ext)
+            view[p["out"] + off * k:p["out"] + (off + n) * k] = y.ravel()
+        elif name == "seed":
+            e["z"] = {}
+            e["wl"] = None
+            e["wh"] = None
+            e["bl"] = [np.array(view[off:off + n])]
+            if p["two"]:
+                e["bh"] = [np.array(view[p["hat"] + off:p["hat"] + off + n])]
+            else:
+                e["bh"] = []
+        elif name == "dots":
+            j = p["j"]
+            wvec = np.array(view[off:off + n])
+            e["wh"] = wvec
+            bl = e["bl"]
+            out = np.empty(j + 1)
+            for i in range(j + 1):
+                out[i] = bl[i] @ wvec
+            o = p["out"] + r * (j + 1)
+            view[o:o + j + 1] = out
+        elif name == "ortho":
+            j = p["j"]
+            h = p["h"]
+            wh = e["wh"]
+            if p["two"]:
+                wl = e["wl"]
+                bl, bh = e["bl"], e["bh"]
+                for i in range(j + 1):
+                    hi = h[i]
+                    wl = wl - hi * bl[i]
+                    wh = wh - hi * bh[i]
+                e["wl"] = wl
+                e["wh"] = wh
+                view[off:off + n] = wl
+                view[p["hat"] + off:p["hat"] + off + n] = wh
+            else:
+                bl = e["bl"]
+                for i in range(j + 1):
+                    wh = wh - h[i] * bl[i]
+                e["wh"] = wh
+                view[off:off + n] = wh
+        elif name == "commit":
+            inv_h = p["inv_h"]
+            if p["two"]:
+                e["bl"].append(inv_h * e["wl"])
+                hat = np.array(view[off:off + n]) if p["override"] else e["wh"]
+                e["bh"].append(inv_h * hat)
+            else:
+                e["bl"].append(inv_h * e["wh"])
+        elif name == "axpy":
+            x = np.array(view[off:off + n])
+            z = e["z"]
+            for i, yi in enumerate(p["y"]):
+                x = x + yi * z[i]
+            view[p["out"] + off:p["out"] + off + n] = x
+        else:
+            raise ValueError(f"unknown rank op {name!r}")
+        times.append((r, time.perf_counter() - t0))
+    return times
+
+
 def _release(state):  # pragma: no cover
     shm = state.get("shm")
     if shm is not None:
@@ -218,6 +397,10 @@ def worker_main(w: int, n_workers: int, conn) -> None:  # pragma: no cover
                         result = _do_halo(state, cmd, w, n_workers)
                     elif op == "reduce":
                         result = _do_reduce(state, cmd, w, n_workers)
+                    elif op == "resident":
+                        result = _do_resident(state, cmd, w, n_workers)
+                    elif op == "rankop":
+                        result = _do_rank_op(state, cmd, w, n_workers)
                     elif op == "release":
                         _release(state)
                         comms.pop(cmd[2], None)

@@ -8,11 +8,19 @@ hard constraint: the per-rank closures solvers hand to ``run_ranks`` close
 over rank-local numpy/CSR state and cannot cross a process boundary, so
 
 * ``run_ranks`` bodies execute inline in the orchestrator (exactly like
-  :class:`~repro.parallel.comm.VirtualComm` — same order, same bits), and
+  :class:`~repro.parallel.comm.VirtualComm` — same order, same bits),
 * the backend-overridable data-movement hooks (``_gather_back``,
   ``_halo_fill``, ``_tree_reduce``) fan out to the workers through
   ``multiprocessing.shared_memory`` arenas: pure permutation copies and
-  the fixed binary-tree reduction, zero-copy on the payload path.
+  the fixed binary-tree reduction, zero-copy on the payload path, and
+* *resident rank execution* (:mod:`repro.parallel.resident`) escapes the
+  closure constraint for the solver hot loops: :meth:`resident_ship`
+  streams each rank's CSR blocks to its owning worker once (keyed by a
+  generation id, invalidated on pool respawn) and :meth:`run_rank_op`
+  dispatches named operations — matvec, fused dots, orthogonalization,
+  axpy batches — as small command descriptors that workers execute
+  against the resident state, so only vectors cross process boundaries
+  while all charging stays with the orchestrator.
 
 Because the hooks move bytes but never change an arithmetic association,
 and all charging/tracing stays in the shared base-class collectives,
@@ -172,8 +180,15 @@ class _ProcessPool:
                 "acquired a fresh pool"
             )
         op, seq = cmd[0], cmd[1]
-        for conn in self._conns:
-            conn.send(cmd)
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send(cmd)
+            except (BrokenPipeError, OSError):
+                # A worker that died since the last dispatch breaks the
+                # pipe on send; surface it as the same named error the
+                # receive path raises instead of a raw BrokenPipeError.
+                self.broken = True
+                raise WorkerCrashedError(w, self._procs[w].exitcode, op)
         deadline = time.monotonic() + timeout
         payloads = []
         errors = []
@@ -366,6 +381,9 @@ class ProcessComm(Comm):
         #: plan id -> (token, pinned plan, xsizes, ext_sizes); pinning the
         #: dict keeps ``id(plan)`` from being recycled under us.
         self._plans: dict = {}
+        #: resident-state generation ids the current pool has received;
+        #: cleared on pool respawn so engines re-ship transparently.
+        self._resident_sent: set = set()
         _live_comms.add(self)
 
     # ------------------------------------------------------------------
@@ -407,6 +425,7 @@ class ProcessComm(Comm):
             # Fresh (or respawned) pool: worker-side state is gone.
             self._pool = pool
             self._registered = False
+            self._resident_sent.clear()
             for entry in self._plans.values():
                 entry["sent"] = False
         return pool
@@ -466,9 +485,13 @@ class ProcessComm(Comm):
     def _charge_times(self, payloads: list) -> None:
         if not self.tracer.enabled:
             return
+        pool = self._pool
+        n_workers = pool.n_workers if pool is not None else 1
         for times in payloads:
             for r, dt in times:
                 self.tracer.add_rank_time(int(r), float(dt))
+                # Rank striding maps rank -> owning worker process.
+                self.tracer.add_worker_time(int(r) % n_workers, float(dt))
 
     # ------------------------------------------------------------------
     # Data-movement hooks: shared-memory fan-out
@@ -610,6 +633,91 @@ class ProcessComm(Comm):
         return entry
 
     # ------------------------------------------------------------------
+    # Resident rank execution (see repro.parallel.resident)
+    # ------------------------------------------------------------------
+    def resident_ship(self, gen: int, rank_states: list) -> None:
+        """Stream per-rank resident solver state to its owning worker.
+
+        ``rank_states[r]`` is ``{"kind", "arrays", "meta"}``; each array
+        is laid into the shared-memory arena (8-byte integer arrays cross
+        as raw float64 bytes via ``.view``) and described by a typed field
+        table in the command, one dispatch per rank so the arena stays
+        bounded by a single rank's footprint.  Shipping charges no
+        CommStats: like the collective hooks it is transport, not
+        modelled communication.
+        """
+        pool = self._ensure_pool()
+        with pool.lock:
+            self._register(pool)
+            for rank, st in enumerate(rank_states):
+                arrays = list(st["arrays"].items())
+                fields = []
+                off = 0
+                for name, arr in arrays:
+                    fields.append(
+                        (name, str(arr.dtype), tuple(arr.shape), off)
+                    )
+                    off += int(arr.size)
+                total_words = max(off, 1)
+                view = self._ensure_arena(total_words)
+                for (_nm, _dt, _shape, foff), (_name, arr) in zip(
+                    fields, arrays
+                ):
+                    flat = np.ascontiguousarray(arr).reshape(-1)
+                    if flat.dtype != np.float64:
+                        flat = flat.view(np.float64)
+                    view[foff:foff + flat.size] = flat
+                meta = dict(st.get("meta", {}))
+                meta.update(
+                    gen=int(gen), rank=rank, kind=st["kind"], fields=fields
+                )
+                seq = self._stamp()
+                pool.run_cmd(
+                    (
+                        "resident", seq, self._comm_id, self._arena_name,
+                        total_words, meta,
+                    ),
+                    self.call_timeout,
+                )
+        self._resident_sent.add(int(gen))
+
+    def resident_ready(self, gen: int) -> bool:
+        """True when generation ``gen`` is resident in the current pool
+        (acquiring the pool first, so a respawn invalidates honestly)."""
+        self._ensure_pool()
+        return int(gen) in self._resident_sent
+
+    def run_rank_op(
+        self, payload: dict, writes: list, reads: list, total_words: int
+    ) -> list:
+        """Dispatch one named rank operation against resident state.
+
+        ``writes`` are ``(offset_words, array)`` inputs copied into the
+        arena before the command; ``reads`` are ``(offset_words, n_words)``
+        output segments copied back out after every worker replied.
+        Pure transport — flops charging is the calling engine's job, so
+        CommStats stay exactly equal to inline execution.
+        """
+        pool = self._ensure_pool()
+        with pool.lock:
+            self._register(pool)
+            view = self._ensure_arena(max(total_words, 1))
+            for off, arr in writes:
+                flat = np.asarray(arr).reshape(-1)
+                view[off:off + flat.size] = flat
+            seq = self._stamp()
+            payloads = pool.run_cmd(
+                (
+                    "rankop", seq, self._comm_id, self._arena_name,
+                    max(total_words, 1), payload,
+                ),
+                self.call_timeout,
+            )
+            outs = [np.array(view[off:off + n]) for off, n in reads]
+        self._charge_times(payloads)
+        return outs
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -633,6 +741,7 @@ class ProcessComm(Comm):
             self._arena_name = None
             self._arena_words = 0
         self._plans.clear()
+        self._resident_sent.clear()
         self._pool = None
 
     # Test hook: force a worker-side stall so the per-call timeout path

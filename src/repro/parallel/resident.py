@@ -1,0 +1,726 @@
+"""Rank-operation engines: inline execution vs. worker-resident execution.
+
+Every per-rank compute region of the FGMRES inner loops — subdomain
+matvecs, fused CGS partial dots, the fused orthogonalization update, the
+basis commit and the solution AXPY — is expressed as a **named rank op**
+dispatched through one of the engines below:
+
+* the *inline* engines run the original per-rank closures through
+  :meth:`Comm.run_ranks` in the orchestrator process (virtual, thread and
+  chaos backends, and process communicators below the dispatch
+  threshold);
+* the *resident* engines ship each rank's CSR blocks to its owning
+  worker process **once** (keyed by a generation id) and then dispatch
+  small command descriptors — only vectors cross the process boundary,
+  so the dominant flops run truly concurrently across cores.
+
+Bit-identity contract
+---------------------
+Worker-side arithmetic mirrors the inline bodies token for token (same
+numpy expressions, same association order), and **all flop charging stays
+orchestrator-side** using the exact inline formulas — so ``CommStats``
+of a resident solve are *exactly equal* to an inline solve, and the
+returned floats are bitwise identical.  Collectives (interface assembly,
+halo exchange, allreduce) are untouched: they always run through the
+communicator, which keeps chaos injection and message counting at the
+orchestrator.
+
+State lifecycle
+---------------
+A resident engine draws a fresh generation id per system.  Before every
+dispatch it checks :meth:`ProcessComm.resident_ready` — which acquires
+the pool first, so a respawn (crash recovery, forced shutdown) honestly
+invalidates the generation and the engine re-ships transparently.  A
+worker that receives a rank op for an unknown generation raises, which
+surfaces as the pool's named error taxonomy rather than silent garbage.
+
+Preconditioner note: polynomial preconditioners iterate
+``matvec_assembled`` / ``system.matvec``, so their matvecs lower to
+resident ``mv`` commands automatically; block-Jacobi ILU and coarse
+solves stay orchestrator-side (factor state is not shipped).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import numpy as np
+
+__all__ = [
+    "engine_mode",
+    "InlineEDDEngine",
+    "ResidentEDDEngine",
+    "InlineRDDEngine",
+    "ResidentRDDEngine",
+]
+
+#: Generation ids for resident system state; unique per engine instance
+#: so a worker can never confuse two systems' CSR blocks.
+_generations = itertools.count(1)
+
+
+def engine_mode(comm, work_hint: int) -> str:
+    """``"inline"`` or ``"resident"`` for this communicator.
+
+    Resident execution requires a live multi-rank :class:`ProcessComm`
+    (the chaos communicator extends :class:`Comm` directly and therefore
+    always runs inline, keeping fault injection deterministic at the
+    orchestrator).  ``REPRO_PROCESS_RESIDENT=0`` forces inline,
+    ``=1`` forces resident; unset defers to the communicator's dispatch
+    threshold with ``work_hint`` (one matvec's scalar-op estimate).
+    """
+    from repro.parallel.process_comm import ProcessComm
+
+    if not isinstance(comm, ProcessComm) or comm._closed or comm.size <= 1:
+        return "inline"
+    env = os.environ.get("REPRO_PROCESS_RESIDENT", "").strip()
+    if env == "0":
+        return "inline"
+    if env == "1":
+        return "resident"
+    return "resident" if comm._use_pool(int(work_hint)) else "inline"
+
+
+# ----------------------------------------------------------------------
+# EDD engines
+# ----------------------------------------------------------------------
+class InlineEDDEngine:
+    """Original per-rank closures through ``Comm.run_ranks`` (any backend)."""
+
+    resident = False
+
+    def __init__(self, system):
+        self.system = system
+
+    def ensure_shipped(self) -> None:
+        """Nothing to ship: rank state lives in the orchestrator."""
+
+    def matvec_local(self, v, cache=None):
+        """Per-rank subdomain matvec (Eq. 37); ``cache`` is ignored inline."""
+        from repro.core.distributed import DistVector
+
+        system = self.system
+        comm = system.comm
+        a_local = system.a_local
+        x_parts = v.parts
+        parts = [None] * len(a_local)
+
+        def body(r: int) -> None:
+            a = a_local[r]
+            parts[r] = a.matvec(x_parts[r])
+            comm.add_flops(r, 2 * a.nnz)
+
+        comm.run_ranks(body, work=2 * system.nnz_total)
+        return DistVector(parts, "local", comm)
+
+    def matvec_local_block(self, v):
+        """Per-rank batched subdomain SpMM over all ``k`` columns."""
+        from repro.core.distributed import DistBlock
+
+        system = self.system
+        comm = system.comm
+        a_local = system.a_local
+        x_parts = v.parts
+        k = v.k
+        parts = [None] * len(a_local)
+
+        def body(r: int) -> None:
+            a = a_local[r]
+            parts[r] = a.matmat(x_parts[r])
+            comm.add_flops(r, 2 * a.nnz * k)
+
+        comm.run_ranks(body, work=2 * system.nnz_total * k)
+        return DistBlock(parts, "local", comm)
+
+    def seed_basis(self, v_loc0, v_hat0) -> None:
+        """No worker mirror to seed."""
+
+    def dot_fused(self, j, v_loc, w_hat, partial) -> None:
+        """Fused CGS partial dots: ``partial[i, r] = <v_loc[i], w_hat>_r``."""
+        comm = self.system.comm
+        n_local = sum(len(p) for p in w_hat.parts)
+
+        def dots_body(r: int) -> None:
+            wr = w_hat.parts[r]
+            for i in range(j + 1):
+                partial[i, r] = v_loc[i].parts[r] @ wr
+            comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+        comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
+
+    def ortho(self, j, h, v_loc, v_hat, w_loc, w_hat):
+        """Fused CGS update of the ``(w_loc, w_hat)`` pair against the basis."""
+        from repro.core.distributed import DistVector
+
+        system = self.system
+        comm = system.comm
+        n_local = sum(len(p) for p in w_hat.parts)
+        new_loc: list = [None] * system.n_parts
+        new_hat: list = [None] * system.n_parts
+
+        def ortho_body(r: int) -> None:
+            wl = w_loc.parts[r]
+            wh = w_hat.parts[r]
+            for i in range(j + 1):
+                hi = h[i]
+                wl = wl - hi * v_loc[i].parts[r]
+                wh = wh - hi * v_hat[i].parts[r]
+            new_loc[r] = wl
+            new_hat[r] = wh
+            comm.add_flops(r, 4 * (j + 1) * len(wl))
+
+        comm.run_ranks(ortho_body, work=4 * (j + 1) * n_local)
+        return (
+            DistVector(new_loc, "local", comm),
+            DistVector(new_hat, "global", comm),
+        )
+
+    def commit_basis(self, inv_h, hat_parts=None) -> None:
+        """No worker mirror to append to."""
+
+    def axpy_update(self, x_hat, y, z_hat):
+        """Solution update ``x += sum_i y[i] * z_hat[i]`` via DistVector ops."""
+        for i, yi in enumerate(y):
+            x_hat = x_hat + float(yi) * z_hat[i]
+        return x_hat
+
+
+class ResidentEDDEngine:
+    """Named rank ops against worker-resident :math:`\\hat A^{(s)}` blocks.
+
+    The orchestrator keeps bitwise-identical copies of everything it
+    needs for collectives and recurrences; workers cache the Arnoldi
+    slots (``z[j]`` and the matvec output from each ``cache=j`` matvec,
+    the dot input, the post-ortho pair) so the basis ops and the final
+    AXPY transfer only what genuinely changes.
+    """
+
+    resident = True
+
+    def __init__(self, system):
+        self.system = system
+        self.gen = next(_generations)
+        self.sizes = [len(p) for p in system.d_parts]
+        offsets = [0]
+        for n in self.sizes:
+            offsets.append(offsets[-1] + n)
+        self.offsets = offsets[:-1]
+        self.n_total = offsets[-1]
+
+    # -- shipping ------------------------------------------------------
+    def ensure_shipped(self) -> None:
+        """Ship the per-rank CSR blocks unless the current pool already
+        holds this generation (a respawned pool re-ships here)."""
+        comm = self.system.comm
+        if not comm.resident_ready(self.gen):
+            self._ship()
+
+    def _ship(self) -> None:
+        system = self.system
+        rank_states = [
+            {
+                "kind": "edd",
+                "arrays": {
+                    "indptr": a.indptr,
+                    "indices": a.indices,
+                    "data": a.data,
+                },
+                "meta": {"shape": tuple(a.shape)},
+            }
+            for a in system.a_local
+        ]
+        system.comm.resident_ship(self.gen, rank_states)
+
+    def _dispatch(self, payload, writes, reads, total_words):
+        from repro.sparse.kernels import active_backend_name
+
+        self.ensure_shipped()
+        comm = self.system.comm
+        payload = dict(payload)
+        payload["gen"] = self.gen
+        payload["backend"] = active_backend_name()
+        payload["offsets"] = self.offsets
+        payload["sizes"] = self.sizes
+        trc = comm.tracer
+        if trc.enabled:
+            trc.begin("rank_op", "comm", op=payload["name"])
+            try:
+                return comm.run_rank_op(payload, writes, reads, total_words)
+            finally:
+                trc.end()
+        return comm.run_rank_op(payload, writes, reads, total_words)
+
+    def _vec_writes(self, parts, base=0):
+        return [
+            (base + off, p) for off, p in zip(self.offsets, parts)
+        ]
+
+    def _vec_reads(self, base):
+        return [
+            (base + off, n) for off, n in zip(self.offsets, self.sizes)
+        ]
+
+    # -- ops -----------------------------------------------------------
+    def matvec_local(self, v, cache=None):
+        """Worker-resident subdomain matvec; ``cache=j`` retains the
+        input slot ``z[j]`` and the output for later basis ops."""
+        from repro.core.distributed import DistVector
+
+        system = self.system
+        comm = system.comm
+        n = self.n_total
+        payload = {
+            "name": "mv",
+            "cache": None if cache is None else int(cache),
+            "out": n,
+        }
+        parts = self._dispatch(
+            payload, self._vec_writes(v.parts), self._vec_reads(n), 2 * n
+        )
+        for r, a in enumerate(system.a_local):
+            comm.add_flops(r, 2 * a.nnz)
+        return DistVector(parts, "local", comm)
+
+    def matvec_local_block(self, v):
+        """Worker-resident batched SpMM over all ``k`` columns."""
+        from repro.core.distributed import DistBlock
+
+        system = self.system
+        comm = system.comm
+        k = v.k
+        n = self.n_total
+        writes = [
+            (off * k, p) for off, p in zip(self.offsets, v.parts)
+        ]
+        reads = [
+            (n * k + off * k, sz * k)
+            for off, sz in zip(self.offsets, self.sizes)
+        ]
+        payload = {"name": "mvb", "k": k, "out": n * k}
+        outs = self._dispatch(payload, writes, reads, 2 * n * k)
+        parts = [o.reshape(sz, k) for o, sz in zip(outs, self.sizes)]
+        for r, a in enumerate(system.a_local):
+            comm.add_flops(r, 2 * a.nnz * k)
+        return DistBlock(parts, "local", comm)
+
+    def seed_basis(self, v_loc0, v_hat0) -> None:
+        """Reset the workers' basis mirror to the cycle's first vector pair."""
+        n = self.n_total
+        writes = self._vec_writes(v_loc0.parts) + self._vec_writes(
+            v_hat0.parts, base=n
+        )
+        self._dispatch(
+            {"name": "seed", "two": True, "hat": n}, writes, [], 2 * n
+        )
+
+    def dot_fused(self, j, v_loc, w_hat, partial) -> None:
+        """Fused CGS partial dots against the worker-resident basis;
+        also caches ``w_hat`` worker-side for the ortho/commit ops."""
+        comm = self.system.comm
+        n = self.n_total
+        p = len(self.sizes)
+        reads = [(n + r * (j + 1), j + 1) for r in range(p)]
+        outs = self._dispatch(
+            {"name": "dots", "j": j, "out": n},
+            self._vec_writes(w_hat.parts),
+            reads,
+            n + p * (j + 1),
+        )
+        for r in range(p):
+            partial[:, r] = outs[r]
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+
+    def ortho(self, j, h, v_loc, v_hat, w_loc, w_hat):
+        """Fused CGS update of the cached ``(w_loc, w_hat)`` pair; only
+        the ``j+1`` coefficients cross the process boundary in."""
+        from repro.core.distributed import DistVector
+
+        comm = self.system.comm
+        n = self.n_total
+        p = len(self.sizes)
+        payload = {
+            "name": "ortho",
+            "j": j,
+            "h": [float(h[i]) for i in range(j + 1)],
+            "two": True,
+            "hat": n,
+        }
+        outs = self._dispatch(
+            payload, [], self._vec_reads(0) + self._vec_reads(n), 2 * n
+        )
+        for r in range(p):
+            comm.add_flops(r, 4 * (j + 1) * self.sizes[r])
+        return (
+            DistVector(outs[:p], "local", comm),
+            DistVector(outs[p:], "global", comm),
+        )
+
+    def commit_basis(self, inv_h, hat_parts=None) -> None:
+        """Append ``inv_h`` times the post-ortho pair to the worker basis
+        mirror; ``hat_parts`` overrides the hat (the basic variant's
+        re-assembled vector).  Charges nothing: the orchestrator's
+        own basis append does the charging."""
+        override = hat_parts is not None
+        writes = self._vec_writes(hat_parts) if override else []
+        total = self.n_total if override else 1
+        self._dispatch(
+            {
+                "name": "commit",
+                "inv_h": float(inv_h),
+                "two": True,
+                "override": override,
+            },
+            writes,
+            [],
+            total,
+        )
+
+    def axpy_update(self, x_hat, y, z_hat):
+        """Solution update against the worker-cached ``z`` slots; only
+        ``x`` and the ``y`` coefficients cross the boundary."""
+        from repro.core.distributed import DistVector
+
+        if len(y) == 0:
+            return x_hat
+        comm = self.system.comm
+        n = self.n_total
+        payload = {
+            "name": "axpy",
+            "y": [float(yi) for yi in y],
+            "out": n,
+        }
+        parts = self._dispatch(
+            payload, self._vec_writes(x_hat.parts), self._vec_reads(n), 2 * n
+        )
+        for r, sz in enumerate(self.sizes):
+            comm.add_flops(r, 2 * len(y) * sz)
+        return DistVector(parts, "global", comm)
+
+
+# ----------------------------------------------------------------------
+# RDD engines
+# ----------------------------------------------------------------------
+class InlineRDDEngine:
+    """Original per-rank closures through ``Comm.run_ranks`` (any backend)."""
+
+    resident = False
+
+    def __init__(self, system):
+        self.system = system
+
+    def ensure_shipped(self) -> None:
+        """Nothing to ship: rank state lives in the orchestrator."""
+
+    def matvec(self, x_parts, ext_vals, cache=None):
+        """Per-rank Eq. 48 block products; ``cache`` is ignored inline."""
+        system = self.system
+        comm = system.comm
+        a_loc = system.a_loc
+        a_ext = system.a_ext
+        out = [None] * len(a_loc)
+
+        def body(r: int) -> None:
+            y = a_loc[r].matvec(x_parts[r])
+            comm.add_flops(r, 2 * a_loc[r].nnz)
+            if a_ext[r].shape[1]:
+                y = y + a_ext[r].matvec(ext_vals[r])
+                comm.add_flops(r, 2 * a_ext[r].nnz + len(y))
+            out[r] = y
+
+        comm.run_ranks(body, work=2 * system.nnz_total)
+        return out
+
+    def matvec_block(self, x_parts, ext_vals):
+        """Per-rank batched Eq. 48 SpMMs over all ``k`` columns."""
+        system = self.system
+        comm = system.comm
+        a_loc = system.a_loc
+        a_ext = system.a_ext
+        k = x_parts[0].shape[1]
+        out = [None] * len(a_loc)
+
+        def body(r: int) -> None:
+            y = a_loc[r].matmat(x_parts[r])
+            comm.add_flops(r, 2 * a_loc[r].nnz * k)
+            if a_ext[r].shape[1]:
+                y = y + a_ext[r].matmat(ext_vals[r])
+                comm.add_flops(r, 2 * a_ext[r].nnz * k + y.size)
+            out[r] = y
+
+        comm.run_ranks(body, work=2 * system.nnz_total * k)
+        return out
+
+    def seed_basis(self, v0) -> None:
+        """No worker mirror to seed."""
+
+    def dot_fused(self, j, v, w, partial) -> None:
+        """Fused CGS partial dots: ``partial[i, r] = v[i][r] @ w[r]``."""
+        comm = self.system.comm
+        n_local = sum(len(wr) for wr in w)
+
+        def dots_body(r: int) -> None:
+            wr = w[r]
+            for i in range(j + 1):
+                partial[i, r] = v[i][r] @ wr
+            comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+        comm.run_ranks(dots_body, work=2 * (j + 1) * n_local)
+
+    def ortho(self, j, h, v, w):
+        """Fused CGS update of ``w`` against the basis."""
+        comm = self.system.comm
+        n_local = sum(len(wr) for wr in w)
+        new_w: list = [None] * len(w)
+
+        def ortho_body(r: int) -> None:
+            wr = w[r]
+            for i in range(j + 1):
+                wr = wr - h[i] * v[i][r]
+            new_w[r] = wr
+            comm.add_flops(r, 2 * (j + 1) * len(wr))
+
+        comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
+        return new_w
+
+    def commit_basis(self, inv_h) -> None:
+        """No worker mirror to append to."""
+
+    def axpy_update(self, x, y, z_store):
+        """Solution update ``x += sum_i y[i] * z_store[i]`` per rank."""
+        comm = self.system.comm
+        for i, yi in enumerate(y):
+            alpha = float(yi)
+            z = z_store[i]
+            out = [None] * len(x)
+
+            def body(r: int) -> None:
+                out[r] = x[r] + alpha * z[r]
+                comm.add_flops(r, 2 * len(x[r]))
+
+            comm.run_ranks(body, work=2 * sum(len(p) for p in x))
+            x = out
+        return x
+
+
+class ResidentRDDEngine:
+    """Named rank ops against worker-resident row blocks (Eq. 48)."""
+
+    resident = True
+
+    def __init__(self, system):
+        self.system = system
+        self.gen = next(_generations)
+        self.sizes = [len(o) for o in system.own]
+        offsets = [0]
+        for n in self.sizes:
+            offsets.append(offsets[-1] + n)
+        self.offsets = offsets[:-1]
+        self.n_total = offsets[-1]
+
+    # -- shipping ------------------------------------------------------
+    def ensure_shipped(self) -> None:
+        """Ship the per-rank CSR block pairs unless the current pool
+        already holds this generation."""
+        comm = self.system.comm
+        if not comm.resident_ready(self.gen):
+            self._ship()
+
+    def _ship(self) -> None:
+        system = self.system
+        rank_states = []
+        for a_loc, a_ext in zip(system.a_loc, system.a_ext):
+            rank_states.append(
+                {
+                    "kind": "rdd",
+                    "arrays": {
+                        "loc_indptr": a_loc.indptr,
+                        "loc_indices": a_loc.indices,
+                        "loc_data": a_loc.data,
+                        "ext_indptr": a_ext.indptr,
+                        "ext_indices": a_ext.indices,
+                        "ext_data": a_ext.data,
+                    },
+                    "meta": {
+                        "loc_shape": tuple(a_loc.shape),
+                        "ext_shape": tuple(a_ext.shape),
+                    },
+                }
+            )
+        system.comm.resident_ship(self.gen, rank_states)
+
+    def _dispatch(self, payload, writes, reads, total_words):
+        from repro.sparse.kernels import active_backend_name
+
+        self.ensure_shipped()
+        comm = self.system.comm
+        payload = dict(payload)
+        payload["gen"] = self.gen
+        payload["backend"] = active_backend_name()
+        payload["offsets"] = self.offsets
+        payload["sizes"] = self.sizes
+        trc = comm.tracer
+        if trc.enabled:
+            trc.begin("rank_op", "comm", op=payload["name"])
+            try:
+                return comm.run_rank_op(payload, writes, reads, total_words)
+            finally:
+                trc.end()
+        return comm.run_rank_op(payload, writes, reads, total_words)
+
+    def _vec_writes(self, parts, base=0):
+        return [
+            (base + off, p) for off, p in zip(self.offsets, parts)
+        ]
+
+    def _vec_reads(self, base):
+        return [
+            (base + off, n) for off, n in zip(self.offsets, self.sizes)
+        ]
+
+    # -- ops -----------------------------------------------------------
+    def matvec(self, x_parts, ext_vals, cache=None):
+        """Worker-resident Eq. 48 products; ``cache=j`` retains the input
+        slot ``z[j]`` for the final AXPY."""
+        system = self.system
+        comm = system.comm
+        n = self.n_total
+        ext_sizes = [len(e) for e in ext_vals]
+        ext_offsets = [0]
+        for m in ext_sizes:
+            ext_offsets.append(ext_offsets[-1] + m)
+        e_total = ext_offsets[-1]
+        ext_offsets = ext_offsets[:-1]
+        writes = self._vec_writes(x_parts) + [
+            (n + eoff, e) for eoff, e in zip(ext_offsets, ext_vals)
+        ]
+        payload = {
+            "name": "mv_rdd",
+            "cache": None if cache is None else int(cache),
+            "ext": n,
+            "ext_offsets": ext_offsets,
+            "ext_sizes": ext_sizes,
+            "out": n + e_total,
+        }
+        out = self._dispatch(
+            payload, writes, self._vec_reads(n + e_total), 2 * n + e_total
+        )
+        for r in range(len(self.sizes)):
+            comm.add_flops(r, 2 * system.a_loc[r].nnz)
+            if system.a_ext[r].shape[1]:
+                comm.add_flops(r, 2 * system.a_ext[r].nnz + self.sizes[r])
+        return out
+
+    def matvec_block(self, x_parts, ext_vals):
+        """Worker-resident batched Eq. 48 SpMMs over all ``k`` columns."""
+        system = self.system
+        comm = system.comm
+        k = x_parts[0].shape[1]
+        n = self.n_total
+        ext_sizes = [len(e) for e in ext_vals]
+        ext_offsets = [0]
+        for m in ext_sizes:
+            ext_offsets.append(ext_offsets[-1] + m)
+        e_total = ext_offsets[-1]
+        ext_offsets = ext_offsets[:-1]
+        writes = [
+            (off * k, p) for off, p in zip(self.offsets, x_parts)
+        ] + [
+            (n * k + eoff * k, e)
+            for eoff, e in zip(ext_offsets, ext_vals)
+        ]
+        reads = [
+            ((n + e_total) * k + off * k, sz * k)
+            for off, sz in zip(self.offsets, self.sizes)
+        ]
+        payload = {
+            "name": "mvb_rdd",
+            "k": k,
+            "ext": n * k,
+            "ext_offsets": ext_offsets,
+            "ext_sizes": ext_sizes,
+            "out": (n + e_total) * k,
+        }
+        outs = self._dispatch(payload, writes, reads, (2 * n + e_total) * k)
+        out = [o.reshape(sz, k) for o, sz in zip(outs, self.sizes)]
+        for r in range(len(self.sizes)):
+            comm.add_flops(r, 2 * system.a_loc[r].nnz * k)
+            if system.a_ext[r].shape[1]:
+                comm.add_flops(
+                    r, 2 * system.a_ext[r].nnz * k + self.sizes[r] * k
+                )
+        return out
+
+    def seed_basis(self, v0) -> None:
+        """Reset the workers' basis mirror to the cycle's first vector."""
+        self._dispatch(
+            {"name": "seed", "two": False},
+            self._vec_writes(v0),
+            [],
+            self.n_total,
+        )
+
+    def dot_fused(self, j, v, w, partial) -> None:
+        """Fused CGS partial dots against the worker-resident basis;
+        also caches ``w`` worker-side for the ortho/commit ops."""
+        comm = self.system.comm
+        n = self.n_total
+        p = len(self.sizes)
+        reads = [(n + r * (j + 1), j + 1) for r in range(p)]
+        outs = self._dispatch(
+            {"name": "dots", "j": j, "out": n},
+            self._vec_writes(w),
+            reads,
+            n + p * (j + 1),
+        )
+        for r in range(p):
+            partial[:, r] = outs[r]
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+
+    def ortho(self, j, h, v, w):
+        """Fused CGS update of the cached ``w``; only the coefficients
+        cross the process boundary in."""
+        comm = self.system.comm
+        payload = {
+            "name": "ortho",
+            "j": j,
+            "h": [float(h[i]) for i in range(j + 1)],
+            "two": False,
+        }
+        outs = self._dispatch(payload, [], self._vec_reads(0), self.n_total)
+        for r in range(len(self.sizes)):
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+        return outs
+
+    def commit_basis(self, inv_h) -> None:
+        """Append ``inv_h * w`` to the worker basis mirror from the cached
+        slot (zero transfer); the orchestrator's append charges."""
+        self._dispatch(
+            {
+                "name": "commit",
+                "inv_h": float(inv_h),
+                "two": False,
+                "override": False,
+            },
+            [],
+            [],
+            1,
+        )
+
+    def axpy_update(self, x, y, z_store):
+        """Solution update against the worker-cached ``z`` slots."""
+        if len(y) == 0:
+            return x
+        comm = self.system.comm
+        n = self.n_total
+        payload = {
+            "name": "axpy",
+            "y": [float(yi) for yi in y],
+            "out": n,
+        }
+        out = self._dispatch(
+            payload, self._vec_writes(x), self._vec_reads(n), 2 * n
+        )
+        for r, sz in enumerate(self.sizes):
+            comm.add_flops(r, 2 * len(y) * sz)
+        return out

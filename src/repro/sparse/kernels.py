@@ -42,6 +42,7 @@ import numpy as np
 
 __all__ = [
     "available_backends",
+    "active_backend_name",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -295,6 +296,15 @@ def get_backend():
             )
         _current[0] = _BACKENDS[name]
     return _current[0]
+
+
+def active_backend_name() -> str:
+    """Name of the active backend (resolves the env default on first use).
+
+    Resident rank operations ship this name with every command so worker
+    processes compute with the same kernels as the orchestrator would.
+    """
+    return get_backend().name
 
 
 def set_backend(name: str):

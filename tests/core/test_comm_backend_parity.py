@@ -84,6 +84,61 @@ def test_forced_pool_path_parity(tiny_problem, monkeypatch):
     assert np.array_equal(sv.result.x, st.result.x)
 
 
+def _force_resident(monkeypatch):
+    """Worker-resident rank execution with everything pooled: resident
+    engines forced on, zero dispatch threshold, two real workers."""
+    monkeypatch.setenv("REPRO_PROCESS_RESIDENT", "1")
+    monkeypatch.setenv("REPRO_PROCESS_MIN_WORK", "0")
+    monkeypatch.setenv("REPRO_PROCESS_WORKERS", "2")
+
+
+@pytest.mark.parametrize(
+    "method,precond",
+    [
+        ("edd-enhanced", "gls(7)"),
+        ("edd-enhanced", "none"),
+        ("edd-basic", "gls(3)"),
+        ("edd-enhanced", "neumann(10)"),
+        ("rdd", "gls(7)"),
+        ("rdd", "bj-ilu0"),
+    ],
+)
+def test_resident_solve_bit_identical(tiny_problem, method, precond,
+                                      monkeypatch):
+    """Forced worker-resident execution (rank bodies inside the process
+    pool) matches virtual bitwise — solution, residual history and
+    per-rank counters — across every solver family."""
+    sv = _solve(tiny_problem, "virtual", method=method, precond=precond)
+    _force_resident(monkeypatch)
+    sp = _solve(tiny_problem, "process", method=method, precond=precond)
+    assert sp.comm_backend == "process"
+    assert sv.result.iterations == sp.result.iterations
+    assert sv.result.residual_history == sp.result.residual_history
+    assert np.array_equal(sv.result.x, sp.result.x)
+    for rv, rp in zip(sv.stats.ranks, sp.stats.ranks):
+        assert rv == rp
+
+
+def test_resident_mgs_parity(tiny_problem, monkeypatch):
+    """MGS keeps its sequential projections at the orchestrator but runs
+    matvec and the x-update resident; still bitwise."""
+    sv = _solve(tiny_problem, "virtual", orthogonalization="mgs")
+    _force_resident(monkeypatch)
+    sp = _solve(tiny_problem, "process", orthogonalization="mgs")
+    assert sv.result.residual_history == sp.result.residual_history
+    assert np.array_equal(sv.result.x, sp.result.x)
+
+
+def test_resident_dynamic_parity(tiny_dynamic_problem, monkeypatch):
+    sv = _solve(tiny_dynamic_problem, "virtual", dynamic=True)
+    _force_resident(monkeypatch)
+    sp = _solve(tiny_dynamic_problem, "process", dynamic=True)
+    assert sv.result.residual_history == sp.result.residual_history
+    assert np.array_equal(sv.result.x, sp.result.x)
+    for rv, rp in zip(sv.stats.ranks, sp.stats.ranks):
+        assert rv == rp
+
+
 def test_forced_process_pool_path_parity(tiny_problem, monkeypatch):
     """Zero dispatch threshold: every collective rides the shared-memory
     arena through real worker processes — and still matches virtual

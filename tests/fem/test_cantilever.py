@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fem.cantilever import (
+    LARGE_MESHES,
     PAPER_MESHES,
     cantilever_problem,
     paper_mesh,
@@ -22,9 +23,15 @@ def test_table2_equation_counts(k):
     assert p.n_eqn == PAPER_MESHES[k][3]
 
 
+@pytest.mark.parametrize("k", list(LARGE_MESHES))
+def test_large_tier_node_counts(k):
+    mesh, _ = paper_mesh(k)
+    assert mesh.n_nodes == LARGE_MESHES[k][2]
+
+
 def test_unknown_mesh_id():
-    with pytest.raises(ValueError):
-        paper_mesh(11)
+    with pytest.raises(ValueError, match="Mesh1..Mesh10"):
+        paper_mesh(14)
 
 
 def test_explicit_dimensions():

@@ -163,6 +163,58 @@ def test_allreduce_parity(n_parts, words, seed):
         _close_all(comms)
 
 
+@settings(max_examples=8, deadline=None)
+@given(
+    method=st.sampled_from(["edd-enhanced", "edd-basic", "rdd"]),
+    degree=st.integers(0, 7),
+    restart=st.integers(5, 25),
+    n_parts=st.integers(2, 5),
+)
+def test_resident_solver_parity(method, degree, restart, n_parts):
+    """Whole-solve parity with worker-resident rank execution forced on:
+    any (method, GLS degree, restart, P) drawn must reproduce the virtual
+    backend's floats and counters exactly.  This is the property-level
+    fence for the resident engines — the collective tests above cannot
+    see the rank-op command path at all."""
+    from repro.core.driver import solve_cantilever
+    from repro.core.options import SolverOptions
+    from repro.fem.cantilever import cantilever_problem
+
+    problem = cantilever_problem(nx=6, ny=3)
+    opts = SolverOptions(precond=f"gls({degree})", restart=restart,
+                         method=method)
+    sv = solve_cantilever(
+        problem, n_parts=n_parts,
+        options=opts.replace(comm_backend="virtual"),
+    )
+    import os
+
+    saved = {
+        k: os.environ.get(k)
+        for k in ("REPRO_PROCESS_RESIDENT", "REPRO_PROCESS_MIN_WORK",
+                  "REPRO_PROCESS_WORKERS")
+    }
+    os.environ["REPRO_PROCESS_RESIDENT"] = "1"
+    os.environ["REPRO_PROCESS_MIN_WORK"] = "0"
+    os.environ["REPRO_PROCESS_WORKERS"] = "2"
+    try:
+        sp = solve_cantilever(
+            problem, n_parts=n_parts,
+            options=opts.replace(comm_backend="process"),
+        )
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+    assert sv.result.residual_history == sp.result.residual_history
+    assert np.asarray(sv.result.x).tobytes() == np.asarray(
+        sp.result.x
+    ).tobytes()
+    assert sv.stats.ranks == sp.stats.ranks
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     nx=st.integers(3, 8),
