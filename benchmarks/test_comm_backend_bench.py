@@ -88,10 +88,11 @@ def validate_schema(report: dict) -> None:
     assert len(report["runs"]) > 0
     resident = report["resident"]
     for key in ("mesh", "n_parts", "degree", "inline_wall", "resident_wall",
-                "iterations"):
+                "iterations", "rank_op_dispatches_per_apply"):
         assert key in resident, f"resident section missing key {key!r}"
     assert resident["inline_wall"] > 0.0
     assert resident["resident_wall"] > 0.0
+    assert resident["rank_op_dispatches_per_apply"] <= 1.0
     assert report["dispatch_overhead"] > 0.0
     for run in report["runs"]:
         for key in (
@@ -183,6 +184,31 @@ def test_bench_comm_backends_json(problems):
         resident_wall, s_res = _wall_solve(
             resident_problem, 4, "process", 7, repeats=2
         )
+        # Fused-dispatch contract at the same configuration, read off a
+        # traced resident solve: ONE "chain" rank_op per preconditioner
+        # apply, so command round-trips no longer scale with the degree.
+        from repro.obs import Tracer
+
+        trc = Tracer()
+        solve_cantilever(
+            resident_problem, n_parts=4, tracer=trc,
+            options=SolverOptions(
+                precond="gls(7)", comm_backend="process",
+                kernel_backend=_kernel_backend(),
+            ),
+        )
+        n_chains = sum(
+            1 for s in trc.spans
+            if s["name"] == "rank_op" and s["args"]["op"] == "chain"
+        )
+        n_applies = sum(
+            1 for s in trc.spans if s["name"] == "precond_apply"
+        )
+        assert n_applies > 0 and n_chains == n_applies, (
+            f"{n_chains} chain dispatches for {n_applies} "
+            "preconditioner applies (need exactly 1 per apply)"
+        )
+        dispatches_per_apply = n_chains / n_applies
     finally:
         if saved is None:
             os.environ.pop("REPRO_PROCESS_RESIDENT", None)
@@ -198,6 +224,7 @@ def test_bench_comm_backends_json(problems):
         "inline_wall": inline_wall,
         "resident_wall": resident_wall,
         "iterations": s_res.result.iterations,
+        "rank_op_dispatches_per_apply": dispatches_per_apply,
     }
     report["dispatch_overhead"] = resident_wall / inline_wall
     validate_schema(report)

@@ -56,6 +56,15 @@ def _precondition(system: EDDSystem, precond, v_hat: DistVector) -> DistVector:
             "(or None): factorization preconditioners cannot be applied to "
             "unassembled local-distributed matrices"
         )
+    engine = system.rank_engine()
+    if engine.resident:
+        terms = precond.chain_terms()
+        if terms is not None:
+            # Fused resident path: the whole degree-m matvec/recurrence
+            # chain in ONE dispatch, bit-identical output and CommStats.
+            out = engine.poly_chain(precond, terms, v_hat)
+            if out is not None:
+                return out
     return precond.apply_linear(system.matvec_assembled, v_hat)
 
 
@@ -214,15 +223,12 @@ def edd_fgmres(
                 # Classical Gram-Schmidt (the paper's listings): all
                 # coefficients from the unmodified w via the mixed-format
                 # inner product, batched into ONE allreduce of j+1 words
-                # (Eq. 33).  Both rank regions — the j+1 partial dots and
-                # the j+1 AXPY pairs — are fused named rank ops the
-                # engine runs inline or against worker-resident basis
-                # copies, one dispatch per region per step.
-                comm = system.comm
-                partial = partial_buf[: j + 1]
-                engine.dot_fused(j, v_loc, w_hat, partial)
-                h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
-                w_loc, w_hat = engine.ortho(j, h, v_loc, v_hat, w_loc, w_hat)
+                # (Eq. 33).  The engine fuses the whole coefficient round
+                # — partial dots, reduction, AXPY pairs — into a single
+                # step (one worker dispatch in resident mode).
+                w_loc, w_hat = engine.arnoldi_step(
+                    j, h, v_loc, v_hat, w_loc, w_hat, partial_buf
+                )
             else:
                 # Modified Gram-Schmidt: numerically sturdier, but each
                 # projection needs the *updated* w — j+1 sequential

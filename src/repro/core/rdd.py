@@ -389,6 +389,16 @@ def _precondition_rdd(system: RDDSystem, precond, v_parts: list) -> list:
             "rdd_fgmres applies polynomial preconditioners through the "
             "halo-exchanging matvec; wrap other preconditioners yourself"
         )
+    engine = system.rank_engine()
+    if engine.resident:
+        terms = precond.chain_terms()
+        if terms is not None:
+            # Fused resident path: the whole degree-m matvec/recurrence
+            # chain in ONE dispatch (halos filled worker-side from the
+            # shipped plan); None falls back to the inline recurrence.
+            out = engine.poly_chain(precond, terms, v_parts)
+            if out is not None:
+                return out
     vec = _RDDVector([p.copy() for p in v_parts], system)
     out = precond.apply_linear(
         lambda v: _RDDVector(system.matvec(v.parts), system), vec
@@ -580,15 +590,10 @@ def rdd_fgmres(
             h = np.empty(j + 2)
             if traced:
                 trc.begin("orthogonalize", "solver")
-            partial = np.zeros((j + 1, p))
-
-            # Fused CGS rank ops (one dispatch per region instead of one
-            # per basis vector), mirroring edd_fgmres; the engine runs
-            # them inline or against worker-resident basis copies.
-            engine.dot_fused(j, v, w, partial)
-            h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
-
-            w = engine.ortho(j, h, v, w)
+            # Fused CGS coefficient round mirroring edd_fgmres — partial
+            # dots, ONE allreduce of j+1 words, AXPY updates — which the
+            # engine runs inline or as a single worker dispatch.
+            w = engine.arnoldi_step(j, h, v, w)
             h[j + 1] = np.sqrt(max(system.dot(w, w), 0.0))
             if traced:
                 trc.end()  # orthogonalize

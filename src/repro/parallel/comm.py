@@ -331,6 +331,56 @@ class Comm:
             trc.end()
         return out
 
+    def charge_interface_assemble(self) -> None:
+        """Record exactly what :meth:`interface_assemble` records — tracer
+        span, per-pair message/word/flop charges, message log — without
+        moving any data.
+
+        Resident fused rank ops (``repro.parallel.resident``) perform the
+        ``⊕Σ∂Ω`` assembly at the workers; this keeps the *modeled*
+        communication bit-identical to inline execution by running the
+        same charging loops the real collective runs.
+        """
+        submap = self.submap
+        trc = self.tracer
+        if trc.enabled:
+            messages, words = self._iface_counts()
+            trc.begin("interface_assemble", "exchange",
+                      messages=messages, words=words)
+        for s in range(self.size):
+            rs = self.stats.ranks[s]
+            for t, local_idx in submap.shared[s].items():
+                rs.nbr_messages += 1
+                rs.nbr_words += len(local_idx)
+                rs.flops += len(local_idx)  # one add per received word
+                if self.trace:
+                    self.message_log.append((s, t, len(local_idx)))
+        if trc.enabled:
+            trc.end()
+
+    def charge_halo_exchange(self, plan: dict) -> None:
+        """Record exactly what :meth:`halo_exchange` records — tracer
+        span, sender-side message/word charges, message log — without the
+        data movement (resident fused ops fill halos worker-side)."""
+        trc = self.tracer
+        if trc.enabled:
+            total_words = 0
+            for s in range(self.size):
+                for t, (_, recv_slots) in plan[s].items():
+                    total_words += len(recv_slots)
+            trc.begin("halo_exchange", "exchange",
+                      messages=sum(len(plan[s]) for s in range(self.size)),
+                      words=total_words)
+        for s in range(self.size):
+            rs = self.stats.ranks[s]
+            for t, (send_idx, _) in plan[s].items():
+                rs.nbr_messages += 1
+                rs.nbr_words += len(send_idx)
+                if self.trace:
+                    self.message_log.append((s, t, len(send_idx)))
+        if trc.enabled:
+            trc.end()
+
     def allreduce_sum(self, values, words: int = 1):
         """Global sum reduction across ranks.
 

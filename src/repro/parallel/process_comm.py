@@ -77,6 +77,7 @@ import numpy as np
 from repro.obs.tracer import timed_rank_body
 from repro.parallel._process_worker import HEADER_BYTES, worker_main
 from repro.parallel.comm import Comm, guard_nested_comm
+from repro.parallel.env_knobs import read_float_env, read_int_env
 from repro.partition.interface import SubdomainMap
 
 _DEFAULT_MIN_WORK = 32768
@@ -130,8 +131,8 @@ class ProcessWorkerError(ProcessPoolError):
 def _default_workers() -> int:
     """Worker cap from ``REPRO_PROCESS_WORKERS`` or the CPU count (min 2)."""
     env = os.environ.get("REPRO_PROCESS_WORKERS")
-    if env:
-        return max(1, int(env))
+    if env and env.strip():
+        return max(1, read_int_env("REPRO_PROCESS_WORKERS", 1))
     return max(2, os.cpu_count() or 1)
 
 
@@ -360,13 +361,13 @@ class ProcessComm(Comm):
             n_workers = _default_workers()
         self.n_workers = max(1, min(int(n_workers), self.size))
         if min_dispatch_work is None:
-            min_dispatch_work = int(
-                os.environ.get("REPRO_PROCESS_MIN_WORK", _DEFAULT_MIN_WORK)
+            min_dispatch_work = read_int_env(
+                "REPRO_PROCESS_MIN_WORK", _DEFAULT_MIN_WORK
             )
         self.min_dispatch_work = min_dispatch_work
         if call_timeout is None:
-            call_timeout = float(
-                os.environ.get("REPRO_PROCESS_TIMEOUT", _DEFAULT_TIMEOUT)
+            call_timeout = read_float_env(
+                "REPRO_PROCESS_TIMEOUT", _DEFAULT_TIMEOUT
             )
         self.call_timeout = call_timeout
         self._comm_id = next(_comm_ids)
@@ -533,7 +534,11 @@ class ProcessComm(Comm):
         kk = ext[0].shape[1] if ext and ext[0].ndim == 2 else 1
         if not self._use_pool(total_words):
             return super()._halo_fill(x_parts, plan, ext, total_words)
-        entry = self._plan_entry(plan, x_parts, ext)
+        entry = self._plan_entry(
+            plan,
+            [int(np.shape(p)[0]) for p in x_parts],
+            [int(np.shape(e)[0]) for e in ext],
+        )
         if entry is None:  # shapes changed under a cached plan: stay inline
             return super()._halo_fill(x_parts, plan, ext, total_words)
         xsizes, ext_sizes = entry["xsizes"], entry["ext_sizes"]
@@ -596,13 +601,11 @@ class ProcessComm(Comm):
         self._charge_times(payloads)
         return result[0] if arr.ndim == 1 else result
 
-    def _plan_entry(self, plan: dict, x_parts: list, ext: list):
+    def _plan_entry(self, plan: dict, xsizes: list, ext_sizes: list):
         """Worker-shippable form of a halo plan, cached and pinned by
         ``id(plan)`` (plans are immutable for a system's lifetime).
         Returns None when the cached shapes no longer match the call."""
         entry = self._plans.get(id(plan))
-        xsizes = [int(np.shape(p)[0]) for p in x_parts]
-        ext_sizes = [int(np.shape(e)[0]) for e in ext]
         if entry is not None:
             if entry["xsizes"] != xsizes or entry["ext_sizes"] != ext_sizes:
                 return None
@@ -650,36 +653,80 @@ class ProcessComm(Comm):
         with pool.lock:
             self._register(pool)
             for rank, st in enumerate(rank_states):
-                arrays = list(st["arrays"].items())
-                fields = []
-                off = 0
-                for name, arr in arrays:
-                    fields.append(
-                        (name, str(arr.dtype), tuple(arr.shape), off)
-                    )
-                    off += int(arr.size)
-                total_words = max(off, 1)
-                view = self._ensure_arena(total_words)
-                for (_nm, _dt, _shape, foff), (_name, arr) in zip(
-                    fields, arrays
-                ):
-                    flat = np.ascontiguousarray(arr).reshape(-1)
-                    if flat.dtype != np.float64:
-                        flat = flat.view(np.float64)
-                    view[foff:foff + flat.size] = flat
-                meta = dict(st.get("meta", {}))
-                meta.update(
-                    gen=int(gen), rank=rank, kind=st["kind"], fields=fields
-                )
-                seq = self._stamp()
-                pool.run_cmd(
-                    (
-                        "resident", seq, self._comm_id, self._arena_name,
-                        total_words, meta,
-                    ),
-                    self.call_timeout,
-                )
+                self._ship_state(pool, st, {"gen": int(gen), "rank": rank})
         self._resident_sent.add(int(gen))
+
+    def _ship_state(self, pool, st: dict, extra_meta: dict) -> None:
+        """Lay one state's typed arrays into the arena and dispatch a
+        ``resident`` command describing them (caller holds the pool lock)."""
+        arrays = list(st["arrays"].items())
+        fields = []
+        off = 0
+        for name, arr in arrays:
+            fields.append(
+                (name, str(arr.dtype), tuple(arr.shape), off)
+            )
+            off += int(arr.size)
+        total_words = max(off, 1)
+        view = self._ensure_arena(total_words)
+        for (_nm, _dt, _shape, foff), (_name, arr) in zip(
+            fields, arrays
+        ):
+            flat = np.ascontiguousarray(arr).reshape(-1)
+            if flat.dtype != np.float64:
+                flat = flat.view(np.float64)
+            view[foff:foff + flat.size] = flat
+        meta = dict(st.get("meta", {}))
+        meta.update(extra_meta)
+        meta.update(kind=st["kind"], fields=fields)
+        seq = self._stamp()
+        pool.run_cmd(
+            (
+                "resident", seq, self._comm_id, self._arena_name,
+                total_words, meta,
+            ),
+            self.call_timeout,
+        )
+
+    def resident_ship_aux(self, gen: int, states: list) -> None:
+        """Attach auxiliary solver state (preconditioner factors, coarse
+        bases) to an already-shipped generation.
+
+        Each state is ``{"kind": "aux"|"aux_shared", "arrays", "meta"}``;
+        ``aux`` metas name an owning ``rank`` (only that rank's worker
+        keeps it, under ``meta["key"]``), ``aux_shared`` metas broadcast
+        to every worker (small redundant state such as a factorized
+        coarse matrix).  A worker that has not seen the base generation
+        raises, surfacing as the pool's named error taxonomy.  Like
+        :meth:`resident_ship` this charges no CommStats: transport, not
+        modelled communication.
+        """
+        pool = self._ensure_pool()
+        with pool.lock:
+            self._register(pool)
+            for st in states:
+                self._ship_state(pool, st, {"gen": int(gen)})
+
+    def resident_ship_plan(self, plan: dict, xsizes: list, ext_sizes: list):
+        """Ship a halo plan for worker-side halo fills inside fused rank
+        ops; returns the plan token, or None when a cached entry for this
+        plan no longer matches the given sizes (caller stays inline)."""
+        pool = self._ensure_pool()
+        with pool.lock:
+            self._register(pool)
+            entry = self._plan_entry(plan, list(xsizes), list(ext_sizes))
+            if entry is None:
+                return None
+            if not entry["sent"]:
+                self._control(pool, "plan", entry["token"], entry["blob"])
+                entry["sent"] = True
+            return entry["token"]
+
+    def pool_width(self) -> int:
+        """Worker count of the acquired pool (>= ``n_workers``: an
+        existing wider pool is reused as-is).  Fused rank ops size their
+        barrier flag region with this."""
+        return self._ensure_pool().n_workers
 
     def resident_ready(self, gen: int) -> bool:
         """True when generation ``gen`` is resident in the current pool

@@ -34,10 +34,21 @@ invalidates the generation and the engine re-ships transparently.  A
 worker that receives a rank op for an unknown generation raises, which
 surfaces as the pool's named error taxonomy rather than silent garbage.
 
-Preconditioner note: polynomial preconditioners iterate
-``matvec_assembled`` / ``system.matvec``, so their matvecs lower to
-resident ``mv`` commands automatically; block-Jacobi ILU and coarse
-solves stay orchestrator-side (factor state is not shipped).
+Preconditioner note: preconditioner state ships to the workers alongside
+the CSR blocks.  Block-Jacobi ILU0 factors and coarse restriction bases
+travel as per-rank ``aux`` state (the small factorized Galerkin matrix as
+redundant ``aux_shared`` state), so BJ-ILU0 applies run as a single
+``prec`` dispatch and the two-level coarse correction as a single
+``coarse`` dispatch.  Polynomial applies fuse the whole degree-``k``
+matvec/recurrence chain into one ``chain`` dispatch (one arena spin
+barrier per degree instead of one pipe round-trip per matvec), and the
+Arnoldi dots+ortho pair fuses into one ``arn`` dispatch.  The modeled
+communication stays exact: after a fused dispatch the orchestrator
+*replays* the inline charging — the real ``allreduce_sum`` on the partial
+rows it reads back, and :meth:`Comm.charge_interface_assemble` /
+:meth:`Comm.charge_halo_exchange` driven by the actual polynomial
+recurrence over charge-only ghost vectors — so CommStats, tracer exchange
+spans and chaos call indices are exactly the inline ones.
 """
 
 from __future__ import annotations
@@ -80,6 +91,87 @@ def engine_mode(comm, work_hint: int) -> str:
     if env == "1":
         return "resident"
     return "resident" if comm._use_pool(int(work_hint)) else "inline"
+
+
+def _btimeout(comm) -> float:
+    """Spin-barrier deadline for fused multi-phase dispatches: generous
+    (half the pipe timeout, at least a second) so a dead or stuck peer
+    surfaces through the pool's named error taxonomy, never a deadlock."""
+    return max(1.0, 0.5 * float(comm.call_timeout))
+
+
+class _ChargeVec:
+    """Charge-only ghost vector for replaying a polynomial recurrence.
+
+    After a fused ``chain`` dispatch the orchestrator re-runs the *exact*
+    preconditioner recurrence (`apply_linear` itself) on one of these:
+    every vector op charges precisely what the inline distributed vector
+    charges per rank — ``axpy`` flops per element for ``+``/``-`` (1 for
+    EDD :class:`DistVector`, 2 for the RDD axpy parts), one per element
+    for scalar ``*``, nothing for ``copy`` — so CommStats can never drift
+    from the inline path, even if a recurrence changes shape.
+    """
+
+    __slots__ = ("comm", "sizes", "axpy")
+
+    def __init__(self, comm, sizes, axpy):
+        self.comm = comm
+        self.sizes = sizes
+        self.axpy = axpy
+
+    def copy(self):
+        return self
+
+    def _charge(self, per_elem):
+        for r, n in enumerate(self.sizes):
+            self.comm.add_flops(r, per_elem * n)
+        return self
+
+    def __add__(self, other):
+        return self._charge(self.axpy)
+
+    def __sub__(self, other):
+        return self._charge(self.axpy)
+
+    def __mul__(self, scalar):
+        return self._charge(1)
+
+    __rmul__ = __mul__
+
+
+def _replay_chain_charges(engine, precond, mode: str) -> None:
+    """Replay the inline charging of one polynomial application.
+
+    Drives ``precond.apply_linear`` over charge-only ghosts with a ghost
+    matvec that charges the inline engine's exact flop formulas and
+    records the collective through ``charge_interface_assemble`` /
+    ``charge_halo_exchange`` — identical CommStats, tracer exchange spans
+    and message logs to the inline path, with zero data movement.
+    """
+    system = engine.system
+    comm = system.comm
+    sizes = engine.sizes
+    if mode == "edd":
+        vec = _ChargeVec(comm, sizes, 1)
+
+        def matvec(_v):
+            for r, a in enumerate(system.a_local):
+                comm.add_flops(r, 2 * a.nnz)
+            comm.charge_interface_assemble()
+            return vec
+
+    else:
+        vec = _ChargeVec(comm, sizes, 2)
+
+        def matvec(_v):
+            comm.charge_halo_exchange(system.plan)
+            for r in range(len(sizes)):
+                comm.add_flops(r, 2 * system.a_loc[r].nnz)
+                if system.a_ext[r].shape[1]:
+                    comm.add_flops(r, 2 * system.a_ext[r].nnz + sizes[r])
+            return vec
+
+    precond.apply_linear(matvec, vec)
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +268,15 @@ class InlineEDDEngine:
             DistVector(new_hat, "global", comm),
         )
 
+    def arnoldi_step(self, j, h, v_loc, v_hat, w_loc, w_hat, partial_buf):
+        """One CGS Arnoldi coefficient round: fused partial dots, ONE
+        allreduce of ``j + 1`` words (Eq. 33), fused orthogonalization."""
+        comm = self.system.comm
+        partial = partial_buf[: j + 1]
+        self.dot_fused(j, v_loc, w_hat, partial)
+        h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
+        return self.ortho(j, h, v_loc, v_hat, w_loc, w_hat)
+
     def commit_basis(self, inv_h, hat_parts=None) -> None:
         """No worker mirror to append to."""
 
@@ -207,6 +308,7 @@ class ResidentEDDEngine:
             offsets.append(offsets[-1] + n)
         self.offsets = offsets[:-1]
         self.n_total = offsets[-1]
+        self._aux_sent: set = set()
 
     # -- shipping ------------------------------------------------------
     def ensure_shipped(self) -> None:
@@ -215,6 +317,27 @@ class ResidentEDDEngine:
         comm = self.system.comm
         if not comm.resident_ready(self.gen):
             self._ship()
+            self._aux_sent.clear()
+
+    def ensure_aux(self, key: str, make_states) -> None:
+        """Ship a preconditioner's resident state (ILU factors, coarse
+        bases and the factorized Galerkin matrix) once per pool
+        generation; a pool respawn invalidates the generation, so the
+        next dispatch re-ships the base system *and* every aux state."""
+        self.ensure_shipped()
+        if key in self._aux_sent:
+            return
+        comm = self.system.comm
+        trc = comm.tracer
+        if trc.enabled:
+            trc.begin("resident_ship", "phase", aux=key)
+            try:
+                comm.resident_ship_aux(self.gen, make_states())
+            finally:
+                trc.end()
+        else:
+            comm.resident_ship_aux(self.gen, make_states())
+        self._aux_sent.add(key)
 
     def _ship(self) -> None:
         system = self.system
@@ -356,6 +479,133 @@ class ResidentEDDEngine:
             DistVector(outs[p:], "global", comm),
         )
 
+    def arnoldi_step(self, j, h, v_loc, v_hat, w_loc, w_hat, partial_buf):
+        """Fused dots + reduction + ortho in ONE dispatch (the inline
+        pair costs two).  Workers compute the partial dots, spin once on
+        the arena barrier, redundantly tree-reduce the ``(P, j+1)``
+        partial rows (same pairing as ``Comm._tree_reduce``, so the same
+        bits) and orthogonalize immediately.  The orchestrator re-runs
+        the *real* ``allreduce_sum`` on the partial rows it reads back —
+        identical result, and the reduction's charging, tracer span and
+        chaos call index stay exactly where the inline path puts them."""
+        from repro.core.distributed import DistVector
+
+        comm = self.system.comm
+        n = self.n_total
+        p = len(self.sizes)
+        pbase = 2 * n
+        nflags = comm.pool_width()
+        flags = pbase + p * (j + 1)
+        payload = {
+            "name": "arn",
+            "j": j,
+            "two": True,
+            "hat": n,
+            "partial": pbase,
+            "flags": flags,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(w_hat.parts) + [(flags, np.zeros(nflags))]
+        reads = (
+            self._vec_reads(0)
+            + self._vec_reads(n)
+            + [(pbase + r * (j + 1), j + 1) for r in range(p)]
+        )
+        outs = self._dispatch(payload, writes, reads, flags + nflags)
+        partial = partial_buf[: j + 1]
+        for r in range(p):
+            partial[:, r] = outs[2 * p + r]
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+        h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
+        for r in range(p):
+            comm.add_flops(r, 4 * (j + 1) * self.sizes[r])
+        return (
+            DistVector(outs[:p], "local", comm),
+            DistVector(outs[p : 2 * p], "global", comm),
+        )
+
+    def poly_chain(self, precond, terms, v_hat):
+        """One fused dispatch for a whole degree-``k`` polynomial apply.
+
+        Workers run the recurrence against their resident blocks,
+        replaying the ``⊕Σ∂Ω`` interface assembly redundantly from the
+        shared arena with one spin barrier per degree — O(1) pipe
+        round-trips instead of O(k).  The inline charging (matvec flops,
+        assembly messages/words, vector-op flops) is replayed afterwards
+        by :func:`_replay_chain_charges` over the real recurrence."""
+        from repro.core.distributed import DistVector
+
+        comm = self.system.comm
+        n = self.n_total
+        nflags = comm.pool_width()
+        kind, params = terms
+        payload = {
+            "name": "chain",
+            "mode": "edd",
+            "kind": kind,
+            "params": params,
+            "n_global": int(comm.submap.n_global),
+            "out": n,
+            "slots": 2 * n,
+            "n_total": n,
+            "flags": 4 * n,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(v_hat.parts) + [(4 * n, np.zeros(nflags))]
+        parts = self._dispatch(
+            payload, writes, self._vec_reads(n), 4 * n + nflags
+        )
+        _replay_chain_charges(self, precond, "edd")
+        return DistVector(parts, "global", comm)
+
+    def coarse_correct(self, tl, v_parts):
+        """One fused dispatch for the two-level coarse correction:
+        rank-local restriction, redundant tree reduction, redundant
+        dense solve of the shipped factorized Galerkin matrix and
+        rank-local prolongation.  The orchestrator replays the real
+        coarse allreduce on the partial rows it reads back, so the
+        correction still costs exactly ONE reduction of ``n_coarse``
+        words — and chaos plans aimed at it keep firing."""
+        comm = self.system.comm
+        self.ensure_aux(tl._resident_key, tl._resident_states)
+        n = self.n_total
+        p = len(self.sizes)
+        nc = tl.n_coarse
+        pbase = n
+        obase = n + p * nc
+        nflags = comm.pool_width()
+        flags = obase + n
+        trc = comm.tracer
+        traced = trc.enabled
+        if traced:
+            trc.begin("coarse_solve", "solver", n_coarse=nc, k=1)
+        payload = {
+            "name": "coarse",
+            "nc": nc,
+            "key": tl._resident_key,
+            "partial": pbase,
+            "out": obase,
+            "flags": flags,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(v_parts) + [(flags, np.zeros(nflags))]
+        reads = [(pbase + r * nc, nc) for r in range(p)] + self._vec_reads(
+            obase
+        )
+        outs = self._dispatch(payload, writes, reads, flags + nflags)
+        for r in range(p):
+            comm.add_flops(r, 2 * tl._wl_parts[r].size)
+        comm.allreduce_sum(outs[:p], words=nc)
+        comm.add_flops_all([2 * nc * nc] * p)
+        for r in range(p):
+            comm.add_flops(r, 2 * tl._wg_parts[r].size)
+        if traced:
+            trc.end()
+        return outs[p:]
+
     def commit_basis(self, inv_h, hat_parts=None) -> None:
         """Append ``inv_h`` times the post-ortho pair to the worker basis
         mirror; ``hat_parts`` overrides the hat (the basic variant's
@@ -483,6 +733,15 @@ class InlineRDDEngine:
         comm.run_ranks(ortho_body, work=2 * (j + 1) * n_local)
         return new_w
 
+    def arnoldi_step(self, j, h, v, w):
+        """One CGS Arnoldi coefficient round: fused partial dots, ONE
+        allreduce of ``j + 1`` words, fused orthogonalization."""
+        comm = self.system.comm
+        partial = np.zeros((j + 1, len(w)))
+        self.dot_fused(j, v, w, partial)
+        h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
+        return self.ortho(j, h, v, w)
+
     def commit_basis(self, inv_h) -> None:
         """No worker mirror to append to."""
 
@@ -517,6 +776,8 @@ class ResidentRDDEngine:
             offsets.append(offsets[-1] + n)
         self.offsets = offsets[:-1]
         self.n_total = offsets[-1]
+        self._aux_sent: set = set()
+        self._ext_sizes: list | None = None
 
     # -- shipping ------------------------------------------------------
     def ensure_shipped(self) -> None:
@@ -525,6 +786,41 @@ class ResidentRDDEngine:
         comm = self.system.comm
         if not comm.resident_ready(self.gen):
             self._ship()
+            self._aux_sent.clear()
+
+    def ensure_aux(self, key: str, make_states) -> None:
+        """Ship a preconditioner's resident state (ILU factors, coarse
+        bases and the factorized Galerkin matrix) once per pool
+        generation; a pool respawn invalidates the generation, so the
+        next dispatch re-ships the base system *and* every aux state."""
+        self.ensure_shipped()
+        if key in self._aux_sent:
+            return
+        comm = self.system.comm
+        trc = comm.tracer
+        if trc.enabled:
+            trc.begin("resident_ship", "phase", aux=key)
+            try:
+                comm.resident_ship_aux(self.gen, make_states())
+            finally:
+                trc.end()
+        else:
+            comm.resident_ship_aux(self.gen, make_states())
+        self._aux_sent.add(key)
+
+    def _halo_ext_sizes(self) -> list:
+        """Per-rank external-buffer lengths, computed with the *exact*
+        sizing rule of :meth:`Comm.halo_exchange` (max referenced recv
+        slot + 1) so worker-side halo fills allocate identical buffers."""
+        if self._ext_sizes is None:
+            plan = self.system.plan
+            sizes = [0] * len(self.sizes)
+            for s in range(len(sizes)):
+                for _t, (_send, recv_slots) in plan[s].items():
+                    if len(recv_slots):
+                        sizes[s] = max(sizes[s], int(recv_slots.max()) + 1)
+            self._ext_sizes = sizes
+        return self._ext_sizes
 
     def _ship(self) -> None:
         system = self.system
@@ -691,6 +987,143 @@ class ResidentRDDEngine:
         for r in range(len(self.sizes)):
             comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
         return outs
+
+    def arnoldi_step(self, j, h, v, w):
+        """Fused dots + reduction + ortho in ONE dispatch; the
+        orchestrator re-runs the real ``allreduce_sum`` on the partial
+        rows it reads back (same tree pairing, same bits) so reduction
+        charging, tracer spans and chaos call indices stay exactly where
+        the inline path puts them."""
+        comm = self.system.comm
+        n = self.n_total
+        p = len(self.sizes)
+        pbase = n
+        nflags = comm.pool_width()
+        flags = pbase + p * (j + 1)
+        payload = {
+            "name": "arn",
+            "j": j,
+            "two": False,
+            "partial": pbase,
+            "flags": flags,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(w) + [(flags, np.zeros(nflags))]
+        reads = self._vec_reads(0) + [
+            (pbase + r * (j + 1), j + 1) for r in range(p)
+        ]
+        outs = self._dispatch(payload, writes, reads, flags + nflags)
+        partial = np.zeros((j + 1, p))
+        for r in range(p):
+            partial[:, r] = outs[p + r]
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+        h[: j + 1] = comm.allreduce_sum(list(partial.T), words=j + 1)
+        for r in range(p):
+            comm.add_flops(r, 2 * (j + 1) * self.sizes[r])
+        return outs[:p]
+
+    def poly_chain(self, precond, terms, v_parts):
+        """One fused dispatch for a whole degree-``k`` polynomial apply.
+
+        Workers run the recurrence against their resident block pairs,
+        filling their halo buffers straight from the shared arena using
+        the shipped exchange plan — O(1) pipe round-trips instead of
+        O(k).  Returns None (caller stays inline) when the communicator
+        cannot ship this plan; the inline charging is replayed afterwards
+        by :func:`_replay_chain_charges` over the real recurrence."""
+        comm = self.system.comm
+        self.ensure_shipped()
+        token = comm.resident_ship_plan(
+            self.system.plan, self.sizes, self._halo_ext_sizes()
+        )
+        if token is None:
+            return None
+        n = self.n_total
+        nflags = comm.pool_width()
+        kind, params = terms
+        payload = {
+            "name": "chain",
+            "mode": "rdd",
+            "kind": kind,
+            "params": params,
+            "plan": token,
+            "out": n,
+            "slots": 2 * n,
+            "n_total": n,
+            "flags": 4 * n,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(v_parts) + [(4 * n, np.zeros(nflags))]
+        out = self._dispatch(
+            payload, writes, self._vec_reads(n), 4 * n + nflags
+        )
+        _replay_chain_charges(self, precond, "rdd")
+        return out
+
+    def prec_apply(self, precond, v_parts):
+        """Block-Jacobi ILU0 apply against worker-resident factors: ONE
+        dispatch instead of an orchestrator-side loop over rank solves.
+        Factors ship once per generation through :meth:`ensure_aux`;
+        charging mirrors the inline ``apply_parts`` exactly."""
+        comm = self.system.comm
+        self.ensure_aux(precond._resident_key, precond._resident_states)
+        n = self.n_total
+        payload = {
+            "name": "prec",
+            "key": precond._resident_key,
+            "out": n,
+        }
+        out = self._dispatch(
+            payload, self._vec_writes(v_parts), self._vec_reads(n), 2 * n
+        )
+        for r in range(len(self.sizes)):
+            comm.add_flops(r, 2 * self.system.a_loc[r].nnz)
+        return out
+
+    def coarse_correct(self, tl, v_parts):
+        """One fused dispatch for the two-level coarse correction (see
+        :meth:`ResidentEDDEngine.coarse_correct`); the real coarse
+        allreduce is replayed on the partial rows read back, so chaos
+        plans aimed at it keep firing."""
+        comm = self.system.comm
+        self.ensure_aux(tl._resident_key, tl._resident_states)
+        n = self.n_total
+        p = len(self.sizes)
+        nc = tl.n_coarse
+        pbase = n
+        obase = n + p * nc
+        nflags = comm.pool_width()
+        flags = obase + n
+        trc = comm.tracer
+        traced = trc.enabled
+        if traced:
+            trc.begin("coarse_solve", "solver", n_coarse=nc, k=1)
+        payload = {
+            "name": "coarse",
+            "nc": nc,
+            "key": tl._resident_key,
+            "partial": pbase,
+            "out": obase,
+            "flags": flags,
+            "nflags": nflags,
+            "btimeout": _btimeout(comm),
+        }
+        writes = self._vec_writes(v_parts) + [(flags, np.zeros(nflags))]
+        reads = [(pbase + r * nc, nc) for r in range(p)] + self._vec_reads(
+            obase
+        )
+        outs = self._dispatch(payload, writes, reads, flags + nflags)
+        for r in range(p):
+            comm.add_flops(r, 2 * tl._wl_parts[r].size)
+        comm.allreduce_sum(outs[:p], words=nc)
+        comm.add_flops_all([2 * nc * nc] * p)
+        for r in range(p):
+            comm.add_flops(r, 2 * tl._wg_parts[r].size)
+        if traced:
+            trc.end()
+        return outs[p:]
 
     def commit_basis(self, inv_h) -> None:
         """Append ``inv_h * w`` to the worker basis mirror from the cached

@@ -36,6 +36,7 @@ import weakref
 
 from repro.obs.tracer import timed_rank_body
 from repro.parallel.comm import _WORKER_CTX, Comm, guard_nested_comm
+from repro.parallel.env_knobs import read_int_env
 from repro.partition.interface import SubdomainMap
 
 _DEFAULT_MIN_WORK = 8192
@@ -44,8 +45,8 @@ _DEFAULT_MIN_WORK = 8192
 def _default_workers() -> int:
     """Worker cap from ``REPRO_THREAD_WORKERS`` or the CPU count (min 2)."""
     env = os.environ.get("REPRO_THREAD_WORKERS")
-    if env:
-        return max(1, int(env))
+    if env and env.strip():
+        return max(1, read_int_env("REPRO_THREAD_WORKERS", 1))
     return max(2, os.cpu_count() or 1)
 
 
@@ -228,8 +229,8 @@ class ThreadComm(Comm):
             n_workers = _default_workers()
         self.n_workers = max(1, min(int(n_workers), self.size))
         if min_parallel_work is None:
-            min_parallel_work = int(
-                os.environ.get("REPRO_THREAD_MIN_WORK", _DEFAULT_MIN_WORK)
+            min_parallel_work = read_int_env(
+                "REPRO_THREAD_MIN_WORK", _DEFAULT_MIN_WORK
             )
         self.min_parallel_work = min_parallel_work
         _live_comms.add(self)

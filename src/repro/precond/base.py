@@ -148,6 +148,18 @@ class PolynomialPreconditioner(Preconditioner):
             return out
         return z
 
+    def chain_terms(self):
+        """Picklable recurrence descriptor for resident fused dispatch.
+
+        Returns ``(kind, params)`` when the family's generic-path
+        recurrence can be mirrored worker-side from plain coefficients
+        (``repro.parallel.resident`` ships it in a single ``chain`` rank
+        op, cutting per-apply round-trips from O(degree) to O(1)), or
+        None to keep the per-matvec dispatch path.  The worker recurrence
+        must stay token-identical to :meth:`apply_linear`'s generic path.
+        """
+        return None
+
     def _three_term_apply(self, matvec, v, out, alphas, betas, mus, degree):
         """Workspace Stieltjes recurrence ``z = sum_i mu_i phi_i(A) v``.
 

@@ -86,6 +86,11 @@ class ChebyshevPolynomial(PolynomialPreconditioner):
             z = matvec(z) + c * v
         return self._finish(z, out)
 
+    def chain_terms(self):
+        """Resident fused-dispatch descriptor (see base class): the
+        worker replays the Horner sweep ``z <- Az + c*v``."""
+        return ("cheb", {"coef": [float(c) for c in self._coef]})
+
     def power_coefficients(self) -> np.ndarray:
         """Power-basis coefficients of ``P`` (already stored that way)."""
         return self._coef.copy()

@@ -51,6 +51,7 @@ preconditioner (the parity the golden tests pin).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +60,10 @@ from repro.precond.base import Preconditioner
 
 #: Accepted application modes of a two-level spec.
 TWO_LEVEL_MODES = ("additive", "deflate")
+
+#: Resident-state keys; a fresh key per instance so worker-side aux
+#: caches can never confuse two preconditioners' coarse state.
+_RESIDENT_KEYS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -169,6 +174,7 @@ class TwoLevelPreconditioner(Preconditioner):
         self._factor = factor
         self.n_coarse = n_coarse
         self._trivial = trivial
+        self._resident_key = f"2l-{next(_RESIDENT_KEYS)}"
 
     # ------------------------------------------------------------------
     # Construction
@@ -277,6 +283,43 @@ class TwoLevelPreconditioner(Preconditioner):
             return scipy.linalg.cho_solve(factor, rhs)
         return scipy.linalg.lu_solve(factor, rhs)
 
+    def _resident_states(self) -> list:
+        """Resident coarse state: the (small) factorized Galerkin matrix
+        broadcast redundantly to every worker (``aux_shared`` — the same
+        redundant-solve trade the inline path makes), plus each rank's
+        restriction/prolongation basis blocks (``aux``).  Both blocks
+        ship even when RDD aliases them: worker-side keys stay uniform
+        and the transfer is a one-time setup cost."""
+        kind, factor = self._factor
+        if kind == "cho":
+            c, lower = factor
+            shared = {
+                "kind": "aux_shared",
+                "arrays": {"fmat": c},
+                "meta": {
+                    "key": self._resident_key,
+                    "fkind": "cho",
+                    "lower": bool(lower),
+                },
+            }
+        else:
+            lu, piv = factor
+            shared = {
+                "kind": "aux_shared",
+                "arrays": {"fmat": lu, "piv": piv.astype(np.int64)},
+                "meta": {"key": self._resident_key, "fkind": "lu"},
+            }
+        states = [shared]
+        for r, (wl, wg) in enumerate(zip(self._wl_parts, self._wg_parts)):
+            states.append(
+                {
+                    "kind": "aux",
+                    "arrays": {"wl": wl, "wg": wg},
+                    "meta": {"rank": r, "key": self._resident_key},
+                }
+            )
+        return states
+
     def _coarse_correct(self, comm, v_parts: list, k: int | None):
         """The coarse correction ``W E^-1 W^T v`` on raw per-rank parts.
 
@@ -287,6 +330,13 @@ class TwoLevelPreconditioner(Preconditioner):
         rank), rank-local prolongation — traced as one ``coarse_solve``
         span so its reductions reconcile with the CommStats charges.
         """
+        if k is None:
+            engine = self._system.rank_engine()
+            if engine.resident:
+                # Fused resident correction: restriction bases and the
+                # factorized Galerkin matrix live worker-side; ONE
+                # dispatch plus the same single coarse allreduce.
+                return engine.coarse_correct(self, v_parts)
         nc = self.n_coarse
         wl, wg = self._wl_parts, self._wg_parts
         n_parts = len(wl)
@@ -335,7 +385,12 @@ class TwoLevelPreconditioner(Preconditioner):
     def _inner_edd(self, system, v_hat: DistVector) -> DistVector:
         if self._inner is None:
             return v_hat.copy()
-        return self._inner.apply_linear(system.matvec_assembled, v_hat)
+        # Route through the EDD dispatcher so a polynomial inner gets the
+        # fused resident chain path; never recursive (the inner spec is
+        # non-composite by the grammar).
+        from repro.core.edd import _precondition
+
+        return _precondition(system, self._inner, v_hat)
 
     def _inner_edd_block(self, system, v_hat: DistBlock) -> DistBlock:
         if self._inner is None:

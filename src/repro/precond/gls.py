@@ -166,6 +166,20 @@ class GLSPolynomial(PolynomialPreconditioner):
             phi_prev, phi = phi, nxt
         return self._finish(z, out)
 
+    def chain_terms(self):
+        """Resident fused-dispatch descriptor (see base class): the
+        worker replays the three-term Stieltjes recurrence from the
+        shipped ``alpha``/``beta``/``mu`` tables."""
+        return (
+            "gls",
+            {
+                "a": [float(x) for x in self._alphas],
+                "b": [float(x) for x in self._betas],
+                "mu": [float(x) for x in self._mus],
+                "degree": self.degree,
+            },
+        )
+
     def power_coefficients(self) -> np.ndarray:
         """Power-basis coefficients of ``P_m`` (via the recurrence on
         ``numpy`` polynomial objects); feeds the Eq. 24 stability bound."""

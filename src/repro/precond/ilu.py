@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.precond.base import Preconditioner, SingularPreconditionerError
+from repro.sparse import kernels
 from repro.sparse.csr import CSRMatrix
 
 
@@ -75,43 +76,45 @@ def ilu0_factor(a: CSRMatrix, pivot_tol: float = 0.0) -> CSRMatrix:
     return lu
 
 
+def diag_positions(lu: CSRMatrix) -> np.ndarray:
+    """Index of each row's diagonal entry in a row-sorted CSR factor.
+
+    One searchsorted over the whole (row-sorted) index array: the key
+    ``rows*n + indices`` is globally sorted, so the diagonal of row ``i``
+    is the insertion point of ``i*(n+1)``.  :func:`ilu0_factor`
+    guarantees every diagonal exists, so the insertion point is an exact
+    hit.  This replaces the per-row Python scan that used to dominate
+    preconditioner setup on large blocks.
+    """
+    n = lu.shape[0]
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(lu.indptr))
+    key = rows * np.int64(n) + lu.indices
+    return np.searchsorted(
+        key, np.arange(n, dtype=np.int64) * np.int64(n + 1)
+    ).astype(np.int64)
+
+
 class ILU0Preconditioner(Preconditioner):
     """``z = U^{-1} L^{-1} v`` with in-pattern ``L``, ``U`` from
     :func:`ilu0_factor`."""
 
     def __init__(self, a: CSRMatrix):
         self._lu = ilu0_factor(a)
-        n = a.shape[0]
-        indptr, indices = self._lu.indptr, self._lu.indices
-        self._diag_pos = np.empty(n, dtype=np.int64)
-        self._split = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            lo, hi = indptr[i], indptr[i + 1]
-            d = lo + int(np.searchsorted(indices[lo:hi], i))
-            self._diag_pos[i] = d
-            self._split[i] = d
+        self._diag_pos = diag_positions(self._lu)
+        self._split = self._diag_pos.copy()
 
     def apply(self, v: np.ndarray) -> np.ndarray:
-        """Forward/backward triangular solves through the stored factors."""
+        """Forward/backward triangular solves through the stored factors,
+        dispatched to the active kernel backend (``repro.sparse.kernels``)."""
         lu = self._lu
         n = lu.shape[0]
         v = np.asarray(v, dtype=np.float64)
         if v.shape != (n,):
             raise ValueError("vector length mismatch")
-        indptr, indices, data = lu.indptr, lu.indices, lu.data
         z = v.copy()
-        # Forward solve  L z = v  (unit lower triangular).
-        for i in range(n):
-            lo, d = indptr[i], self._split[i]
-            if d > lo:
-                z[i] -= data[lo:d] @ z[indices[lo:d]]
-        # Backward solve  U z = z.
-        for i in range(n - 1, -1, -1):
-            d, hi = self._diag_pos[i], indptr[i + 1]
-            s = z[i]
-            if hi > d + 1:
-                s -= data[d + 1 : hi] @ z[indices[d + 1 : hi]]
-            z[i] = s / data[d]
+        kernels.get_backend().ilu0_solve(
+            lu.indptr, lu.indices, lu.data, self._diag_pos, self._split, z
+        )
         return z
 
     @property

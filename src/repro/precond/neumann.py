@@ -80,6 +80,11 @@ class NeumannPolynomial(PolynomialPreconditioner):
             z = z + s
         return self._finish(self.omega * z, out)
 
+    def chain_terms(self):
+        """Resident fused-dispatch descriptor (see base class): the
+        worker replays ``s <- s - omega*As; z <- z + s`` then scales."""
+        return ("neumann", {"omega": self.omega, "degree": self.degree})
+
     def power_coefficients(self) -> np.ndarray:
         """Coefficients of :math:`\\omega\\sum_{i\\le m} (1-\\omega\\lambda)^i`
         in the power basis."""

@@ -397,7 +397,13 @@ class SolverService:
                 t_start = time.perf_counter()
                 loop = asyncio.get_running_loop()
                 try:
-                    summary, setup_time, good, bad = await loop.run_in_executor(
+                    (
+                        summary,
+                        setup_time,
+                        good,
+                        bad,
+                        invalid,
+                    ) = await loop.run_in_executor(
                         self._executor, self._solve_batch_blocking, entries
                     )
                 except Exception as exc:  # solver/setup raised: report, don't die
@@ -405,6 +411,8 @@ class SolverService:
                     return
         for entry, message in bad:
             self._resolve_error(entry, message)
+        for entry, message in invalid:
+            self._resolve_failed(entry, message)
         if summary is not None:
             self._resolve_responses(good, summary, setup_time, t_start)
 
@@ -414,10 +422,14 @@ class SolverService:
         solve.  Runs in the worker executor — must not touch loop state.
 
         A request whose explicit ``rhs`` doesn't fit the problem is
-        dropped from the batch and reported individually (``bad``) — it
-        must never poison a coalescing partner's solve (tenant
-        isolation).  Returns ``(summary, setup_time, good, bad)`` with
-        ``summary`` None when no valid column remained.
+        dropped from the batch and reported individually (``bad``,
+        status ``error``), and one whose rhs holds non-finite values
+        (NaN/Inf — it can never verify, and a single poisoned column
+        would contaminate every coalescing partner through the shared
+        Krylov basis) is dropped and reported as ``invalid`` (status
+        ``failed``) — tenant isolation either way.  Returns
+        ``(summary, setup_time, good, bad, invalid)`` with ``summary``
+        None when no valid column remained.
         """
         req0 = entries[0].request
         misses_before = self.session.misses
@@ -425,7 +437,7 @@ class SolverService:
         hit = self.session.misses == misses_before
         setup_time = 0.0 if hit else ps.setup_time
         load = ps.problem.load
-        good, bad, columns = [], [], []
+        good, bad, invalid, columns = [], [], [], []
         for e in entries:
             r = e.request
             if r.rhs is not None:
@@ -436,18 +448,25 @@ class SolverService:
                         f"{load.shape[0]} free DOFs"
                     )))
                     continue
+                if not np.isfinite(col).all():
+                    n_bad = int(np.count_nonzero(~np.isfinite(col)))
+                    invalid.append((e, (
+                        f"rhs contains {n_bad} non-finite entries "
+                        "(NaN/Inf); the request cannot converge"
+                    )))
+                    continue
             else:
                 col = r.rhs_scale * load
             good.append(e)
             columns.append(col)
         if not good:
-            return None, setup_time, good, bad
+            return None, setup_time, good, bad, invalid
         b_block = np.column_stack(columns)
         tracer = Tracer(meta={"service_batch": len(good)})
         summary = ps.solve_batch(
             b_block, req0.options, setup_time=setup_time, tracer=tracer
         )
-        return summary, setup_time, good, bad
+        return summary, setup_time, good, bad, invalid
 
     # -- response fan-out (event loop) ---------------------------------
     def _resolve_responses(self, entries, summary, setup_time, t_start):
@@ -495,6 +514,25 @@ class SolverService:
             )
             if not entry.future.done():
                 entry.future.set_result(response)
+
+    def _resolve_failed(self, entry, message: str, coalesced: int = 0) -> None:
+        """A request whose own input can never verify (non-finite rhs):
+        a clear ``failed`` response, charged to the tenant's failure
+        counter, without touching its coalescing partners."""
+        tenant = self._tenant(entry.request.tenant)
+        tenant.failed += 1
+        self.counters["failed"] += 1
+        if not entry.future.done():
+            entry.future.set_result(
+                SolveResponse(
+                    request_id=entry.request.request_id,
+                    tenant=entry.request.tenant,
+                    status="failed",
+                    converged=False,
+                    coalesced=coalesced,
+                    error=message,
+                )
+            )
 
     def _resolve_error(self, entry, message: str, coalesced: int = 0) -> None:
         tenant = self._tenant(entry.request.tenant)

@@ -26,6 +26,15 @@ implement the same three kernels against the *duck-typed* matrix object
 * ``rmatvec(a, y, out)``  — ``out = A.T @ y``
 * ``matmat(a, X, out)``   — ``out = A @ X`` for ``(m, k)`` blocks (SpMM)
 
+plus one raw-array kernel used by the ILU(0) preconditioner (and by
+resident workers applying shipped factors):
+
+* ``ilu0_solve(indptr, indices, data, diag_pos, split, z)`` — in-place
+  forward/backward substitution ``z <- U^{-1} L^{-1} z`` through an
+  in-pattern LU whose rows are column-sorted, with ``split[i]`` the index
+  one past row ``i``'s strictly-lower entries and ``diag_pos[i]`` the
+  position of its diagonal entry.
+
 Backends assume matrices are immutable after construction (the repo-wide
 convention ``CSRMatrix`` documents): cached derived arrays are never
 invalidated.
@@ -137,6 +146,29 @@ class NumpyBackend:
             out[:, j] = ycol
         return out
 
+    def ilu0_solve(self, indptr, indices, data, diag_pos, split, z):
+        """In-place ``z <- U^{-1} L^{-1} z`` through an in-pattern LU.
+
+        Row ``i``'s strictly-lower entries live at ``[indptr[i],
+        split[i])`` and its diagonal at ``diag_pos[i]``; this is the
+        reference implementation every other backend must match in exact
+        arithmetic order (slice-dot per row, forward then backward).
+        """
+        n = len(indptr) - 1
+        # Forward solve  L z = v  (unit lower triangular).
+        for i in range(n):
+            lo, d = indptr[i], split[i]
+            if d > lo:
+                z[i] -= data[lo:d] @ z[indices[lo:d]]
+        # Backward solve  U z = z.
+        for i in range(n - 1, -1, -1):
+            d, hi = diag_pos[i], indptr[i + 1]
+            s = z[i]
+            if hi > d + 1:
+                s -= data[d + 1 : hi] @ z[indices[d + 1 : hi]]
+            z[i] = s / data[d]
+        return z
+
 
 class ScipyBackend(NumpyBackend):
     """C-loop kernels from ``scipy.sparse._sparsetools``.
@@ -221,9 +253,25 @@ class NumbaBackend(NumpyBackend):
                     for j in range(x.shape[1]):
                         out[i, j] += v * x[c, j]
 
+        @njit(cache=True)
+        def _ilu0_solve(indptr, indices, data, diag_pos, split, z):  # pragma: no cover
+            n = len(indptr) - 1
+            for i in range(n):
+                acc = 0.0
+                for p in range(indptr[i], split[i]):
+                    acc += data[p] * z[indices[p]]
+                z[i] -= acc
+            for i in range(n - 1, -1, -1):
+                d = diag_pos[i]
+                s = z[i]
+                for p in range(d + 1, indptr[i + 1]):
+                    s -= data[p] * z[indices[p]]
+                z[i] = s / data[d]
+
         self._matvec_jit = _matvec
         self._rmatvec_jit = _rmatvec
         self._matmat_jit = _matmat
+        self._ilu0_solve_jit = _ilu0_solve
 
     def matvec(self, a, x, out):
         """``out = A @ x`` through the JIT row loop."""
@@ -245,6 +293,11 @@ class NumbaBackend(NumpyBackend):
         self._matmat_jit(a.indptr, a.indices, a.data, x, buf)
         out[:] = buf
         return out
+
+    def ilu0_solve(self, indptr, indices, data, diag_pos, split, z):
+        """In-place triangular solves through the JIT sequential row loop."""
+        self._ilu0_solve_jit(indptr, indices, data, diag_pos, split, z)
+        return z
 
 
 # ----------------------------------------------------------------------

@@ -151,3 +151,221 @@ def test_forced_process_pool_path_parity(tiny_problem, monkeypatch):
     assert np.array_equal(sv.result.x, sp.result.x)
     for rv, rp in zip(sv.stats.ranks, sp.stats.ranks):
         assert rv == rp
+
+
+# ----------------------------------------------------------------------
+# Worker-resident preconditioner state (factor shipping + fused chains)
+# ----------------------------------------------------------------------
+#
+# The resident engines ship preconditioner factor state (BJ-ILU0 L/U
+# factors, the two-level restriction basis and factorized Galerkin
+# matrix) to the worker pool and fuse polynomial-apply matvec chains and
+# the Arnoldi ortho+dots pair into single dispatches.  None of that may
+# be observable in the numbers: virtual / thread / inline-process /
+# resident-process must stay bitwise identical in x, residual history
+# and per-rank CommStats, and the resident path really is one dispatch
+# per preconditioner apply (read off the ``rank_op`` span vocabulary).
+
+import contextlib
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Tracer
+from repro.parallel.chaos import FaultPlan, FaultRule, use_fault_plan
+
+
+@contextlib.contextmanager
+def _resident_env(resident):
+    """Set REPRO_PROCESS_RESIDENT/WORKERS without monkeypatch (usable
+    inside hypothesis examples); ``resident=None`` means unset."""
+    keys = ("REPRO_PROCESS_RESIDENT", "REPRO_PROCESS_WORKERS")
+    saved = {k: os.environ.get(k) for k in keys}
+    try:
+        if resident is None:
+            os.environ.pop("REPRO_PROCESS_RESIDENT", None)
+        else:
+            os.environ["REPRO_PROCESS_RESIDENT"] = "1" if resident else "0"
+        os.environ["REPRO_PROCESS_WORKERS"] = "2"
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _assert_same_solve(a, b, ctx=""):
+    assert a.result.converged and b.result.converged, ctx
+    assert a.result.residual_history == b.result.residual_history, ctx
+    assert a.result.x.tobytes() == b.result.x.tobytes(), ctx
+    assert len(a.stats.ranks) == len(b.stats.ranks), ctx
+    for r, (ra, rb) in enumerate(zip(a.stats.ranks, b.stats.ranks)):
+        assert ra == rb, f"{ctx}: CommStats diverge at rank {r}"
+
+
+#: Factor-state preconditioners: BJ-ILU0 and the two-level composites,
+#: plus a Chebyshev chain (the third fused-recurrence kind).
+FACTOR_CONFIGS = [
+    ("rdd", "2l(bj-ilu0,deflate)"),
+    ("rdd", "2l(gls(3))"),
+    ("edd-enhanced", "2l(gls(3),deflate)"),
+    ("edd-enhanced", "2l(neumann(8))"),
+    ("edd-enhanced", "cheb(4)"),
+]
+
+
+@pytest.mark.parametrize(
+    "method,precond", FACTOR_CONFIGS,
+    ids=[f"{m}-{p}" for m, p in FACTOR_CONFIGS],
+)
+def test_factor_state_preconditioners_bitwise_across_backends(
+    tiny_problem, method, precond
+):
+    """x, residual history and per-rank CommStats are bitwise equal on
+    virtual, thread, inline-process and resident-process backends."""
+    base = _solve(tiny_problem, "virtual", method=method, precond=precond)
+    with _resident_env(None):
+        thread = _solve(tiny_problem, "thread", method=method, precond=precond)
+    with _resident_env(False):
+        inline = _solve(
+            tiny_problem, "process", method=method, precond=precond
+        )
+    with _resident_env(True):
+        resident = _solve(
+            tiny_problem, "process", method=method, precond=precond
+        )
+    for name, summary in (
+        ("thread", thread),
+        ("process-inline", inline),
+        ("process-resident", resident),
+    ):
+        _assert_same_solve(base, summary, f"virtual vs {name} ({precond})")
+
+
+def _rank_ops_under_precond_apply(trc):
+    """Map precond_apply span index -> list of rank_op ops beneath it."""
+    spans = trc.spans
+    applies = {
+        i: [] for i, s in enumerate(spans) if s["name"] == "precond_apply"
+    }
+    for i, s in enumerate(spans):
+        if s["name"] != "rank_op":
+            continue
+        k = spans[i]["parent"]
+        while k >= 0:
+            if k in applies:
+                applies[k].append(s["args"]["op"])
+                break
+            k = spans[k]["parent"]
+    return applies
+
+
+def test_bj_ilu0_is_one_prec_dispatch_per_apply(tiny_problem, monkeypatch):
+    _force_resident(monkeypatch)
+    trc = Tracer()
+    opts = SolverOptions(method="rdd", precond="bj-ilu0",
+                         comm_backend="process")
+    summary = solve_cantilever(tiny_problem, n_parts=4, options=opts,
+                               tracer=trc)
+    assert summary.result.converged
+    applies = _rank_ops_under_precond_apply(trc)
+    assert applies, "no precond_apply spans recorded"
+    for ops in applies.values():
+        assert ops == ["prec"], ops
+
+
+@pytest.mark.parametrize(
+    "precond,expected",
+    [
+        # additive: one fused polynomial chain + one fused coarse solve
+        ("2l(gls(3))", ["chain", "coarse"]),
+        # deflate adds exactly ONE operator application (the deflation
+        # residual v - A Q v), itself a single fused "mv" dispatch
+        ("2l(gls(3),deflate)", ["chain", "coarse", "mv"]),
+    ],
+)
+def test_two_level_is_one_chain_plus_one_coarse_dispatch(
+    tiny_problem, precond, expected, monkeypatch
+):
+    _force_resident(monkeypatch)
+    trc = Tracer()
+    opts = SolverOptions(method="edd-enhanced", precond=precond,
+                         comm_backend="process")
+    summary = solve_cantilever(tiny_problem, n_parts=4, options=opts,
+                               tracer=trc)
+    assert summary.result.converged
+    applies = _rank_ops_under_precond_apply(trc)
+    assert applies, "no precond_apply spans recorded"
+    for ops in applies.values():
+        # never a per-degree "mv" ladder or per-piece "dots"/"ortho".
+        assert sorted(ops) == expected, ops
+    coarse = [s for s in trc.spans if s["name"] == "coarse_solve"]
+    assert len(coarse) == len(applies)
+
+
+def test_fused_vocabulary_replaces_per_piece_ops(tiny_problem, monkeypatch):
+    _force_resident(monkeypatch)
+    trc = Tracer()
+    opts = SolverOptions(method="rdd", precond="2l(bj-ilu0,deflate)",
+                         comm_backend="process")
+    solve_cantilever(tiny_problem, n_parts=4, options=opts, tracer=trc)
+    ops = {s["args"]["op"] for s in trc.spans if s["name"] == "rank_op"}
+    assert {"prec", "coarse", "arn"} <= ops
+    assert not ops & {"dots", "ortho"}
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    method=st.sampled_from(["rdd", "edd-enhanced"]),
+    kind=st.sampled_from(["gls", "neumann", "cheb"]),
+    degree=st.integers(min_value=1, max_value=6),
+    two_level=st.booleans(),
+)
+def test_random_polynomial_resident_parity(
+    tiny_problem, method, kind, degree, two_level
+):
+    """Hypothesis sweep: random polynomial preconditioners, virtual vs
+    resident-process, whole-solve bitwise."""
+    precond = f"{kind}({degree})"
+    if two_level:
+        precond = f"2l({precond},deflate)"
+    base = _solve(tiny_problem, "virtual", method=method, precond=precond)
+    with _resident_env(True):
+        res = _solve(tiny_problem, "process", method=method, precond=precond)
+    _assert_same_solve(base, res, f"{method} {precond}")
+
+
+def test_resident_env_does_not_perturb_coarse_allreduce_faults(
+    tiny_problem,
+):
+    """A fault plan aimed at the coarse allreduce fires identically with
+    and without the resident env knob: chaos communicators always run
+    inline, so the injected corruption and every downstream float match
+    bitwise."""
+    plan = FaultPlan(
+        rules=(FaultRule("allreduce_sum", "sign_flip", call_index=8),),
+        seed=20060815,
+    )
+
+    def run(resident):
+        opts = SolverOptions(
+            method="edd-enhanced",
+            precond="2l(gls(7),deflate)",
+            comm_backend="chaos",
+        )
+        with _resident_env(resident), use_fault_plan(plan, inner="process"):
+            return solve_cantilever(tiny_problem, n_parts=4, options=opts)
+
+    base = run(None)
+    forced = run(True)
+    assert base.result.converged == forced.result.converged
+    assert base.result.residual_history == forced.result.residual_history
+    assert base.result.x.tobytes() == forced.result.x.tobytes()
+    assert [e.kind for e in base.result.diagnostics] == [
+        e.kind for e in forced.result.diagnostics
+    ]
+    for ra, rb in zip(base.stats.ranks, forced.stats.ranks):
+        assert ra == rb

@@ -204,7 +204,12 @@ def test_trace_has_worker_busy_seconds_and_rank_op_spans(
     assert "resident_ship" in names
     rank_ops = [s for s in trace["spans"] if s["name"] == "rank_op"]
     assert rank_ops and all(s["cat"] == "comm" for s in rank_ops)
-    assert {"mv", "dots", "ortho"} <= {s["args"]["op"] for s in rank_ops}
+    ops = {s["args"]["op"] for s in rank_ops}
+    # Fused vocabulary: polynomial applies are ONE "chain" dispatch and
+    # each CGS coefficient round ONE "arn" dispatch — the per-piece
+    # "dots"/"ortho" pair never appears on this path.
+    assert {"mv", "chain", "arn"} <= ops
+    assert "dots" not in ops and "ortho" not in ops
     # Chrome export renders one busy track per worker process.
     chrome = chrome_trace_from_dict(trace)
     chrome_names = {e["name"] for e in chrome["traceEvents"]}

@@ -152,3 +152,45 @@ def test_default_timeout_applies_when_request_has_none():
 
     resp = run(scenario())
     assert resp.status == "timeout"
+
+
+def test_nonfinite_rhs_fails_alone_three_tenant_batch(mesh1_problem):
+    """NaN/Inf right-hand sides can never verify; admitting one into a
+    coalesced block would poison every partner through the shared Krylov
+    basis.  The poisoned tenant gets a terminal ``failed`` response (not
+    ``error`` — the input is well-formed, just unsolvable) and its two
+    coalescing partners solve normally."""
+    n = mesh1_problem.load.shape[0]
+    poisoned = [0.0] * n
+    poisoned[n // 2] = float("nan")
+    poisoned[-1] = float("inf")
+
+    async def scenario():
+        config = ServiceConfig(batch_window=0.1)
+        async with SolverService(config) as svc:
+            a, b, c = await asyncio.gather(
+                svc.submit(SolveRequest(
+                    mesh=1, n_parts=N_PARTS, tenant="alice",
+                )),
+                svc.submit(SolveRequest(
+                    mesh=1, n_parts=N_PARTS, tenant="mallory", rhs=poisoned,
+                )),
+                svc.submit(SolveRequest(
+                    mesh=1, n_parts=N_PARTS, tenant="carol", rhs_scale=2.0,
+                )),
+            )
+            return a, b, c, svc.stats()
+
+    a, b, c, stats = run(scenario())
+    assert b.status == "failed"
+    assert not b.converged and b.result is None
+    assert "non-finite" in b.error and "2" in b.error  # counts both bad entries
+    for partner in (a, c):
+        assert partner.status == "ok"  # tenant isolation: solve unharmed
+        assert partner.coalesced == 2  # the poisoned column left the batch
+    assert stats["counters"]["failed"] == 1
+    assert stats["counters"]["completed"] == 2
+    assert stats["tenants"]["mallory"]["failed"] == 1
+    assert stats["tenants"]["mallory"]["completed"] == 0
+    assert stats["tenants"]["alice"]["completed"] == 1
+    assert stats["tenants"]["carol"]["completed"] == 1
